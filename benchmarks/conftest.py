@@ -1,0 +1,87 @@
+"""Benchmark fixtures: the three datasets at benchmark scale.
+
+Scales are chosen so the whole suite regenerates every table and figure in
+minutes on a laptop while preserving the paper's *relative* dataset
+characteristics: Eurostat is triple-dense with few members, Production has
+an order of magnitude more members, DBpedia has the most levels, shares
+member values across dimensions, and is M-to-N.  Absolute numbers differ
+from the paper (its substrate was Virtuoso on a 62 GB VM; ours is a pure
+Python store), which EXPERIMENTS.md discusses.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import VirtualSchemaGraph
+from repro.datasets import generate_dbpedia, generate_eurostat, generate_production
+from repro.qb import OBSERVATION_CLASS, StatisticalKG
+
+BENCH_SETTINGS = {
+    "eurostat": dict(n_observations=4000, scale=0.4, seed=101),
+    "production": dict(n_observations=3000, scale=0.02, seed=102),
+    "dbpedia": dict(n_observations=1500, scale=0.03, seed=103),
+}
+
+_GENERATORS = {
+    "eurostat": generate_eurostat,
+    "production": generate_production,
+    "dbpedia": generate_dbpedia,
+}
+
+DATASET_NAMES = tuple(BENCH_SETTINGS)
+
+
+def build_dataset(name: str) -> StatisticalKG:
+    return _GENERATORS[name](**BENCH_SETTINGS[name])
+
+
+@pytest.fixture(scope="session")
+def datasets() -> dict[str, StatisticalKG]:
+    """All three benchmark KGs, generated once per session."""
+    return {name: build_dataset(name) for name in DATASET_NAMES}
+
+
+@pytest.fixture(scope="session")
+def endpoints(datasets):
+    endpoints = {}
+    for name, kg in datasets.items():
+        endpoint = kg.endpoint()
+        _ = endpoint.text_index  # build the text index up front
+        endpoints[name] = endpoint
+    return endpoints
+
+
+@pytest.fixture(scope="session")
+def vgraphs(endpoints):
+    return {
+        name: VirtualSchemaGraph.bootstrap(endpoint, OBSERVATION_CLASS)
+        for name, endpoint in endpoints.items()
+    }
+
+
+def sample_inputs(
+    kg: StatisticalKG, size: int, count: int = 10, seed: int = 0
+) -> list[tuple[str, ...]]:
+    """Random example tuples: ``size`` member labels from distinct dimensions.
+
+    This is the Fig. 7 workload: "we randomly selected dimension members
+    from each dimension and combined them", 10 inputs per size.
+    """
+    rng = random.Random(seed)
+    dimension_names = sorted({dim for dim, _level in kg.members})
+    if size > len(dimension_names):
+        raise ValueError(f"size {size} exceeds {len(dimension_names)} dimensions")
+    inputs: list[tuple[str, ...]] = []
+    for _ in range(count):
+        chosen_dims = rng.sample(dimension_names, size)
+        labels = []
+        for dim in chosen_dims:
+            levels = sorted(level for d, level in kg.members if d == dim)
+            level = levels[rng.randrange(len(levels))]
+            members = kg.members[(dim, level)]
+            labels.append(members[rng.randrange(len(members))].label)
+        inputs.append(tuple(labels))
+    return inputs

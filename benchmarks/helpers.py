@@ -1,0 +1,49 @@
+"""Shared benchmark utilities: timing, table rendering, result persistence.
+
+Every benchmark prints the table or series it regenerates (the same rows
+the paper's figure reports) and also appends it to
+``benchmarks/results/<name>.txt`` so a full run leaves an inspectable
+record next to the pytest-benchmark timings.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` and return (result, elapsed seconds)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Fixed-width table rendering used by all harness outputs."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines.extend(" | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells)
+    return "\n".join(lines)
+
+
+def emit(name: str, title: str, table: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"\n### {title}\n{table}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(f"{title}\n\n{table}\n")
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f}ms"

@@ -1,0 +1,76 @@
+"""Extension operators: Slice and Roll-up cost and output counts.
+
+Not in the paper's figures (the operators complete the OLAP algebra of
+Section 4.2 beyond the shipped ExRef suite); benchmarked with the same
+protocol as Figure 9 so the numbers are comparable: generation time and
+number of proposals at the Orig / Dis.1 stages, plus the executed size of
+the refined queries relative to the base.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import Disaggregate, Rollup, Slice, reolap
+
+from .conftest import DATASET_NAMES, sample_inputs
+from .helpers import emit, fmt_ms, format_table, timed
+
+
+@pytest.mark.parametrize("name", ["eurostat", "production"])
+def test_extension_refinements(benchmark, name, datasets, endpoints, vgraphs):
+    endpoint, vgraph = endpoints[name], vgraphs[name]
+    base_queries = []
+    for example in sample_inputs(datasets[name], 2, count=4, seed=7000):
+        try:
+            base_queries.extend(reolap(endpoint, vgraph, example)[:1])
+        except Exception:
+            continue
+    assert base_queries
+    disaggregate = Disaggregate(vgraph)
+    methods = {"slice": Slice(), "rollup": Rollup(vgraph, endpoint)}
+
+    def run():
+        measurements = {m: {"times": [], "counts": [], "shrink": []} for m in methods}
+        for base in base_queries:
+            proposals = disaggregate.propose(base)
+            staged = [base] + ([proposals[0].query] if proposals else [])
+            for query in staged:
+                results = endpoint.select(query.to_select())
+                for method_name, method in methods.items():
+                    refinements, elapsed = timed(method.propose, query, results)
+                    measurements[method_name]["times"].append(elapsed)
+                    measurements[method_name]["counts"].append(len(refinements))
+                    for refinement in refinements[:1]:
+                        refined = endpoint.select(refinement.query.to_select())
+                        if len(results):
+                            measurements[method_name]["shrink"].append(
+                                len(refined) / len(results)
+                            )
+        return measurements
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for method_name, cells in measurements.items():
+        rows.append([
+            name,
+            method_name,
+            fmt_ms(statistics.mean(cells["times"])),
+            f"{statistics.mean(cells['counts']):.1f}",
+            (f"{statistics.mean(cells['shrink']):.2f}x"
+             if cells["shrink"] else "n/a"),
+        ])
+    emit(
+        f"extension_refinements_{name}",
+        f"Extension operators (Slice / Roll-up) — {name}",
+        format_table(
+            ["dataset", "method", "mean gen time", "mean #proposals",
+             "result size vs base"],
+            rows,
+        ),
+    )
+    # Slice always shrinks or keeps; generation stays interactive.
+    for cells in measurements.values():
+        assert statistics.mean(cells["times"]) < 0.5
+    if measurements["slice"]["shrink"]:
+        assert statistics.mean(measurements["slice"]["shrink"]) <= 1.0

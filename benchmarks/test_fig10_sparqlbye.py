@@ -1,0 +1,47 @@
+"""Figure 10: queries obtained from ("Asia", "2011") — SPARQLByE vs REOLAP.
+
+Prints both systems' outputs for the same input and asserts the
+qualitative differences the figure illustrates:
+
+* SPARQLByE recognizes the example entities' level memberships but emits
+  a flat ``SELECT *`` with no aggregation and no connection to
+  observations;
+* REOLAP emits ``SELECT ... SUM(...)`` queries whose BGPs navigate from
+  the observation variable through the hierarchy to the matched levels,
+  with a GROUP BY over them.
+"""
+
+from repro.baselines import SPARQLByE
+from repro.core import reolap
+
+from .helpers import emit
+
+EXAMPLE = ("Asia", "2011")
+
+
+def run_both(endpoint, vgraph):
+    baseline = SPARQLByE(endpoint).reverse_engineer(EXAMPLE)
+    queries = reolap(endpoint, vgraph, EXAMPLE)
+    return baseline, queries
+
+
+def test_fig10_sparqlbye_vs_reolap(benchmark, endpoints, vgraphs):
+    endpoint, vgraph = endpoints["eurostat"], vgraphs["eurostat"]
+    baseline, queries = benchmark.pedantic(
+        run_both, args=(endpoint, vgraph), rounds=1, iterations=1
+    )
+
+    assert baseline.query is not None
+    assert not baseline.has_aggregation
+    assert not baseline.mentions_observations
+    assert queries
+    reolap_query = queries[0].to_select()
+    assert reolap_query.group_by
+    assert reolap_query.is_aggregate_query
+
+    body = (
+        "(a) SPARQLByE:\n" + baseline.query.to_sparql()
+        + "\n\n(b) REOLAP (first of {n}):\n".format(n=len(queries))
+        + queries[0].sparql()
+    )
+    emit("fig10", 'Figure 10: queries for ("Asia", "2011")', body)

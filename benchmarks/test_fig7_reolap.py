@@ -1,0 +1,92 @@
+"""Figure 7: REOLAP synthesis time (a) and number of output queries (b).
+
+Workload: 10 random example tuples per input size 1–4 per dataset,
+sampled from actual dimension members (as in the paper).  Shapes to hold:
+
+* (a) time grows with input size, and depends on the number of dimension
+  members (|N_D|) rather than on the number of observations;
+* (b) small inputs produce fewer than ~10 candidate queries on average;
+  shared member pools (DBpedia) inflate the count.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import SynthesisReport, reolap
+from repro.errors import SynthesisError
+
+from .conftest import DATASET_NAMES, sample_inputs
+from .helpers import emit, fmt_ms, format_table, timed
+
+INPUT_SIZES = (1, 2, 3, 4)
+INPUTS_PER_SIZE = 10
+
+_series: dict[tuple[str, int], dict] = {}
+
+
+def run_workload(endpoint, vgraph, inputs):
+    """Synthesize every input; returns (per-input times, query counts)."""
+    times, counts = [], []
+    for example in inputs:
+        report = SynthesisReport()
+
+        def synthesize():
+            try:
+                return reolap(endpoint, vgraph, example, report=report)
+            except SynthesisError:
+                return []
+
+        queries, elapsed = timed(synthesize)
+        times.append(elapsed)
+        counts.append(len(queries))
+    return times, counts
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("size", INPUT_SIZES)
+def test_fig7_reolap(benchmark, name, size, datasets, endpoints, vgraphs):
+    kg = datasets[name]
+    inputs = sample_inputs(kg, size, count=INPUTS_PER_SIZE, seed=1000 + size)
+
+    def workload():
+        return run_workload(endpoints[name], vgraphs[name], inputs)
+
+    times, counts = benchmark.pedantic(workload, rounds=1, iterations=1)
+    _series[(name, size)] = {
+        "mean_time": statistics.mean(times),
+        "max_time": max(times),
+        "mean_queries": statistics.mean(counts),
+        "max_queries": max(counts),
+    }
+    assert all(c >= 0 for c in counts)
+
+    if len(_series) == len(DATASET_NAMES) * len(INPUT_SIZES):
+        _emit_series()
+
+
+def _emit_series():
+    rows_a, rows_b = [], []
+    for name in DATASET_NAMES:
+        for size in INPUT_SIZES:
+            cell = _series[(name, size)]
+            rows_a.append([name, size, fmt_ms(cell["mean_time"]), fmt_ms(cell["max_time"])])
+            rows_b.append([name, size, f"{cell['mean_queries']:.1f}", cell["max_queries"]])
+    emit(
+        "fig7a",
+        "Figure 7a: REOLAP running time vs input size (10 inputs each)",
+        format_table(["dataset", "input size", "mean time", "max time"], rows_a),
+    )
+    emit(
+        "fig7b",
+        "Figure 7b: number of synthesized queries vs input size",
+        format_table(["dataset", "input size", "mean #queries", "max #queries"], rows_b),
+    )
+    # Shape assertions: time grows with input size on every dataset...
+    for name in DATASET_NAMES:
+        assert (_series[(name, 4)]["mean_time"]
+                > _series[(name, 1)]["mean_time"])
+    # ...and small inputs stay below ~10 queries on average (Fig. 7b).
+    for name in DATASET_NAMES:
+        assert _series[(name, 1)]["mean_queries"] < 10
+        assert _series[(name, 2)]["mean_queries"] < 10

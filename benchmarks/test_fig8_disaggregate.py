@@ -1,0 +1,103 @@
+"""Figure 8a/b: query execution time and result counts for Orig/Dis.1/Dis.2.
+
+Takes the queries synthesized by the Fig. 7 workload (sizes 1 and 2),
+applies one and two Disaggregate refinements, and measures for each stage
+the endpoint execution time and the number of result tuples.  Shapes:
+
+* refinement *generation* is fast (well under the query execution cost,
+  asserted in Fig. 9's generation benchmark) while *execution* grows as
+  dimensions are added;
+* queries from larger inputs are more selective, hence relatively cheaper;
+* result counts grow (or saturate) with each disaggregation step.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import Disaggregate, reolap
+
+from .conftest import DATASET_NAMES, sample_inputs
+from .helpers import emit, fmt_ms, format_table, timed
+
+STAGES = ("orig", "dis1", "dis2")
+_cells: dict[tuple[str, int], dict] = {}
+INPUT_SIZES = (1, 2)
+INPUTS_PER_SIZE = 5
+MAX_QUERIES_PER_INPUT = 2
+
+
+def build_stage_queries(vgraph, queries):
+    """For each base query: (orig, after Dis.1, after Dis.2)."""
+    disaggregate = Disaggregate(vgraph)
+    staged = []
+    for query in queries:
+        stages = [query]
+        current = query
+        for _ in range(2):
+            proposals = disaggregate.propose(current)
+            if not proposals:
+                break
+            current = proposals[0].query
+            stages.append(current)
+        if len(stages) == 3:
+            staged.append(tuple(stages))
+    return staged
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("size", INPUT_SIZES)
+def test_fig8ab_disaggregation(benchmark, name, size, datasets, endpoints, vgraphs):
+    endpoint, vgraph = endpoints[name], vgraphs[name]
+    inputs = sample_inputs(datasets[name], size, count=INPUTS_PER_SIZE, seed=2000 + size)
+    base_queries = []
+    for example in inputs:
+        try:
+            base_queries.extend(reolap(endpoint, vgraph, example)[:MAX_QUERIES_PER_INPUT])
+        except Exception:
+            continue
+    staged = build_stage_queries(vgraph, base_queries)
+    assert staged, "no 3-stage query chains could be built"
+
+    def execute_all():
+        times = {stage: [] for stage in STAGES}
+        tuples = {stage: [] for stage in STAGES}
+        for chain in staged:
+            for stage, query in zip(STAGES, chain):
+                results, elapsed = timed(endpoint.select, query.to_select())
+                times[stage].append(elapsed)
+                tuples[stage].append(len(results))
+        return times, tuples
+
+    times, tuples = benchmark.pedantic(execute_all, rounds=1, iterations=1)
+    _cells[(name, size)] = {
+        stage: (statistics.mean(times[stage]), statistics.mean(tuples[stage]))
+        for stage in STAGES
+    }
+    # Result counts never shrink under disaggregation (Problem 2a adds a
+    # grouping dimension; groups can only split or stay).
+    for orig_n, dis1_n, dis2_n in zip(tuples["orig"], tuples["dis1"], tuples["dis2"]):
+        assert dis1_n >= orig_n
+        assert dis2_n >= dis1_n
+
+    if len(_cells) == len(DATASET_NAMES) * len(INPUT_SIZES):
+        _emit_tables()
+
+
+def _emit_tables():
+    rows_a, rows_b = [], []
+    for name in DATASET_NAMES:
+        for size in INPUT_SIZES:
+            cell = _cells[(name, size)]
+            rows_a.append([name, size] + [fmt_ms(cell[s][0]) for s in STAGES])
+            rows_b.append([name, size] + [f"{cell[s][1]:.0f}" for s in STAGES])
+    emit(
+        "fig8a",
+        "Figure 8a: query execution time (Orig / Dis.1 / Dis.2)",
+        format_table(["dataset", "input size", "orig", "dis.1", "dis.2"], rows_a),
+    )
+    emit(
+        "fig8b",
+        "Figure 8b: result tuples per query (Orig / Dis.1 / Dis.2)",
+        format_table(["dataset", "input size", "orig", "dis.1", "dis.2"], rows_b),
+    )

@@ -1,0 +1,103 @@
+"""Advanced features: the extensions beyond the paper's core algorithms.
+
+Demonstrates, on the Eurostat KG:
+
+* multi-tuple examples (footnote 3) — two example rows disambiguate the
+  columns jointly;
+* negative examples (future work, Section 8) — exclude a member from all
+  candidate queries;
+* contrastive analytics (future work) — Germany vs France side by side;
+* roll-up (the inverse of Disaggregate);
+* insight extraction — outliers, skew, and the example's standing;
+* exploration-trace export — a replayable JSON/Markdown record.
+
+Run with ``python examples/advanced_features.py``.
+"""
+
+from repro.core import (
+    ExplorationSession,
+    VirtualSchemaGraph,
+    contrast,
+    insight_summary,
+    rank_queries,
+    reolap_multi,
+    reolap_with_negatives,
+    to_markdown,
+)
+from repro.datasets import generate_eurostat
+from repro.qb import OBSERVATION_CLASS
+
+
+def header(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    kg = generate_eurostat(n_observations=3000, scale=0.4, seed=47)
+    endpoint = kg.endpoint()
+    vgraph = VirtualSchemaGraph.bootstrap(endpoint, OBSERVATION_CLASS)
+
+    header("Multi-tuple examples")
+    queries = reolap_multi(
+        endpoint, vgraph, [("Germany", "2010"), ("France", "2011")]
+    )
+    print(f"{len(queries)} interpretations for the two-row example table:")
+    for query in queries:
+        print("  -", query.description)
+
+    header("Negative examples")
+    queries = reolap_with_negatives(
+        endpoint, vgraph, ("Germany",), negatives=("France",)
+    )
+    for query in queries:
+        print("  -", query.description)
+    results = endpoint.select(queries[0].to_select())
+    print(f"  first query returns {len(results)} tuples (France excluded)")
+
+    header("Contrast: Germany vs France")
+    for comparison in contrast(endpoint, vgraph, ("Germany",), ("France",)):
+        print(comparison.pretty())
+        break
+
+    header("Roll-up and ranked candidates")
+    session = ExplorationSession(endpoint, vgraph)
+    candidates = session.synthesize("Germany")
+    for ranked in rank_queries(candidates):
+        print(f"  score {ranked.score:9.1f}  {ranked.item.description}")
+        print(f"        ({ranked.reason})")
+    session.choose(0)
+    rollups = session.refinements("rollup")
+    print(f"\n  {len(rollups)} roll-up proposals:")
+    for proposal in rollups:
+        print("   -", proposal.explanation)
+    if rollups:
+        session.apply(rollups[0])
+        print(f"  after roll-up: {len(session.results)} tuples")
+        session.back()
+
+    drill = session.refinements("disaggregate")[0]
+    session.apply(drill)
+    slices = session.refinements("slice")
+    print(f"\n  {len(slices)} slice proposals after one drill-down:")
+    for proposal in slices:
+        print("   -", proposal.explanation)
+    if slices:
+        session.apply(slices[0])
+        print(f"  after slice: {len(session.results)} tuples "
+              f"x {len(session.results.variables)} columns")
+        session.back()
+    session.back()
+
+    header("Insights")
+    for line in insight_summary(session.query, session.results):
+        print("  *", line)
+
+    header("Exploration trace (Markdown excerpt)")
+    session.apply(session.refinements("disaggregate")[0])
+    report = to_markdown(session)
+    print("\n".join(report.splitlines()[:14]))
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Exploring a heterogeneous open-domain KG (the DBpedia worst case).
+
+The DBpedia Creative-Works view stresses the system in two ways the paper
+highlights (Section 7.1): many dimensions share similar member values (so
+keywords are highly ambiguous) and hierarchy steps are M-to-N (a genre has
+several super-genres), which blows up result sets.  The script shows:
+
+* how ambiguous a single keyword becomes (many interpretations);
+* how the Disaggregate space grows with 23 levels;
+* how an endpoint timeout on an expensive similarity refinement is
+  surfaced to the caller instead of hanging the exploration.
+
+Run with ``python examples/dbpedia_worst_case.py``.
+"""
+
+from repro.core import ExplorationSession, VirtualSchemaGraph, find_interpretations
+from repro.datasets import generate_dbpedia
+from repro.errors import QueryTimeoutError
+from repro.qb import OBSERVATION_CLASS
+
+
+def main() -> None:
+    kg = generate_dbpedia(n_observations=1500, scale=0.03, seed=5)
+    endpoint = kg.endpoint()
+    vgraph = VirtualSchemaGraph.bootstrap(endpoint, OBSERVATION_CLASS)
+    print(f"DBpedia view: {vgraph.n_levels} levels, {vgraph.n_members} members, "
+          f"{len(kg.graph)} triples")
+
+    # Keyword ambiguity: era/country/decade pools are shared across
+    # dimensions, so one keyword yields interpretations in several of them.
+    for keyword in ("Era 0", "Country 1", "Decade 2"):
+        interpretations = find_interpretations(endpoint, vgraph, keyword)
+        dims = {i.level.dimension_predicate.local_name() for i in interpretations}
+        print(f"\n'{keyword}': {len(interpretations)} interpretations "
+              f"across dimensions {sorted(dims)}")
+
+    session = ExplorationSession(endpoint, vgraph, similarity_k=3)
+    candidates = session.synthesize("Era 0")
+    print(f"\nREOLAP produced {len(candidates)} candidate queries for ('Era 0')")
+    results = session.choose(0)
+    print(f"Chosen: {session.query.description}")
+    print(f"{len(results)} result rows")
+
+    proposals = session.refinements("disaggregate")
+    print(f"\nDisaggregate proposals over the 23-level schema: {len(proposals)}")
+    for proposal in proposals[:5]:
+        print("  -", proposal.explanation)
+    print("  ...")
+
+    # M-to-N blow-up: disaggregate twice, then attempt a similarity
+    # refinement under a deliberately tight endpoint timeout, mirroring the
+    # paper's 15-minute Virtuoso timeout at a laptop scale.
+    session.apply(proposals[0])
+    second = session.refinements("disaggregate")
+    if second:
+        session.apply(second[0])
+    print(f"\nAfter two drill-downs: {len(session.results)} tuples")
+
+    endpoint.default_timeout = 0.000001
+    try:
+        for refinement in session.refinements("similarity"):
+            session.apply(refinement)
+            break
+        else:
+            print("similarity produced no proposals on this path")
+    except QueryTimeoutError:
+        print("similarity refinement hit the endpoint timeout "
+              f"(timeouts so far: {endpoint.stats.timeouts}) — "
+              "the session survives and the user can backtrack")
+        endpoint.default_timeout = None
+        session.back()
+        print(f"backtracked to: {session.query.description}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs (`pip install -e .`).
+
+The offline environment ships setuptools without the `wheel` package, so
+PEP 660 editable wheels cannot be built; this file lets pip fall back to
+`setup.py develop`.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""RE2xOLAP reproduction: example-driven exploratory analytics over KGs.
+
+Reproduction of "Example-Driven Exploratory Analytics over Knowledge
+Graphs" (Lissandrini, Hose, Pedersen; EDBT 2023).  The package is layered
+bottom-up:
+
+* :mod:`repro.rdf` — RDF data model and serializations;
+* :mod:`repro.store` — indexed triple store, text index, SPARQL endpoint;
+* :mod:`repro.sparql` — SPARQL subset parser / evaluator / builder;
+* :mod:`repro.qb` — RDF Data Cube schema descriptors and cube builder;
+* :mod:`repro.datasets` — schema-faithful synthetic dataset generators;
+* :mod:`repro.core` — the paper's contribution: virtual schema graph,
+  REOLAP synthesis, ExRef refinements, and the interactive session;
+* :mod:`repro.baselines` — the SPARQLByE comparator.
+
+Quickstart::
+
+    from repro.datasets import generate_eurostat
+    from repro.core import ExplorationSession, VirtualSchemaGraph
+    from repro.qb import OBSERVATION_CLASS
+
+    kg = generate_eurostat(n_observations=2000, scale=0.2)
+    endpoint = kg.endpoint()
+    vgraph = VirtualSchemaGraph.bootstrap(endpoint, OBSERVATION_CLASS)
+    session = ExplorationSession(endpoint, vgraph)
+    for candidate in session.synthesize("Germany", "2014"):
+        print(candidate.description)
+"""
+
+from .core import (
+    AnalyticalView,
+    ExplorationSession,
+    OLAPQuery,
+    Refinement,
+    VirtualSchemaGraph,
+    contrast,
+    insight_summary,
+    labeled_results,
+    profile,
+    reolap,
+    reolap_multi,
+    reolap_with_negatives,
+    suggest,
+)
+from .errors import (
+    BootstrapError,
+    QueryEvaluationError,
+    QueryTimeoutError,
+    RDFSyntaxError,
+    RefinementError,
+    ReproError,
+    SchemaError,
+    SPARQLSyntaxError,
+    SynthesisError,
+)
+from .store import Endpoint, Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ExplorationSession",
+    "VirtualSchemaGraph",
+    "OLAPQuery",
+    "Refinement",
+    "AnalyticalView",
+    "reolap",
+    "reolap_multi",
+    "reolap_with_negatives",
+    "contrast",
+    "suggest",
+    "insight_summary",
+    "labeled_results",
+    "profile",
+    "Endpoint",
+    "Graph",
+    "ReproError",
+    "RDFSyntaxError",
+    "SPARQLSyntaxError",
+    "QueryEvaluationError",
+    "QueryTimeoutError",
+    "SchemaError",
+    "BootstrapError",
+    "SynthesisError",
+    "RefinementError",
+]

@@ -1,0 +1,5 @@
+"""Baseline comparators reimplemented for the paper's Section 7.2."""
+
+from .sparqlbye import ByExampleResult, SPARQLByE
+
+__all__ = ["SPARQLByE", "ByExampleResult"]

@@ -1,0 +1,257 @@
+"""Command-line interface: interactive example-driven exploration.
+
+A terminal front end for the exploration session, mirroring the paper's
+server + UI deployment at REPL scale::
+
+    python -m repro --dataset eurostat --observations 2000 --scale 0.4
+
+Commands inside the shell::
+
+    find <v1>, <v2>, ...   synthesize queries from example values
+    pick <n>               choose candidate n and run it
+    show [n]               print up to n rows of the current results
+    sparql                 print the current query's SPARQL text
+    refine <kind>          list (ranked) refinements: disaggregate,
+                           topk, percentile, similarity
+    apply <kind> <n>       apply refinement n of that kind
+    back                   backtrack one step
+    profile                print the dataset profile
+    help / quit
+
+The shell is a thin, testable layer: every command is handled by
+:meth:`ExplorerShell.handle`, which returns the text to print.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO
+
+from .core import (
+    ExplorationSession,
+    VirtualSchemaGraph,
+    contrast,
+    insight_summary,
+    labeled_results,
+    profile,
+    rank_refinements,
+    to_markdown,
+)
+from .datasets import generate_dbpedia, generate_eurostat, generate_production
+from .errors import ReproError
+from .qb import OBSERVATION_CLASS
+from .rdf import IRI
+from .store import Endpoint, Graph
+
+__all__ = ["ExplorerShell", "build_endpoint", "main"]
+
+_GENERATORS = {
+    "eurostat": generate_eurostat,
+    "production": generate_production,
+    "dbpedia": generate_dbpedia,
+}
+
+
+def build_endpoint(args: argparse.Namespace) -> tuple[Endpoint, IRI]:
+    """Construct the endpoint from CLI arguments (dataset or N-Triples file)."""
+    if args.ntriples:
+        with open(args.ntriples, encoding="utf-8") as handle:
+            graph = Graph.from_ntriples(handle)
+        return Endpoint(graph), IRI(args.observation_class)
+    generator = _GENERATORS[args.dataset]
+    kg = generator(n_observations=args.observations, scale=args.scale, seed=args.seed)
+    return kg.endpoint(), OBSERVATION_CLASS
+
+
+class ExplorerShell:
+    """Stateful command handler behind the REPL."""
+
+    def __init__(self, endpoint: Endpoint, observation_class: IRI):
+        self.endpoint = endpoint
+        self.vgraph = VirtualSchemaGraph.bootstrap(endpoint, observation_class)
+        self.session = ExplorationSession(endpoint, self.vgraph)
+        self._candidates = []
+        self._last_proposals: dict[str, list] = {}
+
+    # -- command dispatch ------------------------------------------------------
+
+    def handle(self, line: str) -> str:
+        """Execute one command line; returns the text to display."""
+        line = line.strip()
+        if not line:
+            return ""
+        command, _, rest = line.partition(" ")
+        command = command.lower()
+        handlers = {
+            "find": self._cmd_find,
+            "pick": self._cmd_pick,
+            "show": self._cmd_show,
+            "sparql": self._cmd_sparql,
+            "refine": self._cmd_refine,
+            "apply": self._cmd_apply,
+            "back": self._cmd_back,
+            "profile": self._cmd_profile,
+            "insights": self._cmd_insights,
+            "trace": self._cmd_trace,
+            "contrast": self._cmd_contrast,
+            "help": self._cmd_help,
+        }
+        handler = handlers.get(command)
+        if handler is None:
+            return f"unknown command {command!r}; type 'help'"
+        try:
+            return handler(rest.strip())
+        except ReproError as error:
+            return f"error: {error}"
+        except (IndexError, ValueError, KeyError) as error:
+            return f"error: {error}"
+
+    # -- individual commands -----------------------------------------------------
+
+    def _cmd_find(self, rest: str) -> str:
+        values = tuple(v.strip() for v in rest.split(",") if v.strip())
+        if not values:
+            return "usage: find <value>[, <value> ...]"
+        self._candidates = self.session.synthesize(*values)
+        lines = [f"{len(self._candidates)} candidate queries:"]
+        lines.extend(
+            f"  [{index}] {candidate.description}"
+            for index, candidate in enumerate(self._candidates)
+        )
+        lines.append("pick one with: pick <n>")
+        return "\n".join(lines)
+
+    def _cmd_pick(self, rest: str) -> str:
+        index = int(rest)
+        results = self.session.choose(index)
+        return (
+            f"executed: {self.session.query.description}\n"
+            f"{len(results)} result tuples; 'show' to display, "
+            f"'refine <kind>' for refinements"
+        )
+
+    def _cmd_show(self, rest: str) -> str:
+        limit = int(rest) if rest else 15
+        pretty = labeled_results(self.endpoint, self.session.results)
+        return pretty.pretty(max_rows=limit)
+
+    def _cmd_sparql(self, rest: str) -> str:
+        return self.session.query.sparql()
+
+    def _cmd_refine(self, rest: str) -> str:
+        kind = rest or "disaggregate"
+        proposals = self.session.refinements(kind)
+        self._last_proposals[kind] = proposals
+        if not proposals:
+            return f"no {kind} refinements available here"
+        ranked = rank_refinements(proposals, self.session.results)
+        lines = [f"{len(proposals)} {kind} refinements (best first):"]
+        for ranked_item in ranked:
+            index = proposals.index(ranked_item.item)
+            lines.append(f"  [{index}] {ranked_item.item.explanation}")
+            lines.append(f"        ({ranked_item.reason})")
+        lines.append(f"apply one with: apply {kind} <n>")
+        return "\n".join(lines)
+
+    def _cmd_apply(self, rest: str) -> str:
+        kind, _, index_text = rest.partition(" ")
+        proposals = self._last_proposals.get(kind)
+        if proposals is None:
+            proposals = self.session.refinements(kind)
+            self._last_proposals[kind] = proposals
+        refinement = proposals[int(index_text)]
+        results = self.session.apply(refinement, options_offered=len(proposals))
+        self._last_proposals.clear()
+        return (
+            f"applied: {refinement.explanation}\n"
+            f"{len(results)} result tuples"
+        )
+
+    def _cmd_back(self, rest: str) -> str:
+        step = self.session.back()
+        self._last_proposals.clear()
+        return f"backtracked to: {step.query.description}"
+
+    def _cmd_profile(self, rest: str) -> str:
+        return profile(self.vgraph).pretty()
+
+    def _cmd_insights(self, rest: str) -> str:
+        insights = insight_summary(self.session.query, self.session.results)
+        if not insights:
+            return "no notable insights in the current results"
+        return "\n".join("* " + line for line in insights)
+
+    def _cmd_trace(self, rest: str) -> str:
+        return to_markdown(self.session)
+
+    def _cmd_contrast(self, rest: str) -> str:
+        left, _, right = rest.partition(" vs ")
+        if not right:
+            return "usage: contrast <example A> vs <example B>"
+        example_a = tuple(v.strip() for v in left.split(",") if v.strip())
+        example_b = tuple(v.strip() for v in right.split(",") if v.strip())
+        comparisons = contrast(self.endpoint, self.vgraph, example_a, example_b)
+        return "\n\n".join(c.pretty() for c in comparisons)
+
+    def _cmd_help(self, rest: str) -> str:
+        kinds = "|".join(sorted(self.session.methods))
+        return (
+            "commands:\n"
+            "  find <v1>[, <v2> ...]  synthesize queries from examples\n"
+            "  pick <n>               choose and execute candidate n\n"
+            "  show [rows]            display current results\n"
+            "  sparql                 print the current SPARQL query\n"
+            f"  refine <kind>          list refinements ({kinds})\n"
+            "  apply <kind> <n>       apply a refinement\n"
+            "  back                   backtrack one step\n"
+            "  insights               notable facts about the current results\n"
+            "  trace                  Markdown record of this exploration\n"
+            "  contrast A vs B        compare two example sets side by side\n"
+            "  profile                dataset overview\n"
+            "  quit                   leave"
+        )
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RE2xOLAP: example-driven exploratory analytics over KGs",
+    )
+    parser.add_argument("--dataset", choices=sorted(_GENERATORS), default="eurostat",
+                        help="built-in synthetic dataset to explore")
+    parser.add_argument("--observations", type=int, default=2000)
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="member-pool scale factor (1.0 = paper scale)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ntriples", metavar="FILE", default=None,
+                        help="explore an N-Triples file instead of a generator")
+    parser.add_argument("--observation-class", default=str(OBSERVATION_CLASS),
+                        help="observation class IRI (with --ntriples)")
+    return parser
+
+
+def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
+         stdout: IO[str] | None = None) -> int:
+    """Entry point; ``stdin``/``stdout`` are injectable for testing."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    args = make_parser().parse_args(argv)
+    print("loading data and bootstrapping (one-off)...", file=stdout)
+    endpoint, observation_class = build_endpoint(args)
+    shell = ExplorerShell(endpoint, observation_class)
+    print(f"ready: {shell.vgraph.n_levels} levels, "
+          f"{shell.vgraph.observation_count} observations. Type 'help'.", file=stdout)
+    for line in stdin:
+        if line.strip().lower() in ("quit", "exit", "q"):
+            break
+        output = shell.handle(line)
+        if output:
+            print(output, file=stdout)
+        print("> ", end="", file=stdout, flush=True)
+    print("bye", file=stdout)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

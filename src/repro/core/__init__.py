@@ -1,0 +1,115 @@
+"""The paper's contribution: REOLAP synthesis + ExRef refinement.
+
+* :mod:`~repro.core.virtual_graph` — the Virtual Schema Graph (Section 5.2);
+* :mod:`~repro.core.matching` — keyword-to-member interpretation matching;
+* :mod:`~repro.core.reolap` — Algorithm 1, query synthesis from examples;
+* :mod:`~repro.core.olap_query` — the OLAP query model and SPARQL assembly;
+* :mod:`~repro.core.refine` — ExRef (Disaggregate / TopK / Percentile /
+  Similarity, Section 6);
+* :mod:`~repro.core.session` — Algorithm 2, the interactive loop;
+* :mod:`~repro.core.exploration` — Figure 8c's path accounting;
+* :mod:`~repro.core.profiling` — the prototype's dataset profile;
+* :mod:`~repro.core.describe` — natural-language query descriptions.
+"""
+
+from .contrast import ContrastResult, contrast
+from .describe import describe_query
+from .exploration import PathAccounting, account_paths
+from .insights import (
+    AnchorPosition,
+    ColumnStatistics,
+    anchor_position,
+    column_statistics,
+    insight_summary,
+    outlier_rows,
+)
+from .labels import LabelResolver, labeled_results
+from .negatives import apply_negative_examples, reolap_with_negatives
+from .ranking import Ranked, rank_queries, rank_refinements
+from .matching import Interpretation, find_interpretations
+from .olap_query import (
+    AGGREGATE_FUNCTIONS,
+    Anchor,
+    MeasureColumn,
+    OLAPQuery,
+    QueryDimension,
+)
+from .profiling import DatasetProfile, profile
+from .refine import (
+    Disaggregate,
+    Percentile,
+    Refinement,
+    RefinementMethod,
+    Rollup,
+    SimilaritySearch,
+    Slice,
+    TopK,
+)
+from .reolap import SynthesisReport, get_query, reolap, reolap_multi
+from .session import ExplorationSession, ExplorationStep
+from .suggest import Suggestion, suggest
+from .trace import export_history, to_json, to_markdown
+from .views import AnalyticalView, DimensionMapping, MeasureMapping, RollupStep
+from .virtual_graph import (
+    DEFAULT_EXCLUDED_PREDICATES,
+    VirtualSchemaGraph,
+    VLevel,
+    path_variable,
+)
+
+__all__ = [
+    "VirtualSchemaGraph",
+    "VLevel",
+    "path_variable",
+    "DEFAULT_EXCLUDED_PREDICATES",
+    "Interpretation",
+    "find_interpretations",
+    "reolap",
+    "reolap_multi",
+    "get_query",
+    "SynthesisReport",
+    "OLAPQuery",
+    "QueryDimension",
+    "MeasureColumn",
+    "Anchor",
+    "AGGREGATE_FUNCTIONS",
+    "Refinement",
+    "RefinementMethod",
+    "Disaggregate",
+    "Rollup",
+    "Slice",
+    "TopK",
+    "Percentile",
+    "SimilaritySearch",
+    "ExplorationSession",
+    "ExplorationStep",
+    "PathAccounting",
+    "account_paths",
+    "DatasetProfile",
+    "profile",
+    "describe_query",
+    "LabelResolver",
+    "labeled_results",
+    "Ranked",
+    "rank_queries",
+    "rank_refinements",
+    "apply_negative_examples",
+    "reolap_with_negatives",
+    "ContrastResult",
+    "contrast",
+    "ColumnStatistics",
+    "AnchorPosition",
+    "column_statistics",
+    "outlier_rows",
+    "anchor_position",
+    "insight_summary",
+    "export_history",
+    "to_json",
+    "to_markdown",
+    "Suggestion",
+    "suggest",
+    "AnalyticalView",
+    "DimensionMapping",
+    "MeasureMapping",
+    "RollupStep",
+]

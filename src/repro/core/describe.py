@@ -1,0 +1,76 @@
+"""Natural-language descriptions of synthesized queries and refinements.
+
+The paper presents each candidate query with a templated description built
+from the schema annotations stored alongside the data — e.g. *"Return
+SUM(Num Applicants) grouped by 'Country of Destination' and 'Country Of
+Origin / Continent'"* (Section 5.1).  The level labels carried by the
+virtual schema graph are exactly those annotations, so rendering is pure
+templating here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .olap_query import OLAPQuery
+
+__all__ = [
+    "describe_query",
+    "describe_disaggregate",
+    "describe_topk",
+    "describe_percentile",
+    "describe_similarity",
+]
+
+
+def _join(labels: list[str]) -> str:
+    quoted = [f'"{label}"' for label in labels]
+    if len(quoted) == 1:
+        return quoted[0]
+    return ", ".join(quoted[:-1]) + " and " + quoted[-1]
+
+
+def describe_query(query: "OLAPQuery") -> str:
+    """The base template: measures + grouping levels."""
+    measures = ", ".join(
+        f"SUM/MIN/MAX/AVG({measure.label})" for measure in query.measures
+    )
+    groups = _join([dimension.label for dimension in query.dimensions])
+    text = f"Return {measures} grouped by {groups}"
+    anchored = [a.keyword for a in query.anchors]
+    if anchored:
+        text += f" (matching example: {', '.join(repr(k) for k in anchored)})"
+    return text
+
+
+def describe_disaggregate(base: "OLAPQuery", new_level_label: str) -> str:
+    return f"{describe_query(base)} — disaggregated by \"{new_level_label}\""
+
+
+def describe_topk(base: "OLAPQuery", k: int, aggregate_label: str, descending: bool) -> str:
+    direction = "highest" if descending else "lowest"
+    return (
+        f"{describe_query(base)} — keeping only the {k} {direction} "
+        f"values of {aggregate_label}"
+    )
+
+
+def describe_percentile(base: "OLAPQuery", low_pct: int | None, high_pct: int | None,
+                        aggregate_label: str) -> str:
+    if low_pct is None:
+        band = f"below the {high_pct}th percentile"
+    elif high_pct is None:
+        band = f"above the {low_pct}th percentile"
+    else:
+        band = f"between the {low_pct}th and {high_pct}th percentile"
+    return f"{describe_query(base)} — keeping values {band} of {aggregate_label}"
+
+
+def describe_similarity(base: "OLAPQuery", k: int, aggregate_label: str,
+                        anchor_keywords: list[str]) -> str:
+    anchor = ", ".join(repr(k) for k in anchor_keywords) or "the example"
+    return (
+        f"{describe_query(base)} — restricted to the {k} member combinations "
+        f"most similar to {anchor} on {aggregate_label}"
+    )

@@ -1,0 +1,71 @@
+"""Label rendering: presenting result tuples with human-readable names.
+
+Query results bind dimension variables to member IRIs; the paper's UI (and
+its Table 2) shows the members' labels instead.  This module resolves
+labels through the endpoint — preferring ``rdfs:label``, falling back to
+any literal attribute, then to the IRI's local name — with a small cache
+so interactive sessions do one lookup per member.
+"""
+
+from __future__ import annotations
+
+from ..qb.vocabulary import LABEL
+from ..rdf.terms import IRI, Literal, Node
+from ..sparql.results import ResultSet
+from ..store.endpoint import Endpoint
+
+__all__ = ["LabelResolver", "labeled_results"]
+
+
+class LabelResolver:
+    """Resolves display labels for IRIs through an endpoint, with caching."""
+
+    def __init__(self, endpoint: Endpoint):
+        self.endpoint = endpoint
+        self._cache: dict[IRI, str] = {}
+
+    def label(self, node: Node | None) -> str:
+        """The display label of a term (empty string for unbound)."""
+        if node is None:
+            return ""
+        if isinstance(node, Literal):
+            return node.lexical
+        if not isinstance(node, IRI):
+            return node.n3()
+        cached = self._cache.get(node)
+        if cached is not None:
+            return cached
+        resolved = self._lookup(node)
+        self._cache[node] = resolved
+        return resolved
+
+    def _lookup(self, iri: IRI) -> str:
+        result = self.endpoint.select(
+            f"SELECT ?l WHERE {{ {iri.n3()} {LABEL.n3()} ?l }} LIMIT 1"
+        )
+        if result.rows:
+            return result.rows[0][0].lexical
+        # Fall back to any literal attribute of the entity.
+        result = self.endpoint.select(
+            f"SELECT ?l WHERE {{ {iri.n3()} ?p ?l . FILTER(isLiteral(?l)) }} LIMIT 1"
+        )
+        if result.rows:
+            return result.rows[0][0].lexical
+        return iri.local_name()
+
+
+def labeled_results(endpoint: Endpoint, results: ResultSet) -> ResultSet:
+    """A copy of ``results`` with every IRI replaced by its display label.
+
+    The returned set holds plain literals, which render naturally through
+    :meth:`ResultSet.pretty` — this is what the examples and the CLI show
+    to the user.
+    """
+    resolver = LabelResolver(endpoint)
+    rows = []
+    for row in results.rows:
+        rows.append(tuple(
+            value if not isinstance(value, IRI) else Literal(resolver.label(value))
+            for value in row
+        ))
+    return ResultSet(results.variables, rows)

@@ -1,0 +1,93 @@
+"""Negative examples (paper's future work, Section 8).
+
+"Our current approach does not support complex use cases where ... the
+user provides instead a set of negative examples."  This extension adds
+that capability on top of REOLAP: given synthesized candidate queries and
+a set of negative keywords, each query is rewritten so its results no
+longer contain tuples involving the negative members.
+
+Semantics: a negative keyword is resolved to interpretations exactly like
+a positive one.  For every candidate query, every grouped level that a
+negative member belongs to receives a ``FILTER(?level != member)``
+exclusion; candidates whose *anchors* conflict with a negative member
+(the user both asked for and excluded it) are dropped.
+"""
+
+from __future__ import annotations
+
+from ..errors import SynthesisError
+from ..sparql.ast import Comparison, TermExpr
+from ..store.endpoint import Endpoint
+from .matching import find_interpretations
+from .olap_query import OLAPQuery
+from .virtual_graph import VirtualSchemaGraph
+
+__all__ = ["apply_negative_examples", "reolap_with_negatives"]
+
+
+def apply_negative_examples(
+    endpoint: Endpoint,
+    vgraph: VirtualSchemaGraph,
+    queries: list[OLAPQuery],
+    negatives: tuple[str, ...],
+) -> list[OLAPQuery]:
+    """Exclude negative-example members from the candidate queries.
+
+    Returns the surviving queries (possibly fewer: candidates anchored on
+    a negated member are discarded).  Unmatched negative keywords raise
+    :class:`SynthesisError` — silently ignoring an exclusion the user
+    asked for would be worse than failing.
+    """
+    exclusions = []  # (level path, member, keyword)
+    for keyword in negatives:
+        interpretations = find_interpretations(endpoint, vgraph, keyword)
+        if not interpretations:
+            raise SynthesisError(
+                f"no dimension member matches the negative example {keyword!r}"
+            )
+        exclusions.extend(
+            (i.level.path, i.member, keyword) for i in interpretations
+        )
+
+    surviving: list[OLAPQuery] = []
+    for query in queries:
+        negated_anchor = any(
+            anchor.member == member and anchor.level.path == path
+            for path, member, _keyword in exclusions
+            for anchor in query.anchors
+        )
+        if negated_anchor:
+            continue  # the user both exemplified and excluded this member
+        refined = query
+        applied = []
+        for path, member, keyword in exclusions:
+            for dimension in query.dimensions:
+                if dimension.level.path != path:
+                    continue
+                constraint = Comparison(
+                    "!=", TermExpr(dimension.variable), TermExpr(member)
+                )
+                refined = refined.with_filter(constraint)
+                applied.append(keyword)
+        if applied:
+            refined = refined.described(
+                query.description
+                + " — excluding " + ", ".join(repr(k) for k in sorted(set(applied)))
+            )
+        surviving.append(refined)
+    return surviving
+
+
+def reolap_with_negatives(
+    endpoint: Endpoint,
+    vgraph: VirtualSchemaGraph,
+    example: tuple[str, ...],
+    negatives: tuple[str, ...] = (),
+) -> list[OLAPQuery]:
+    """REOLAP extended with negative examples, in one call."""
+    from .reolap import reolap
+
+    queries = reolap(endpoint, vgraph, example)
+    if not negatives:
+        return queries
+    return apply_negative_examples(endpoint, vgraph, queries, negatives)

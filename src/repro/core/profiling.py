@@ -1,0 +1,57 @@
+"""Dataset profiling: the prototype's data-overview feature (Section 7.2).
+
+The user study's prototype offered "a data profiling functionality,
+returning general information and statistics about the dataset (e.g.,
+listing the available dimensions and the number of distinct members)".
+Everything needed is already in the virtual schema graph, so the profile
+is assembled without touching the endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .virtual_graph import VirtualSchemaGraph
+
+__all__ = ["DatasetProfile", "profile"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """A structural summary of a statistical KG."""
+
+    observation_count: int
+    n_dimensions: int
+    n_levels: int
+    n_members: int
+    measures: tuple[str, ...]
+    levels: tuple[tuple[str, int], ...]  # (label, member count) per level
+
+    def pretty(self) -> str:
+        lines = [
+            f"observations: {self.observation_count}",
+            f"dimensions:   {self.n_dimensions}",
+            f"levels:       {self.n_levels} ({self.n_members} members in total)",
+            "measures:     " + ", ".join(self.measures),
+            "",
+            "level                                      members",
+            "-" * 52,
+        ]
+        for label, count in self.levels:
+            lines.append(f"{label:<42} {count:>8}")
+        return "\n".join(lines)
+
+
+def profile(vgraph: VirtualSchemaGraph) -> DatasetProfile:
+    """Build the dataset profile from a bootstrapped virtual schema graph."""
+    levels = tuple(
+        (level.label, level.member_count) for level in vgraph.all_levels()
+    )
+    return DatasetProfile(
+        observation_count=vgraph.observation_count,
+        n_dimensions=len(vgraph.dimension_predicates()),
+        n_levels=vgraph.n_levels,
+        n_members=vgraph.n_members,
+        measures=tuple(sorted(vgraph.measures.values())),
+        levels=levels,
+    )

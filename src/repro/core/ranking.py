@@ -1,0 +1,110 @@
+"""Ranking of interpretations and refinements (paper's future work).
+
+Section 8 leaves open "a method for ranking the suggested query
+reformulations to help the user prioritize among them" and the ranking of
+candidate interpretations.  This extension implements explainable
+heuristics consistent with the paper's design criteria (simplicity,
+explainability):
+
+* **Candidate queries** are scored by the *specificity* of their grouping
+  levels — levels with fewer members first (a query grouped by continent
+  is easier to read than one grouped by 40k artists), breaking ties by
+  shallower hierarchy depth and the query's dimension count.
+* **Refinements** are scored by how much attention they save: subset
+  refinements by the fraction of tuples they remove, drill-downs by the
+  (low) cardinality of the level they add.
+
+Both functions return (item, score, reason) triples sorted best-first, so
+a UI can show *why* a suggestion ranks where it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Sequence, TypeVar
+
+from ..sparql.results import ResultSet
+from .olap_query import OLAPQuery
+from .refine.base import Refinement
+
+__all__ = ["Ranked", "rank_queries", "rank_refinements"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Ranked(Generic[T]):
+    """One ranked suggestion: the item, its score, and the explanation."""
+
+    item: T
+    score: float
+    reason: str
+
+
+def rank_queries(queries: Sequence[OLAPQuery]) -> list[Ranked[OLAPQuery]]:
+    """Order candidate queries most-readable-first.
+
+    Score = negative total member count over the grouped levels (fewer
+    groups → higher), with a small penalty per extra hierarchy hop.
+    """
+    ranked: list[Ranked[OLAPQuery]] = []
+    for query in queries:
+        members = sum(d.level.member_count for d in query.dimensions)
+        depth = sum(d.level.depth for d in query.dimensions)
+        score = -float(members) - 0.1 * depth
+        reason = (
+            f"groups {members} members across {len(query.dimensions)} "
+            f"dimension(s), total hierarchy depth {depth}"
+        )
+        ranked.append(Ranked(query, score, reason))
+    ranked.sort(key=lambda r: (-r.score, r.item.description))
+    return ranked
+
+
+def rank_refinements(
+    refinements: Sequence[Refinement], results: ResultSet
+) -> list[Ranked[Refinement]]:
+    """Order refinement proposals by expected attention saved.
+
+    Subset refinements (topk / percentile / similarity) are scored by the
+    share of current tuples they are expected to remove (parsed from their
+    structure where available); Disaggregate proposals by the inverse of
+    the added level's member count, so low-cardinality drill-downs that
+    keep the result readable come first.
+    """
+    current = max(1, len(results))
+    ranked: list[Ranked[Refinement]] = []
+    for refinement in refinements:
+        if refinement.kind == "disaggregate":
+            added = refinement.query.dimensions[-1].level
+            score = 1.0 / (1 + added.member_count)
+            reason = (
+                f"adds \"{added.label}\" with only {added.member_count} members"
+                if added.member_count <= 25
+                else f"adds \"{added.label}\" ({added.member_count} members — large)"
+            )
+        elif refinement.kind in ("topk", "percentile"):
+            # HAVING thresholds shrink the result; estimate via the number
+            # of constraints (each cuts the set further).
+            cuts = len(refinement.query.having)
+            score = 0.5 + 0.1 * cuts
+            reason = f"filters the {current} current tuples with {cuts} threshold(s)"
+        elif refinement.kind == "similarity":
+            restrictions = refinement.query.member_restrictions
+            kept = len(restrictions[-1].rows) if restrictions else current
+            score = 1.0 - kept / (current + 1)
+            reason = f"restricts to {kept} member combination(s) out of {current} tuples"
+        elif refinement.kind == "slice":
+            # Slicing both narrows the data and removes a column: the
+            # strongest attention saver when the user cares about one member.
+            score = 0.9
+            reason = "pins one dimension to the example and drops the column"
+        elif refinement.kind == "rollup":
+            score = 0.4
+            reason = "summarizes one dimension at a coarser level"
+        else:
+            score = 0.0
+            reason = "unknown refinement kind"
+        ranked.append(Ranked(refinement, score, reason))
+    ranked.sort(key=lambda r: (-r.score, r.item.explanation))
+    return ranked

@@ -1,0 +1,30 @@
+"""ExRef: the example-driven query refinement suite (Section 6).
+
+Four operators, all preserving the user's example in the refined results:
+
+* :class:`Disaggregate` — drill-down by an additional level (Problem 2a);
+* :class:`TopK` — extreme-value subsets via HAVING thresholds (Problem 2b);
+* :class:`Percentile` — percentile-band subsets (Problem 2b);
+* :class:`SimilaritySearch` — top-k most similar member combinations
+  (Problem 2c).
+"""
+
+from .base import Refinement, RefinementMethod, anchor_rows
+from .disaggregate import Disaggregate
+from .percentile import Percentile
+from .rollup import Rollup
+from .similarity import SimilaritySearch
+from .slice import Slice
+from .topk import TopK
+
+__all__ = [
+    "Refinement",
+    "RefinementMethod",
+    "anchor_rows",
+    "Disaggregate",
+    "Rollup",
+    "Slice",
+    "TopK",
+    "Percentile",
+    "SimilaritySearch",
+]

@@ -1,0 +1,45 @@
+"""Common types for the ExRef refinement suite (Section 6).
+
+Every refinement method takes the current :class:`OLAPQuery` together with
+its executed results and returns a list of :class:`Refinement` proposals —
+each a new query guaranteed to still contain some tuple matching the
+user's original example (the containment requirement of Problem 2), plus
+the human-readable explanation the paper's solution criteria call for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...sparql.results import ResultSet
+from ..olap_query import OLAPQuery
+
+__all__ = ["Refinement", "RefinementMethod", "anchor_rows"]
+
+
+@dataclass(frozen=True)
+class Refinement:
+    """One proposed refinement: the refined query and its explanation."""
+
+    query: OLAPQuery
+    kind: str
+    explanation: str
+
+    def __repr__(self) -> str:
+        return f"<Refinement {self.kind}: {self.explanation}>"
+
+
+class RefinementMethod:
+    """Interface of a refinement operator (Dis / TopK / Perc / Sim)."""
+
+    #: Short identifier used in session menus and benchmark tables.
+    name: str = "abstract"
+
+    def propose(self, query: OLAPQuery, results: ResultSet) -> list[Refinement]:
+        """Refinement proposals for ``query`` given its results."""
+        raise NotImplementedError
+
+
+def anchor_rows(query: OLAPQuery, results: ResultSet) -> list[int]:
+    """Indexes of result rows matching the query's example anchors."""
+    return query.anchor_row_indexes(results)

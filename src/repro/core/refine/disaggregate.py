@@ -1,0 +1,75 @@
+"""Example-driven Disaggregate (Problem 2a / Section 6.1).
+
+Enumerate all virtual-graph levels the query does not group by yet and
+propose, for each valid one, the query extended with that level as an
+additional grouping dimension (``|D(T_r)| = |D(T)| + 1``) — a drill-down.
+
+A candidate level is *invalid* when it would not disaggregate:
+
+* a level already grouped by (no change), or
+* a level strictly coarser than one already in the query for the same
+  dimension (grouping by both year and continent-of-year would aggregate
+  higher, not drill down — the paper discards these).
+
+Drilling *within* a dimension (the query groups by year, the candidate is
+month — a strict path prefix) is valid: the refined query groups by year
+and month together, which disaggregates every year into its months while
+keeping the anchor's year column intact.
+
+Thanks to the virtual graph, no endpoint access is needed: the operation
+is linear in the number of levels (``O(|L|)``), as the paper claims.
+"""
+
+from __future__ import annotations
+
+from ...sparql.results import ResultSet
+from ..describe import describe_disaggregate
+from ..olap_query import OLAPQuery
+from ..virtual_graph import VirtualSchemaGraph, VLevel
+from .base import Refinement, RefinementMethod
+
+__all__ = ["Disaggregate"]
+
+
+class Disaggregate(RefinementMethod):
+    """The Dis operator: one proposal per valid additional level."""
+
+    name = "disaggregate"
+
+    def __init__(self, vgraph: VirtualSchemaGraph):
+        self.vgraph = vgraph
+
+    def propose(self, query: OLAPQuery, results: ResultSet | None = None) -> list[Refinement]:
+        """All valid one-level drill-downs of ``query``.
+
+        ``results`` is accepted for interface uniformity but unused: this
+        operator is purely structural.
+        """
+        proposals: list[Refinement] = []
+        current = {d.level.path for d in query.dimensions}
+        for level in self.vgraph.all_levels():
+            if not self._valid(level, query, current):
+                continue
+            refined = query.with_dimension(level)
+            refined = refined.described(describe_disaggregate(query, level.label))
+            proposals.append(
+                Refinement(
+                    query=refined,
+                    kind=self.name,
+                    explanation=f"drill down: additionally group by \"{level.label}\"",
+                )
+            )
+        return proposals
+
+    @staticmethod
+    def _valid(level: VLevel, query: OLAPQuery, current_paths: set) -> bool:
+        if level.path in current_paths:
+            return False  # already grouped by this level
+        for existing in query.levels():
+            if existing.dimension_predicate != level.dimension_predicate:
+                continue
+            if existing.is_finer_than(level):
+                # The candidate aggregates higher than what the query
+                # already shows for this dimension: not a disaggregation.
+                return False
+        return True

@@ -1,0 +1,128 @@
+"""Example-driven percentile subset refinement (Problem 2b / Section 6.2).
+
+Complementary to Top-K: instead of extreme values, identify the percentile
+band of the aggregate distribution in which the example sits and restrict
+the query to that band.  For each (measure, aggregate) column the
+aggregate values are split at configurable percentile cut points (90th,
+75th, 50th, 25th by default); each band containing at least one
+example-matching tuple — and strictly fewer tuples than the full result —
+yields one refinement with a pair of HAVING bounds.  Unlike Top-K's fixed
+two per column, the number of proposals "depends on how the query results
+are clustered" (Section 7.1), which the Fig. 9b benchmark shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...rdf.terms import Literal, XSD_DOUBLE
+from ...sparql.ast import BoolOp, Comparison, Expression, TermExpr
+from ...sparql.builder import agg
+from ...sparql.results import ResultSet
+from ..describe import describe_percentile
+from ..olap_query import OLAPQuery
+from .base import Refinement, RefinementMethod, anchor_rows
+
+__all__ = ["Percentile"]
+
+DEFAULT_CUTS = (25, 50, 75, 90)
+
+
+class Percentile(RefinementMethod):
+    """The Perc operator: percentile-band filters anchored to the example."""
+
+    name = "percentile"
+
+    def __init__(self, cuts: tuple[int, ...] = DEFAULT_CUTS):
+        if any(not 0 < c < 100 for c in cuts):
+            raise ValueError("percentile cut points must be in (0, 100)")
+        self.cuts = tuple(sorted(set(cuts)))
+
+    def propose(self, query: OLAPQuery, results: ResultSet) -> list[Refinement]:
+        matching = set(anchor_rows(query, results))
+        if not matching or len(results) < 2:
+            return []
+        proposals: list[Refinement] = []
+        for measure in query.measures:
+            for func, alias in measure.aliases():
+                column_index = results.index_of(alias)
+                values = np.array(
+                    [_numeric(row[column_index]) for row in results.rows], dtype=float
+                )
+                cut_values = np.percentile(values, self.cuts)
+                bands = self._bands(cut_values)
+                for (low, high, low_pct, high_pct) in bands:
+                    in_band = [
+                        i for i, v in enumerate(values)
+                        if _in_band(v, low, high)
+                    ]
+                    if not in_band or len(in_band) >= len(results):
+                        continue
+                    if not matching.intersection(in_band):
+                        continue
+                    aggregate_label = f"{func}({measure.label})"
+                    constraint = _band_constraint(measure, func, low, high)
+                    refined = query.with_having(
+                        (constraint,),
+                        describe_percentile(query, low_pct, high_pct, aggregate_label),
+                    )
+                    band_text = _band_text(low_pct, high_pct)
+                    proposals.append(
+                        Refinement(
+                            query=refined,
+                            kind=self.name,
+                            explanation=(
+                                f"keep results with {aggregate_label} {band_text} "
+                                f"({len(in_band)} of {len(results)} tuples)"
+                            ),
+                        )
+                    )
+        return proposals
+
+    def _bands(self, cut_values) -> list[tuple]:
+        """(low, high, low_pct, high_pct) bands; None bounds are open."""
+        bands = []
+        previous_value, previous_pct = None, None
+        for value, pct in zip(cut_values, self.cuts):
+            bands.append((previous_value, value, previous_pct, pct))
+            previous_value, previous_pct = value, pct
+        bands.append((previous_value, None, previous_pct, None))
+        return bands
+
+
+def _in_band(value: float, low: float | None, high: float | None) -> bool:
+    if low is not None and value < low:
+        return False
+    if high is not None and value >= high:
+        return False
+    return True
+
+
+def _band_constraint(measure, func: str, low: float | None, high: float | None) -> Expression:
+    parts: list[Expression] = []
+    aggregate = agg(func, measure.variable)
+    if low is not None:
+        parts.append(Comparison(">=", aggregate, TermExpr(_literal(low))))
+    if high is not None:
+        parts.append(Comparison("<", aggregate, TermExpr(_literal(high))))
+    if len(parts) == 1:
+        return parts[0]
+    return BoolOp("&&", tuple(parts))
+
+
+def _band_text(low_pct: int | None, high_pct: int | None) -> str:
+    if low_pct is None:
+        return f"below the {high_pct}th percentile"
+    if high_pct is None:
+        return f"above the {low_pct}th percentile"
+    return f"between the {low_pct}th and {high_pct}th percentiles"
+
+
+def _literal(value: float) -> Literal:
+    return Literal(repr(float(value)), datatype=XSD_DOUBLE)
+
+
+def _numeric(term) -> float:
+    if isinstance(term, Literal) and term.is_numeric:
+        return term.numeric_value()
+    return float("nan")

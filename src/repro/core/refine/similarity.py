@@ -1,0 +1,157 @@
+"""Example-driven Similarity Search (Problem 2c / Section 6.3, Figure 5).
+
+Restrict the query to the *k* member combinations most similar to the one
+the user exemplified.  Following Figure 5:
+
+* the grouping variables matched by the example (the *anchored* dimensions
+  δ1..δm) identify the entities being compared — e.g. (Country of
+  Destination, Country of Origin) pairs;
+* the remaining grouping variables (added by earlier Disaggregate steps,
+  δm+1..δn) act as the *feature set*: each distinct combination of their
+  values is one vector component, whose value is the aggregated measure
+  (0 when a combination does not appear);
+* cosine similarity between the example's vector and every other entity's
+  vector ranks the candidates, and the top-k (plus the example itself)
+  become a VALUES restriction on the anchored variables.
+
+When no dimensions were added yet, each entity has a single scalar — there
+cosine degenerates, so entities are ranked by absolute difference of the
+measure value instead ("countries with a similar amount of asylum
+requests", the paper's introductory example).
+
+One refinement is produced per (measure, aggregate) pair: a fixed number
+of reformulations, as Figure 9b reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...rdf.terms import Literal, Node
+from ...sparql.results import ResultSet
+from ..describe import describe_similarity
+from ..olap_query import OLAPQuery
+from .base import Refinement, RefinementMethod
+
+__all__ = ["SimilaritySearch"]
+
+DEFAULT_K = 3
+
+
+class SimilaritySearch(RefinementMethod):
+    """The Sim operator: top-k most similar member combinations."""
+
+    name = "similarity"
+
+    def __init__(self, k: int = DEFAULT_K):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+
+    def propose(self, query: OLAPQuery, results: ResultSet) -> list[Refinement]:
+        anchored_vars = sorted(query.anchored_variables(), key=lambda v: v.name)
+        if not anchored_vars or not len(results):
+            return []
+        added_vars = [v for v in query.group_variables if v not in set(anchored_vars)]
+        anchor_combo = self._anchor_combo(query, anchored_vars)
+        if anchor_combo is None:
+            return []
+        anchored_idx = [results.index_of(v) for v in anchored_vars]
+        added_idx = [results.index_of(v) for v in added_vars]
+
+        proposals: list[Refinement] = []
+        for measure in query.measures:
+            for func, alias in measure.aliases():
+                value_idx = results.index_of(alias)
+                ranked = self._rank(
+                    results, anchored_idx, added_idx, value_idx, anchor_combo
+                )
+                if not ranked:
+                    continue
+                top = ranked[: self.k]
+                rows = (anchor_combo,) + tuple(combo for combo, _ in top)
+                aggregate_label = f"{func}({measure.label})"
+                refined = query.with_member_restriction(
+                    tuple(anchored_vars),
+                    rows,
+                    describe_similarity(
+                        query, self.k, aggregate_label,
+                        [a.keyword for a in query.anchors],
+                    ),
+                )
+                names = ", ".join(_combo_text(combo) for combo, _ in top)
+                proposals.append(
+                    Refinement(
+                        query=refined,
+                        kind=self.name,
+                        explanation=(
+                            f"restrict to the {len(top)} combinations most similar "
+                            f"to the example on {aggregate_label}: {names}"
+                        ),
+                    )
+                )
+        return proposals
+
+    def _anchor_combo(self, query: OLAPQuery, anchored_vars) -> tuple[Node, ...] | None:
+        by_var = {}
+        for anchor in query.anchors:
+            by_var.setdefault(anchor.variable, anchor.member)
+        try:
+            return tuple(by_var[v] for v in anchored_vars)
+        except KeyError:
+            return None
+
+    def _rank(
+        self, results: ResultSet, anchored_idx, added_idx, value_idx, anchor_combo
+    ) -> list[tuple[tuple[Node, ...], float]]:
+        """Candidate combos sorted by decreasing similarity to the anchor."""
+        vectors: dict[tuple[Node, ...], dict[tuple[Node, ...], float]] = {}
+        features: set[tuple[Node, ...]] = set()
+        for row in results.rows:
+            combo = tuple(row[i] for i in anchored_idx)
+            feature = tuple(row[i] for i in added_idx)
+            features.add(feature)
+            vectors.setdefault(combo, {})[feature] = _numeric(row[value_idx])
+        if anchor_combo not in vectors:
+            return []
+        feature_order = sorted(features, key=_combo_key)
+        anchor_vector = _vector(vectors[anchor_combo], feature_order)
+        ranked: list[tuple[tuple[Node, ...], float]] = []
+        for combo, sparse in vectors.items():
+            if combo == anchor_combo:
+                continue
+            vector = _vector(sparse, feature_order)
+            ranked.append((combo, _similarity(anchor_vector, vector)))
+        ranked.sort(key=lambda item: (-item[1], _combo_key(item[0])))
+        return ranked
+
+
+def _vector(sparse: dict, feature_order: list) -> np.ndarray:
+    return np.array([sparse.get(feature, 0.0) for feature in feature_order], dtype=float)
+
+
+def _similarity(anchor: np.ndarray, other: np.ndarray) -> float:
+    """Cosine similarity; scalar vectors fall back to value closeness."""
+    if anchor.size == 1:
+        return -abs(float(anchor[0]) - float(other[0]))
+    norm = float(np.linalg.norm(anchor) * np.linalg.norm(other))
+    if norm == 0.0:
+        return 0.0
+    return float(np.dot(anchor, other) / norm)
+
+
+def _numeric(term) -> float:
+    if isinstance(term, Literal) and term.is_numeric:
+        return term.numeric_value()
+    return 0.0
+
+
+def _combo_key(combo: tuple[Node, ...]) -> tuple:
+    return tuple(term.sort_key() if term is not None else (-1,) for term in combo)
+
+
+def _combo_text(combo: tuple[Node, ...]) -> str:
+    parts = []
+    for term in combo:
+        parts.append(term.local_name() if hasattr(term, "local_name") else str(term))
+    return "(" + ", ".join(parts) + ")"

@@ -1,0 +1,58 @@
+"""Example-driven Slice: pin a dimension to the example's member.
+
+Section 4.2 names *slice* among the OLAP filtering operations ("returning
+only values where the country of destination is Germany").  The
+example-driven version is natural: every grouped dimension carrying an
+anchor can be sliced to that anchor's member — the refined query keeps
+only the member's observations and drops the now-constant column.
+
+Containment is trivially preserved (the kept slice *is* the example's),
+and the explanation is as simple as refinements get, fitting the paper's
+simplicity/explainability criteria.
+"""
+
+from __future__ import annotations
+
+from ...sparql.results import ResultSet
+from ..describe import describe_query
+from ..olap_query import OLAPQuery
+from .base import Refinement, RefinementMethod
+
+__all__ = ["Slice"]
+
+
+class Slice(RefinementMethod):
+    """The slice operator: one proposal per anchored, droppable dimension."""
+
+    name = "slice"
+
+    def propose(self, query: OLAPQuery, results: ResultSet | None = None) -> list[Refinement]:
+        if len(query.dimensions) < 2:
+            return []  # slicing the only dimension would leave no grouping
+        proposals: list[Refinement] = []
+        seen_paths = set()
+        for anchor in query.anchors:
+            level = anchor.level
+            if level.path in seen_paths:
+                continue
+            if not any(d.level.path == level.path for d in query.dimensions):
+                continue
+            seen_paths.add(level.path)
+            sliced = query.with_slice(level, anchor.member, description="")
+            # Anchors of the sliced dimension no longer have a column; the
+            # remaining anchors keep constraining the example rows.
+            sliced = sliced.described(
+                describe_query(sliced)
+                + f" — sliced to \"{level.label}\" = {anchor.keyword!r}"
+            )
+            proposals.append(
+                Refinement(
+                    query=sliced,
+                    kind=self.name,
+                    explanation=(
+                        f"slice: keep only {anchor.keyword!r} on \"{level.label}\" "
+                        f"and drop the column"
+                    ),
+                )
+            )
+        return proposals

@@ -1,0 +1,95 @@
+"""Example-driven Top-K subset refinement (Problem 2b / Section 6.2).
+
+For every (measure, aggregate) column and both orderings, walk the result
+rows in order until reaching a tuple ``t_i`` that matches the user example
+and whose successor ``t_{i+1}`` does not; the value of the aggregate at
+``t_{i+1}`` becomes a HAVING threshold that keeps ``t_i`` (and everything
+ranked above it) and excludes ``t_{i+1}`` — i.e. the result is "the top-k
+with k = i+1" and is guaranteed to contain the example.  Two refinements
+(ascending / descending) are produced per measure and aggregation
+function, the fixed output count reported in Figure 9b.
+"""
+
+from __future__ import annotations
+
+from ...rdf.terms import Literal
+from ...sparql.ast import Comparison, TermExpr
+from ...sparql.builder import agg
+from ...sparql.results import ResultSet
+from ..describe import describe_topk
+from ..olap_query import OLAPQuery
+from .base import Refinement, RefinementMethod, anchor_rows
+
+__all__ = ["TopK"]
+
+
+class TopK(RefinementMethod):
+    """The TopK operator: threshold filters anchored to the example."""
+
+    name = "topk"
+
+    def propose(self, query: OLAPQuery, results: ResultSet) -> list[Refinement]:
+        matching = set(anchor_rows(query, results))
+        if not matching or len(results) < 2:
+            return []
+        proposals: list[Refinement] = []
+        for measure in query.measures:
+            for func, alias in measure.aliases():
+                column_index = results.index_of(alias)
+                for descending in (True, False):
+                    proposal = self._threshold_proposal(
+                        query, results, matching, measure, func, alias.name,
+                        column_index, descending,
+                    )
+                    if proposal is not None:
+                        proposals.append(proposal)
+        return proposals
+
+    def _threshold_proposal(
+        self, query, results, matching, measure, func, alias_name,
+        column_index, descending,
+    ) -> Refinement | None:
+        order = sorted(
+            range(len(results)),
+            key=lambda i: _numeric(results.rows[i][column_index]),
+            reverse=descending,
+        )
+        cut = None  # index into `order` of t_{i+1}
+        for position in range(len(order) - 1):
+            if order[position] in matching and order[position + 1] not in matching:
+                cut = position + 1
+                break
+        if cut is None:
+            # Either no example row before a non-example row (all matching
+            # rows are at the very bottom in this ordering with matching
+            # suffix) — no subset smaller than T contains the example here.
+            return None
+        threshold = results.rows[order[cut]][column_index]
+        if not isinstance(threshold, Literal):
+            return None
+        boundary_value = _numeric(results.rows[order[cut - 1]][column_index])
+        if _numeric(threshold) == boundary_value:
+            return None  # tie: no threshold separates t_i from t_{i+1}
+        op = ">" if descending else "<"
+        constraint = Comparison(op, agg(func, measure.variable), TermExpr(threshold))
+        k = cut
+        aggregate_label = f"{func}({measure.label})"
+        refined = query.with_having(
+            (constraint,),
+            describe_topk(query, k, aggregate_label, descending),
+        )
+        direction = "highest" if descending else "lowest"
+        return Refinement(
+            query=refined,
+            kind=self.name,
+            explanation=(
+                f"keep the top-{k} ({direction}) results by {aggregate_label}: "
+                f"filter {aggregate_label} {op} {threshold.lexical}"
+            ),
+        )
+
+
+def _numeric(term) -> float:
+    if isinstance(term, Literal) and term.is_numeric:
+        return term.numeric_value()
+    return float("-inf")

@@ -1,0 +1,159 @@
+"""The Re2xOLAP interactive exploration session (Algorithm 2).
+
+The session ties synthesis and refinement together: the user (or a driving
+program) provides an example tuple, picks one of the synthesized queries,
+inspects its results, asks for refinements by kind, applies one, and can
+backtrack — "the user can move from very simple queries to more complex
+ones without the need to write any query".
+
+The paper's ``Show`` steps are replaced by return values: candidate lists,
+result sets, and refinement menus come back to the caller, which makes the
+class equally usable from a REPL, a UI, or the benchmark harness.  Each
+interaction is recorded with the number of options it offered and the size
+of its results, feeding the exploration-path accounting of Figure 8c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RefinementError, SynthesisError
+from ..sparql.results import ResultSet
+from ..store.endpoint import Endpoint
+from .olap_query import OLAPQuery
+from .refine import (
+    Disaggregate,
+    Percentile,
+    Refinement,
+    Rollup,
+    SimilaritySearch,
+    Slice,
+    TopK,
+)
+from .reolap import reolap
+from .virtual_graph import VirtualSchemaGraph
+
+__all__ = ["ExplorationSession", "ExplorationStep"]
+
+
+@dataclass
+class ExplorationStep:
+    """One point of the exploration: a query, its results, its options."""
+
+    query: OLAPQuery
+    results: ResultSet
+    kind: str  # "synthesis" or the refinement kind that produced it
+    options_offered: int  # how many alternatives the user chose among
+
+    @property
+    def n_tuples(self) -> int:
+        return len(self.results)
+
+
+class ExplorationSession:
+    """Drives one example-to-insight exploration over an endpoint."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        vgraph: VirtualSchemaGraph,
+        similarity_k: int = 3,
+        percentile_cuts: tuple[int, ...] = (25, 50, 75, 90),
+    ):
+        self.endpoint = endpoint
+        self.vgraph = vgraph
+        self.methods = {
+            "disaggregate": Disaggregate(vgraph),
+            "rollup": Rollup(vgraph, endpoint),
+            "slice": Slice(),
+            "topk": TopK(),
+            "percentile": Percentile(percentile_cuts),
+            "similarity": SimilaritySearch(similarity_k),
+        }
+        self._candidates: list[OLAPQuery] = []
+        self._steps: list[ExplorationStep] = []
+
+    # -- synthesis phase --------------------------------------------------------
+
+    def synthesize(self, *example: str) -> list[OLAPQuery]:
+        """Run REOLAP on an example tuple; returns the candidate queries.
+
+        Starting a new synthesis resets any previous exploration.
+        """
+        self._candidates = reolap(self.endpoint, self.vgraph, tuple(example))
+        self._steps = []
+        return list(self._candidates)
+
+    def choose(self, index: int) -> ResultSet:
+        """Pick a synthesized candidate and execute it."""
+        if not self._candidates:
+            raise SynthesisError("call synthesize() before choose()")
+        if not 0 <= index < len(self._candidates):
+            raise IndexError(
+                f"candidate index {index} out of range (0..{len(self._candidates) - 1})"
+            )
+        query = self._candidates[index]
+        results = self.endpoint.select(query.to_select())
+        self._steps.append(
+            ExplorationStep(query, results, "synthesis", len(self._candidates))
+        )
+        return results
+
+    # -- refinement phase ------------------------------------------------------
+
+    @property
+    def current(self) -> ExplorationStep:
+        if not self._steps:
+            raise RefinementError("no query chosen yet")
+        return self._steps[-1]
+
+    @property
+    def query(self) -> OLAPQuery:
+        return self.current.query
+
+    @property
+    def results(self) -> ResultSet:
+        return self.current.results
+
+    @property
+    def history(self) -> list[ExplorationStep]:
+        return list(self._steps)
+
+    def refinement_kinds(self) -> list[str]:
+        return sorted(self.methods)
+
+    def refinements(self, kind: str) -> list[Refinement]:
+        """Proposals of one ExRef method for the current query."""
+        try:
+            method = self.methods[kind]
+        except KeyError:
+            raise RefinementError(
+                f"unknown refinement kind {kind!r}; expected one of {sorted(self.methods)}"
+            ) from None
+        return method.propose(self.current.query, self.current.results)
+
+    def all_refinements(self) -> dict[str, list[Refinement]]:
+        """Proposals of every method, keyed by kind (the Show menu)."""
+        return {kind: self.refinements(kind) for kind in self.refinement_kinds()}
+
+    def apply(self, refinement: Refinement, options_offered: int | None = None) -> ResultSet:
+        """Execute a refinement and make it the current step.
+
+        ``options_offered`` defaults to the number of proposals the
+        refinement's method currently offers (used by Figure 8c's path
+        accounting); pass it explicitly when applying a stale proposal.
+        """
+        if options_offered is None:
+            options_offered = len(self.refinements(refinement.kind))
+        results = self.endpoint.select(refinement.query.to_select())
+        self._steps.append(
+            ExplorationStep(refinement.query, results, refinement.kind, options_offered)
+        )
+        return results
+
+    def back(self) -> ExplorationStep:
+        """Backtrack one step (the paper's alternative-path exploration)."""
+        if len(self._steps) < 2:
+            raise RefinementError("cannot backtrack past the initial query")
+        self._steps.pop()
+        return self._steps[-1]

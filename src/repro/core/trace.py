@@ -1,0 +1,83 @@
+"""Exploration traces: exportable provenance of a session.
+
+Every exploration in the paper is a sequence of interactions; analysts
+(and the reproducibility-minded) want that sequence as an artifact: which
+examples were given, which queries ran, what they returned.  This module
+turns a session's history into plain dictionaries (JSON-ready) and a
+Markdown report, so a CLI/notebook run leaves an auditable record.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .exploration import account_paths
+from .session import ExplorationSession
+
+__all__ = ["export_history", "to_json", "to_markdown"]
+
+
+def export_history(session: ExplorationSession) -> list[dict[str, Any]]:
+    """The session's steps as JSON-ready dictionaries.
+
+    Each entry records the interaction kind, the human description, the
+    exact SPARQL text, the anchors, and the result cardinality — enough to
+    replay the exploration against any endpoint.
+    """
+    accounting = account_paths(session.history)
+    entries: list[dict[str, Any]] = []
+    for index, step in enumerate(session.history):
+        entries.append(
+            {
+                "interaction": index + 1,
+                "kind": step.kind,
+                "description": step.query.description,
+                "sparql": step.query.sparql(),
+                "anchors": [
+                    {
+                        "keyword": anchor.keyword,
+                        "member": anchor.member.value,
+                        "level": anchor.level.label,
+                        "group": anchor.group,
+                    }
+                    for anchor in step.query.anchors
+                ],
+                "options_offered": step.options_offered,
+                "result_tuples": step.n_tuples,
+                "cumulative_paths": accounting.cumulative_paths[index],
+            }
+        )
+    return entries
+
+
+def to_json(session: ExplorationSession, indent: int = 2) -> str:
+    """The exploration trace as a JSON document."""
+    return json.dumps(export_history(session), indent=indent)
+
+
+def to_markdown(session: ExplorationSession) -> str:
+    """The exploration trace as a Markdown report."""
+    lines = ["# Exploration trace", ""]
+    for entry in export_history(session):
+        lines.append(f"## Interaction {entry['interaction']}: {entry['kind']}")
+        lines.append("")
+        lines.append(entry["description"])
+        lines.append("")
+        if entry["anchors"]:
+            anchors = ", ".join(
+                f"`{a['keyword']}` → {a['level']}" for a in entry["anchors"]
+            )
+            lines.append(f"*Anchored to:* {anchors}")
+            lines.append("")
+        lines.append(
+            f"*{entry['result_tuples']} result tuples; "
+            f"{entry['options_offered']} options offered; "
+            f"{entry['cumulative_paths']} cumulative exploration paths.*"
+        )
+        lines.append("")
+        lines.append("```sparql")
+        lines.append(entry["sparql"])
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

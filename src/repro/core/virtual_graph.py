@@ -1,0 +1,347 @@
+"""The Virtual Schema Graph (Section 5.2 of the paper).
+
+An in-memory summary of how dimension hierarchies are organized: one node
+per hierarchy *level* — not per member — plus an implicit observation
+root, making it "orders of magnitude smaller than the underlying graph".
+Each level is identified by the *predicate path* that reaches its members
+from an observation node (e.g. ``country_of_origin / in_continent`` for
+the origin-continent level), which is also exactly the BGP chain a
+generated query needs.
+
+The graph is built at system bootstrap by crawling the SPARQL endpoint,
+given nothing but the observation class: first the dimension and measure
+predicates are discovered from the observations, then hierarchies are
+followed recursively from dimension members to further non-literal nodes
+(with a depth cap guarding against cycles).  This mirrors the paper's
+construction and its cost profile — bootstrap time is dominated by the
+endpoint's scan performance, not by schema size (Figure 6c).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import BootstrapError
+from ..qb.vocabulary import LABEL, MEMBER_OF, ROLLS_UP_TO, TYPE
+from ..rdf.namespace import QB, QB4O
+from ..rdf.terms import IRI, Variable
+from ..store.endpoint import Endpoint
+
+__all__ = ["VLevel", "VirtualSchemaGraph", "DEFAULT_EXCLUDED_PREDICATES"]
+
+#: Vocabulary predicates the crawler must not mistake for hierarchy steps.
+DEFAULT_EXCLUDED_PREDICATES = frozenset(
+    {TYPE, MEMBER_OF, ROLLS_UP_TO, QB.dataSet, QB.structure, QB4O.inLevel}
+)
+
+#: Hierarchies deeper than this are treated as cycles and cut off.
+DEFAULT_MAX_DEPTH = 6
+
+
+@dataclass(frozen=True)
+class VLevel:
+    """One virtual-graph node: a hierarchy level of some dimension.
+
+    ``path`` is the predicate sequence from the observation root to the
+    level's members; ``path[0]`` is the dimension predicate, the rest are
+    rollup predicates.  ``label`` is assembled from the predicates'
+    ``rdfs:label`` annotations and drives the natural-language rendering of
+    queries.
+    """
+
+    path: tuple[IRI, ...]
+    member_count: int
+    label: str
+    attribute_predicates: tuple[IRI, ...] = ()
+    sample_members: tuple[IRI, ...] = ()
+
+    def __post_init__(self):
+        if not self.path:
+            raise ValueError("a level path must contain at least the dimension predicate")
+
+    @property
+    def dimension_predicate(self) -> IRI:
+        return self.path[0]
+
+    @property
+    def terminal_predicate(self) -> IRI:
+        return self.path[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+    @property
+    def is_base(self) -> bool:
+        return len(self.path) == 1
+
+    def is_finer_than(self, other: "VLevel") -> bool:
+        """True when this level is a strict refinement (prefix) of ``other``."""
+        return (
+            len(self.path) < len(other.path)
+            and other.path[: len(self.path)] == self.path
+        )
+
+    def is_coarser_than(self, other: "VLevel") -> bool:
+        return other.is_finer_than(self)
+
+    def variable(self) -> Variable:
+        """The canonical query variable naming this level.
+
+        Deterministic in the path, so two query dimensions sharing a path
+        prefix share the intermediate variables (and hence BGPs).
+        """
+        return path_variable(self.path)
+
+    def __repr__(self) -> str:
+        return f"<VLevel {self.label!r} depth={self.depth} members={self.member_count}>"
+
+
+def _sanitize(name: str) -> str:
+    cleaned = re.sub(r"[^0-9A-Za-z_]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "p" + cleaned
+    return cleaned.lower()
+
+
+def path_variable(path: tuple[IRI, ...]) -> Variable:
+    """The canonical variable for a predicate path from the observation."""
+    return Variable("_".join(_sanitize(p.local_name()) for p in path))
+
+
+class VirtualSchemaGraph:
+    """Levels, measures, and the traversal API used by synthesis/refinement."""
+
+    def __init__(
+        self,
+        observation_class: IRI,
+        levels: dict[tuple[IRI, ...], VLevel],
+        measures: dict[IRI, str],
+        observation_count: int,
+        observation_attributes: tuple[IRI, ...] = (),
+    ):
+        if not levels:
+            raise BootstrapError("virtual schema graph has no levels")
+        if not measures:
+            raise BootstrapError("virtual schema graph has no measures")
+        self.observation_class = observation_class
+        self.levels = dict(levels)
+        self.measures = dict(measures)
+        self.observation_count = observation_count
+        self.observation_attributes = tuple(observation_attributes)
+
+    # -- traversal -----------------------------------------------------------
+
+    def all_levels(self) -> list[VLevel]:
+        """Every level, ordered by path for determinism."""
+        return [self.levels[key] for key in sorted(self.levels, key=_path_key)]
+
+    def base_levels(self) -> list[VLevel]:
+        return [lvl for lvl in self.all_levels() if lvl.is_base]
+
+    def dimension_predicates(self) -> list[IRI]:
+        return sorted({lvl.dimension_predicate for lvl in self.levels.values()},
+                      key=lambda p: p.value)
+
+    def level(self, path: tuple[IRI, ...]) -> VLevel:
+        try:
+            return self.levels[tuple(path)]
+        except KeyError:
+            raise KeyError(f"no level with path {[p.value for p in path]}") from None
+
+    def levels_of_dimension(self, dimension_predicate: IRI) -> list[VLevel]:
+        return [lvl for lvl in self.all_levels()
+                if lvl.dimension_predicate == dimension_predicate]
+
+    def levels_with_terminal(self, predicate: IRI) -> list[VLevel]:
+        """Levels whose members are reached through ``predicate``.
+
+        This is the structural lookup behind interpretation discovery: a
+        member's incoming predicate identifies its candidate levels.
+        """
+        return [lvl for lvl in self.all_levels() if lvl.terminal_predicate == predicate]
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def n_members(self) -> int:
+        """Total member count over all levels (the paper's |N_D|)."""
+        return sum(lvl.member_count for lvl in self.levels.values())
+
+    def summary(self) -> str:
+        """A small tree rendering of the schema, for logs and examples."""
+        lines = [f"observations ({self.observation_count}) of {self.observation_class.n3()}"]
+        for level in self.all_levels():
+            indent = "  " * level.depth
+            lines.append(f"{indent}{level.label} [{level.member_count} members]")
+        lines.append("measures: " + ", ".join(sorted(self.measures.values())))
+        return "\n".join(lines)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def bootstrap(
+        cls,
+        endpoint: Endpoint,
+        observation_class: IRI,
+        excluded_predicates: frozenset[IRI] = DEFAULT_EXCLUDED_PREDICATES,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        sample_size: int = 3,
+    ) -> "VirtualSchemaGraph":
+        """Crawl the endpoint and build the virtual schema graph.
+
+        Only the endpoint address and the observation class are required —
+        "no other information about the dataset is assumed" (Section 7.1).
+        """
+        crawler = _Crawler(endpoint, observation_class, excluded_predicates,
+                           max_depth, sample_size)
+        return crawler.crawl(cls)
+
+    def refreshed(self, endpoint: Endpoint) -> "VirtualSchemaGraph":
+        """Recount members after data was appended, without re-crawling.
+
+        This is the paper's incremental-update path: when only new data
+        arrives under an unchanged schema, the structure is reusable and
+        only the per-level statistics need refreshing.
+        """
+        updated: dict[tuple[IRI, ...], VLevel] = {}
+        for path, level in self.levels.items():
+            count = _count_members(endpoint, self.observation_class, path)
+            updated[path] = VLevel(
+                path=level.path,
+                member_count=count,
+                label=level.label,
+                attribute_predicates=level.attribute_predicates,
+                sample_members=level.sample_members,
+            )
+        n_obs = _count_observations(endpoint, self.observation_class)
+        return VirtualSchemaGraph(
+            self.observation_class, updated, dict(self.measures), n_obs,
+            self.observation_attributes,
+        )
+
+
+def _path_key(path: tuple[IRI, ...]) -> tuple:
+    return tuple(p.value for p in path)
+
+
+class _Crawler:
+    """Bootstrap worker issuing the discovery queries against the endpoint."""
+
+    def __init__(self, endpoint, observation_class, excluded, max_depth, sample_size):
+        self.endpoint = endpoint
+        self.cls = observation_class
+        self.excluded = excluded
+        self.max_depth = max_depth
+        self.sample_size = sample_size
+
+    def crawl(self, factory) -> "VirtualSchemaGraph":
+        n_obs = _count_observations(self.endpoint, self.cls)
+        if n_obs == 0:
+            raise BootstrapError(
+                f"no observations of class {self.cls.n3()} in the endpoint"
+            )
+        dimension_predicates, measure_predicates, obs_attributes = self._observation_predicates()
+        if not measure_predicates:
+            raise BootstrapError("no numeric measure predicates found on observations")
+        levels: dict[tuple[IRI, ...], VLevel] = {}
+        for predicate in dimension_predicates:
+            self._expand((predicate,), levels)
+        measures = {p: self._predicate_label(p) for p in measure_predicates}
+        return factory(self.cls, levels, measures, n_obs, tuple(obs_attributes))
+
+    def _observation_predicates(self) -> tuple[list[IRI], list[IRI], list[IRI]]:
+        """Classify the predicates attached to observations.
+
+        Non-literal objects → dimension predicates; numeric literals →
+        measures; other literals → plain observation attributes.
+        """
+        result = self.endpoint.select(
+            f"SELECT DISTINCT ?p WHERE {{ ?o a {self.cls.n3()} . ?o ?p ?x . "
+            f"FILTER(!isLiteral(?x)) }}"
+        )
+        dimensions = sorted(
+            (row[0] for row in result if row[0] not in self.excluded),
+            key=lambda p: p.value,
+        )
+        result = self.endpoint.select(
+            f"SELECT DISTINCT ?p WHERE {{ ?o a {self.cls.n3()} . ?o ?p ?x . "
+            f"FILTER(isNumeric(?x)) }}"
+        )
+        measures = sorted((row[0] for row in result), key=lambda p: p.value)
+        result = self.endpoint.select(
+            f"SELECT DISTINCT ?p WHERE {{ ?o a {self.cls.n3()} . ?o ?p ?x . "
+            f"FILTER(isLiteral(?x) && !isNumeric(?x)) }}"
+        )
+        attributes = sorted((row[0] for row in result), key=lambda p: p.value)
+        return dimensions, measures, attributes
+
+    def _expand(self, path: tuple[IRI, ...], levels: dict) -> None:
+        """Depth-first: register the level at ``path``, then follow rollups."""
+        member_count, samples = self._level_members(path)
+        if member_count == 0:
+            return
+        levels[path] = VLevel(
+            path=path,
+            member_count=member_count,
+            label=" / ".join(self._predicate_label(p) for p in path),
+            attribute_predicates=tuple(self._attribute_predicates(path)),
+            sample_members=samples,
+        )
+        if len(path) >= self.max_depth:
+            return
+        for predicate in self._rollup_predicates(path):
+            if predicate in self.excluded or predicate in path:
+                continue
+            self._expand(path + (predicate,), levels)
+
+    def _level_members(self, path: tuple[IRI, ...]) -> tuple[int, tuple[IRI, ...]]:
+        chain = " / ".join(p.n3() for p in path)
+        result = self.endpoint.select(
+            f"SELECT DISTINCT ?m WHERE {{ ?o a {self.cls.n3()} . ?o {chain} ?m }}"
+        )
+        members = sorted((row[0] for row in result), key=lambda t: t.sort_key())
+        return len(members), tuple(members[: self.sample_size])
+
+    def _rollup_predicates(self, path: tuple[IRI, ...]) -> list[IRI]:
+        chain = " / ".join(p.n3() for p in path)
+        result = self.endpoint.select(
+            f"SELECT DISTINCT ?q WHERE {{ ?o a {self.cls.n3()} . ?o {chain} ?m . "
+            f"?m ?q ?x . FILTER(!isLiteral(?x)) }}"
+        )
+        return sorted((row[0] for row in result), key=lambda p: p.value)
+
+    def _attribute_predicates(self, path: tuple[IRI, ...]) -> list[IRI]:
+        chain = " / ".join(p.n3() for p in path)
+        result = self.endpoint.select(
+            f"SELECT DISTINCT ?q WHERE {{ ?o a {self.cls.n3()} . ?o {chain} ?m . "
+            f"?m ?q ?x . FILTER(isLiteral(?x)) }}"
+        )
+        return sorted((row[0] for row in result), key=lambda p: p.value)
+
+    def _predicate_label(self, predicate: IRI) -> str:
+        result = self.endpoint.select(
+            f"SELECT ?l WHERE {{ {predicate.n3()} {LABEL.n3()} ?l }} LIMIT 1"
+        )
+        if result.rows:
+            return result.rows[0][0].lexical
+        return predicate.local_name().replace("_", " ").title()
+
+
+def _count_observations(endpoint, observation_class: IRI) -> int:
+    result = endpoint.select(
+        f"SELECT (COUNT(?o) AS ?n) WHERE {{ ?o a {observation_class.n3()} }}"
+    )
+    return int(result.rows[0][0].lexical)
+
+
+def _count_members(endpoint, observation_class: IRI, path: tuple[IRI, ...]) -> int:
+    chain = " / ".join(p.n3() for p in path)
+    result = endpoint.select(
+        f"SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE {{ ?o a {observation_class.n3()} . "
+        f"?o {chain} ?m }}"
+    )
+    return int(result.rows[0][0].lexical)

@@ -1,0 +1,30 @@
+"""Schema-faithful synthetic versions of the paper's evaluation datasets.
+
+Each module defines the cube schema of one dataset from Table 3 (Eurostat
+asylum applications, macro-economic Production, DBpedia Creative Works)
+and a ``generate_*`` function producing a deterministic
+:class:`~repro.qb.cube.StatisticalKG` at a chosen observation count and
+member-pool scale.
+"""
+
+from .covid import covid_schema, generate_covid
+from .dbpedia import dbpedia_schema, generate_dbpedia
+from .eurostat import eurostat_schema, generate_eurostat
+from .production import generate_production, production_schema
+from .synthetic import generate, month_labels, numbered_labels, scaled, year_labels
+
+__all__ = [
+    "eurostat_schema",
+    "generate_eurostat",
+    "production_schema",
+    "generate_production",
+    "dbpedia_schema",
+    "generate_dbpedia",
+    "covid_schema",
+    "generate_covid",
+    "generate",
+    "scaled",
+    "year_labels",
+    "month_labels",
+    "numbered_labels",
+]

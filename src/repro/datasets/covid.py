@@ -1,0 +1,100 @@
+"""A COVID-19 statistical KG (the paper's introductory motivation).
+
+The introduction cites "recent COVID-19 data" published as Linked Open
+Data (the EU datathon's COVID-19 linked dataset) as a driving example of
+statistical KGs.  This generator produces a schema-faithful equivalent:
+daily case observations with dimensions Country (→ continent), Reporting
+Date (day → week → month), Age Group, and Indicator (cases / deaths /
+hospitalizations), and a count measure.
+
+It doubles as a fourth, structurally different workload: a three-level
+time hierarchy, which neither Eurostat (two levels) nor Production (flat
+time) exercises.
+"""
+
+from __future__ import annotations
+
+from ..qb.cube import StatisticalKG
+from ..qb.schema import CubeSchema, DimensionSpec, HierarchySpec, LevelSpec, MeasureSpec
+from .eurostat import CONTINENTS, COUNTRIES
+from .synthetic import generate, scaled
+
+__all__ = ["covid_schema", "generate_covid", "INDICATORS"]
+
+NAMESPACE = "http://example.org/covid/"
+
+INDICATORS = ("Confirmed Cases", "Deaths", "Hospital Admissions", "ICU Admissions")
+
+AGE_GROUPS = ("0-9", "10-19", "20-39", "40-59", "60-79", "80+")
+
+
+def _day_labels(count: int) -> tuple[str, ...]:
+    labels = []
+    for index in range(count):
+        month = index // 28
+        day = index % 28 + 1
+        labels.append(f"2020-{month % 12 + 1:02d}-{day:02d}"
+                      if month < 12 else f"2021-{month % 12 + 1:02d}-{day:02d}")
+    return tuple(labels)
+
+
+def _week_labels(count: int) -> tuple[str, ...]:
+    return tuple(f"Week {index + 1} 2020" if index < 53 else f"Week {index - 52} 2021"
+                 for index in range(count))
+
+
+def _month_labels(count: int) -> tuple[str, ...]:
+    months = ("January", "February", "March", "April", "May", "June", "July",
+              "August", "September", "October", "November", "December")
+    return tuple(f"{months[index % 12]} {2020 + index // 12}" for index in range(count))
+
+
+def covid_schema(scale: float = 1.0) -> CubeSchema:
+    """The COVID-19 cube: a deep time hierarchy (day → week → month)."""
+    n_days = scaled(336, scale, minimum=8)
+    n_weeks = max(2, n_days // 7)
+    n_months = max(2, n_days // 28)
+    n_countries = scaled(60, scale, minimum=3)
+    n_continents = scaled(6, min(1.0, scale), minimum=2)
+    n_ages = scaled(6, min(1.0, scale), minimum=2)
+    n_indicators = scaled(4, min(1.0, scale), minimum=2)
+
+    day = LevelSpec("day", n_days, label_values=_day_labels(n_days))
+    week = LevelSpec("week", n_weeks, label_values=_week_labels(n_weeks))
+    month = LevelSpec("month", n_months, label_values=_month_labels(n_months))
+    country = LevelSpec("country", n_countries, pool="country",
+                        label_values=COUNTRIES[:n_countries] if n_countries <= len(COUNTRIES)
+                        else tuple(f"Country {i}" for i in range(n_countries)))
+    continent = LevelSpec("continent", n_continents,
+                          label_values=CONTINENTS[:n_continents])
+    age = LevelSpec("age_group", n_ages, label_values=AGE_GROUPS[:n_ages])
+    indicator = LevelSpec("indicator", n_indicators,
+                          label_values=INDICATORS[:n_indicators])
+
+    return CubeSchema(
+        name="covid",
+        namespace=NAMESPACE,
+        dimensions=(
+            DimensionSpec(
+                "reporting_date",
+                (
+                    HierarchySpec("date_weekly", (day, week, month),
+                                  rollup_names=("in_week", "in_month")),
+                ),
+                predicate_name="reporting_date",
+            ),
+            DimensionSpec(
+                "country",
+                (HierarchySpec("geo", (country, continent), rollup_names=("in_continent",)),),
+            ),
+            DimensionSpec("age", (HierarchySpec("age", (age,)),), predicate_name="age_group"),
+            DimensionSpec("indicator", (HierarchySpec("indicator", (indicator,)),)),
+        ),
+        measures=(MeasureSpec("count", low=0, high=100_000, integral=True),),
+        observation_attributes=1,
+    )
+
+
+def generate_covid(n_observations: int = 2000, scale: float = 0.2, seed: int = 0) -> StatisticalKG:
+    """Generate the COVID-19 KG (deterministic for a given seed)."""
+    return generate(covid_schema(scale), n_observations, seed=seed)

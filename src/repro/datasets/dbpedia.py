@@ -1,0 +1,173 @@
+"""The DBpedia Creative-Works analytical view (schema-faithful synthetic).
+
+The paper extracts an analytical view over DBpedia "describing songs
+categorized by genre, artist, label, instrument, and director" with
+|D|=5, |M|=1, |H|=14, |L|=23 and |N_D|=87160 (Table 3).  Two properties
+make it the worst case of the evaluation:
+
+* a large, heterogeneous member population (87k members vs. Eurostat's
+  373), and
+* **M-to-N hierarchy steps** — "a song can be associated with multiple
+  genres"; here several rollup steps assign 2-3 parents per member, which
+  blows up result sets in the Similarity-Search refinement (Section 7.1).
+
+Dimensions also *share member pools* (the countries of artists and record
+labels, the eras of genres and directors), reproducing the paper's remark
+that DBpedia has "a high number of dimensions sharing similar values".
+
+Defaults generate a scaled-down instance; ``scale=1.0`` reproduces the
+full member counts (slow to build in pure Python, fine for parity runs).
+"""
+
+from __future__ import annotations
+
+from ..qb.cube import StatisticalKG
+from ..qb.schema import CubeSchema, DimensionSpec, HierarchySpec, LevelSpec, MeasureSpec
+from .synthetic import generate, numbered_labels, scaled
+
+__all__ = ["dbpedia_schema", "generate_dbpedia"]
+
+NAMESPACE = "http://example.org/dbpedia/"
+
+# Full-scale member counts per level; the artist level absorbs the
+# remainder so that sum(level sizes over all dimension levels) == 87160.
+_FULL_SIZES = {
+    "genre": 1500,
+    "supergenre": 150,
+    "genre_family": 30,
+    "era": 20,
+    "market_segment": 10,
+    "collective": 3000,
+    "movement": 50,
+    "kcountry": 120,
+    "decade": 12,
+    "parent_label": 1200,
+    "conglomerate": 40,
+    "record_label": 8000,
+    "instrument": 300,
+    "instrument_family": 40,
+    "instrument_region": 25,
+    "studio": 3000,
+    "nationality": 120,
+    "director": 30000,
+}
+
+
+def _artist_size(scale: float) -> int:
+    """Artist level size making |N_D| hit 87160 at scale=1.0."""
+    total_target = 87160
+    # Level occurrences per dimension (shared pools count once per level).
+    occurrences = {
+        "genre": 1, "supergenre": 1, "genre_family": 1, "era": 2,
+        "market_segment": 1, "collective": 1, "movement": 1, "kcountry": 2,
+        "decade": 2, "parent_label": 1, "conglomerate": 2, "record_label": 1,
+        "instrument": 1, "instrument_family": 1, "instrument_region": 1,
+        "studio": 1, "nationality": 1, "director": 1,
+    }
+    others = sum(_FULL_SIZES[name] * count for name, count in occurrences.items())
+    artist_full = total_target - others
+    return scaled(artist_full, scale, minimum=5)
+
+
+def dbpedia_schema(scale: float = 0.05) -> CubeSchema:
+    """The Creative-Works cube: 5 dimensions, 14 hierarchies, 23 levels."""
+
+    def level(name: str, pool: str | None = None, parents: int = 1,
+              stem: str | None = None) -> LevelSpec:
+        size = scaled(_FULL_SIZES[name], scale, minimum=2)
+        return LevelSpec(
+            name, size, pool=pool, parents_per_member=parents,
+            label_values=numbered_labels(stem or name.replace("_", " ").title(), size),
+        )
+
+    # Shared pools: 'era' (genres & directors), 'kcountry' (artists &
+    # labels), 'decade' (artists & labels), 'conglomerate' (labels & studios).
+    genre = level("genre")
+    supergenre = level("supergenre", parents=2)  # M-to-N: multi-genre parents
+    genre_family = level("genre_family")
+    genre_era = level("era", pool="era", stem="Era")
+    segment = level("market_segment")
+
+    artist = LevelSpec(
+        "artist", _artist_size(scale),
+        label_values=numbered_labels("Artist", _artist_size(scale)),
+    )
+    collective = level("collective", parents=2)  # artists in several bands
+    movement = level("movement")
+    artist_country = level("kcountry", pool="kcountry", stem="Country")
+    artist_decade = level("decade", pool="decade", stem="Decade")
+
+    record_label = level("record_label")
+    parent_label = level("parent_label")
+    conglomerate = level("conglomerate", pool="conglomerate")
+    label_country = level("kcountry", pool="kcountry", stem="Country")
+    label_decade = level("decade", pool="decade", stem="Decade")
+
+    instrument = level("instrument")
+    instrument_family = level("instrument_family")
+    instrument_region = level("instrument_region")
+
+    director = level("director")
+    studio = level("studio", parents=2)  # directors work for several studios
+    studio_conglomerate = level("conglomerate", pool="conglomerate")
+    nationality = level("nationality")
+    director_era = level("era", pool="era", stem="Era")
+
+    return CubeSchema(
+        name="dbpedia",
+        namespace=NAMESPACE,
+        dimensions=(
+            DimensionSpec(
+                "genre",
+                (
+                    HierarchySpec("genre_tree", (genre, supergenre, genre_family),
+                                  rollup_names=("sub_genre_of", "in_family")),
+                    HierarchySpec("genre_era", (genre, genre_era), rollup_names=("from_era",)),
+                    HierarchySpec("genre_segment", (genre, segment), rollup_names=("in_segment",)),
+                ),
+            ),
+            DimensionSpec(
+                "artist",
+                (
+                    HierarchySpec("artist_groups", (artist, collective, movement),
+                                  rollup_names=("member_of_band", "in_movement")),
+                    HierarchySpec("artist_geo", (artist, artist_country), rollup_names=("born_in",)),
+                    HierarchySpec("artist_time", (artist, artist_decade), rollup_names=("active_in",)),
+                ),
+            ),
+            DimensionSpec(
+                "record_label",
+                (
+                    HierarchySpec("label_tree", (record_label, parent_label, conglomerate),
+                                  rollup_names=("owned_by", "part_of")),
+                    HierarchySpec("label_geo", (record_label, label_country), rollup_names=("based_in",)),
+                    HierarchySpec("label_time", (record_label, label_decade), rollup_names=("founded_in",)),
+                ),
+            ),
+            DimensionSpec(
+                "instrument",
+                (
+                    HierarchySpec("instrument_tree", (instrument, instrument_family),
+                                  rollup_names=("in_instrument_family",)),
+                    HierarchySpec("instrument_geo", (instrument, instrument_region),
+                                  rollup_names=("originates_from",)),
+                ),
+            ),
+            DimensionSpec(
+                "director",
+                (
+                    HierarchySpec("director_studio", (director, studio, studio_conglomerate),
+                                  rollup_names=("works_for", "part_of")),
+                    HierarchySpec("director_geo", (director, nationality), rollup_names=("has_nationality",)),
+                    HierarchySpec("director_time", (director, director_era), rollup_names=("from_era",)),
+                ),
+            ),
+        ),
+        measures=(MeasureSpec("duration_seconds", low=30, high=3600, integral=True),),
+        observation_attributes=1,
+    )
+
+
+def generate_dbpedia(n_observations: int = 1000, scale: float = 0.05, seed: int = 0) -> StatisticalKG:
+    """Generate the DBpedia Creative-Works KG (deterministic per seed)."""
+    return generate(dbpedia_schema(scale), n_observations, seed=seed)

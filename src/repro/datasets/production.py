@@ -1,0 +1,115 @@
+"""The Production dataset (macro-economic production statistics).
+
+The paper's Production KG records "macro-economic information about
+materials, energy, and monetary production across 43 countries for more
+than 160 industries, and 200 products or services" with |D|=7, |M|=1,
+|L|=9 and |N_D|=6444 (Table 3).  This schema reproduces those
+characteristics: seven dimensions (producing and consuming country,
+industry, product, year, flow type, unit), with industry → sector,
+product → product category, and country → world region hierarchies.
+
+Producer and consumer countries share one member pool, so country keywords
+are ambiguous across two dimensions, as in the real data.
+"""
+
+from __future__ import annotations
+
+from ..qb.cube import StatisticalKG
+from ..qb.schema import CubeSchema, DimensionSpec, HierarchySpec, LevelSpec, MeasureSpec
+from .synthetic import generate, numbered_labels, scaled, year_labels
+
+__all__ = ["production_schema", "generate_production", "PRODUCTION_COUNTRIES"]
+
+NAMESPACE = "http://example.org/production/"
+
+PRODUCTION_COUNTRIES = (
+    "United States", "China", "Japan", "Germany", "India", "United Kingdom",
+    "France", "Italy", "Brazil", "Canada", "Russia", "South Korea",
+    "Australia", "Spain", "Mexico", "Indonesia", "Netherlands", "Turkey",
+    "Saudi Arabia", "Switzerland", "Poland", "Belgium", "Sweden", "Argentina",
+    "Norway", "Austria", "United Arab Emirates", "Nigeria", "Israel",
+    "South Africa", "Ireland", "Denmark", "Singapore", "Malaysia",
+    "Philippines", "Colombia", "Chile", "Finland", "Bangladesh", "Egypt",
+    "Vietnam", "Portugal", "Czechia",
+)
+
+FLOW_TYPES = ("Production", "Import", "Export", "Consumption", "Stock Change")
+
+UNITS = ("USD", "EUR", "Tonnes", "Megawatt Hours", "Cubic Metres", "Hours Worked")
+
+
+def production_schema(scale: float = 1.0) -> CubeSchema:
+    """The production-statistics cube schema.
+
+    At ``scale=1.0``: |D|=7, |M|=1, |L|=9, |N_D|=6444 — 43 producer
+    countries + 43 consumer countries + 2800 industries + 25 sectors +
+    products + 60 categories + 30 years + 5 flow types + 6 units, with the
+    product level sized so the member total hits Table 3's 6444 exactly.
+    """
+    n_countries = scaled(43, min(1.0, scale), minimum=3)
+    n_industries = scaled(2800, scale, minimum=5)
+    n_sectors = scaled(25, min(1.0, scale), minimum=2)
+    n_categories = scaled(60, min(1.0, scale), minimum=2)
+    n_years = scaled(30, min(1.0, scale), minimum=2)
+    n_flows = scaled(5, min(1.0, scale), minimum=2)
+    n_units = scaled(6, min(1.0, scale), minimum=2)
+    if scale >= 1.0:
+        # Size products so the member total hits Table 3's |N_D| = 6444.
+        others = (2 * n_countries + n_industries + n_sectors
+                  + n_categories + n_years + n_flows + n_units)
+        n_products = 6444 - others
+    else:
+        n_products = scaled(3400, scale, minimum=5)
+
+    country = LevelSpec(
+        "country", n_countries, pool="country",
+        label_values=_take(PRODUCTION_COUNTRIES, n_countries),
+    )
+    industry = LevelSpec("industry", n_industries, label_values=numbered_labels("Industry", n_industries))
+    sector = LevelSpec("sector", n_sectors, label_values=numbered_labels("Sector", n_sectors))
+    product = LevelSpec("product", n_products, label_values=numbered_labels("Product", n_products))
+    category = LevelSpec("product_category", n_categories, label_values=numbered_labels("Category", n_categories))
+    year = LevelSpec("year", n_years, label_values=year_labels(1990, n_years))
+    flow = LevelSpec("flow_type", n_flows, label_values=_take(FLOW_TYPES, n_flows))
+    unit = LevelSpec("unit", n_units, label_values=_take(UNITS, n_units))
+
+    return CubeSchema(
+        name="production",
+        namespace=NAMESPACE,
+        dimensions=(
+            DimensionSpec(
+                "producer",
+                (HierarchySpec("producer_geo", (country,)),),
+                predicate_name="producer_country",
+            ),
+            DimensionSpec(
+                "consumer",
+                (HierarchySpec("consumer_geo", (country,)),),
+                predicate_name="consumer_country",
+            ),
+            DimensionSpec(
+                "industry",
+                (HierarchySpec("industry", (industry, sector), rollup_names=("in_sector",)),),
+            ),
+            DimensionSpec(
+                "product",
+                (HierarchySpec("product", (product, category), rollup_names=("in_category",)),),
+            ),
+            DimensionSpec("year", (HierarchySpec("year", (year,)),)),
+            DimensionSpec("flow", (HierarchySpec("flow", (flow,)),), predicate_name="flow_type"),
+            DimensionSpec("unit", (HierarchySpec("unit", (unit,)),)),
+        ),
+        measures=(MeasureSpec("amount", low=0, high=1_000_000, integral=False),),
+        observation_attributes=0,
+    )
+
+
+def generate_production(n_observations: int = 2000, scale: float = 1.0, seed: int = 0) -> StatisticalKG:
+    """Generate the Production KG (deterministic for a given seed)."""
+    return generate(production_schema(scale), n_observations, seed=seed)
+
+
+def _take(labels: tuple[str, ...], count: int) -> tuple[str, ...]:
+    if count <= len(labels):
+        return labels[:count]
+    return labels + tuple(f"{labels[i % len(labels)]} ({i // len(labels) + 1})" for i in range(len(labels), count))

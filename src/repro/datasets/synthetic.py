@@ -1,0 +1,58 @@
+"""Generic synthetic statistical-KG generation helpers.
+
+The three dataset modules (:mod:`~repro.datasets.eurostat`,
+:mod:`~repro.datasets.production`, :mod:`~repro.datasets.dbpedia`) define
+schema-faithful instances; this module holds the pieces they share: scaled
+level sizing and a one-call ``generate`` wrapper around
+:class:`~repro.qb.cube.CubeBuilder`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..qb.cube import CubeBuilder, StatisticalKG
+from ..qb.schema import CubeSchema
+
+__all__ = ["scaled", "generate", "year_labels", "month_labels", "numbered_labels"]
+
+
+def scaled(size: int, scale: float, minimum: int = 2) -> int:
+    """``size`` scaled by ``scale``, never below ``minimum``.
+
+    Dataset schemas are defined at the paper's full member counts; tests
+    and quick benchmarks shrink them uniformly with ``scale`` < 1.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return max(minimum, int(math.ceil(size * scale)))
+
+
+def generate(schema: CubeSchema, n_observations: int, seed: int = 0) -> StatisticalKG:
+    """Materialize ``schema`` with ``n_observations`` observations."""
+    return CubeBuilder(schema, seed=seed).build(n_observations)
+
+
+def year_labels(first: int, count: int) -> tuple[str, ...]:
+    """Labels ``"2010", "2011", ...`` for a year level."""
+    return tuple(str(first + i) for i in range(count))
+
+
+_MONTHS = (
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+)
+
+
+def month_labels(first_year: int, count: int) -> tuple[str, ...]:
+    """Labels ``"January 2010", ...`` cycling months across years."""
+    labels = []
+    for index in range(count):
+        year = first_year + index // 12
+        labels.append(f"{_MONTHS[index % 12]} {year}")
+    return tuple(labels)
+
+
+def numbered_labels(stem: str, count: int) -> tuple[str, ...]:
+    """Labels ``"Product 0", "Product 1", ...`` for synthetic levels."""
+    return tuple(f"{stem} {index}" for index in range(count))

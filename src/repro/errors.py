@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  Subsystems raise the more specific
+subclasses below, which keeps ``except`` clauses narrow and intent explicit.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class RDFSyntaxError(ReproError):
+    """Raised when parsing an RDF serialization (N-Triples / Turtle) fails."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SPARQLSyntaxError(ReproError):
+    """Raised when a SPARQL query string cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"at offset {position}: {message}"
+        super().__init__(message)
+
+
+class QueryEvaluationError(ReproError):
+    """Raised when a syntactically valid query cannot be evaluated."""
+
+
+class QueryTimeoutError(QueryEvaluationError):
+    """Raised when query evaluation exceeds the endpoint's deadline."""
+
+
+class SchemaError(ReproError):
+    """Raised for inconsistent cube schema definitions."""
+
+
+class BootstrapError(ReproError):
+    """Raised when virtual schema graph construction fails."""
+
+
+class SynthesisError(ReproError):
+    """Raised when REOLAP cannot derive any query from the given examples."""
+
+
+class RefinementError(ReproError):
+    """Raised when a refinement operator receives invalid input."""

@@ -1,0 +1,40 @@
+"""RDF Data Cube layer: schema descriptors, vocabulary, cube builder."""
+
+from .cube import CubeBuilder, Member, StatisticalKG
+from .loader import load_csv, load_table
+from .schema import CubeSchema, DimensionSpec, HierarchySpec, LevelSpec, MeasureSpec
+from .validate import ValidationReport, Violation, validate_cube
+from .vocabulary import (
+    DIMENSION_PROPERTY,
+    LABEL,
+    LEVEL_CLASS,
+    MEASURE_PROPERTY,
+    MEMBER_OF,
+    OBSERVATION_CLASS,
+    ROLLS_UP_TO,
+    TYPE,
+)
+
+__all__ = [
+    "CubeSchema",
+    "DimensionSpec",
+    "HierarchySpec",
+    "LevelSpec",
+    "MeasureSpec",
+    "CubeBuilder",
+    "StatisticalKG",
+    "Member",
+    "validate_cube",
+    "ValidationReport",
+    "Violation",
+    "load_table",
+    "load_csv",
+    "OBSERVATION_CLASS",
+    "MEASURE_PROPERTY",
+    "DIMENSION_PROPERTY",
+    "LEVEL_CLASS",
+    "MEMBER_OF",
+    "ROLLS_UP_TO",
+    "TYPE",
+    "LABEL",
+]

@@ -1,0 +1,221 @@
+"""Cube schema descriptors: dimensions, hierarchies, levels, measures.
+
+These dataclasses describe the multi-dimensional *shape* of a statistical
+KG (Section 3 of the paper): a set of dimensions, each composed of one or
+more hierarchies of levels, plus a set of numeric measures.  The
+:class:`~repro.qb.cube.CubeBuilder` materializes a schema into RDF triples;
+the dataset generators instantiate schemas mirroring the paper's three
+evaluation datasets.
+
+Conventions used for the paper's Table 3 statistics:
+
+* ``|D|``  — number of dimensions;
+* ``|H|``  — number of maximal hierarchy chains over all dimensions;
+* ``|L|``  — number of distinct (dimension, level) pairs, i.e. virtual
+  schema graph nodes excluding the observation root;
+* ``|N_D|`` — total member count summed over all levels (members shared
+  between dimensions, e.g. countries of origin and destination, are counted
+  once per level they appear in, matching the virtual graph's view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchemaError
+
+__all__ = ["LevelSpec", "HierarchySpec", "DimensionSpec", "MeasureSpec", "CubeSchema"]
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One hierarchy level.
+
+    ``size`` is the number of members the generator creates at this level.
+    ``pool`` names a shared member pool: levels in different dimensions
+    with the same pool reuse the same member entities (e.g. the *country*
+    entities serve both Country of Origin and Country of Destination) —
+    this sharing is what makes a user keyword ambiguous and forces REOLAP
+    to enumerate multiple interpretations.
+    ``parents_per_member`` > 1 produces M-to-N rollups (the DBpedia
+    worst case: a song with several genres).
+    """
+
+    name: str
+    size: int
+    pool: str | None = None
+    parents_per_member: int = 1
+    label_values: tuple[str, ...] | None = None
+
+    def __post_init__(self):
+        if self.size < 1:
+            raise SchemaError(f"level {self.name!r} must have at least one member")
+        if self.parents_per_member < 1:
+            raise SchemaError(f"level {self.name!r}: parents_per_member must be >= 1")
+        if self.label_values is not None and len(self.label_values) < self.size:
+            raise SchemaError(
+                f"level {self.name!r}: {len(self.label_values)} labels for {self.size} members"
+            )
+
+    @property
+    def pool_key(self) -> str:
+        """The member-pool identifier (defaults to the level name)."""
+        return self.pool or self.name
+
+
+@dataclass(frozen=True)
+class HierarchySpec:
+    """A maximal chain of levels, ordered bottom-up (finest first).
+
+    ``rollup_names`` are the predicate local-names linking level *i* to
+    level *i + 1*; they default to ``in_<upper level name>``.
+    """
+
+    name: str
+    levels: tuple[LevelSpec, ...]
+    rollup_names: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.levels:
+            raise SchemaError(f"hierarchy {self.name!r} has no levels")
+        names = [level.name for level in self.levels]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"hierarchy {self.name!r} repeats a level name")
+        expected = len(self.levels) - 1
+        if self.rollup_names and len(self.rollup_names) != expected:
+            raise SchemaError(
+                f"hierarchy {self.name!r}: {len(self.rollup_names)} rollup names "
+                f"for {expected} steps"
+            )
+        if not self.rollup_names and expected:
+            object.__setattr__(
+                self,
+                "rollup_names",
+                tuple(f"in_{upper.name}" for upper in self.levels[1:]),
+            )
+
+    @property
+    def base_level(self) -> LevelSpec:
+        return self.levels[0]
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+
+@dataclass(frozen=True)
+class DimensionSpec:
+    """A dimension: its observation predicate and its hierarchies.
+
+    All hierarchies of a dimension must share the same base level (the
+    standard OLAP constraint: alternative rollup paths from one set of
+    members).
+    """
+
+    name: str
+    hierarchies: tuple[HierarchySpec, ...]
+    predicate_name: str | None = None
+
+    def __post_init__(self):
+        if not self.hierarchies:
+            raise SchemaError(f"dimension {self.name!r} has no hierarchies")
+        bases = {h.base_level.name for h in self.hierarchies}
+        if len(bases) != 1:
+            raise SchemaError(
+                f"dimension {self.name!r}: hierarchies disagree on the base level ({bases})"
+            )
+        base_sizes = {h.base_level.size for h in self.hierarchies}
+        if len(base_sizes) != 1:
+            raise SchemaError(f"dimension {self.name!r}: base level sizes disagree")
+
+    @property
+    def predicate_local_name(self) -> str:
+        return self.predicate_name or self.name
+
+    @property
+    def base_level(self) -> LevelSpec:
+        return self.hierarchies[0].base_level
+
+    def levels(self) -> list[tuple[HierarchySpec, LevelSpec]]:
+        """All (hierarchy, level) pairs, deduplicating the shared base."""
+        result = [(self.hierarchies[0], self.base_level)]
+        for hierarchy in self.hierarchies:
+            for level in hierarchy.levels[1:]:
+                result.append((hierarchy, level))
+        return result
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """One numeric measure attached to every observation.
+
+    ``low``/``high`` bound the generated values; ``integral`` controls the
+    literal datatype.
+    """
+
+    name: str
+    low: float = 0.0
+    high: float = 1000.0
+    integral: bool = True
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise SchemaError(f"measure {self.name!r}: low > high")
+
+
+@dataclass(frozen=True)
+class CubeSchema:
+    """The complete multi-dimensional schema of a statistical KG."""
+
+    name: str
+    dimensions: tuple[DimensionSpec, ...]
+    measures: tuple[MeasureSpec, ...]
+    namespace: str = "http://example.org/cube/"
+    observation_attributes: int = 0
+
+    def __post_init__(self):
+        if not self.dimensions:
+            raise SchemaError("a cube needs at least one dimension")
+        if not self.measures:
+            raise SchemaError("a cube needs at least one measure")
+        names = [d.name for d in self.dimensions]
+        if len(set(names)) != len(names):
+            raise SchemaError("dimension names must be unique")
+        measure_names = [m.name for m in self.measures]
+        if len(set(measure_names)) != len(measure_names):
+            raise SchemaError("measure names must be unique")
+        if self.observation_attributes < 0:
+            raise SchemaError("observation_attributes must be >= 0")
+
+    # -- Table 3 statistics --------------------------------------------------
+
+    @property
+    def n_dimensions(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def n_measures(self) -> int:
+        return len(self.measures)
+
+    @property
+    def n_hierarchies(self) -> int:
+        return sum(len(d.hierarchies) for d in self.dimensions)
+
+    @property
+    def n_levels(self) -> int:
+        return sum(len(d.levels()) for d in self.dimensions)
+
+    @property
+    def n_members(self) -> int:
+        """Total |N_D|: members summed per (dimension, level) pair."""
+        return sum(level.size for d in self.dimensions for _, level in d.levels())
+
+    def describe(self) -> dict[str, int]:
+        """The Table 3 row for this schema."""
+        return {
+            "D": self.n_dimensions,
+            "M": self.n_measures,
+            "H": self.n_hierarchies,
+            "L": self.n_levels,
+            "N_D": self.n_members,
+        }

@@ -1,0 +1,140 @@
+"""Integrity validation for statistical knowledge graphs.
+
+Before bootstrapping against an unknown endpoint, a deployment wants to
+know whether the data actually forms a well-formed RDF cube: every
+observation carries every dimension and measure, members are labelled
+(otherwise keyword matching cannot reach them), and rollup edges do not
+dangle.  The validator reports violations instead of raising, so callers
+can decide whether a partially-broken KG is still explorable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rdf.terms import IRI, Literal
+from ..store.graph import Graph
+from .cube import CubeBuilder
+from .schema import CubeSchema
+from .vocabulary import LABEL, OBSERVATION_CLASS, TYPE
+
+__all__ = ["Violation", "ValidationReport", "validate_cube"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One integrity violation: its kind, subject, and explanation."""
+
+    kind: str
+    subject: IRI
+    message: str
+
+    def __repr__(self) -> str:
+        return f"<Violation {self.kind}: {self.message}>"
+
+
+@dataclass
+class ValidationReport:
+    """Collected violations plus summary counters."""
+
+    observations_checked: int = 0
+    members_checked: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.kind] = counts.get(violation.kind, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"OK: {self.observations_checked} observations and "
+                f"{self.members_checked} members validated, no violations"
+            )
+        parts = ", ".join(f"{kind}: {n}" for kind, n in sorted(self.by_kind().items()))
+        return (
+            f"{len(self.violations)} violations over "
+            f"{self.observations_checked} observations ({parts})"
+        )
+
+
+def validate_cube(graph: Graph, schema: CubeSchema, max_violations: int = 1000) -> ValidationReport:
+    """Check ``graph`` against the structural expectations of ``schema``.
+
+    Checks, per observation: typing, one member per dimension predicate,
+    one numeric literal per measure.  Per member: an ``rdfs:label`` and —
+    for non-top hierarchy levels — at least one rollup edge per declared
+    step.  Stops collecting after ``max_violations`` (the counters keep
+    counting).
+    """
+    builder = CubeBuilder(schema)
+    report = ValidationReport()
+
+    def record(kind: str, subject: IRI, message: str) -> None:
+        if len(report.violations) < max_violations:
+            report.violations.append(Violation(kind, subject, message))
+
+    dim_predicates = [
+        (dimension, builder.dimension_predicate(dimension))
+        for dimension in schema.dimensions
+    ]
+    measure_predicates = [
+        (measure, builder.measure_predicate(measure)) for measure in schema.measures
+    ]
+
+    for obs in graph.subjects(TYPE, OBSERVATION_CLASS):
+        report.observations_checked += 1
+        for dimension, predicate in dim_predicates:
+            members = list(graph.objects(obs, predicate))
+            if not members:
+                record("missing-dimension", obs,
+                       f"{obs.local_name()} lacks dimension {dimension.name}")
+            for member in members:
+                if isinstance(member, Literal):
+                    record("literal-member", obs,
+                           f"{obs.local_name()} points {dimension.name} at a literal")
+        for measure, predicate in measure_predicates:
+            values = list(graph.objects(obs, predicate))
+            if not values:
+                record("missing-measure", obs,
+                       f"{obs.local_name()} lacks measure {measure.name}")
+            for value in values:
+                if not (isinstance(value, Literal) and value.is_numeric):
+                    record("non-numeric-measure", obs,
+                           f"{obs.local_name()} has non-numeric {measure.name}")
+
+    # Checks are deduplicated by (member, required rollup): pools shared
+    # between dimensions are validated once per distinct requirement.
+    seen_checks: set[tuple[IRI, IRI | None]] = set()
+    counted_members: set[IRI] = set()
+    for dimension in schema.dimensions:
+        for hierarchy in dimension.hierarchies:
+            for step in range(len(hierarchy.levels)):
+                level = hierarchy.levels[step]
+                rollup = (
+                    builder.rollup_predicate(hierarchy.rollup_names[step])
+                    if step < len(hierarchy.levels) - 1
+                    else None
+                )
+                for index in range(level.size):
+                    member = builder.member_iri(level.pool_key, index)
+                    check = (member, rollup)
+                    if check in seen_checks:
+                        continue
+                    seen_checks.add(check)
+                    if member not in counted_members:
+                        counted_members.add(member)
+                        report.members_checked += 1
+                        if graph.value(member, LABEL, None) is None:
+                            record("unlabelled-member", member,
+                                   f"{member.local_name()} has no rdfs:label")
+                    if rollup is not None and graph.value(member, rollup, None) is None:
+                        record("dangling-rollup", member,
+                               f"{member.local_name()} lacks {rollup.local_name()}")
+    return report

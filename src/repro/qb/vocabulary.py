@@ -1,0 +1,53 @@
+"""RDF Data Cube (QB) vocabulary terms used by statistical KGs.
+
+The paper's only structural assumption is that "all relevant observations
+are instances of a predefined RDF class (e.g., qb:Observation)".  These
+constants name that class and the related QB / QB4OLAP terms so generated
+cubes carry standard, interoperable annotations.
+"""
+
+from __future__ import annotations
+
+from ..rdf.namespace import QB, QB4O, RDF, RDFS, SKOS
+
+__all__ = [
+    "OBSERVATION_CLASS",
+    "DATASET_CLASS",
+    "MEASURE_PROPERTY",
+    "DIMENSION_PROPERTY",
+    "LEVEL_CLASS",
+    "HIERARCHY_CLASS",
+    "MEMBER_OF",
+    "ROLLS_UP_TO",
+    "TYPE",
+    "LABEL",
+    "BROADER",
+]
+
+#: The class every observation node is an instance of (qb:Observation).
+OBSERVATION_CLASS = QB.Observation
+
+#: qb:DataSet — groups observations belonging to one cube.
+DATASET_CLASS = QB.DataSet
+
+#: qb:MeasureProperty — the class of measure predicates.
+MEASURE_PROPERTY = QB.MeasureProperty
+
+#: qb:DimensionProperty — the class of dimension predicates.
+DIMENSION_PROPERTY = QB.DimensionProperty
+
+#: qb4o:LevelProperty — the class of hierarchy levels.
+LEVEL_CLASS = QB4O.LevelProperty
+
+#: qb4o:Hierarchy — the class of dimension hierarchies.
+HIERARCHY_CLASS = QB4O.Hierarchy
+
+#: qb4o:memberOf — links a member to its level.
+MEMBER_OF = QB4O.memberOf
+
+#: qb4o:rollsUpTo — schema-level link between levels.
+ROLLS_UP_TO = QB4O.rollsUpTo
+
+TYPE = RDF.type
+LABEL = RDFS.label
+BROADER = SKOS.broader

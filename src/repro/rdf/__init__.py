@@ -1,0 +1,63 @@
+"""RDF data model: terms, triples, namespaces, and serializations.
+
+This subpackage is the from-scratch substrate replacing ``rdflib`` (not
+available in this environment): an RDF 1.1 term model, triple/quad
+containers, namespace helpers with the standard vocabularies (RDF, RDFS,
+XSD, SKOS, QB, QB4OLAP), and N-Triples / Turtle parsers and serializers.
+"""
+
+from .namespace import QB, QB4O, RDF, RDFS, SKOS, XSD, Namespace
+from .nquads import parse_nquads, serialize_nquads
+from .ntriples import parse_ntriples, serialize_ntriples
+from .terms import (
+    IRI,
+    BNode,
+    Literal,
+    Node,
+    Term,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DATE,
+    XSD_DATETIME,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_GYEAR,
+    XSD_INTEGER,
+    XSD_STRING,
+    literal_from_python,
+)
+from .triple import Quad, Triple
+from .turtle import parse_turtle, serialize_turtle
+
+__all__ = [
+    "IRI",
+    "BNode",
+    "Literal",
+    "Variable",
+    "Term",
+    "Node",
+    "Triple",
+    "Quad",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "SKOS",
+    "QB",
+    "QB4O",
+    "XSD_INTEGER",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_STRING",
+    "XSD_BOOLEAN",
+    "XSD_DATE",
+    "XSD_DATETIME",
+    "XSD_GYEAR",
+    "literal_from_python",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "parse_nquads",
+    "serialize_nquads",
+    "parse_turtle",
+    "serialize_turtle",
+]

@@ -1,0 +1,77 @@
+"""Namespace helper and the standard vocabularies used by the library.
+
+A :class:`Namespace` builds IRIs by attribute access or indexing::
+
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.Germany
+    IRI('http://example.org/Germany')
+    >>> EX["Country of Origin"]
+    IRI('http://example.org/Country%20of%20Origin')
+
+The module also predefines the vocabularies a statistical knowledge graph
+relies on: RDF/RDFS core terms, XSD datatypes, SKOS (used for hierarchy
+links in many published cubes), and the W3C RDF Data Cube (QB) vocabulary
+that identifies observations, dimensions, and measures.
+"""
+
+from __future__ import annotations
+
+from urllib.parse import quote
+
+from .terms import IRI
+
+__all__ = ["Namespace", "RDF", "RDFS", "XSD", "SKOS", "QB", "QB4O"]
+
+
+class Namespace:
+    """A factory for IRIs sharing a common prefix."""
+
+    __slots__ = ("prefix",)
+
+    def __init__(self, prefix: str):
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        object.__setattr__(self, "prefix", prefix)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Namespace instances are immutable")
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return IRI(self.prefix + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return IRI(self.prefix + quote(name, safe=""))
+
+    def term(self, name: str) -> IRI:
+        """Explicit method form of attribute access (for reserved words)."""
+        return IRI(self.prefix + name)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.prefix)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Namespace) and other.prefix == self.prefix
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self.prefix))
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.prefix!r})"
+
+    def __str__(self) -> str:
+        return self.prefix
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+SKOS = Namespace("http://www.w3.org/2004/02/skos/core#")
+
+#: W3C RDF Data Cube vocabulary: the standard way to describe
+#: multi-dimensional statistical data in RDF (Cyganiak et al., 2014).
+QB = Namespace("http://purl.org/linked-data/cube#")
+
+#: QB4OLAP extension (Etcheverry & Vaisman): dimension hierarchies & levels.
+QB4O = Namespace("http://purl.org/qb4olap/cubes#")

@@ -1,0 +1,68 @@
+"""N-Quads parser and serializer (triples + named-graph component).
+
+The named-graph flavour of N-Triples: each statement may carry a fourth
+term naming the graph it belongs to.  Used to persist and reload whole
+:class:`~repro.store.dataset.Dataset` instances.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator
+
+from ..errors import RDFSyntaxError
+from .ntriples import parse_term
+from .terms import IRI
+from .triple import Quad, Triple
+
+__all__ = ["parse_nquads", "serialize_nquads"]
+
+
+def parse_nquads(source: str | IO[str]) -> Iterator[Triple | Quad]:
+    """Yield triples (default graph) and quads from an N-Quads document."""
+    lines: Iterable[str]
+    if isinstance(source, str):
+        lines = source.splitlines()
+    else:
+        lines = source
+    for lineno, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        s, rest = parse_term(stripped, lineno)
+        p, rest = parse_term(rest, lineno)
+        if not isinstance(p, IRI):
+            raise RDFSyntaxError("predicate must be an IRI", lineno)
+        o, rest = parse_term(rest, lineno)
+        graph: IRI | None = None
+        if not rest.startswith("."):
+            graph_term, rest = parse_term(rest, lineno)
+            if not isinstance(graph_term, IRI):
+                raise RDFSyntaxError("graph label must be an IRI", lineno)
+            graph = graph_term
+        if not rest.startswith("."):
+            raise RDFSyntaxError("missing terminating '.'", lineno)
+        trailing = rest[1:].strip()
+        if trailing and not trailing.startswith("#"):
+            raise RDFSyntaxError(f"unexpected content after '.': {trailing!r}", lineno)
+        try:
+            if graph is None:
+                yield Triple(s, p, o)
+            else:
+                yield Quad(s, p, o, graph)
+        except TypeError as exc:
+            raise RDFSyntaxError(str(exc), lineno) from exc
+
+
+def serialize_nquads(items: Iterable[Triple | Quad], out: IO[str] | None = None) -> str | None:
+    """Serialize triples/quads; plain triples go to the default graph."""
+
+    def line(item: Triple | Quad) -> str:
+        if isinstance(item, Quad):
+            return f"{item.s.n3()} {item.p.n3()} {item.o.n3()} {item.graph.n3()} .\n"
+        return item.n3() + "\n"
+
+    if out is None:
+        return "".join(line(item) for item in items)
+    for item in items:
+        out.write(line(item))
+    return None

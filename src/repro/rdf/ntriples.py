@@ -1,0 +1,113 @@
+"""N-Triples parser and serializer.
+
+N-Triples is the line-oriented RDF serialization: one triple per line,
+terms written in full.  It is the interchange format the library uses for
+loading fixture data and dumping graphs, mirroring how the paper's system
+loads datasets into the triple store before bootstrap.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import IO, Iterable, Iterator
+
+from ..errors import RDFSyntaxError
+from .terms import IRI, BNode, Literal, Node
+from .triple import Triple
+
+__all__ = ["parse_ntriples", "serialize_ntriples", "parse_term"]
+
+_IRI_RE = re.compile(r"<([^<>\"{}|^`\\\x00-\x20]*)>")
+_BNODE_RE = re.compile(r"_:([A-Za-z0-9_.-]+)")
+_LITERAL_RE = re.compile(
+    r'"((?:[^"\\]|\\.)*)"'
+    r"(?:\^\^<([^<>\s]*)>|@([A-Za-z]{1,8}(?:-[A-Za-z0-9]{1,8})*))?"
+)
+
+_UNESCAPES = {
+    "\\\\": "\\",
+    '\\"': '"',
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+}
+_UNESCAPE_RE = re.compile(r"\\u[0-9A-Fa-f]{4}|\\U[0-9A-Fa-f]{8}|\\.")
+
+
+def _unescape(text: str) -> str:
+    def repl(match: re.Match) -> str:
+        seq = match.group(0)
+        if seq in _UNESCAPES:
+            return _UNESCAPES[seq]
+        if seq.startswith(("\\u", "\\U")):
+            return chr(int(seq[2:], 16))
+        raise RDFSyntaxError(f"unknown escape sequence {seq!r}")
+
+    return _UNESCAPE_RE.sub(repl, text)
+
+
+def parse_term(text: str, line: int | None = None) -> tuple[Node, str]:
+    """Parse one term from the front of ``text``.
+
+    Returns the term and the remaining (left-stripped) text.
+    """
+    text = text.lstrip()
+    if text.startswith("<"):
+        match = _IRI_RE.match(text)
+        if not match:
+            raise RDFSyntaxError(f"malformed IRI near {text[:40]!r}", line)
+        return IRI(match.group(1)), text[match.end():].lstrip()
+    if text.startswith("_:"):
+        match = _BNODE_RE.match(text)
+        if not match:
+            raise RDFSyntaxError(f"malformed blank node near {text[:40]!r}", line)
+        return BNode(match.group(1)), text[match.end():].lstrip()
+    if text.startswith('"'):
+        match = _LITERAL_RE.match(text)
+        if not match:
+            raise RDFSyntaxError(f"malformed literal near {text[:40]!r}", line)
+        lexical = _unescape(match.group(1))
+        datatype = IRI(match.group(2)) if match.group(2) else None
+        language = match.group(3)
+        return Literal(lexical, datatype=datatype, language=language), text[match.end():].lstrip()
+    raise RDFSyntaxError(f"unexpected token near {text[:40]!r}", line)
+
+
+def parse_ntriples(source: str | IO[str]) -> Iterator[Triple]:
+    """Yield triples from an N-Triples document (string or open file)."""
+    lines: Iterable[str]
+    if isinstance(source, str):
+        lines = source.splitlines()
+    else:
+        lines = source
+    for lineno, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        s, rest = parse_term(stripped, lineno)
+        p, rest = parse_term(rest, lineno)
+        if not isinstance(p, IRI):
+            raise RDFSyntaxError("predicate must be an IRI", lineno)
+        o, rest = parse_term(rest, lineno)
+        if not rest.startswith("."):
+            raise RDFSyntaxError("missing terminating '.'", lineno)
+        trailing = rest[1:].strip()
+        if trailing and not trailing.startswith("#"):
+            raise RDFSyntaxError(f"unexpected content after '.': {trailing!r}", lineno)
+        try:
+            yield Triple(s, p, o)
+        except TypeError as exc:
+            raise RDFSyntaxError(str(exc), lineno) from exc
+
+
+def serialize_ntriples(triples: Iterable[Triple], out: IO[str] | None = None) -> str | None:
+    """Serialize ``triples`` in N-Triples format.
+
+    When ``out`` is given, lines are written to it and ``None`` is returned;
+    otherwise the document is returned as one string.
+    """
+    if out is None:
+        return "".join(t.n3() + "\n" for t in triples)
+    for t in triples:
+        out.write(t.n3() + "\n")
+    return None

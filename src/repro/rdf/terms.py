@@ -1,0 +1,410 @@
+"""RDF term model: IRIs, literals, blank nodes, and query variables.
+
+This module implements the RDF 1.1 abstract syntax terms used throughout the
+library.  Terms are immutable, hashable, and totally ordered (IRIs < blank
+nodes < literals, then lexicographically), which lets them be used as
+dictionary keys in the triple store indexes and sorted deterministically in
+query results.
+
+Literals carry an optional datatype IRI and language tag and expose a
+:meth:`Literal.to_python` conversion for the XSD datatypes relevant to
+statistical knowledge graphs (numerics, booleans, dates).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from datetime import date, datetime
+from decimal import Decimal, InvalidOperation
+from typing import Any, Union
+
+__all__ = [
+    "Term",
+    "IRI",
+    "BNode",
+    "Literal",
+    "Variable",
+    "Node",
+    "XSD_NS",
+    "XSD_INTEGER",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_STRING",
+    "XSD_BOOLEAN",
+    "XSD_DATE",
+    "XSD_DATETIME",
+    "XSD_GYEAR",
+    "literal_from_python",
+]
+
+XSD_NS = "http://www.w3.org/2001/XMLSchema#"
+
+_SORT_RANK = {"IRI": 0, "BNode": 1, "Literal": 2, "Variable": 3}
+
+
+class Term:
+    """Common base class for all RDF terms and SPARQL variables."""
+
+    __slots__ = ()
+
+    def sort_key(self) -> tuple:
+        """Key giving the canonical total order across term kinds."""
+        raise NotImplementedError
+
+    @property
+    def is_literal(self) -> bool:
+        return isinstance(self, Literal)
+
+    @property
+    def is_iri(self) -> bool:
+        return isinstance(self, IRI)
+
+    @property
+    def is_bnode(self) -> bool:
+        return isinstance(self, BNode)
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
+
+class IRI(Term):
+    """An Internationalized Resource Identifier, e.g. nodes and predicates.
+
+    >>> IRI("http://example.org/Germany").n3()
+    '<http://example.org/Germany>'
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: str):
+        if not isinstance(value, str):
+            raise TypeError(f"IRI value must be str, got {type(value).__name__}")
+        if not value:
+            raise ValueError("IRI value must be non-empty")
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("IRI", value)))
+
+    def __setattr__(self, name: str, val: Any) -> None:
+        raise AttributeError("IRI instances are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IRI) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"IRI({self.value!r})"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def n3(self) -> str:
+        """Render in N-Triples / SPARQL surface syntax."""
+        return f"<{self.value}>"
+
+    def local_name(self) -> str:
+        """Heuristic local part: text after the last ``#`` or ``/``."""
+        for sep in ("#", "/"):
+            if sep in self.value:
+                tail = self.value.rsplit(sep, 1)[1]
+                if tail:
+                    return tail
+        return self.value
+
+    def sort_key(self) -> tuple:
+        return (_SORT_RANK["IRI"], self.value)
+
+
+class BNode(Term):
+    """A blank node (existential placeholder) identified by a local label."""
+
+    __slots__ = ("label", "_hash")
+
+    _counter = 0
+
+    def __init__(self, label: str | None = None):
+        if label is None:
+            BNode._counter += 1
+            label = f"b{BNode._counter}"
+        if not re.fullmatch(r"[A-Za-z0-9_.-]+", label):
+            raise ValueError(f"invalid blank node label: {label!r}")
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_hash", hash(("BNode", label)))
+
+    def __setattr__(self, name: str, val: Any) -> None:
+        raise AttributeError("BNode instances are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BNode) and other.label == self.label
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"BNode({self.label!r})"
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def sort_key(self) -> tuple:
+        return (_SORT_RANK["BNode"], self.label)
+
+
+XSD_INTEGER = IRI(XSD_NS + "integer")
+XSD_DECIMAL = IRI(XSD_NS + "decimal")
+XSD_DOUBLE = IRI(XSD_NS + "double")
+XSD_STRING = IRI(XSD_NS + "string")
+XSD_BOOLEAN = IRI(XSD_NS + "boolean")
+XSD_DATE = IRI(XSD_NS + "date")
+XSD_DATETIME = IRI(XSD_NS + "dateTime")
+XSD_GYEAR = IRI(XSD_NS + "gYear")
+
+_NUMERIC_DATATYPES = frozenset(
+    {
+        XSD_INTEGER,
+        XSD_DECIMAL,
+        XSD_DOUBLE,
+        IRI(XSD_NS + "float"),
+        IRI(XSD_NS + "long"),
+        IRI(XSD_NS + "int"),
+        IRI(XSD_NS + "short"),
+        IRI(XSD_NS + "byte"),
+        IRI(XSD_NS + "nonNegativeInteger"),
+        IRI(XSD_NS + "positiveInteger"),
+        IRI(XSD_NS + "unsignedInt"),
+        IRI(XSD_NS + "unsignedLong"),
+    }
+)
+
+_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+
+def _escape_literal(text: str) -> str:
+    """N-Triples string escaping, incl. \\uXXXX for control characters.
+
+    Raw control characters would break line-oriented serializations
+    (several are line boundaries for ``str.splitlines``).
+    """
+    out = []
+    for ch in text:
+        if ch in _ESCAPES:
+            out.append(_ESCAPES[ch])
+        elif ord(ch) < 0x20 or 0x7F <= ord(ch) <= 0xA0 or ch in '\u2028\u2029':
+            out.append(f"\\u{ord(ch):04X}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+class Literal(Term):
+    """An RDF literal: a lexical form with optional datatype or language tag.
+
+    ``Literal("403", datatype=XSD_INTEGER)`` models a numeric measure value;
+    ``Literal("Germany", language="en")`` models a language-tagged label.
+    Per RDF 1.1, a literal has *either* a language tag (implying
+    ``rdf:langString``) or a datatype, never both.
+    """
+
+    __slots__ = ("lexical", "datatype", "language", "_hash")
+
+    def __init__(
+        self,
+        lexical: str,
+        datatype: IRI | None = None,
+        language: str | None = None,
+    ):
+        if not isinstance(lexical, str):
+            raise TypeError("literal lexical form must be str; use "
+                            "literal_from_python() to convert Python values")
+        if language is not None and datatype is not None:
+            raise ValueError("a literal cannot have both a language tag and a datatype")
+        if language is not None and not re.fullmatch(r"[A-Za-z]{1,8}(-[A-Za-z0-9]{1,8})*", language):
+            raise ValueError(f"invalid language tag: {language!r}")
+        object.__setattr__(self, "lexical", lexical)
+        object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "language", language.lower() if language else None)
+        object.__setattr__(self, "_hash", hash(("Literal", lexical, datatype, self.language)))
+
+    def __setattr__(self, name: str, val: Any) -> None:
+        raise AttributeError("Literal instances are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and other.lexical == self.lexical
+            and other.datatype == self.datatype
+            and other.language == self.language
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.datatype is not None:
+            extra = f", datatype={self.datatype.value!r}"
+        elif self.language is not None:
+            extra = f", language={self.language!r}"
+        return f"Literal({self.lexical!r}{extra})"
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def n3(self) -> str:
+        body = f'"{_escape_literal(self.lexical)}"'
+        if self.language is not None:
+            return f"{body}@{self.language}"
+        if self.datatype is not None and self.datatype != XSD_STRING:
+            return f"{body}^^{self.datatype.n3()}"
+        return body
+
+    @property
+    def is_numeric(self) -> bool:
+        """True when the datatype is one of the XSD numeric types."""
+        return self.datatype in _NUMERIC_DATATYPES
+
+    def to_python(self) -> Any:
+        """Convert to the closest native Python value.
+
+        Unknown datatypes and plain strings come back as ``str``; malformed
+        numeric lexical forms raise :class:`ValueError` rather than passing
+        silently.
+        """
+        dt = self.datatype
+        if dt is None or dt == XSD_STRING:
+            return self.lexical
+        if dt == XSD_BOOLEAN:
+            if self.lexical in ("true", "1"):
+                return True
+            if self.lexical in ("false", "0"):
+                return False
+            raise ValueError(f"invalid xsd:boolean lexical form: {self.lexical!r}")
+        if dt == XSD_INTEGER or dt.value.startswith(XSD_NS) and dt in _NUMERIC_DATATYPES:
+            if dt == XSD_DOUBLE or dt.value.endswith(("float", "double")):
+                return float(self.lexical)
+            if dt == XSD_DECIMAL:
+                try:
+                    return Decimal(self.lexical)
+                except InvalidOperation as exc:
+                    raise ValueError(f"invalid xsd:decimal: {self.lexical!r}") from exc
+            return int(self.lexical)
+        if dt == XSD_DATE:
+            return date.fromisoformat(self.lexical)
+        if dt == XSD_DATETIME:
+            return datetime.fromisoformat(self.lexical)
+        if dt == XSD_GYEAR:
+            return int(self.lexical)
+        return self.lexical
+
+    def numeric_value(self) -> float:
+        """The literal as a float, for aggregation and comparisons.
+
+        Raises :class:`ValueError` when the literal is not numeric.
+        """
+        if not self.is_numeric:
+            raise ValueError(f"literal {self.n3()} is not numeric")
+        value = float(self.lexical)
+        if math.isnan(value):
+            raise ValueError(f"literal {self.n3()} is NaN")
+        return value
+
+    def sort_key(self) -> tuple:
+        if self.is_numeric:
+            try:
+                return (_SORT_RANK["Literal"], 0, float(self.lexical), self.lexical)
+            except ValueError:
+                pass
+        return (_SORT_RANK["Literal"], 1, self.lexical,
+                self.datatype.value if self.datatype else (self.language or ""))
+
+
+class Variable(Term):
+    """A SPARQL query variable, e.g. ``?obs``.  Never stored in a graph."""
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        if name.startswith(("?", "$")):
+            name = name[1:]
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+            raise ValueError(f"invalid variable name: {name!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("Variable", name)))
+
+    def __setattr__(self, name: str, val: Any) -> None:
+        raise AttributeError("Variable instances are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def sort_key(self) -> tuple:
+        return (_SORT_RANK["Variable"], self.name)
+
+
+#: Terms that may appear in a stored triple (no variables).
+Node = Union[IRI, BNode, Literal]
+
+
+def literal_from_python(value: Any) -> Literal:
+    """Build a typed :class:`Literal` from a native Python value.
+
+    >>> literal_from_python(403).n3()
+    '"403"^^<http://www.w3.org/2001/XMLSchema#integer>'
+    """
+    if isinstance(value, Literal):
+        return value
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD_INTEGER)
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(f"cannot store non-finite float {value!r} as a literal")
+        return Literal(repr(value), datatype=XSD_DOUBLE)
+    if isinstance(value, Decimal):
+        return Literal(str(value), datatype=XSD_DECIMAL)
+    if isinstance(value, datetime):
+        return Literal(value.isoformat(), datatype=XSD_DATETIME)
+    if isinstance(value, date):
+        return Literal(value.isoformat(), datatype=XSD_DATE)
+    if isinstance(value, str):
+        return Literal(value)
+    raise TypeError(f"cannot convert {type(value).__name__} to an RDF literal")

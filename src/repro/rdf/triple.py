@@ -1,0 +1,98 @@
+"""Triple and quad containers.
+
+A :class:`Triple` is the unit of storage in an RDF graph; a :class:`Quad`
+extends it with the IRI of the named graph it belongs to.  Both validate the
+RDF positional constraints at construction time (literals only in object
+position, predicates are IRIs) so malformed data fails fast, before it can
+corrupt a store index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .terms import IRI, BNode, Literal, Node, Term
+
+__all__ = ["Triple", "Quad"]
+
+
+class Triple:
+    """An RDF statement ``<subject predicate object>``."""
+
+    __slots__ = ("s", "p", "o", "_hash")
+
+    def __init__(self, s: Node, p: IRI, o: Node):
+        if not isinstance(s, (IRI, BNode)):
+            raise TypeError(f"triple subject must be IRI or BNode, got {s!r}")
+        if not isinstance(p, IRI):
+            raise TypeError(f"triple predicate must be IRI, got {p!r}")
+        if not isinstance(o, (IRI, BNode, Literal)):
+            raise TypeError(f"triple object must be IRI, BNode or Literal, got {o!r}")
+        object.__setattr__(self, "s", s)
+        object.__setattr__(self, "p", p)
+        object.__setattr__(self, "o", o)
+        object.__setattr__(self, "_hash", hash((s, p, o)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Triple instances are immutable")
+
+    def __iter__(self) -> Iterator[Node]:
+        yield self.s
+        yield self.p
+        yield self.o
+
+    def __getitem__(self, index: int) -> Node:
+        return (self.s, self.p, self.o)[index]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Triple)
+            and other.s == self.s
+            and other.p == self.p
+            and other.o == self.o
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Triple({self.s!r}, {self.p!r}, {self.o!r})"
+
+    def __lt__(self, other: "Triple") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> tuple:
+        return (self.s.sort_key(), self.p.sort_key(), self.o.sort_key())
+
+    def n3(self) -> str:
+        """Serialize as one N-Triples statement (without trailing newline)."""
+        return f"{self.s.n3()} {self.p.n3()} {self.o.n3()} ."
+
+
+class Quad(Triple):
+    """A triple plus the named graph it belongs to."""
+
+    __slots__ = ("graph",)
+
+    def __init__(self, s: Node, p: IRI, o: Node, graph: IRI):
+        if not isinstance(graph, IRI):
+            raise TypeError(f"quad graph must be IRI, got {graph!r}")
+        super().__init__(s, p, o)
+        object.__setattr__(self, "graph", graph)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Quad)
+            and super().__eq__(other)
+            and other.graph == self.graph
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._hash, self.graph))
+
+    def __repr__(self) -> str:
+        return f"Quad({self.s!r}, {self.p!r}, {self.o!r}, {self.graph!r})"
+
+    def triple(self) -> Triple:
+        """The graph-less projection of this quad."""
+        return Triple(self.s, self.p, self.o)

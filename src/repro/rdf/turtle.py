@@ -1,0 +1,230 @@
+"""Turtle subset parser and serializer.
+
+Supports the features actually used by published statistical KGs and our
+fixtures: ``@prefix`` declarations, prefixed names, the ``a`` keyword,
+predicate lists (``;``), object lists (``,``), blank node labels, and
+numeric / boolean / string literals (with datatype and language tags).
+Collections and nested anonymous blank nodes are intentionally out of
+scope — fixtures can always fall back to N-Triples.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+from ..errors import RDFSyntaxError
+from .namespace import RDF
+from .terms import (
+    IRI,
+    BNode,
+    Literal,
+    Node,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from .triple import Triple
+
+__all__ = ["parse_turtle", "serialize_turtle"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:\^\^<[^<>\s]*>|\^\^[A-Za-z][\w-]*:[\w.-]*|@[A-Za-z]{1,8}(?:-[A-Za-z0-9]{1,8})*)?)
+  | (?P<prefix_decl>@prefix|@base|PREFIX|BASE)
+  | (?P<bnode>_:[A-Za-z0-9_.-]+)
+  | (?P<double>[+-]?(?:\d+\.\d*|\.\d+)[eE][+-]?\d+|[+-]?\d+[eE][+-]?\d+)
+  | (?P<decimal>[+-]?\d*\.\d+)
+  | (?P<integer>[+-]?\d+)
+  | (?P<boolean>\btrue\b|\bfalse\b)
+  | (?P<a>\ba\b)
+  | (?P<pname>[A-Za-z][\w-]*:[\w.%-]*|:[\w.%-]*)
+  | (?P<punct>[;,.\[\]])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_LIT_RE = re.compile(
+    r'"((?:[^"\\]|\\.)*)"(?:\^\^(<[^<>\s]*>|[A-Za-z][\w-]*:[\w.-]*)|@([A-Za-z]{1,8}(?:-[A-Za-z0-9]{1,8})*))?'
+)
+
+_UNESCAPES = {"\\\\": "\\", '\\"': '"', "\\n": "\n", "\\r": "\r", "\\t": "\t"}
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str, int]]:
+    pos = 0
+    line = 1
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise RDFSyntaxError(f"unexpected character {text[pos]!r}", line)
+        kind = match.lastgroup
+        value = match.group(0)
+        line += value.count("\n")
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        yield kind, value, line
+
+
+class _TurtleParser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.tokens = list(_tokenize(text))
+        self.index = 0
+        self.prefixes: dict[str, str] = {}
+        self.base = ""
+
+    def _peek(self) -> tuple[str, str, int] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> tuple[str, str, int]:
+        token = self._peek()
+        if token is None:
+            raise RDFSyntaxError("unexpected end of input")
+        self.index += 1
+        return token
+
+    def _expect_punct(self, char: str) -> None:
+        kind, value, line = self._next()
+        if kind != "punct" or value != char:
+            raise RDFSyntaxError(f"expected {char!r}, got {value!r}", line)
+
+    def _resolve_pname(self, pname: str, line: int) -> IRI:
+        prefix, _, local = pname.partition(":")
+        if prefix not in self.prefixes:
+            raise RDFSyntaxError(f"undeclared prefix {prefix!r}", line)
+        return IRI(self.prefixes[prefix] + local)
+
+    def _parse_literal_token(self, value: str, line: int) -> Literal:
+        match = _LIT_RE.fullmatch(value)
+        if not match:
+            raise RDFSyntaxError(f"malformed literal {value!r}", line)
+        lexical = re.sub(r"\\.", lambda m: _UNESCAPES.get(m.group(0), m.group(0)), match.group(1))
+        dt_text, language = match.group(2), match.group(3)
+        datatype = None
+        if dt_text:
+            if dt_text.startswith("<"):
+                datatype = IRI(dt_text[1:-1])
+            else:
+                datatype = self._resolve_pname(dt_text, line)
+        return Literal(lexical, datatype=datatype, language=language)
+
+    def _parse_term(self) -> Node:
+        kind, value, line = self._next()
+        if kind == "iri":
+            return IRI(self.base + value[1:-1] if self.base and not value[1:-1].startswith(("http", "urn:")) else value[1:-1])
+        if kind == "pname":
+            return self._resolve_pname(value, line)
+        if kind == "bnode":
+            return BNode(value[2:])
+        if kind == "literal":
+            return self._parse_literal_token(value, line)
+        if kind == "integer":
+            return Literal(value, datatype=XSD_INTEGER)
+        if kind == "decimal":
+            return Literal(value, datatype=XSD_DECIMAL)
+        if kind == "double":
+            return Literal(value, datatype=XSD_DOUBLE)
+        if kind == "boolean":
+            return Literal(value, datatype=XSD_BOOLEAN)
+        if kind == "a":
+            return RDF.type
+        raise RDFSyntaxError(f"unexpected token {value!r}", line)
+
+    def _parse_directive(self, keyword: str) -> None:
+        if keyword.lower().lstrip("@") == "prefix":
+            kind, value, line = self._next()
+            if kind != "pname" or not value.endswith(":"):
+                raise RDFSyntaxError(f"expected prefix name, got {value!r}", line)
+            prefix = value[:-1]
+            kind, iri_text, line = self._next()
+            if kind != "iri":
+                raise RDFSyntaxError(f"expected IRI, got {iri_text!r}", line)
+            self.prefixes[prefix] = iri_text[1:-1]
+        else:  # @base / BASE
+            kind, iri_text, line = self._next()
+            if kind != "iri":
+                raise RDFSyntaxError(f"expected IRI, got {iri_text!r}", line)
+            self.base = iri_text[1:-1]
+        if keyword.startswith("@"):
+            self._expect_punct(".")
+
+    def parse(self) -> Iterator[Triple]:
+        while self._peek() is not None:
+            kind, value, line = self._peek()
+            if kind == "prefix_decl":
+                self._next()
+                self._parse_directive(value)
+                continue
+            subject = self._parse_term()
+            if isinstance(subject, Literal):
+                raise RDFSyntaxError("literal cannot be a subject", line)
+            while True:
+                predicate = self._parse_term()
+                if not isinstance(predicate, IRI):
+                    raise RDFSyntaxError(f"predicate must be an IRI, got {predicate!r}", line)
+                while True:
+                    obj = self._parse_term()
+                    yield Triple(subject, predicate, obj)
+                    nxt = self._peek()
+                    if nxt and nxt[0] == "punct" and nxt[1] == ",":
+                        self._next()
+                        continue
+                    break
+                nxt = self._peek()
+                if nxt and nxt[0] == "punct" and nxt[1] == ";":
+                    self._next()
+                    # allow trailing ';' before '.'
+                    nxt = self._peek()
+                    if nxt and nxt[0] == "punct" and nxt[1] == ".":
+                        break
+                    continue
+                break
+            self._expect_punct(".")
+
+
+def parse_turtle(text: str) -> Iterator[Triple]:
+    """Yield triples from a Turtle document (subset, see module docstring)."""
+    return _TurtleParser(text).parse()
+
+
+def serialize_turtle(triples: Iterable[Triple], prefixes: dict[str, str] | None = None) -> str:
+    """Serialize triples as Turtle, grouping by subject and predicate."""
+    prefixes = prefixes or {}
+    reverse = sorted(prefixes.items(), key=lambda kv: -len(kv[1]))
+
+    def shorten(node: Node) -> str:
+        if isinstance(node, IRI):
+            if node == RDF.type:
+                return "a"
+            for prefix, base in reverse:
+                if node.value.startswith(base):
+                    local = node.value[len(base):]
+                    if re.fullmatch(r"[\w.-]*", local):
+                        return f"{prefix}:{local}"
+        return node.n3()
+
+    by_subject: dict[Node, dict[IRI, list[Node]]] = {}
+    for t in triples:
+        by_subject.setdefault(t.s, {}).setdefault(t.p, []).append(t.o)
+
+    lines = [f"@prefix {prefix}: <{base}> ." for prefix, base in sorted(prefixes.items())]
+    if lines:
+        lines.append("")
+    for subject in sorted(by_subject, key=lambda n: n.sort_key()):
+        pred_parts = []
+        for predicate in sorted(by_subject[subject], key=lambda n: n.sort_key()):
+            objects = ", ".join(
+                shorten(o) for o in sorted(by_subject[subject][predicate], key=lambda n: n.sort_key())
+            )
+            pred_parts.append(f"{shorten(predicate)} {objects}")
+        lines.append(f"{shorten(subject)} " + " ;\n    ".join(pred_parts) + " .")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,301 @@
+"""Expression evaluation with SPARQL error semantics.
+
+Expressions are evaluated against a solution binding (``dict[Variable,
+Node]``).  Type errors and unbound variables raise :class:`ExpressionError`
+— SPARQL's "error" value — which FILTER treats as false and aggregates
+skip, rather than aborting the query.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from ..rdf.terms import (
+    IRI,
+    BNode,
+    Literal,
+    Node,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from .ast import (
+    Aggregate,
+    Arithmetic,
+    BoolOp,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InExpr,
+    NotExpr,
+    TermExpr,
+)
+
+__all__ = ["ExpressionError", "evaluate", "effective_boolean_value", "term_compare"]
+
+Binding = Mapping[Variable, Node]
+
+TRUE = Literal("true", datatype=XSD_BOOLEAN)
+FALSE = Literal("false", datatype=XSD_BOOLEAN)
+
+
+class ExpressionError(Exception):
+    """SPARQL expression error: filters treat it as false."""
+
+
+def _boolean(value: bool) -> Literal:
+    return TRUE if value else FALSE
+
+
+def _numeric(value: float | int) -> Literal:
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD_INTEGER)
+    if value == int(value) and abs(value) < 1e15:
+        # Keep integral results readable.
+        return Literal(repr(value), datatype=XSD_DOUBLE)
+    return Literal(repr(value), datatype=XSD_DOUBLE)
+
+
+def _as_number(term: Node) -> float:
+    if isinstance(term, Literal):
+        if term.is_numeric:
+            return term.numeric_value()
+        # Plain literals holding digits still compare numerically in many
+        # endpoints; we stay strict and require a numeric datatype.
+    raise ExpressionError(f"not a number: {term!r}")
+
+
+def effective_boolean_value(term: Node) -> bool:
+    """SPARQL EBV: booleans by value, numbers by non-zero, strings by length."""
+    if isinstance(term, Literal):
+        if term.datatype == XSD_BOOLEAN:
+            return term.lexical in ("true", "1")
+        if term.is_numeric:
+            try:
+                return term.numeric_value() != 0
+            except ValueError as exc:
+                raise ExpressionError(str(exc)) from exc
+        if term.datatype is None or term.datatype.value.endswith("#string"):
+            return len(term.lexical) > 0
+    raise ExpressionError(f"no effective boolean value for {term!r}")
+
+
+def term_compare(left: Node, right: Node, op: str) -> bool:
+    """Compare two terms per SPARQL operator semantics.
+
+    Equality/inequality are defined for all terms (RDF term equality, with
+    numeric value equality for numeric literals).  Ordering requires
+    compatible literals (both numeric, or both plain/string, or both the
+    same datatype) and raises :class:`ExpressionError` otherwise.
+    """
+    if op in ("=", "!="):
+        equal = _terms_equal(left, right)
+        return equal if op == "=" else not equal
+    # Ordering operators.
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if left.is_numeric and right.is_numeric:
+            lv, rv = left.numeric_value(), right.numeric_value()
+        elif _string_like(left) and _string_like(right):
+            lv, rv = left.lexical, right.lexical
+        elif left.datatype == right.datatype and left.datatype is not None:
+            lv, rv = left.lexical, right.lexical
+        else:
+            raise ExpressionError(f"incomparable literals {left!r} and {right!r}")
+        if op == "<":
+            return lv < rv
+        if op == "<=":
+            return lv <= rv
+        if op == ">":
+            return lv > rv
+        if op == ">=":
+            return lv >= rv
+    raise ExpressionError(f"cannot order {left!r} and {right!r}")
+
+
+def _string_like(literal: Literal) -> bool:
+    return literal.datatype is None or literal.datatype.value.endswith("#string")
+
+
+def _terms_equal(left: Node, right: Node) -> bool:
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if left.is_numeric and right.is_numeric:
+            return left.numeric_value() == right.numeric_value()
+        return left == right
+    return left == right
+
+
+def evaluate(expression: Expression, binding: Binding) -> Node:
+    """Evaluate ``expression`` under ``binding``; returns an RDF term.
+
+    Raises :class:`ExpressionError` for unbound variables or type errors.
+    """
+    if isinstance(expression, TermExpr):
+        term = expression.term
+        if isinstance(term, Variable):
+            value = binding.get(term)
+            if value is None:
+                raise ExpressionError(f"unbound variable {term.n3()}")
+            return value
+        return term
+    if isinstance(expression, Comparison):
+        left = evaluate(expression.left, binding)
+        right = evaluate(expression.right, binding)
+        return _boolean(term_compare(left, right, expression.op))
+    if isinstance(expression, Arithmetic):
+        left = _as_number(evaluate(expression.left, binding))
+        right = _as_number(evaluate(expression.right, binding))
+        return _numeric(_apply_arith(expression.op, left, right))
+    if isinstance(expression, BoolOp):
+        return _eval_bool_op(expression, binding)
+    if isinstance(expression, NotExpr):
+        inner = effective_boolean_value(evaluate(expression.operand, binding))
+        return _boolean(not inner)
+    if isinstance(expression, InExpr):
+        return _eval_in(expression, binding)
+    if isinstance(expression, FunctionCall):
+        return _eval_function(expression, binding)
+    if isinstance(expression, Aggregate):
+        raise ExpressionError("aggregate outside of grouping context")
+    raise ExpressionError(f"unsupported expression {expression!r}")
+
+
+def _apply_arith(op: str, left: float, right: float) -> float | int:
+    if op == "+":
+        result = left + right
+    elif op == "-":
+        result = left - right
+    elif op == "*":
+        result = left * right
+    else:
+        if right == 0:
+            raise ExpressionError("division by zero")
+        result = left / right
+    if isinstance(result, float) and result.is_integer() and op != "/":
+        return int(result)
+    return result
+
+
+def _eval_bool_op(expression: BoolOp, binding: Binding) -> Literal:
+    """Short-circuit && / || with SPARQL's error-tolerant semantics.
+
+    ``true || error`` is true and ``false && error`` is false; an error
+    only propagates when the other operands cannot decide the result.
+    """
+    is_and = expression.op == "&&"
+    pending_error: ExpressionError | None = None
+    for operand in expression.operands:
+        try:
+            value = effective_boolean_value(evaluate(operand, binding))
+        except ExpressionError as exc:
+            pending_error = exc
+            continue
+        if is_and and not value:
+            return FALSE
+        if not is_and and value:
+            return TRUE
+    if pending_error is not None:
+        raise pending_error
+    return TRUE if is_and else FALSE
+
+
+def _eval_in(expression: InExpr, binding: Binding) -> Literal:
+    needle = evaluate(expression.operand, binding)
+    found = False
+    for option in expression.options:
+        candidate = evaluate(option, binding)
+        if _terms_equal(needle, candidate):
+            found = True
+            break
+    return _boolean(found != expression.negated)
+
+
+def _eval_function(call: FunctionCall, binding: Binding) -> Node:
+    name = call.name.upper()
+    if name == "BOUND":
+        arg = call.args[0]
+        if not (isinstance(arg, TermExpr) and isinstance(arg.term, Variable)):
+            raise ExpressionError("BOUND requires a variable")
+        return _boolean(binding.get(arg.term) is not None)
+    if name == "COALESCE":
+        for arg in call.args:
+            try:
+                return evaluate(arg, binding)
+            except ExpressionError:
+                continue
+        raise ExpressionError("COALESCE: all arguments errored")
+    if name == "IF":
+        condition = effective_boolean_value(evaluate(call.args[0], binding))
+        return evaluate(call.args[1 if condition else 2], binding)
+
+    args = [evaluate(a, binding) for a in call.args]
+    first = args[0] if args else None
+    if name == "STR":
+        if isinstance(first, IRI):
+            return Literal(first.value)
+        if isinstance(first, Literal):
+            return Literal(first.lexical)
+        raise ExpressionError("STR of a blank node")
+    if name == "LANG":
+        if isinstance(first, Literal):
+            return Literal(first.language or "")
+        raise ExpressionError("LANG requires a literal")
+    if name == "DATATYPE":
+        if isinstance(first, Literal):
+            if first.language is not None:
+                return IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
+            return first.datatype or IRI("http://www.w3.org/2001/XMLSchema#string")
+        raise ExpressionError("DATATYPE requires a literal")
+    if name in ("ISIRI", "ISURI"):
+        return _boolean(isinstance(first, IRI))
+    if name == "ISLITERAL":
+        return _boolean(isinstance(first, Literal))
+    if name == "ISBLANK":
+        return _boolean(isinstance(first, BNode))
+    if name == "ISNUMERIC":
+        return _boolean(isinstance(first, Literal) and first.is_numeric)
+    if name == "REGEX":
+        text = _string_arg(args[0])
+        pattern = _string_arg(args[1])
+        flags = _string_arg(args[2]) if len(args) > 2 else ""
+        re_flags = re.IGNORECASE if "i" in flags else 0
+        try:
+            return _boolean(re.search(pattern, text, re_flags) is not None)
+        except re.error as exc:
+            raise ExpressionError(f"invalid regex: {exc}") from exc
+    if name == "ABS":
+        value = abs(_as_number(first))
+        # SPARQL ABS/CEIL/FLOOR/ROUND keep integral results integral.
+        return _numeric(int(value) if value.is_integer() else value)
+    if name in ("CEIL", "FLOOR", "ROUND"):
+        import math
+
+        value = _as_number(first)
+        if name == "CEIL":
+            return _numeric(math.ceil(value))
+        if name == "FLOOR":
+            return _numeric(math.floor(value))
+        return _numeric(int(round(value)))
+    if name == "STRLEN":
+        return _numeric(len(_string_arg(first)))
+    if name == "UCASE":
+        return Literal(_string_arg(first).upper())
+    if name == "LCASE":
+        return Literal(_string_arg(first).lower())
+    if name == "CONTAINS":
+        return _boolean(_string_arg(args[1]) in _string_arg(args[0]))
+    if name == "STRSTARTS":
+        return _boolean(_string_arg(args[0]).startswith(_string_arg(args[1])))
+    if name == "STRENDS":
+        return _boolean(_string_arg(args[0]).endswith(_string_arg(args[1])))
+    raise ExpressionError(f"unsupported function {call.name}")
+
+
+def _string_arg(term: Node | None) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    raise ExpressionError(f"expected string-valued term, got {term!r}")

@@ -1,0 +1,585 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Covers the features statistical-KG analytics needs (and that REOLAP's
+generated queries use): SELECT / ASK, basic graph patterns with property
+paths (``/``, ``^``, ``|``), FILTER expressions, OPTIONAL, UNION, VALUES,
+GROUP BY with the standard aggregates, HAVING, ORDER BY, LIMIT / OFFSET,
+DISTINCT, and PREFIX declarations.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import SPARQLSyntaxError
+from ..rdf.namespace import RDF
+from ..rdf.terms import (
+    IRI,
+    BNode,
+    Literal,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from .ast import (
+    Aggregate,
+    AlternativePath,
+    Arithmetic,
+    AskQuery,
+    BindClause,
+    BoolOp,
+    Comparison,
+    ConstructQuery,
+    ExistsFilter,
+    Expression,
+    Filter,
+    FunctionCall,
+    GroupGraphPattern,
+    InExpr,
+    InversePath,
+    MinusPattern,
+    NotExpr,
+    OneOrMorePath,
+    OptionalPattern,
+    OrderCondition,
+    Projection,
+    PropertyPath,
+    Query,
+    SelectQuery,
+    SequencePath,
+    SubSelect,
+    TermExpr,
+    TriplePattern,
+    UnionPattern,
+    ValuesClause,
+    ZeroOrMorePath,
+)
+from .tokenizer import Token, tokenize
+
+__all__ = ["parse_query", "SPARQLParser"]
+
+_STRING_UNESCAPES = {"\\\\": "\\", '\\"': '"', "\\'": "'", "\\n": "\n", "\\r": "\r", "\\t": "\t"}
+
+
+def parse_query(text: str) -> Query:
+    """Parse a SPARQL query string into an AST."""
+    return SPARQLParser(text).parse()
+
+
+class SPARQLParser:
+    """Stateful parser over a token list; one instance per query string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+        self.prefixes: dict[str, str] = {}
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> SPARQLSyntaxError:
+        token = token or self._peek()
+        return SPARQLSyntaxError(f"{message} (got {token.value!r})", token.position)
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise self._error(f"expected {value or kind}", token)
+        return token
+
+    def _at_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token.kind == "keyword" and token.value in keywords
+
+    def _at_punct(self, value: str) -> bool:
+        token = self._peek()
+        return token.kind == "punct" and token.value == value
+
+    def _accept_punct(self, value: str) -> bool:
+        if self._at_punct(value):
+            self._next()
+            return True
+        return False
+
+    def _accept_keyword(self, *keywords: str) -> Token | None:
+        if self._at_keyword(*keywords):
+            return self._next()
+        return None
+
+    # -- entry point ---------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._parse_prologue()
+        if self._at_keyword("SELECT"):
+            query = self._parse_select()
+        elif self._at_keyword("ASK"):
+            query = self._parse_ask()
+        elif self._at_keyword("CONSTRUCT"):
+            query = self._parse_construct()
+        else:
+            raise self._error("expected SELECT, ASK or CONSTRUCT")
+        if self._peek().kind != "eof":
+            raise self._error("unexpected trailing content")
+        return query
+
+    def _parse_prologue(self) -> None:
+        while self._at_keyword("PREFIX", "BASE"):
+            keyword = self._next()
+            if keyword.value == "PREFIX":
+                pname = self._expect("pname")
+                if not pname.value.endswith(":"):
+                    raise self._error("PREFIX name must end with ':'", pname)
+                iri = self._expect("iri")
+                self.prefixes[pname.value[:-1]] = iri.value[1:-1]
+            else:
+                self._expect("iri")
+
+    # -- SELECT / ASK --------------------------------------------------------
+
+    def _parse_select(self) -> SelectQuery:
+        self._expect("keyword", "SELECT")
+        distinct = bool(self._accept_keyword("DISTINCT", "REDUCED"))
+        select_all = False
+        projections: list[Projection] = []
+        if self._at_punct("*"):
+            self._next()
+            select_all = True
+        else:
+            while True:
+                token = self._peek()
+                if token.kind == "var":
+                    self._next()
+                    projections.append(Projection(TermExpr(Variable(token.value))))
+                elif self._at_punct("("):
+                    self._next()
+                    expression = self._parse_expression()
+                    self._expect("keyword", "AS")
+                    alias = Variable(self._expect("var").value)
+                    self._expect("punct", ")")
+                    projections.append(Projection(expression, alias))
+                elif token.kind == "aggregate":
+                    # Bare aggregate without AS: auto-alias for convenience.
+                    expression = self._parse_primary_expression()
+                    alias = Variable(f"agg{len(projections)}")
+                    projections.append(Projection(expression, alias))
+                else:
+                    break
+            if not projections:
+                raise self._error("SELECT requires at least one projection or *")
+        self._accept_keyword("WHERE")
+        where = self._parse_group_graph_pattern()
+        group_by: list[Variable] = []
+        having: list[Expression] = []
+        order_by: list[OrderCondition] = []
+        limit: int | None = None
+        offset: int | None = None
+        if self._accept_keyword("GROUP"):
+            self._expect("keyword", "BY")
+            while self._peek().kind == "var":
+                group_by.append(Variable(self._next().value))
+            if not group_by:
+                raise self._error("GROUP BY requires at least one variable")
+        if self._accept_keyword("HAVING"):
+            while self._at_punct("("):
+                self._next()
+                having.append(self._parse_expression())
+                self._expect("punct", ")")
+            if not having:
+                raise self._error("HAVING requires at least one constraint")
+        if self._accept_keyword("ORDER"):
+            self._expect("keyword", "BY")
+            order_by = self._parse_order_conditions()
+        if self._accept_keyword("LIMIT"):
+            limit = int(self._expect("integer").value)
+        if self._accept_keyword("OFFSET"):
+            offset = int(self._expect("integer").value)
+        return SelectQuery(
+            projections=tuple(projections),
+            where=where,
+            distinct=distinct,
+            group_by=tuple(group_by),
+            having=tuple(having),
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            select_all=select_all,
+        )
+
+    def _parse_ask(self) -> AskQuery:
+        self._expect("keyword", "ASK")
+        self._accept_keyword("WHERE")
+        return AskQuery(self._parse_group_graph_pattern())
+
+    def _parse_construct(self) -> ConstructQuery:
+        self._expect("keyword", "CONSTRUCT")
+        self._expect("punct", "{")
+        template: list[TriplePattern] = []
+        while not self._at_punct("}"):
+            template.extend(self._parse_triples_block())
+            self._accept_punct(".")
+        self._expect("punct", "}")
+        self._accept_keyword("WHERE")
+        where = self._parse_group_graph_pattern()
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            limit = int(self._expect("integer").value)
+        try:
+            return ConstructQuery(tuple(template), where, limit=limit)
+        except ValueError as exc:
+            raise self._error(str(exc)) from exc
+
+    def _parse_order_conditions(self) -> list[OrderCondition]:
+        conditions: list[OrderCondition] = []
+        while True:
+            if self._at_keyword("ASC", "DESC"):
+                keyword = self._next()
+                self._expect("punct", "(")
+                expression = self._parse_expression()
+                self._expect("punct", ")")
+                conditions.append(OrderCondition(expression, keyword.value == "ASC"))
+            elif self._peek().kind == "var":
+                conditions.append(OrderCondition(TermExpr(Variable(self._next().value))))
+            elif self._peek().kind in ("function", "aggregate"):
+                conditions.append(OrderCondition(self._parse_primary_expression()))
+            else:
+                break
+        if not conditions:
+            raise self._error("ORDER BY requires at least one condition")
+        return conditions
+
+    # -- group graph patterns --------------------------------------------------
+
+    def _parse_group_graph_pattern(self) -> GroupGraphPattern:
+        self._expect("punct", "{")
+        elements: list = []
+        while not self._at_punct("}"):
+            if self._at_keyword("FILTER"):
+                self._next()
+                if self._at_keyword("EXISTS"):
+                    self._next()
+                    elements.append(ExistsFilter(self._parse_group_graph_pattern()))
+                elif self._at_keyword("NOT") and self._peek(1).value == "EXISTS":
+                    self._next()
+                    self._next()
+                    elements.append(
+                        ExistsFilter(self._parse_group_graph_pattern(), negated=True)
+                    )
+                else:
+                    elements.append(Filter(self._parse_constraint()))
+            elif self._at_keyword("OPTIONAL"):
+                self._next()
+                elements.append(OptionalPattern(self._parse_group_graph_pattern()))
+            elif self._at_keyword("MINUS"):
+                self._next()
+                elements.append(MinusPattern(self._parse_group_graph_pattern()))
+            elif self._at_keyword("BIND"):
+                self._next()
+                self._expect("punct", "(")
+                expression = self._parse_expression()
+                self._expect("keyword", "AS")
+                variable = Variable(self._expect("var").value)
+                self._expect("punct", ")")
+                elements.append(BindClause(expression, variable))
+            elif self._at_keyword("VALUES"):
+                self._next()
+                elements.append(self._parse_values())
+            elif self._at_punct("{"):
+                if self._peek(1).kind == "keyword" and self._peek(1).value == "SELECT":
+                    self._next()  # consume '{'
+                    subquery = self._parse_select()
+                    self._expect("punct", "}")
+                    elements.append(SubSelect(subquery))
+                else:
+                    branches = [self._parse_group_graph_pattern()]
+                    while self._accept_keyword("UNION"):
+                        branches.append(self._parse_group_graph_pattern())
+                    if len(branches) == 1:
+                        elements.extend(branches[0].elements)
+                    else:
+                        elements.append(UnionPattern(tuple(branches)))
+            else:
+                elements.extend(self._parse_triples_block())
+            self._accept_punct(".")
+        self._expect("punct", "}")
+        return GroupGraphPattern(tuple(elements))
+
+    def _parse_constraint(self) -> Expression:
+        if self._at_punct("("):
+            self._next()
+            expression = self._parse_expression()
+            self._expect("punct", ")")
+            return expression
+        if self._peek().kind in ("function", "aggregate"):
+            return self._parse_primary_expression()
+        raise self._error("expected '(' or built-in call after FILTER")
+
+    def _parse_values(self) -> ValuesClause:
+        variables: list[Variable] = []
+        if self._accept_punct("("):
+            while self._peek().kind == "var":
+                variables.append(Variable(self._next().value))
+            self._expect("punct", ")")
+        elif self._peek().kind == "var":
+            variables.append(Variable(self._next().value))
+        else:
+            raise self._error("expected variable list after VALUES")
+        self._expect("punct", "{")
+        rows: list[tuple] = []
+        multi = True
+        while not self._at_punct("}"):
+            if len(variables) == 1 and not self._at_punct("("):
+                rows.append((self._parse_values_term(),))
+                continue
+            self._expect("punct", "(")
+            row: list = []
+            while not self._at_punct(")"):
+                row.append(self._parse_values_term())
+            self._expect("punct", ")")
+            rows.append(tuple(row))
+        self._expect("punct", "}")
+        return ValuesClause(tuple(variables), tuple(rows))
+
+    def _parse_values_term(self):
+        if self._accept_keyword("UNDEF"):
+            return None
+        token = self._peek()
+        if token.kind in ("iri", "pname", "string", "integer", "decimal", "double") or token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+            return self._parse_graph_term()
+        raise self._error("expected term or UNDEF in VALUES row")
+
+    # -- triples -----------------------------------------------------------
+
+    def _parse_triples_block(self) -> list[TriplePattern]:
+        patterns: list[TriplePattern] = []
+        subject = self._parse_var_or_term()
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_var_or_term()
+                patterns.append(TriplePattern(subject, predicate, obj))
+                if not self._accept_punct(","):
+                    break
+            if not self._accept_punct(";"):
+                break
+            if self._at_punct(".") or self._at_punct("}"):
+                break
+        return patterns
+
+    def _parse_verb(self):
+        token = self._peek()
+        if token.kind == "var":
+            self._next()
+            return Variable(token.value)
+        return self._parse_path()
+
+    def _parse_path(self):
+        """PathAlternative := PathSequence ('|' PathSequence)*"""
+        options = [self._parse_path_sequence()]
+        while self._accept_punct("|"):
+            options.append(self._parse_path_sequence())
+        if len(options) == 1:
+            return options[0]
+        return AlternativePath(tuple(options))
+
+    def _parse_path_sequence(self):
+        steps = [self._parse_path_elt()]
+        while self._accept_punct("/"):
+            steps.append(self._parse_path_elt())
+        if len(steps) == 1:
+            return steps[0]
+        return SequencePath(tuple(steps))
+
+    def _parse_path_elt(self):
+        if self._accept_punct("^"):
+            primary = InversePath(self._parse_path_primary())
+        else:
+            primary = self._parse_path_primary()
+        if self._at_punct("+"):
+            self._next()
+            return OneOrMorePath(primary)
+        if self._at_punct("*"):
+            self._next()
+            return ZeroOrMorePath(primary)
+        return primary
+
+    def _parse_path_primary(self):
+        token = self._peek()
+        if token.kind == "keyword" and token.value == "A":
+            self._next()
+            return RDF.type
+        if token.kind == "iri":
+            self._next()
+            return IRI(token.value[1:-1])
+        if token.kind == "pname":
+            self._next()
+            return self._resolve_pname(token)
+        if self._accept_punct("("):
+            path = self._parse_path()
+            self._expect("punct", ")")
+            return path
+        raise self._error("expected IRI or path")
+
+    def _parse_var_or_term(self):
+        token = self._peek()
+        if token.kind == "var":
+            self._next()
+            return Variable(token.value)
+        return self._parse_graph_term()
+
+    def _parse_graph_term(self):
+        token = self._next()
+        if token.kind == "iri":
+            return IRI(token.value[1:-1])
+        if token.kind == "pname":
+            return self._resolve_pname(token)
+        if token.kind == "bnode":
+            return BNode(token.value[2:])
+        if token.kind == "string":
+            return self._finish_literal(token)
+        if token.kind == "integer":
+            return Literal(token.value, datatype=XSD_INTEGER)
+        if token.kind == "decimal":
+            return Literal(token.value, datatype=XSD_DECIMAL)
+        if token.kind == "double":
+            return Literal(token.value, datatype=XSD_DOUBLE)
+        if token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+            return Literal(token.value.lower(), datatype=XSD_BOOLEAN)
+        raise self._error("expected RDF term", token)
+
+    def _resolve_pname(self, token: Token) -> IRI:
+        prefix, _, local = token.value.partition(":")
+        if prefix not in self.prefixes:
+            raise self._error(f"undeclared prefix {prefix!r}", token)
+        return IRI(self.prefixes[prefix] + local)
+
+    def _finish_literal(self, token: Token) -> Literal:
+        body = token.value[1:-1]
+        lexical = re.sub(
+            r"\\.", lambda m: _STRING_UNESCAPES.get(m.group(0), m.group(0)), body
+        )
+        nxt = self._peek()
+        if nxt.kind == "langtag":
+            self._next()
+            return Literal(lexical, language=nxt.value[1:])
+        if nxt.kind == "punct" and nxt.value == "^^":
+            self._next()
+            dt_token = self._next()
+            if dt_token.kind == "iri":
+                return Literal(lexical, datatype=IRI(dt_token.value[1:-1]))
+            if dt_token.kind == "pname":
+                return Literal(lexical, datatype=self._resolve_pname(dt_token))
+            raise self._error("expected datatype IRI after ^^", dt_token)
+        return Literal(lexical)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._at_punct("||"):
+            self._next()
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("||", tuple(operands))
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_relational()]
+        while self._at_punct("&&"):
+            self._next()
+            operands.append(self._parse_relational())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("&&", tuple(operands))
+
+    def _parse_relational(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == "punct" and token.value in ("=", "!=", "<", "<=", ">", ">="):
+            self._next()
+            right = self._parse_additive()
+            return Comparison(token.value, left, right)
+        if self._at_keyword("IN"):
+            self._next()
+            return InExpr(left, self._parse_expression_list(), negated=False)
+        if self._at_keyword("NOT"):
+            self._next()
+            self._expect("keyword", "IN")
+            return InExpr(left, self._parse_expression_list(), negated=True)
+        return left
+
+    def _parse_expression_list(self) -> tuple[Expression, ...]:
+        self._expect("punct", "(")
+        options: list[Expression] = []
+        if not self._at_punct(")"):
+            options.append(self._parse_expression())
+            while self._accept_punct(","):
+                options.append(self._parse_expression())
+        self._expect("punct", ")")
+        return tuple(options)
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self._at_punct("+") or self._at_punct("-"):
+            op = self._next().value
+            right = self._parse_multiplicative()
+            left = Arithmetic(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while self._at_punct("*") or self._at_punct("/"):
+            op = self._next().value
+            right = self._parse_unary()
+            left = Arithmetic(op, left, right)
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_punct("!"):
+            return NotExpr(self._parse_unary())
+        if self._accept_punct("-"):
+            operand = self._parse_unary()
+            zero = TermExpr(Literal("0", datatype=XSD_INTEGER))
+            return Arithmetic("-", zero, operand)
+        if self._accept_punct("+"):
+            return self._parse_unary()
+        return self._parse_primary_expression()
+
+    def _parse_primary_expression(self) -> Expression:
+        token = self._peek()
+        if token.kind == "punct" and token.value == "(":
+            self._next()
+            expression = self._parse_expression()
+            self._expect("punct", ")")
+            return expression
+        if token.kind == "var":
+            self._next()
+            return TermExpr(Variable(token.value))
+        if token.kind == "function":
+            self._next()
+            args = self._parse_expression_list()
+            return FunctionCall(token.value, args)
+        if token.kind == "aggregate":
+            self._next()
+            self._expect("punct", "(")
+            distinct = bool(self._accept_keyword("DISTINCT"))
+            if self._accept_punct("*"):
+                arg: Expression | None = None
+            else:
+                arg = self._parse_expression()
+            self._expect("punct", ")")
+            return Aggregate(token.value, arg, distinct=distinct)
+        return TermExpr(self._parse_graph_term())

@@ -1,0 +1,149 @@
+"""Property path evaluation.
+
+Evaluates SPARQL 1.1 property paths (sequence ``/``, inverse ``^``,
+alternative ``|``) directly against a graph's pattern-matching API.  The
+evaluator asks for all (subject, object) pairs connected by the path, with
+either end optionally bound; direction of traversal is chosen by which end
+is bound so bound-object lookups do not scan the store.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from ..rdf.terms import IRI, Node
+from .ast import (
+    AlternativePath,
+    InversePath,
+    OneOrMorePath,
+    PropertyPath,
+    SequencePath,
+    ZeroOrMorePath,
+)
+
+__all__ = ["eval_path", "path_first_predicates"]
+
+PathLike = Union[IRI, PropertyPath]
+
+
+def eval_path(
+    graph, path: PathLike, s: Node | None, o: Node | None
+) -> Iterator[tuple[Node, Node]]:
+    """Yield (subject, object) pairs connected by ``path`` in ``graph``.
+
+    ``s`` / ``o`` restrict the endpoints when bound.  Pairs are deduplicated,
+    matching SPARQL's set semantics for path results.
+    """
+    seen: set[tuple[Node, Node]] = set()
+    for pair in _eval(graph, path, s, o):
+        if pair not in seen:
+            seen.add(pair)
+            yield pair
+
+
+def _eval(graph, path: PathLike, s: Node | None, o: Node | None) -> Iterator[tuple[Node, Node]]:
+    if isinstance(path, IRI):
+        for triple in graph.triples(s, path, o):
+            yield triple.s, triple.o
+        return
+    if isinstance(path, InversePath):
+        for subj, obj in _eval(graph, path.step, o, s):
+            yield obj, subj
+        return
+    if isinstance(path, AlternativePath):
+        for option in path.options:
+            yield from _eval(graph, option, s, o)
+        return
+    if isinstance(path, SequencePath):
+        yield from _eval_sequence(graph, list(path.steps), s, o)
+        return
+    if isinstance(path, (OneOrMorePath, ZeroOrMorePath)):
+        include_zero = isinstance(path, ZeroOrMorePath)
+        yield from _eval_closure(graph, path.step, s, o, include_zero)
+        return
+    raise TypeError(f"unsupported path type {type(path).__name__}")
+
+
+def _eval_closure(
+    graph, step: PathLike, s: Node | None, o: Node | None, include_zero: bool
+) -> Iterator[tuple[Node, Node]]:
+    """Transitive (``+``) / reflexive-transitive (``*``) closure by BFS.
+
+    The zero-length case is restricted to nodes incident to the inner
+    path (SPARQL's "all graph terms" zero-length semantics is unbounded
+    and never useful over a statistical KG's hierarchies).
+    """
+    if s is not None:
+        yield from ((s, target) for target in _reachable(graph, step, s, include_zero, forward=True)
+                    if o is None or target == o)
+        return
+    if o is not None:
+        yield from ((source, o) for source in _reachable(graph, step, o, include_zero, forward=False))
+        return
+    # Both ends free: start a forward BFS from every inner-path subject.
+    starts: set[Node] = set()
+    for subj, obj in _eval(graph, step, None, None):
+        starts.add(subj)
+        if include_zero:
+            starts.add(obj)
+    for start in starts:
+        for target in _reachable(graph, step, start, include_zero, forward=True):
+            yield start, target
+
+
+def _reachable(graph, step: PathLike, start: Node, include_zero: bool, forward: bool) -> list[Node]:
+    found: list[Node] = [start] if include_zero else []
+    seen: set[Node] = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        pairs = (
+            _eval(graph, step, node, None) if forward else _eval(graph, step, None, node)
+        )
+        for subj, obj in pairs:
+            neighbor = obj if forward else subj
+            if neighbor not in seen:
+                seen.add(neighbor)
+                found.append(neighbor)
+                frontier.append(neighbor)
+            elif neighbor == start and not include_zero and start not in found:
+                found.append(start)  # cycle back to the start counts for '+'
+    return found
+
+
+def _eval_sequence(
+    graph, steps: list[PathLike], s: Node | None, o: Node | None
+) -> Iterator[tuple[Node, Node]]:
+    if len(steps) == 1:
+        yield from _eval(graph, steps[0], s, o)
+        return
+    if s is not None or o is None:
+        # Forward traversal: bind the first step, recurse on the rest.
+        head, rest = steps[0], steps[1:]
+        for subj, middle in _eval(graph, head, s, None):
+            for _, obj in _eval_sequence(graph, rest, middle, o):
+                yield subj, obj
+        return
+    # Only the object is bound: traverse backwards to avoid a full scan.
+    front, tail = steps[:-1], steps[-1]
+    for middle, obj in _eval(graph, tail, None, o):
+        for subj, _ in _eval_sequence(graph, front, None, middle):
+            yield subj, obj
+
+
+def path_first_predicates(path: PathLike) -> list[IRI]:
+    """The IRIs a path may start with, used for cardinality estimation."""
+    if isinstance(path, IRI):
+        return [path]
+    if isinstance(path, InversePath):
+        return path.iris()[:1] if path.iris() else []
+    if isinstance(path, SequencePath):
+        return path_first_predicates(path.steps[0])
+    if isinstance(path, AlternativePath):
+        result: list[IRI] = []
+        for option in path.options:
+            result.extend(path_first_predicates(option))
+        return result
+    if isinstance(path, (OneOrMorePath, ZeroOrMorePath)):
+        return path_first_predicates(path.step)
+    return []

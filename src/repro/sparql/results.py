@@ -1,0 +1,119 @@
+"""Query result containers.
+
+A :class:`ResultSet` is what ``SELECT`` evaluation returns: an ordered list
+of output variables and one row per solution, each row a tuple of terms (or
+``None`` for unbound positions, e.g. from OPTIONAL).  It supports
+column access, conversion to dictionaries, and pretty-printing — the pieces
+the exploration session and the benchmark harness need to present results
+the way the paper's Tables do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from ..rdf.terms import Literal, Node, Variable
+
+__all__ = ["ResultSet", "Row"]
+
+Row = tuple  # tuple[Node | None, ...]
+
+
+class ResultSet:
+    """SELECT query results: variables plus rows of terms."""
+
+    __slots__ = ("variables", "rows")
+
+    def __init__(self, variables: Sequence[Variable], rows: Sequence[Row]):
+        self.variables = list(variables)
+        width = len(self.variables)
+        for row in rows:
+            if len(row) != width:
+                raise ValueError(
+                    f"row width {len(row)} does not match {width} variables"
+                )
+        self.rows = list(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ResultSet)
+            and other.variables == self.variables
+            and sorted(other.rows, key=_row_key) == sorted(self.rows, key=_row_key)
+        )
+
+    def index_of(self, variable: Variable | str) -> int:
+        """Column index of a variable; raises KeyError when absent."""
+        if isinstance(variable, str):
+            variable = Variable(variable)
+        try:
+            return self.variables.index(variable)
+        except ValueError:
+            raise KeyError(f"no variable {variable.n3()} in result set") from None
+
+    def column(self, variable: Variable | str) -> list[Node | None]:
+        """All values of one output variable, in row order."""
+        idx = self.index_of(variable)
+        return [row[idx] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Node | None]]:
+        """Rows as ``{variable name: term}`` dictionaries."""
+        names = [v.name for v in self.variables]
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def to_python(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries of native Python values (literals converted)."""
+        converted = []
+        for mapping in self.to_dicts():
+            converted.append(
+                {
+                    key: (value.to_python() if isinstance(value, Literal) else value)
+                    for key, value in mapping.items()
+                }
+            )
+        return converted
+
+    def pretty(self, max_rows: int | None = 20) -> str:
+        """A fixed-width table rendering, for examples and logs."""
+        headers = [v.n3() for v in self.variables]
+        shown = self.rows if max_rows is None else self.rows[:max_rows]
+        body = [
+            ["" if value is None else _cell(value) for value in row] for row in shown
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in body
+        )
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<ResultSet: {len(self.rows)} rows x {len(self.variables)} vars>"
+
+
+def _cell(value: Node) -> str:
+    if isinstance(value, Literal):
+        return value.lexical
+    return getattr(value, "local_name", value.n3)()
+
+
+def _row_key(row: Row) -> tuple:
+    return tuple(
+        ((0,) if value is None else (1,) + value.sort_key()) for value in row
+    )

@@ -1,0 +1,106 @@
+"""Tokenizer for the SPARQL subset grammar.
+
+Produces a flat list of :class:`Token` objects consumed by the
+recursive-descent parser.  Keywords are recognized case-insensitively, as
+required by the SPARQL specification.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import SPARQLSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+KEYWORDS = {
+    "SELECT", "ASK", "DISTINCT", "REDUCED", "WHERE", "FILTER", "OPTIONAL",
+    "UNION", "VALUES", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC",
+    "LIMIT", "OFFSET", "PREFIX", "BASE", "AS", "IN", "NOT", "UNDEF",
+    "TRUE", "FALSE", "A", "FROM", "NAMED", "BIND", "EXISTS", "MINUS",
+    "CONSTRUCT",
+}
+
+FUNCTIONS = {
+    "STR", "LANG", "DATATYPE", "BOUND", "REGEX", "ABS", "CEIL", "FLOOR",
+    "ROUND", "STRLEN", "UCASE", "LCASE", "CONTAINS", "STRSTARTS", "STRENDS",
+    "ISLITERAL", "ISIRI", "ISURI", "ISBLANK", "ISNUMERIC", "COALESCE", "IF",
+}
+
+AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG", "SAMPLE", "GROUP_CONCAT"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<double>[+-]?(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+)
+  | (?P<decimal>[+-]?\d*\.\d+)
+  | (?P<integer>[+-]?\d+)
+  | (?P<bnode>_:[A-Za-z0-9_.-]+)
+  | (?P<langtag>@[A-Za-z]{1,8}(?:-[A-Za-z0-9]{1,8})*)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<pname>[A-Za-z][\w-]*:[\w.%-]*|:[\w.%-]+)
+  | (?P<punct>\^\^|&&|\|\||!=|<=|>=|[{}()\[\].;,/|^*=<>!+\-])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+# A word immediately followed by ':' forms a prefixed name, so words must be
+# checked against the upcoming character.
+_PNAME_AFTER_WORD_RE = re.compile(r":[\w.%-]*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: its kind, surface text, and source offset."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a SPARQL query string.
+
+    Raises :class:`SPARQLSyntaxError` on any character outside the grammar.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SPARQLSyntaxError(f"unexpected character {text[pos]!r}", pos)
+        kind = match.lastgroup or ""
+        value = match.group(0)
+        start = pos
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "word":
+            pname_match = _PNAME_AFTER_WORD_RE.match(text, pos)
+            if pname_match is not None:
+                value = value + pname_match.group(0)
+                pos = pname_match.end()
+                tokens.append(Token("pname", value, start))
+                continue
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, start))
+            elif upper in FUNCTIONS:
+                tokens.append(Token("function", upper, start))
+            elif upper in AGGREGATES:
+                tokens.append(Token("aggregate", upper, start))
+            else:
+                raise SPARQLSyntaxError(f"unknown identifier {value!r}", start)
+            continue
+        tokens.append(Token(kind, value, start))
+    tokens.append(Token("eof", "", length))
+    return tokens

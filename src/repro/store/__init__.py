@@ -1,0 +1,23 @@
+"""Triple store substrate: indexed graphs, datasets, text index, endpoint.
+
+Replaces the external RDF triplestore (Virtuoso in the paper's setup) with
+an in-process, dictionary-encoded store and a SPARQL endpoint facade.
+"""
+
+from .dataset import Dataset, GraphView
+from .endpoint import Endpoint, EndpointStats
+from .graph import Graph
+from .index import TermDictionary, TripleIndex
+from .text_index import TextIndex, tokenize
+
+__all__ = [
+    "Graph",
+    "Dataset",
+    "GraphView",
+    "Endpoint",
+    "EndpointStats",
+    "TextIndex",
+    "tokenize",
+    "TermDictionary",
+    "TripleIndex",
+]

@@ -1,0 +1,172 @@
+"""The :class:`Graph` class: a dictionary-encoded, indexed RDF graph.
+
+This is the storage unit the SPARQL engine evaluates against.  It exposes
+the pattern-matching API (``triples``, ``subjects``, ``objects``, ...) in
+terms of RDF terms, delegating id encoding to :class:`TermDictionary` and
+index maintenance to :class:`TripleIndex`.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator
+
+from ..rdf.ntriples import parse_ntriples, serialize_ntriples
+from ..rdf.terms import IRI, Literal, Node
+from ..rdf.triple import Triple
+from ..rdf.turtle import parse_turtle
+from .index import TermDictionary, TripleIndex
+
+__all__ = ["Graph"]
+
+#: Pattern wildcard accepted by all matching methods.
+_WILD = None
+
+
+class Graph:
+    """An in-memory RDF graph with SPO/POS/OSP indexes.
+
+    >>> g = Graph()
+    >>> from repro.rdf import IRI, Literal
+    >>> _ = g.add(Triple(IRI("urn:s"), IRI("urn:p"), Literal("x")))
+    >>> len(g)
+    1
+    """
+
+    __slots__ = ("name", "_terms", "_index")
+
+    def __init__(self, name: IRI | None = None, triples: Iterable[Triple] | None = None):
+        self.name = name
+        self._terms = TermDictionary()
+        self._index = TripleIndex()
+        if triples is not None:
+            self.add_all(triples)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; returns False if it was already present."""
+        return self._index.add(
+            self._terms.encode(triple.s),
+            self._terms.encode(triple.p),
+            self._terms.encode(triple.o),
+        )
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns the number actually added."""
+        added = 0
+        for triple in triples:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def remove(self, triple: Triple) -> bool:
+        """Delete a triple; returns False if it was not present."""
+        ids = self._encode_pattern(triple.s, triple.p, triple.o)
+        if ids is None:
+            return False
+        return self._index.remove(*ids)
+
+    # -- lookup -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, triple: Triple) -> bool:
+        ids = self._encode_pattern(triple.s, triple.p, triple.o)
+        return ids is not None and self._index.contains(*ids)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def _encode_pattern(self, s, p, o) -> tuple[int, int, int] | None:
+        """Encode fully-bound positions; None if any bound term is unseen."""
+        result = []
+        for term in (s, p, o):
+            if term is _WILD:
+                result.append(None)
+                continue
+            term_id = self._terms.lookup(term)
+            if term_id is None:
+                return None
+            result.append(term_id)
+        return tuple(result)  # type: ignore[return-value]
+
+    def triples(
+        self, s: Node | None = None, p: IRI | None = None, o: Node | None = None
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the pattern; ``None`` is a wildcard."""
+        ids = self._encode_pattern(s, p, o)
+        if ids is None:
+            return
+        decode = self._terms.decode
+        for sid, pid, oid in self._index.match(*ids):
+            yield Triple(decode(sid), decode(pid), decode(oid))
+
+    def count(self, s: Node | None = None, p: IRI | None = None, o: Node | None = None) -> int:
+        """Cardinality of a pattern without materializing the matches."""
+        ids = self._encode_pattern(s, p, o)
+        if ids is None:
+            return 0
+        return self._index.count(*ids)
+
+    def subjects(self, p: IRI | None = None, o: Node | None = None) -> Iterator[Node]:
+        seen: set[Node] = set()
+        for triple in self.triples(None, p, o):
+            if triple.s not in seen:
+                seen.add(triple.s)
+                yield triple.s
+
+    def objects(self, s: Node | None = None, p: IRI | None = None) -> Iterator[Node]:
+        seen: set[Node] = set()
+        for triple in self.triples(s, p, None):
+            if triple.o not in seen:
+                seen.add(triple.o)
+                yield triple.o
+
+    def predicates(self) -> Iterator[IRI]:
+        """All distinct predicates in the graph."""
+        for pid in self._index.predicates():
+            term = self._terms.decode(pid)
+            assert isinstance(term, IRI)
+            yield term
+
+    def predicate_cardinality(self, p: IRI) -> int:
+        pid = self._terms.lookup(p)
+        return 0 if pid is None else self._index.predicate_cardinality(pid)
+
+    def value(self, s: Node | None = None, p: IRI | None = None, o: Node | None = None):
+        """The single unbound position of a pattern with exactly one match.
+
+        Returns ``None`` when there is no match; the first (arbitrary) match
+        when there are several.
+        """
+        for triple in self.triples(s, p, o):
+            if s is None:
+                return triple.s
+            if p is None:
+                return triple.p
+            return triple.o
+        return None
+
+    def literals(self) -> Iterator[Literal]:
+        """All distinct literal terms stored in the graph."""
+        for term in self._terms.terms():
+            if isinstance(term, Literal):
+                yield term
+
+    # -- I/O ----------------------------------------------------------------
+
+    @classmethod
+    def from_ntriples(cls, source: str | IO[str], name: IRI | None = None) -> "Graph":
+        return cls(name=name, triples=parse_ntriples(source))
+
+    @classmethod
+    def from_turtle(cls, text: str, name: IRI | None = None) -> "Graph":
+        return cls(name=name, triples=parse_turtle(text))
+
+    def to_ntriples(self, out: IO[str] | None = None) -> str | None:
+        return serialize_ntriples(sorted(self.triples()), out)
+
+    def __repr__(self) -> str:
+        label = self.name.n3() if self.name else "default"
+        return f"<Graph {label}: {len(self)} triples>"

@@ -1,0 +1,215 @@
+"""Low-level storage: term dictionary and triple permutation indexes.
+
+The design follows the classic dictionary-encoded triple table used by RDF
+stores (and surveyed in "A design space for RDF data representations",
+VLDB J. 2022, which the paper cites): every term is mapped to a dense
+integer id once, and triples are stored as id-tuples in three nested-hash
+permutation indexes (SPO, POS, OSP).  Any of the eight triple-pattern
+shapes then resolves with at most one dictionary lookup per bound term and
+one or two hash hops, without scanning the full store.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..rdf.terms import Node
+
+__all__ = ["TermDictionary", "TripleIndex"]
+
+
+class TermDictionary:
+    """Bidirectional mapping between RDF terms and dense integer ids."""
+
+    __slots__ = ("_term_to_id", "_id_to_term")
+
+    def __init__(self) -> None:
+        self._term_to_id: dict[Node, int] = {}
+        self._id_to_term: list[Node] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def encode(self, term: Node) -> int:
+        """Return the id for ``term``, assigning a fresh one if unseen."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_term)
+        self._term_to_id[term] = new_id
+        self._id_to_term.append(term)
+        return new_id
+
+    def lookup(self, term: Node) -> int | None:
+        """Return the id for ``term``, or ``None`` when never stored."""
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id: int) -> Node:
+        """Return the term for an id assigned by :meth:`encode`."""
+        return self._id_to_term[term_id]
+
+    def terms(self) -> Iterator[Node]:
+        """All terms in id order."""
+        return iter(self._id_to_term)
+
+
+def _index_add(index: dict[int, dict[int, set[int]]], a: int, b: int, c: int) -> None:
+    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+
+def _index_remove(index: dict[int, dict[int, set[int]]], a: int, b: int, c: int) -> None:
+    second = index[a]
+    third = second[b]
+    third.discard(c)
+    if not third:
+        del second[b]
+        if not second:
+            del index[a]
+
+
+class TripleIndex:
+    """Three permutation indexes over dictionary-encoded triples.
+
+    All methods speak integer ids; the owning :class:`~repro.store.graph.Graph`
+    handles term encoding/decoding.  Pattern positions use ``None`` as the
+    wildcard.
+    """
+
+    __slots__ = ("_spo", "_pos", "_osp", "_size")
+
+    def __init__(self) -> None:
+        self._spo: dict[int, dict[int, set[int]]] = {}
+        self._pos: dict[int, dict[int, set[int]]] = {}
+        self._osp: dict[int, dict[int, set[int]]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        """Insert a triple; returns False when it was already present."""
+        objects = self._spo.get(s, {}).get(p)
+        if objects is not None and o in objects:
+            return False
+        _index_add(self._spo, s, p, o)
+        _index_add(self._pos, p, o, s)
+        _index_add(self._osp, o, s, p)
+        self._size += 1
+        return True
+
+    def remove(self, s: int, p: int, o: int) -> bool:
+        """Delete a triple; returns False when it was not present."""
+        objects = self._spo.get(s, {}).get(p)
+        if objects is None or o not in objects:
+            return False
+        _index_remove(self._spo, s, p, o)
+        _index_remove(self._pos, p, o, s)
+        _index_remove(self._osp, o, s, p)
+        self._size -= 1
+        return True
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        objects = self._spo.get(s, {}).get(p)
+        return objects is not None and o in objects
+
+    def match(
+        self, s: int | None, p: int | None, o: int | None
+    ) -> Iterator[tuple[int, int, int]]:
+        """Iterate id-triples matching the pattern (``None`` = wildcard).
+
+        Chooses the permutation index that binds the most positions, so the
+        iteration touches only candidate triples.
+        """
+        if s is not None:
+            by_p = self._spo.get(s)
+            if by_p is None:
+                return
+            if p is not None:
+                objects = by_p.get(p)
+                if objects is None:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)
+                    return
+                for obj in objects:
+                    yield (s, p, obj)
+                return
+            if o is not None:
+                # S?O: use OSP to reach predicates directly.
+                preds = self._osp.get(o, {}).get(s)
+                if preds is None:
+                    return
+                for pred in preds:
+                    yield (s, pred, o)
+                return
+            for pred, objects in by_p.items():
+                for obj in objects:
+                    yield (s, pred, obj)
+            return
+        if p is not None:
+            by_o = self._pos.get(p)
+            if by_o is None:
+                return
+            if o is not None:
+                subjects = by_o.get(o)
+                if subjects is None:
+                    return
+                for subj in subjects:
+                    yield (subj, p, o)
+                return
+            for obj, subjects in by_o.items():
+                for subj in subjects:
+                    yield (subj, p, obj)
+            return
+        if o is not None:
+            by_s = self._osp.get(o)
+            if by_s is None:
+                return
+            for subj, preds in by_s.items():
+                for pred in preds:
+                    yield (subj, pred, o)
+            return
+        for subj, by_p in self._spo.items():
+            for pred, objects in by_p.items():
+                for obj in objects:
+                    yield (subj, pred, obj)
+
+    def count(self, s: int | None, p: int | None, o: int | None) -> int:
+        """Exact cardinality of a pattern, without materializing matches.
+
+        Fully-nested index levels make the common shapes O(1) or a single
+        inner-dict walk; the join-order optimizer relies on this being cheap.
+        """
+        if s is not None and p is not None and o is not None:
+            return 1 if self.contains(s, p, o) else 0
+        if s is not None and p is not None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        if s is not None:
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if p is not None:
+            return sum(len(subjs) for subjs in self._pos.get(p, {}).values())
+        if o is not None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        return self._size
+
+    def subjects_for_predicate(self, p: int) -> Iterator[int]:
+        seen: set[int] = set()
+        for subjects in self._pos.get(p, {}).values():
+            for subj in subjects:
+                if subj not in seen:
+                    seen.add(subj)
+                    yield subj
+
+    def objects_for_predicate(self, p: int) -> Iterator[int]:
+        return iter(self._pos.get(p, {}))
+
+    def predicates(self) -> Iterator[int]:
+        return iter(self._pos)
+
+    def predicate_cardinality(self, p: int) -> int:
+        return sum(len(subjs) for subjs in self._pos.get(p, {}).values())

@@ -1,0 +1,92 @@
+"""Workload generation for experiments and stress tests.
+
+The paper's Figure 7 workload — "we randomly selected dimension members
+from each dimension and combined them", ten inputs per size — is exposed
+here as a reusable API, so downstream users can benchmark their own KGs
+the same way.  Inputs are sampled from a :class:`StatisticalKG`'s member
+registry (ground truth) or from a bootstrapped virtual graph's sample
+members (when only an endpoint is available).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from .core.virtual_graph import VirtualSchemaGraph
+from .qb.cube import StatisticalKG
+
+__all__ = ["example_tuples", "example_tuples_from_vgraph", "exploration_walk"]
+
+
+def example_tuples(
+    kg: StatisticalKG, size: int, count: int = 10, seed: int = 0
+) -> list[tuple[str, ...]]:
+    """Random example tuples of ``size`` labels from distinct dimensions."""
+    rng = random.Random(seed)
+    dimension_names = sorted({dim for dim, _level in kg.members})
+    if size > len(dimension_names):
+        raise ValueError(
+            f"size {size} exceeds the {len(dimension_names)} available dimensions"
+        )
+    inputs: list[tuple[str, ...]] = []
+    for _ in range(count):
+        chosen = rng.sample(dimension_names, size)
+        labels = []
+        for dim in chosen:
+            levels = sorted(level for d, level in kg.members if d == dim)
+            level = levels[rng.randrange(len(levels))]
+            members = kg.members[(dim, level)]
+            labels.append(members[rng.randrange(len(members))].label)
+        inputs.append(tuple(labels))
+    return inputs
+
+
+def example_tuples_from_vgraph(
+    endpoint, vgraph: VirtualSchemaGraph, size: int, count: int = 10, seed: int = 0
+) -> list[tuple[str, ...]]:
+    """Example tuples sampled without ground truth, via the crawled schema.
+
+    Uses the virtual graph's sample members and resolves their labels
+    through the endpoint, so it works against any SPARQL endpoint, not
+    just generated KGs.
+    """
+    from .core.labels import LabelResolver
+
+    rng = random.Random(seed)
+    resolver = LabelResolver(endpoint)
+    dimensions = vgraph.dimension_predicates()
+    if size > len(dimensions):
+        raise ValueError(f"size {size} exceeds {len(dimensions)} dimensions")
+    inputs: list[tuple[str, ...]] = []
+    for _ in range(count):
+        chosen = rng.sample(dimensions, size)
+        labels = []
+        for predicate in chosen:
+            levels = vgraph.levels_of_dimension(predicate)
+            level = levels[rng.randrange(len(levels))]
+            member = level.sample_members[rng.randrange(len(level.sample_members))]
+            labels.append(resolver.label(member))
+        inputs.append(tuple(labels))
+    return inputs
+
+
+def exploration_walk(
+    session, example: tuple[str, ...], kinds: tuple[str, ...], seed: int = 0
+) -> Iterator[int]:
+    """Drive a random exploration: one refinement of each kind in turn.
+
+    Yields the result cardinality after each interaction.  Used by stress
+    tests to exercise long interaction chains deterministically.
+    """
+    rng = random.Random(seed)
+    session.synthesize(*example)
+    results = session.choose(0)
+    yield len(results)
+    for kind in kinds:
+        proposals = session.refinements(kind)
+        if not proposals:
+            continue
+        chosen = proposals[rng.randrange(len(proposals))]
+        results = session.apply(chosen, options_offered=len(proposals))
+        yield len(results)

@@ -1,0 +1,77 @@
+"""Shared fixtures: small statistical KGs with bootstrapped virtual graphs.
+
+Building and crawling a KG dominates test time, so the fixtures are
+session-scoped; tests must treat them as read-only.
+"""
+
+import pytest
+
+from repro.core import VirtualSchemaGraph
+from repro.datasets import generate_eurostat
+from repro.qb import (
+    CubeBuilder,
+    CubeSchema,
+    DimensionSpec,
+    HierarchySpec,
+    LevelSpec,
+    MeasureSpec,
+    OBSERVATION_CLASS,
+)
+
+
+def mini_schema() -> CubeSchema:
+    """A 3-dimension cube mirroring the paper's Figure 1 fragment."""
+    country = LevelSpec(
+        "country", 4, pool="country",
+        label_values=("Germany", "France", "Syria", "China"),
+    )
+    continent = LevelSpec("continent", 2, pool="continent", label_values=("Europe", "Asia"))
+    year = LevelSpec("year", 3, label_values=("2013", "2014", "2015"))
+    return CubeSchema(
+        name="mini",
+        namespace="http://example.org/mini/",
+        dimensions=(
+            DimensionSpec(
+                "origin",
+                (HierarchySpec("origin_geo", (country, continent), rollup_names=("in_continent",)),),
+                predicate_name="country_of_origin",
+            ),
+            DimensionSpec(
+                "destination",
+                (HierarchySpec("dest_geo", (country, continent), rollup_names=("in_continent",)),),
+                predicate_name="country_of_destination",
+            ),
+            DimensionSpec("period", (HierarchySpec("period", (year,)),), predicate_name="ref_period"),
+        ),
+        measures=(MeasureSpec("num_applicants", low=0, high=100),),
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_kg():
+    return CubeBuilder(mini_schema(), seed=42).build(120)
+
+
+@pytest.fixture(scope="session")
+def mini_endpoint(mini_kg):
+    return mini_kg.endpoint()
+
+
+@pytest.fixture(scope="session")
+def mini_vgraph(mini_endpoint):
+    return VirtualSchemaGraph.bootstrap(mini_endpoint, OBSERVATION_CLASS)
+
+
+@pytest.fixture(scope="session")
+def eurostat_kg():
+    return generate_eurostat(n_observations=600, scale=0.15, seed=7)
+
+
+@pytest.fixture(scope="session")
+def eurostat_endpoint(eurostat_kg):
+    return eurostat_kg.endpoint()
+
+
+@pytest.fixture(scope="session")
+def eurostat_vgraph(eurostat_endpoint):
+    return VirtualSchemaGraph.bootstrap(eurostat_endpoint, OBSERVATION_CLASS)

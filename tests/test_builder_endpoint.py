@@ -1,0 +1,195 @@
+"""Unit tests for the query builder and the endpoint facade."""
+
+import pytest
+
+from repro.errors import QueryTimeoutError
+from repro.rdf import IRI, Literal, Triple, Variable, literal_from_python
+from repro.sparql import SelectBuilder, agg, parse_query, path, var
+from repro.store import Endpoint, Graph, TextIndex
+
+EX = "http://example.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    for index in range(6):
+        g.add(Triple(iri(f"obs{index}"), iri("dim"), iri(f"m{index % 2}")))
+        g.add(Triple(iri(f"obs{index}"), iri("val"), literal_from_python(index * 10)))
+    g.add(Triple(iri("m0"), iri("label"), Literal("Member Zero")))
+    g.add(Triple(iri("m1"), iri("label"), Literal("Member One")))
+    return g
+
+
+class TestSelectBuilder:
+    def test_basic_query(self, graph):
+        q = (SelectBuilder()
+             .select(var("m"))
+             .where(var("o"), iri("dim"), var("m"))
+             .distinct()
+             .build())
+        rs = Endpoint(graph).select(q)
+        assert len(rs) == 2
+
+    def test_aggregate_with_group_by(self, graph):
+        q = (SelectBuilder()
+             .select(var("m"))
+             .select_agg("SUM", var("v"), var("total"))
+             .where(var("o"), iri("dim"), var("m"))
+             .where(var("o"), iri("val"), var("v"))
+             .group_by(var("m"))
+             .order_by(var("total"), ascending=False)
+             .build())
+        rs = Endpoint(graph).select(q)
+        totals = [row[1].to_python() for row in rs]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_where_path(self, graph):
+        q = (SelectBuilder()
+             .select(var("l"))
+             .where_path(var("o"), [iri("dim"), iri("label")], var("l"))
+             .distinct()
+             .build())
+        rs = Endpoint(graph).select(q)
+        assert {row[0].lexical for row in rs} == {"Member Zero", "Member One"}
+
+    def test_filters(self, graph):
+        q = (SelectBuilder()
+             .select(var("o"))
+             .where(var("o"), iri("val"), var("v"))
+             .filter_range(var("v"), low=20, high=40)
+             .build())
+        rs = Endpoint(graph).select(q)
+        assert len(rs) == 3
+
+    def test_filter_range_exclusive(self, graph):
+        q = (SelectBuilder()
+             .select(var("o"))
+             .where(var("o"), iri("val"), var("v"))
+             .filter_range(var("v"), low=20, high=40,
+                           low_inclusive=False, high_inclusive=False)
+             .build())
+        assert len(Endpoint(graph).select(q)) == 1
+
+    def test_filter_range_requires_bound(self):
+        with pytest.raises(ValueError):
+            SelectBuilder().filter_range(var("v"))
+
+    def test_filter_in_and_equals(self, graph):
+        q = (SelectBuilder()
+             .select(var("o"))
+             .where(var("o"), iri("dim"), var("m"))
+             .filter_in(var("m"), [iri("m0")])
+             .build())
+        assert len(Endpoint(graph).select(q)) == 3
+        q2 = (SelectBuilder()
+              .select(var("o"))
+              .where(var("o"), iri("val"), var("v"))
+              .filter_equals(var("v"), 30)
+              .build())
+        assert len(Endpoint(graph).select(q2)) == 1
+
+    def test_values(self, graph):
+        q = (SelectBuilder()
+             .select(var("o"))
+             .values([var("m")], [[iri("m1")]])
+             .where(var("o"), iri("dim"), var("m"))
+             .build())
+        assert len(Endpoint(graph).select(q)) == 3
+
+    def test_limit_offset_validation(self):
+        with pytest.raises(ValueError):
+            SelectBuilder().limit(-1)
+        with pytest.raises(ValueError):
+            SelectBuilder().offset(-1)
+
+    def test_built_query_roundtrips(self, graph):
+        q = (SelectBuilder()
+             .select(var("m"))
+             .select_agg("AVG", var("v"), var("a"), distinct=True)
+             .where(var("o"), iri("dim"), var("m"))
+             .where(var("o"), iri("val"), var("v"))
+             .group_by(var("m"))
+             .limit(5)
+             .build())
+        text = q.to_sparql()
+        assert parse_query(text).to_sparql() == text
+
+    def test_path_helper(self):
+        assert path(iri("a")) == iri("a")
+        two = path(iri("a"), iri("b"))
+        assert two.to_sparql() == f"<{EX}a> / <{EX}b>"
+        with pytest.raises(ValueError):
+            path()
+
+    def test_agg_helper(self):
+        assert agg("COUNT").to_sparql() == "COUNT(*)"
+        assert agg("sum", var("v")).to_sparql() == "SUM(?v)"
+
+
+class TestEndpoint:
+    def test_query_text_dispatch(self, graph):
+        endpoint = Endpoint(graph)
+        rs = endpoint.query(f"SELECT ?o WHERE {{ ?o <{EX}dim> <{EX}m0> }}")
+        assert len(rs) == 3
+        assert endpoint.query(f"ASK {{ ?o <{EX}dim> <{EX}m0> }}") is True
+
+    def test_stats_counters(self, graph):
+        endpoint = Endpoint(graph)
+        endpoint.query(f"SELECT ?o WHERE {{ ?o <{EX}dim> ?m }}")
+        endpoint.query(f"ASK {{ ?o <{EX}dim> ?m }}")
+        endpoint.resolve_keyword("Member Zero")
+        assert endpoint.stats.select_queries == 1
+        assert endpoint.stats.ask_queries == 1
+        assert endpoint.stats.keyword_lookups == 1
+        assert endpoint.stats.total_queries == 2
+        endpoint.stats.reset()
+        assert endpoint.stats.total_queries == 0
+
+    def test_default_timeout_applies(self, graph):
+        endpoint = Endpoint(graph, default_timeout=-1.0)
+        with pytest.raises(QueryTimeoutError):
+            endpoint.select(f"SELECT ?o ?p ?x WHERE {{ ?o ?p ?x }}")
+        assert endpoint.stats.timeouts == 1
+
+    def test_per_call_timeout_overrides(self, graph):
+        endpoint = Endpoint(graph, default_timeout=-1.0)
+        rs = endpoint.select(f"SELECT ?o WHERE {{ ?o <{EX}dim> ?m }}", timeout=30)
+        assert len(rs) == 6
+
+    def test_is_non_empty(self, graph):
+        endpoint = Endpoint(graph)
+        q = parse_query(
+            f"SELECT ?m (SUM(?v) AS ?t) WHERE {{ ?o <{EX}dim> ?m . "
+            f"?o <{EX}val> ?v }} GROUP BY ?m"
+        )
+        assert endpoint.is_non_empty(q)
+        empty = parse_query(
+            f"SELECT ?m WHERE {{ ?o <{EX}dim> <{EX}nothere> . ?o <{EX}dim> ?m }}"
+        )
+        assert not endpoint.is_non_empty(empty)
+
+    def test_is_non_empty_respects_having(self, graph):
+        endpoint = Endpoint(graph)
+        q = parse_query(
+            f"SELECT ?m (SUM(?v) AS ?t) WHERE {{ ?o <{EX}dim> ?m . "
+            f"?o <{EX}val> ?v }} GROUP BY ?m HAVING (SUM(?v) > 100000)"
+        )
+        assert not endpoint.is_non_empty(q)
+
+    def test_refresh_text_index(self, graph):
+        endpoint = Endpoint(graph)
+        assert endpoint.resolve_keyword("Member Zero")
+        graph.add(Triple(iri("m2"), iri("label"), Literal("Member Two")))
+        assert not endpoint.resolve_keyword("Member Two")  # stale index
+        endpoint.refresh_text_index()
+        assert endpoint.resolve_keyword("Member Two")
+
+    def test_injected_text_index(self, graph):
+        index = TextIndex.from_graph(graph)
+        endpoint = Endpoint(graph, text_index=index)
+        assert endpoint.text_index is index

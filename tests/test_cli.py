@@ -1,0 +1,118 @@
+"""Tests for the interactive CLI shell."""
+
+import io
+
+import pytest
+
+from repro.cli import ExplorerShell, build_endpoint, main, make_parser
+from repro.qb import OBSERVATION_CLASS
+
+
+@pytest.fixture(scope="module")
+def shell(mini_endpoint):
+    return ExplorerShell(mini_endpoint, OBSERVATION_CLASS)
+
+
+class TestShellCommands:
+    def test_help(self, shell):
+        assert "find" in shell.handle("help")
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.handle("frobnicate")
+
+    def test_empty_line(self, shell):
+        assert shell.handle("   ") == ""
+
+    def test_profile(self, shell):
+        output = shell.handle("profile")
+        assert "observations: 120" in output
+
+    def test_find_pick_show_sparql(self, shell):
+        output = shell.handle("find Germany, 2014")
+        assert "2 candidate queries" in output
+        output = shell.handle("pick 0")
+        assert "result tuples" in output
+        output = shell.handle("show 5")
+        assert "Germany" in output  # labels rendered, not IRIs
+        output = shell.handle("sparql")
+        assert "GROUP BY" in output
+
+    def test_find_without_values(self, shell):
+        assert "usage" in shell.handle("find")
+
+    def test_refine_and_apply(self, shell):
+        shell.handle("find Germany, 2014")
+        shell.handle("pick 0")
+        output = shell.handle("refine disaggregate")
+        assert "refinements" in output
+        output = shell.handle("apply disaggregate 0")
+        assert "applied" in output
+        output = shell.handle("back")
+        assert "backtracked" in output
+
+    def test_refine_unknown_kind(self, shell):
+        shell.handle("find 2014")
+        shell.handle("pick 0")
+        assert "error" in shell.handle("refine clustering")
+
+    def test_find_unknown_value_reports_error(self, shell):
+        assert "error" in shell.handle("find Atlantis")
+
+    def test_insights_command(self, shell):
+        shell.handle("find Germany")
+        shell.handle("pick 0")
+        output = shell.handle("insights")
+        assert "error" not in output
+
+    def test_trace_command(self, shell):
+        shell.handle("find Germany")
+        shell.handle("pick 0")
+        output = shell.handle("trace")
+        assert "# Exploration trace" in output
+
+    def test_contrast_command(self, shell):
+        output = shell.handle("contrast Germany vs France")
+        assert "side A" in output
+        assert "usage" in shell.handle("contrast Germany")
+
+    def test_rollup_listed_in_help(self, shell):
+        assert "rollup" in shell.handle("help")
+
+    def test_pick_before_find_reports_error(self, mini_endpoint):
+        fresh = ExplorerShell(mini_endpoint, OBSERVATION_CLASS)
+        assert "error" in fresh.handle("pick 0")
+
+
+class TestEntryPoint:
+    def test_parser_defaults(self):
+        args = make_parser().parse_args([])
+        assert args.dataset == "eurostat"
+        assert args.scale == 0.4
+
+    def test_build_endpoint_from_generator(self):
+        args = make_parser().parse_args(
+            ["--dataset", "eurostat", "--observations", "50", "--scale", "0.1"]
+        )
+        endpoint, cls = build_endpoint(args)
+        assert cls == OBSERVATION_CLASS
+        assert endpoint.graph.count(None, None, None) > 0
+
+    def test_build_endpoint_from_ntriples(self, tmp_path, mini_kg):
+        path = tmp_path / "mini.nt"
+        path.write_text(mini_kg.graph.to_ntriples(), encoding="utf-8")
+        args = make_parser().parse_args(["--ntriples", str(path)])
+        endpoint, cls = build_endpoint(args)
+        assert len(list(endpoint.graph.triples())) == len(mini_kg.graph)
+
+    def test_main_scripted_session(self):
+        stdin = io.StringIO("profile\nfind Germany\npick 0\nshow 3\nquit\n")
+        stdout = io.StringIO()
+        code = main(
+            ["--dataset", "eurostat", "--observations", "100", "--scale", "0.1"],
+            stdin=stdin, stdout=stdout,
+        )
+        assert code == 0
+        transcript = stdout.getvalue()
+        assert "ready:" in transcript
+        assert "candidate queries" in transcript
+        assert "bye" in transcript

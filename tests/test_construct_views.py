@@ -1,0 +1,206 @@
+"""Tests for CONSTRUCT queries and analytical-view materialization."""
+
+import pytest
+
+from repro.core import (
+    AnalyticalView,
+    DimensionMapping,
+    MeasureMapping,
+    RollupStep,
+    VirtualSchemaGraph,
+    reolap,
+)
+from repro.errors import SchemaError, SPARQLSyntaxError
+from repro.qb import OBSERVATION_CLASS
+from repro.rdf import IRI, Literal, RDF, RDFS, Triple, literal_from_python
+from repro.sparql import ConstructQuery, evaluate_query, parse_query
+from repro.store import Endpoint, Graph
+
+EX = "http://example.org/music/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture(scope="module")
+def music_graph():
+    """A general (non-statistical) KG about songs, per the paper's DBpedia view."""
+    g = Graph()
+    songs = [
+        # (song, artist, genre, duration)
+        ("song1", "beatles", "rock", 125),
+        ("song2", "beatles", "rock", 180),
+        ("song3", "beatles", "pop", 210),
+        ("song4", "stones", "rock", 240),
+        ("song5", "stones", "blues", 150),
+        ("song6", "adele", "pop", 200),
+        ("song7", "adele", "soul", 230),
+        ("song8", "miles", "jazz", 480),
+    ]
+    genre_family = {"rock": "popular", "pop": "popular", "blues": "roots",
+                    "soul": "roots", "jazz": "roots"}
+    artist_country = {"beatles": "uk", "stones": "uk", "adele": "uk", "miles": "usa"}
+    labels = {
+        "beatles": "The Beatles", "stones": "The Rolling Stones",
+        "adele": "Adele", "miles": "Miles Davis", "rock": "Rock", "pop": "Pop",
+        "blues": "Blues", "soul": "Soul", "jazz": "Jazz",
+        "popular": "Popular Music", "roots": "Roots Music",
+        "uk": "United Kingdom", "usa": "United States",
+    }
+    for song, artist, genre, duration in songs:
+        g.add(Triple(iri(song), RDF.type, iri("Song")))
+        g.add(Triple(iri(song), iri("performedBy"), iri(artist)))
+        g.add(Triple(iri(song), iri("hasGenre"), iri(genre)))
+        g.add(Triple(iri(song), iri("durationSeconds"), literal_from_python(duration)))
+        g.add(Triple(iri(song), RDFS.label, Literal(song.title())))
+    for child, parent in genre_family.items():
+        g.add(Triple(iri(child), iri("subGenreOf"), iri(parent)))
+    for artist, country in artist_country.items():
+        g.add(Triple(iri(artist), iri("fromCountry"), iri(country)))
+    for name, label in labels.items():
+        g.add(Triple(iri(name), RDFS.label, Literal(label)))
+    return g
+
+
+@pytest.fixture(scope="module")
+def music_view():
+    return AnalyticalView(
+        name="songs",
+        fact_class=iri("Song"),
+        namespace="http://example.org/songview/",
+        dimensions=(
+            DimensionMapping(
+                name="artist",
+                source_path=(iri("performedBy"),),
+                hierarchy=(RollupStep("from_country", (iri("fromCountry"),)),),
+            ),
+            DimensionMapping(
+                name="genre",
+                source_path=(iri("hasGenre"),),
+                hierarchy=(RollupStep("in_family", (iri("subGenreOf"),)),),
+            ),
+        ),
+        measures=(MeasureMapping("duration", (iri("durationSeconds"),)),),
+    )
+
+
+class TestConstruct:
+    def test_basic_construct(self, music_graph):
+        result = evaluate_query(
+            music_graph,
+            f"CONSTRUCT {{ ?a <{EX}playedGenre> ?g }} "
+            f"WHERE {{ ?s <{EX}performedBy> ?a . ?s <{EX}hasGenre> ?g }}",
+        )
+        assert isinstance(result, Graph)
+        assert Triple(iri("beatles"), iri("playedGenre"), iri("rock")) in result
+        # Deduplicated: beatles played rock twice but one triple results.
+        assert result.count(iri("beatles"), iri("playedGenre"), iri("rock")) == 1
+
+    def test_unbound_template_triples_skipped(self, music_graph):
+        result = evaluate_query(
+            music_graph,
+            f"CONSTRUCT {{ ?s <{EX}out> ?missing . ?s <{EX}kept> ?a }} "
+            f"WHERE {{ ?s <{EX}performedBy> ?a . "
+            f"OPTIONAL {{ ?s <{EX}nothing> ?missing }} }}",
+        )
+        assert result.count(None, iri("out"), None) == 0
+        assert result.count(None, iri("kept"), None) > 0
+
+    def test_literal_subject_skipped(self, music_graph):
+        result = evaluate_query(
+            music_graph,
+            f"CONSTRUCT {{ ?d <{EX}backlink> ?s }} "
+            f"WHERE {{ ?s <{EX}durationSeconds> ?d }}",
+        )
+        assert len(result) == 0
+
+    def test_limit(self, music_graph):
+        result = evaluate_query(
+            music_graph,
+            f"CONSTRUCT {{ ?s <{EX}copy> ?a }} "
+            f"WHERE {{ ?s <{EX}performedBy> ?a }} LIMIT 3",
+        )
+        assert len(result) == 3
+
+    def test_template_rejects_paths(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query(
+                f"CONSTRUCT {{ ?s <{EX}a> / <{EX}b> ?o }} WHERE {{ ?s <{EX}p> ?o }}"
+            )
+
+    def test_roundtrip(self):
+        q = parse_query(
+            f"CONSTRUCT {{ ?s <{EX}p> ?o . }} WHERE {{ ?s <{EX}q> ?o . }} LIMIT 5"
+        )
+        assert isinstance(q, ConstructQuery)
+        assert parse_query(q.to_sparql()).to_sparql() == q.to_sparql()
+
+    def test_endpoint_dispatch(self, music_graph):
+        endpoint = Endpoint(music_graph)
+        result = endpoint.query(
+            f"CONSTRUCT {{ ?s <{EX}p> ?a }} WHERE {{ ?s <{EX}performedBy> ?a }}"
+        )
+        assert isinstance(result, Graph)
+
+
+class TestAnalyticalView:
+    def test_materialize_produces_observations(self, music_graph, music_view):
+        view_graph = music_view.materialize(Endpoint(music_graph))
+        obs = list(view_graph.subjects(RDF.type, OBSERVATION_CLASS))
+        assert len(obs) == 8
+
+    def test_member_labels_copied(self, music_graph, music_view):
+        view_graph = music_view.materialize(Endpoint(music_graph))
+        assert Triple(iri("beatles"), RDFS.label, Literal("The Beatles")) in view_graph
+
+    def test_hierarchy_copied(self, music_graph, music_view):
+        view_graph = music_view.materialize(Endpoint(music_graph))
+        rollup = music_view.rollup_predicate(music_view.dimensions[1].hierarchy[0])
+        assert view_graph.value(iri("rock"), rollup, None) == iri("popular")
+
+    def test_view_bootstraps_and_explores(self, music_graph, music_view):
+        """The paper's full pipeline: general KG → view → Re2xOLAP."""
+        view_graph = music_view.materialize(Endpoint(music_graph))
+        endpoint = Endpoint(view_graph)
+        vgraph = VirtualSchemaGraph.bootstrap(endpoint, OBSERVATION_CLASS)
+        assert vgraph.n_levels == 4  # artist, country, genre, family
+        queries = reolap(endpoint, vgraph, ("Rock",))
+        assert queries
+        results = endpoint.select(queries[0].to_select())
+        assert len(results) > 0
+        assert queries[0].anchor_row_indexes(results)
+
+    def test_view_totals_match_source(self, music_graph, music_view):
+        view_graph = music_view.materialize(Endpoint(music_graph))
+        endpoint = Endpoint(view_graph)
+        vgraph = VirtualSchemaGraph.bootstrap(endpoint, OBSERVATION_CLASS)
+        (query, *_rest) = reolap(endpoint, vgraph, ("United Kingdom",))
+        results = endpoint.select(query.to_select())
+        uk_total = next(
+            row[results.index_of("sum_duration")].to_python()
+            for index, row in enumerate(results.rows)
+            if index in query.anchor_row_indexes(results)
+        )
+        # UK artists: beatles (125+180+210) + stones (240+150) + adele (200+230)
+        assert uk_total == 125 + 180 + 210 + 240 + 150 + 200 + 230
+
+    def test_empty_view_raises(self, music_graph):
+        view = AnalyticalView(
+            name="broken",
+            fact_class=iri("Nothing"),
+            dimensions=(DimensionMapping("d", (iri("performedBy"),)),),
+            measures=(MeasureMapping("m", (iri("durationSeconds"),)),),
+        )
+        with pytest.raises(SchemaError):
+            view.materialize(Endpoint(music_graph))
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            DimensionMapping("d", ())
+        with pytest.raises(SchemaError):
+            MeasureMapping("m", ())
+        with pytest.raises(SchemaError):
+            RollupStep("r", ())
+        with pytest.raises(SchemaError):
+            AnalyticalView("v", iri("Song"), (), (MeasureMapping("m", (iri("p"),)),))

@@ -1,0 +1,136 @@
+"""Tests for the three schema-faithful dataset generators (Table 3)."""
+
+import pytest
+
+from repro.datasets import (
+    dbpedia_schema,
+    eurostat_schema,
+    generate_dbpedia,
+    generate_eurostat,
+    generate_production,
+    production_schema,
+    scaled,
+)
+from repro.qb import LABEL, OBSERVATION_CLASS, TYPE
+from repro.rdf import Literal
+
+
+class TestScaled:
+    def test_identity_at_one(self):
+        assert scaled(100, 1.0) == 100
+
+    def test_rounds_up(self):
+        assert scaled(10, 0.25) == 3
+
+    def test_floor(self):
+        assert scaled(10, 0.0001) == 2
+        assert scaled(10, 0.0001, minimum=1) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scaled(10, 0)
+
+
+class TestEurostatSchema:
+    def test_table3_characteristics(self):
+        stats = eurostat_schema(scale=1.0).describe()
+        # Paper Table 3: |M|=1, |L|=9, |N_D|=373 (D/H conventions differ;
+        # see schema module docstring).
+        assert stats["M"] == 1
+        assert stats["L"] == 9
+        assert stats["N_D"] == 373
+        assert stats["D"] == 5
+        assert stats["H"] == 6
+
+    def test_scaled_down_is_consistent(self):
+        schema = eurostat_schema(scale=0.1)
+        assert schema.n_levels == 9
+        assert schema.n_members < 100
+
+
+class TestProductionSchema:
+    def test_table3_characteristics(self):
+        stats = production_schema(scale=1.0).describe()
+        assert stats["D"] == 7
+        assert stats["M"] == 1
+        assert stats["L"] == 9
+        assert stats["N_D"] == 6444
+
+    def test_scaled(self):
+        assert production_schema(scale=0.01).n_members < 300
+
+
+class TestDBpediaSchema:
+    def test_table3_characteristics(self):
+        stats = dbpedia_schema(scale=1.0).describe()
+        assert stats["D"] == 5
+        assert stats["M"] == 1
+        assert stats["H"] == 14
+        assert stats["L"] == 23
+        assert stats["N_D"] == 87160
+
+    def test_m_to_n_levels_present(self):
+        schema = dbpedia_schema(scale=0.05)
+        fans = [
+            level.parents_per_member
+            for dim in schema.dimensions
+            for _, level in dim.levels()
+        ]
+        assert max(fans) >= 2
+
+
+class TestGeneration:
+    def test_eurostat_generation(self):
+        kg = generate_eurostat(n_observations=100, scale=0.1, seed=1)
+        assert kg.n_observations == 100
+        assert kg.graph.count(None, TYPE, OBSERVATION_CLASS) == 100
+        # Germany must be findable by label (the running example).
+        assert any(
+            kg.graph.value(m.iri, LABEL, None) == Literal("Germany")
+            for m in kg.members_of("destination", "country")
+        )
+
+    def test_eurostat_shared_country_pool(self):
+        kg = generate_eurostat(n_observations=10, scale=0.1)
+        origin = {m.iri for m in kg.members_of("citizen", "country")}
+        dest = {m.iri for m in kg.members_of("destination", "country")}
+        assert origin == dest
+
+    def test_eurostat_has_month_year_hierarchy(self):
+        kg = generate_eurostat(n_observations=10, scale=0.1)
+        months = kg.members_of("ref_period", "month")
+        years = kg.members_of("ref_period", "year")
+        assert months and years
+        assert months[0].label.split()[-1].isdigit()
+
+    def test_production_generation(self):
+        kg = generate_production(n_observations=50, scale=0.01, seed=2)
+        assert kg.n_observations == 50
+        assert kg.members_of("producer", "country") == kg.members_of("consumer", "country")
+
+    def test_dbpedia_generation_m_to_n(self):
+        kg = generate_dbpedia(n_observations=50, scale=0.02, seed=3)
+        # genre -> supergenre must be M-to-N (2 parents per genre).
+        from repro.qb import CubeBuilder
+
+        builder = CubeBuilder(kg.schema)
+        rollup = builder.rollup_predicate("sub_genre_of")
+        fans = [
+            len(list(kg.graph.objects(m.iri, rollup)))
+            for m in kg.members_of("genre", "genre")
+        ]
+        assert max(fans) >= 2
+
+    def test_generation_deterministic(self):
+        a = generate_eurostat(n_observations=30, scale=0.1, seed=9)
+        b = generate_eurostat(n_observations=30, scale=0.1, seed=9)
+        assert sorted(a.graph.triples()) == sorted(b.graph.triples())
+
+    def test_eurostat_triple_density_exceeds_production(self):
+        # Fig. 6: Eurostat has ~2x the triples of Production at equal
+        # observation counts (richer observation attributes).
+        eurostat = generate_eurostat(n_observations=200, scale=0.05)
+        production = generate_production(n_observations=200, scale=0.005)
+        eurostat_per_obs = len(eurostat.graph) / 200
+        production_per_obs = len(production.graph) / 200
+        assert eurostat_per_obs > production_per_obs

@@ -1,0 +1,150 @@
+"""Tests for description templates, namespaces, and evaluator edge cases."""
+
+import pytest
+
+from repro.core import describe_query, reolap
+from repro.core.describe import (
+    describe_disaggregate,
+    describe_percentile,
+    describe_similarity,
+    describe_topk,
+)
+from repro.rdf import IRI, Literal, Namespace, QB, RDF, Triple, literal_from_python
+from repro.sparql import evaluate_query, parse_query
+from repro.store import Graph
+
+EX = "http://example.org/"
+
+
+class TestDescribe:
+    @pytest.fixture()
+    def query(self, mini_endpoint, mini_vgraph):
+        (query, *_rest) = reolap(mini_endpoint, mini_vgraph, ("Germany", "2014"))
+        return query
+
+    def test_base_template(self, query):
+        text = describe_query(query)
+        assert text.startswith("Return SUM/MIN/MAX/AVG(Num Applicants) grouped by")
+        assert "'Germany'" in text
+
+    def test_disaggregate_template(self, query):
+        assert 'disaggregated by "Sex"' in describe_disaggregate(query, "Sex")
+
+    def test_topk_template(self, query):
+        text = describe_topk(query, 5, "SUM(Num Applicants)", descending=True)
+        assert "5 highest" in text
+        text = describe_topk(query, 3, "SUM(Num Applicants)", descending=False)
+        assert "3 lowest" in text
+
+    def test_percentile_templates(self, query):
+        assert "between the 25th and 50th percentile" in describe_percentile(
+            query, 25, 50, "SUM(x)"
+        )
+        assert "above the 90th percentile" in describe_percentile(query, 90, None, "SUM(x)")
+        assert "below the 25th percentile" in describe_percentile(query, None, 25, "SUM(x)")
+
+    def test_similarity_template(self, query):
+        text = describe_similarity(query, 3, "SUM(x)", ["Germany"])
+        assert "3 member combinations most similar" in text
+
+
+class TestNamespace:
+    def test_attribute_and_item_access(self):
+        ns = Namespace(EX)
+        assert ns.Germany == IRI(EX + "Germany")
+        assert ns["Country of Origin"] == IRI(EX + "Country%20of%20Origin")
+        assert ns.term("class") == IRI(EX + "class")
+
+    def test_contains(self):
+        ns = Namespace(EX)
+        assert ns.Germany in ns
+        assert IRI("http://other.org/x") not in ns
+
+    def test_equality_and_repr(self):
+        assert Namespace(EX) == Namespace(EX)
+        assert hash(Namespace(EX)) == hash(Namespace(EX))
+        assert EX in repr(Namespace(EX))
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_standard_vocabularies(self):
+        assert RDF.type.value.endswith("#type")
+        assert QB.Observation.value == "http://purl.org/linked-data/cube#Observation"
+
+
+class TestEvaluatorEdgeCases:
+    @pytest.fixture()
+    def graph(self):
+        g = Graph()
+        g.add(Triple(IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "b")))
+        g.add(Triple(IRI(EX + "b"), IRI(EX + "q"), literal_from_python(1)))
+        g.add(Triple(IRI(EX + "c"), IRI(EX + "p"), IRI(EX + "d")))
+        return g
+
+    def test_nested_optional(self, graph):
+        rs = evaluate_query(
+            graph,
+            f"SELECT ?x ?v WHERE {{ ?x <{EX}p> ?y . "
+            f"OPTIONAL {{ ?y <{EX}q> ?v . OPTIONAL {{ ?v <{EX}r> ?w }} }} }}",
+        )
+        values = dict(rs.rows)
+        assert values[IRI(EX + "a")] is not None
+        assert values[IRI(EX + "c")] is None
+
+    def test_union_with_filter(self, graph):
+        rs = evaluate_query(
+            graph,
+            f"SELECT ?x WHERE {{ "
+            f"{{ ?x <{EX}p> <{EX}b> }} UNION {{ ?x <{EX}p> <{EX}d> }} "
+            f"FILTER(?x != <{EX}c>) }}",
+        )
+        assert rs.rows == [(IRI(EX + "a"),)]
+
+    def test_multiple_having_constraints(self, graph):
+        rs = evaluate_query(
+            graph,
+            f"SELECT ?y (COUNT(*) AS ?n) WHERE {{ ?x <{EX}p> ?y }} GROUP BY ?y "
+            f"HAVING (COUNT(*) >= 1) (COUNT(*) <= 1)",
+        )
+        assert len(rs) == 2
+
+    def test_multi_key_order(self, graph):
+        rs = evaluate_query(
+            graph,
+            f"SELECT ?x ?y WHERE {{ ?x <{EX}p> ?y }} ORDER BY DESC(?x) ?y",
+        )
+        assert rs.rows[0][0] == IRI(EX + "c")
+
+    def test_select_star_with_optional_unbound(self, graph):
+        rs = evaluate_query(
+            graph,
+            f"SELECT * WHERE {{ ?x <{EX}p> ?y . OPTIONAL {{ ?y <{EX}q> ?v }} }}",
+        )
+        assert len(rs) == 2
+        assert len(rs.variables) == 3
+
+    def test_aggregate_skips_error_rows(self, graph):
+        # ?v is unbound for one branch: AVG skips it rather than erroring.
+        rs = evaluate_query(
+            graph,
+            f"SELECT (AVG(?v) AS ?a) (COUNT(*) AS ?n) WHERE {{ "
+            f"?x <{EX}p> ?y . OPTIONAL {{ ?y <{EX}q> ?v }} }}",
+        )
+        (row,) = rs.rows
+        assert row[0].to_python() == 1
+        assert row[1].to_python() == 2
+
+    def test_group_by_unbound_key_kept(self, graph):
+        rs = evaluate_query(
+            graph,
+            f"SELECT ?v (COUNT(*) AS ?n) WHERE {{ ?x <{EX}p> ?y . "
+            f"OPTIONAL {{ ?y <{EX}q> ?v }} }} GROUP BY ?v",
+        )
+        keys = {row[0] for row in rs}
+        assert None in keys
+
+    def test_empty_group_pattern(self, graph):
+        rs = evaluate_query(graph, "SELECT (COUNT(*) AS ?n) WHERE { }")
+        assert rs.rows[0][0].to_python() == 1  # the empty solution

@@ -1,0 +1,102 @@
+"""Tests for query-plan explanation, suggestions, and workload generation."""
+
+import pytest
+
+from repro.core import ExplorationSession, reolap, suggest
+from repro.sparql import explain, parse_query
+from repro.workloads import example_tuples, example_tuples_from_vgraph, exploration_walk
+
+EX = "http://example.org/"
+
+
+class TestExplain:
+    def test_plan_orders_selective_first(self, mini_kg, mini_endpoint, mini_vgraph):
+        (query, *_rest) = reolap(mini_endpoint, mini_vgraph, ("Germany",))
+        plan = explain(mini_kg.graph, query.to_select())
+        assert plan.optimized
+        assert len(plan.steps) == len(query.to_select().where.triple_patterns())
+        # Estimates never grow then shrink arbitrarily: the first step is
+        # the cheapest under the greedy policy.
+        first = plan.steps[0].estimated_cardinality
+        assert first <= max(s.estimated_cardinality for s in plan.steps)
+
+    def test_plan_without_optimizer_preserves_text_order(self, mini_kg):
+        text = (
+            f"SELECT ?a WHERE {{ ?a <{EX}p1> ?b . ?b <{EX}p2> ?c . }}"
+        )
+        plan = explain(mini_kg.graph, text, optimize=False)
+        assert not plan.optimized
+        assert [s.position for s in plan.steps] == [1, 2]
+
+    def test_render(self, mini_kg, mini_endpoint, mini_vgraph):
+        (query, *_rest) = reolap(mini_endpoint, mini_vgraph, ("Germany",))
+        rendered = explain(mini_kg.graph, query.to_select()).render()
+        assert "join order (optimizer on):" in rendered
+        assert "est." in rendered
+
+    def test_rejects_ask(self, mini_kg):
+        with pytest.raises(TypeError):
+            explain(mini_kg.graph, f"ASK {{ ?a <{EX}p> ?b }}")
+
+    def test_binds_tracking(self, mini_kg):
+        text = f"SELECT ?a ?c WHERE {{ ?a <{EX}p1> ?b . ?b <{EX}p2> ?c . }}"
+        plan = explain(mini_kg.graph, text, optimize=False)
+        assert plan.steps[0].binds == ("a", "b")
+        assert plan.steps[1].binds == ("c",)
+
+
+class TestSuggest:
+    def test_prefix_completion(self, mini_endpoint, mini_vgraph):
+        suggestions = suggest(mini_endpoint, mini_vgraph, "Ger")
+        labels = {s.label for s in suggestions}
+        assert "Germany" in labels
+
+    def test_ambiguity_reported(self, mini_endpoint, mini_vgraph):
+        (germany,) = [s for s in suggest(mini_endpoint, mini_vgraph, "Germany")
+                      if s.label == "Germany"]
+        assert germany.is_ambiguous  # origin and destination country
+        assert len(germany.levels) == 2
+        assert "Germany" in germany.render()
+
+    def test_empty_prefix(self, mini_endpoint, mini_vgraph):
+        assert suggest(mini_endpoint, mini_vgraph, "   ") == []
+
+    def test_no_match(self, mini_endpoint, mini_vgraph):
+        assert suggest(mini_endpoint, mini_vgraph, "zzzz") == []
+
+    def test_limit_respected(self, eurostat_endpoint, eurostat_vgraph):
+        suggestions = suggest(eurostat_endpoint, eurostat_vgraph, "c", limit=3)
+        assert len(suggestions) <= 3
+
+
+class TestWorkloads:
+    def test_example_tuples_shape(self, mini_kg):
+        inputs = example_tuples(mini_kg, size=2, count=5, seed=1)
+        assert len(inputs) == 5
+        assert all(len(t) == 2 for t in inputs)
+
+    def test_example_tuples_deterministic(self, mini_kg):
+        assert example_tuples(mini_kg, 2, seed=4) == example_tuples(mini_kg, 2, seed=4)
+        assert example_tuples(mini_kg, 2, seed=4) != example_tuples(mini_kg, 2, seed=5)
+
+    def test_size_validation(self, mini_kg):
+        with pytest.raises(ValueError):
+            example_tuples(mini_kg, size=99)
+
+    def test_sampled_labels_are_synthesizable(self, mini_kg, mini_endpoint, mini_vgraph):
+        for example in example_tuples(mini_kg, size=1, count=5, seed=2):
+            assert reolap(mini_endpoint, mini_vgraph, example)
+
+    def test_vgraph_sampling_without_ground_truth(self, mini_endpoint, mini_vgraph):
+        inputs = example_tuples_from_vgraph(mini_endpoint, mini_vgraph, size=2, count=3, seed=3)
+        assert len(inputs) == 3
+        for example in inputs:
+            assert reolap(mini_endpoint, mini_vgraph, example)
+
+    def test_exploration_walk(self, mini_endpoint, mini_vgraph):
+        session = ExplorationSession(mini_endpoint, mini_vgraph)
+        sizes = list(
+            exploration_walk(session, ("Germany",), ("disaggregate", "topk"), seed=0)
+        )
+        assert len(sizes) >= 2
+        assert all(size > 0 for size in sizes)

@@ -1,0 +1,156 @@
+"""Unit tests for SPARQL expression evaluation semantics."""
+
+import pytest
+
+from repro.rdf import IRI, BNode, Literal, Variable, XSD_BOOLEAN, XSD_INTEGER
+from repro.sparql import parse_query
+from repro.sparql.expressions import (
+    ExpressionError,
+    effective_boolean_value,
+    evaluate,
+    term_compare,
+)
+
+
+def expr(text: str):
+    """Parse a bare expression by wrapping it in a FILTER."""
+    query = parse_query(f"SELECT ?x WHERE {{ ?x <urn:p> ?y . FILTER({text}) }}")
+    return query.where.filters()[0].expression
+
+
+def run(text: str, **bindings):
+    binding = {Variable(k): v for k, v in bindings.items()}
+    return evaluate(expr(text), binding)
+
+
+def num(value: int) -> Literal:
+    return Literal(str(value), datatype=XSD_INTEGER)
+
+
+class TestEffectiveBooleanValue:
+    def test_boolean_literals(self):
+        assert effective_boolean_value(Literal("true", datatype=XSD_BOOLEAN))
+        assert not effective_boolean_value(Literal("false", datatype=XSD_BOOLEAN))
+
+    def test_numbers(self):
+        assert effective_boolean_value(num(5))
+        assert not effective_boolean_value(num(0))
+
+    def test_strings(self):
+        assert effective_boolean_value(Literal("x"))
+        assert not effective_boolean_value(Literal(""))
+
+    def test_iri_errors(self):
+        with pytest.raises(ExpressionError):
+            effective_boolean_value(IRI("urn:x"))
+
+
+class TestComparisons:
+    def test_numeric_cross_datatype(self):
+        a = Literal("5", datatype=XSD_INTEGER)
+        b = Literal("5.0", datatype=IRI("http://www.w3.org/2001/XMLSchema#double"))
+        assert term_compare(a, b, "=")
+        assert term_compare(a, b, "<=")
+
+    def test_string_ordering(self):
+        assert term_compare(Literal("abc"), Literal("abd"), "<")
+
+    def test_iri_equality_only(self):
+        assert term_compare(IRI("urn:a"), IRI("urn:a"), "=")
+        with pytest.raises(ExpressionError):
+            term_compare(IRI("urn:a"), IRI("urn:b"), "<")
+
+    def test_incomparable_literals(self):
+        with pytest.raises(ExpressionError):
+            term_compare(num(3), Literal("x"), "<")
+
+
+class TestBuiltins:
+    def test_str_of_iri(self):
+        assert run("STR(?a)", a=IRI("urn:x")).lexical == "urn:x"
+
+    def test_lang_and_datatype(self):
+        assert run("LANG(?a)", a=Literal("x", language="en")).lexical == "en"
+        assert run("DATATYPE(?a)", a=num(1)) == XSD_INTEGER
+
+    def test_type_checks(self):
+        assert effective_boolean_value(run("isIRI(?a)", a=IRI("urn:x")))
+        assert effective_boolean_value(run("isLiteral(?a)", a=Literal("x")))
+        assert effective_boolean_value(run("isBlank(?a)", a=BNode("b")))
+        assert effective_boolean_value(run("isNumeric(?a)", a=num(1)))
+        assert not effective_boolean_value(run("isNumeric(?a)", a=Literal("x")))
+
+    def test_bound(self):
+        assert effective_boolean_value(run("BOUND(?a)", a=num(1)))
+        assert not effective_boolean_value(run("BOUND(?zzz)", a=num(1)))
+
+    def test_coalesce(self):
+        value = run("COALESCE(?missing, ?a)", a=num(7))
+        assert value.lexical == "7"
+        with pytest.raises(ExpressionError):
+            run("COALESCE(?m1, ?m2)", a=num(1))
+
+    def test_if(self):
+        assert run('IF(?a > 1, "big", "small")', a=num(5)).lexical == "big"
+        assert run('IF(?a > 1, "big", "small")', a=num(0)).lexical == "small"
+
+    def test_string_functions(self):
+        assert run("STRLEN(?a)", a=Literal("abc")).lexical == "3"
+        assert run("UCASE(?a)", a=Literal("abc")).lexical == "ABC"
+        assert run("LCASE(?a)", a=Literal("ABC")).lexical == "abc"
+        assert effective_boolean_value(run('CONTAINS(?a, "bc")', a=Literal("abcd")))
+        assert effective_boolean_value(run('STRSTARTS(?a, "ab")', a=Literal("abcd")))
+        assert effective_boolean_value(run('STRENDS(?a, "cd")', a=Literal("abcd")))
+
+    def test_numeric_functions(self):
+        assert run("ABS(?a)", a=num(-4)).lexical == "4"
+        assert run("CEIL(?a)", a=Literal("1.2", datatype=IRI("http://www.w3.org/2001/XMLSchema#double"))).lexical == "2"
+        assert run("FLOOR(?a)", a=Literal("1.8", datatype=IRI("http://www.w3.org/2001/XMLSchema#double"))).lexical == "1"
+
+    def test_regex_flags(self):
+        assert effective_boolean_value(run('REGEX(?a, "^ger", "i")', a=Literal("Germany")))
+        with pytest.raises(ExpressionError):
+            run('REGEX(?a, "[unclosed")', a=Literal("x"))
+
+
+class TestErrorSemantics:
+    def test_unbound_variable_errors(self):
+        with pytest.raises(ExpressionError):
+            run("?missing > 1", a=num(1))
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExpressionError):
+            run("?a / 0", a=num(1))
+
+    def test_true_or_error_is_true(self):
+        value = run("?a > 1 || ?missing > 1", a=num(5))
+        assert effective_boolean_value(value)
+
+    def test_false_and_error_is_false(self):
+        value = run("?a > 1 && ?missing > 1", a=num(0))
+        assert not effective_boolean_value(value)
+
+    def test_error_propagates_when_undecided(self):
+        with pytest.raises(ExpressionError):
+            run("?a > 1 && ?missing > 1", a=num(5))
+
+    def test_arithmetic_on_non_numeric(self):
+        with pytest.raises(ExpressionError):
+            run("?a + 1", a=Literal("x"))
+
+
+class TestArithmetic:
+    def test_integer_preservation(self):
+        assert run("?a + ?a", a=num(3)).lexical == "6"
+        assert run("?a * 2", a=num(3)).lexical == "6"
+
+    def test_division_yields_float(self):
+        value = run("?a / 2", a=num(3))
+        assert float(value.lexical) == 1.5
+
+    def test_unary_minus(self):
+        assert run("-?a = 0 - ?a", a=num(3)).lexical == "true"
+
+    def test_in_and_not_in(self):
+        assert run("?a IN (1, 2, 3)", a=num(2)).lexical == "true"
+        assert run("?a NOT IN (1, 2, 3)", a=num(9)).lexical == "true"

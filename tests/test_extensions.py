@@ -1,0 +1,145 @@
+"""Tests for the future-work extensions: labels, ranking, negatives, contrast."""
+
+import pytest
+
+from repro.core import (
+    LabelResolver,
+    contrast,
+    labeled_results,
+    rank_queries,
+    rank_refinements,
+    reolap,
+    reolap_with_negatives,
+)
+from repro.errors import SynthesisError
+from repro.rdf import IRI, Literal
+
+MINI = "http://example.org/mini/"
+
+
+class TestLabels:
+    def test_resolver_prefers_rdfs_label(self, mini_endpoint, mini_kg):
+        member = mini_kg.members_of("origin", "country")[0]
+        resolver = LabelResolver(mini_endpoint)
+        assert resolver.label(member.iri) == member.label
+
+    def test_resolver_caches(self, mini_endpoint, mini_kg):
+        member = mini_kg.members_of("origin", "country")[0]
+        resolver = LabelResolver(mini_endpoint)
+        resolver.label(member.iri)
+        before = mini_endpoint.stats.select_queries
+        resolver.label(member.iri)
+        assert mini_endpoint.stats.select_queries == before
+
+    def test_resolver_fallbacks(self, mini_endpoint):
+        resolver = LabelResolver(mini_endpoint)
+        assert resolver.label(IRI("urn:unknown/thing")) == "thing"
+        assert resolver.label(None) == ""
+        assert resolver.label(Literal("already text")) == "already text"
+
+    def test_labeled_results(self, mini_endpoint, mini_vgraph):
+        (query, *_others) = reolap(mini_endpoint, mini_vgraph, ("Germany", "2014"))
+        raw = mini_endpoint.select(query.to_select())
+        pretty = labeled_results(mini_endpoint, raw)
+        assert len(pretty) == len(raw)
+        labels = {value.lexical for row in pretty.rows for value in row}
+        assert {"Germany", "France", "Syria", "China"} & labels
+
+
+class TestRanking:
+    def test_rank_queries_prefers_fewer_members(self, mini_endpoint, mini_vgraph):
+        # "Europe" groups at continent (2 members); "Germany" at country (4).
+        continental = reolap(mini_endpoint, mini_vgraph, ("Europe",))
+        national = reolap(mini_endpoint, mini_vgraph, ("Germany",))
+        ranked = rank_queries(continental + national)
+        assert ranked[0].item.dimensions[0].level.member_count == 2
+        assert ranked[0].score >= ranked[-1].score
+        assert "members" in ranked[0].reason
+
+    def test_rank_refinements_orders_and_explains(self, mini_endpoint, mini_vgraph):
+        from repro.core import ExplorationSession
+
+        session = ExplorationSession(mini_endpoint, mini_vgraph)
+        session.synthesize("Germany", "2014")
+        session.choose(0)
+        proposals = []
+        for kind in session.refinement_kinds():
+            proposals.extend(session.refinements(kind))
+        ranked = rank_refinements(proposals, session.results)
+        assert len(ranked) == len(proposals)
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert all(r.reason for r in ranked)
+
+
+class TestNegativeExamples:
+    def test_negative_adds_exclusion_filter(self, mini_endpoint, mini_vgraph, mini_kg):
+        queries = reolap_with_negatives(
+            mini_endpoint, mini_vgraph, ("Germany", "2014"), negatives=("France",)
+        )
+        assert queries
+        france = {
+            m.iri for m in mini_kg.members_of("origin", "country") if m.label == "France"
+        }
+        for query in queries:
+            results = mini_endpoint.select(query.to_select())
+            for row in results.rows:
+                assert not (set(row) & france), query.description
+            # The positive example must survive the exclusion.
+            assert query.anchor_row_indexes(results)
+
+    def test_negated_anchor_drops_candidate(self, mini_endpoint, mini_vgraph):
+        # Excluding the very member the user exemplified removes all
+        # candidates anchored on it.
+        queries = reolap_with_negatives(
+            mini_endpoint, mini_vgraph, ("Germany",), negatives=("Germany",)
+        )
+        assert queries == []
+
+    def test_unmatched_negative_raises(self, mini_endpoint, mini_vgraph):
+        with pytest.raises(SynthesisError):
+            reolap_with_negatives(
+                mini_endpoint, mini_vgraph, ("Germany",), negatives=("Atlantis",)
+            )
+
+    def test_description_mentions_exclusion(self, mini_endpoint, mini_vgraph):
+        queries = reolap_with_negatives(
+            mini_endpoint, mini_vgraph, ("Germany",), negatives=("France",)
+        )
+        assert all("excluding" in q.description for q in queries)
+
+    def test_no_negatives_is_passthrough(self, mini_endpoint, mini_vgraph):
+        plain = reolap(mini_endpoint, mini_vgraph, ("2014",))
+        extended = reolap_with_negatives(mini_endpoint, mini_vgraph, ("2014",))
+        assert [q.sparql() for q in plain] == [q.sparql() for q in extended]
+
+
+class TestContrast:
+    def test_contrast_two_countries(self, mini_endpoint, mini_vgraph):
+        results = contrast(mini_endpoint, mini_vgraph, ("Germany",), ("France",))
+        assert results
+        comparison = results[0]
+        assert len(comparison.side_a) > 0
+        assert len(comparison.side_b) > 0
+        assert "sum_num_applicants" in comparison.totals
+        a, b = comparison.totals["sum_num_applicants"]
+        assert comparison.delta("sum_num_applicants") == a - b
+
+    def test_sides_are_disjoint_slices(self, mini_endpoint, mini_vgraph):
+        results = contrast(mini_endpoint, mini_vgraph, ("Germany",), ("France",))
+        for comparison in results:
+            rows_a = set(comparison.side_a.rows)
+            rows_b = set(comparison.side_b.rows)
+            assert not rows_a & rows_b
+
+    def test_incompatible_examples_raise(self, mini_endpoint, mini_vgraph):
+        # A year and a country admit no shared single-dimension signature.
+        with pytest.raises(SynthesisError):
+            contrast(mini_endpoint, mini_vgraph, ("2014",), ("Germany",))
+
+    def test_pretty_renders(self, mini_endpoint, mini_vgraph):
+        (comparison, *_rest) = contrast(
+            mini_endpoint, mini_vgraph, ("Germany",), ("France",)
+        )
+        text = comparison.pretty()
+        assert "side A" in text and "delta" in text

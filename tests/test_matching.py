@@ -1,0 +1,70 @@
+"""Tests for keyword-to-interpretation matching (Algorithm 1, MATCHES)."""
+
+import pytest
+
+from repro.core import find_interpretations
+from repro.rdf import IRI
+
+MINI = "http://example.org/mini/"
+
+
+def prop(name):
+    return IRI(MINI + "prop/" + name)
+
+
+class TestFindInterpretations:
+    def test_country_is_ambiguous(self, mini_endpoint, mini_vgraph):
+        # "Germany" is a member of both origin and destination countries.
+        interpretations = find_interpretations(mini_endpoint, mini_vgraph, "Germany")
+        dims = {i.level.dimension_predicate for i in interpretations}
+        assert dims == {prop("country_of_origin"), prop("country_of_destination")}
+        assert all(i.level.depth == 1 for i in interpretations)
+
+    def test_continent_matches_at_upper_level(self, mini_endpoint, mini_vgraph):
+        interpretations = find_interpretations(mini_endpoint, mini_vgraph, "Europe")
+        assert len(interpretations) == 2
+        assert all(i.level.depth == 2 for i in interpretations)
+
+    def test_year_unambiguous(self, mini_endpoint, mini_vgraph):
+        interpretations = find_interpretations(mini_endpoint, mini_vgraph, "2014")
+        assert len(interpretations) == 1
+        assert interpretations[0].level.dimension_predicate == prop("ref_period")
+
+    def test_case_insensitive(self, mini_endpoint, mini_vgraph):
+        assert find_interpretations(mini_endpoint, mini_vgraph, "germany")
+        assert find_interpretations(mini_endpoint, mini_vgraph, "GERMANY")
+
+    def test_unknown_keyword(self, mini_endpoint, mini_vgraph):
+        assert find_interpretations(mini_endpoint, mini_vgraph, "Atlantis") == []
+
+    def test_predicate_label_is_not_a_member(self, mini_endpoint, mini_vgraph):
+        # "Num Applicants" matches a predicate label; predicates are not
+        # dimension members, so no interpretation results.
+        assert find_interpretations(mini_endpoint, mini_vgraph, "Num Applicants") == []
+
+    def test_member_recorded(self, mini_endpoint, mini_vgraph, mini_kg):
+        interpretations = find_interpretations(mini_endpoint, mini_vgraph, "Syria")
+        members = {i.member for i in interpretations}
+        expected = {m.iri for m in mini_kg.members_of("origin", "country") if m.label == "Syria"}
+        assert members == expected
+
+    def test_results_deterministic(self, mini_endpoint, mini_vgraph):
+        a = find_interpretations(mini_endpoint, mini_vgraph, "Germany")
+        b = find_interpretations(mini_endpoint, mini_vgraph, "Germany")
+        assert a == b
+
+    def test_validation_filters_unreachable(self, mini_endpoint, mini_vgraph):
+        # With validation every interpretation is backed by an observation.
+        with_validation = find_interpretations(mini_endpoint, mini_vgraph, "Europe", validate=True)
+        without = find_interpretations(mini_endpoint, mini_vgraph, "Europe", validate=False)
+        assert set(with_validation) <= set(without)
+        assert with_validation  # mini KG is dense enough to reach everything
+
+    def test_token_fallback(self, eurostat_endpoint, eurostat_vgraph):
+        # "January 2010" exists as a month label; searching a rarer token
+        # combination should still resolve via the token index.
+        interpretations = find_interpretations(
+            eurostat_endpoint, eurostat_vgraph, "January 2010"
+        )
+        assert interpretations
+        assert all(i.level.path[0].local_name() == "ref_period" for i in interpretations)

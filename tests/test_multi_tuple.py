@@ -1,0 +1,114 @@
+"""Tests for multi-tuple REOLAP and direct-IRI example input (footnote 3)."""
+
+import pytest
+
+from repro.core import find_interpretations, reolap, reolap_multi
+from repro.errors import SynthesisError
+from repro.rdf import IRI
+
+MINI = "http://example.org/mini/"
+
+
+def prop(name):
+    return IRI(MINI + "prop/" + name)
+
+
+class TestDirectIRIInput:
+    def test_iri_keyword_resolves_without_label_lookup(self, mini_endpoint, mini_vgraph, mini_kg):
+        member = next(
+            m for m in mini_kg.members_of("origin", "country") if m.label == "Germany"
+        )
+        by_iri = find_interpretations(mini_endpoint, mini_vgraph, member.iri.n3())
+        by_label = find_interpretations(mini_endpoint, mini_vgraph, "Germany")
+        assert {(i.member, i.level.path) for i in by_iri} == {
+            (i.member, i.level.path) for i in by_label
+        }
+
+    def test_bare_absolute_iri(self, mini_endpoint, mini_vgraph, mini_kg):
+        member = mini_kg.members_of("origin", "country")[0]
+        interpretations = find_interpretations(mini_endpoint, mini_vgraph, member.iri.value)
+        assert interpretations
+        assert all(i.member == member.iri for i in interpretations)
+
+    def test_mixed_example_iri_and_label(self, mini_endpoint, mini_vgraph, mini_kg):
+        member = next(
+            m for m in mini_kg.members_of("origin", "country") if m.label == "Syria"
+        )
+        queries = reolap(mini_endpoint, mini_vgraph, (member.iri.n3(), "2014"))
+        assert queries
+        for query in queries:
+            assert any(a.member == member.iri for a in query.anchors)
+
+    def test_unknown_iri_matches_nothing(self, mini_endpoint, mini_vgraph):
+        assert find_interpretations(
+            mini_endpoint, mini_vgraph, "<http://example.org/nope>"
+        ) == []
+
+
+class TestMultiTupleSynthesis:
+    def test_two_country_tuples(self, mini_endpoint, mini_vgraph):
+        queries = reolap_multi(
+            mini_endpoint, mini_vgraph, [("Germany", "2014"), ("France", "2013")]
+        )
+        assert queries
+        for query in queries:
+            groups = {a.group for a in query.anchors}
+            assert groups == {0, 1}
+
+    def test_containment_of_every_tuple(self, mini_endpoint, mini_vgraph):
+        queries = reolap_multi(
+            mini_endpoint, mini_vgraph, [("Germany", "2014"), ("France", "2013")]
+        )
+        for query in queries:
+            results = mini_endpoint.select(query.to_select())
+            matched_groups = set()
+            for index in query.anchor_row_indexes(results):
+                row = results.rows[index]
+                for group in (0, 1):
+                    anchors = [a for a in query.anchors if a.group == group]
+                    columns = [results.index_of(a.variable) for a in anchors]
+                    if all(row[c] == a.member for c, a in zip(columns, anchors)):
+                        matched_groups.add(group)
+            assert matched_groups == {0, 1}
+
+    def test_single_tuple_delegates(self, mini_endpoint, mini_vgraph):
+        single = reolap(mini_endpoint, mini_vgraph, ("Germany", "2014"))
+        multi = reolap_multi(mini_endpoint, mini_vgraph, [("Germany", "2014")])
+        assert [q.sparql() for q in multi] == [q.sparql() for q in single]
+
+    def test_column_disambiguation(self, mini_endpoint, mini_vgraph):
+        # A second tuple whose column value is unambiguous narrows the
+        # first column's readings: "Europe"/"Asia" are continents only,
+        # so both columns must agree on the continent level.
+        queries = reolap_multi(mini_endpoint, mini_vgraph, [("Europe",), ("Asia",)])
+        assert queries
+        for query in queries:
+            assert all(d.level.depth == 2 for d in query.dimensions)
+
+    def test_arity_mismatch_raises(self, mini_endpoint, mini_vgraph):
+        with pytest.raises(SynthesisError):
+            reolap_multi(mini_endpoint, mini_vgraph, [("Germany", "2014"), ("France",)])
+
+    def test_incompatible_columns_raise(self, mini_endpoint, mini_vgraph):
+        # "Germany" (country) and "2014" (year) share no level.
+        with pytest.raises(SynthesisError):
+            reolap_multi(mini_endpoint, mini_vgraph, [("Germany",), ("2014",)])
+
+    def test_empty_examples_raise(self, mini_endpoint, mini_vgraph):
+        with pytest.raises(SynthesisError):
+            reolap_multi(mini_endpoint, mini_vgraph, [])
+        with pytest.raises(SynthesisError):
+            reolap_multi(mini_endpoint, mini_vgraph, [()])
+
+    def test_refinements_respect_any_group_semantics(self, mini_endpoint, mini_vgraph):
+        from repro.core import TopK
+
+        queries = reolap_multi(
+            mini_endpoint, mini_vgraph, [("Germany", "2014"), ("France", "2013")]
+        )
+        query = queries[0]
+        results = mini_endpoint.select(query.to_select())
+        for refinement in TopK().propose(query, results):
+            refined = mini_endpoint.select(refinement.query.to_select())
+            # At least one of the two example tuples survives.
+            assert refinement.query.anchor_row_indexes(refined)

@@ -1,0 +1,61 @@
+"""Tests for N-Quads serialization and Dataset persistence."""
+
+import pytest
+
+from repro.errors import RDFSyntaxError
+from repro.rdf import IRI, Literal, Quad, Triple, parse_nquads, serialize_nquads
+from repro.store import Dataset
+
+EX = "http://example.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+class TestNQuads:
+    def test_parse_triple_and_quad(self):
+        doc = (
+            f"<{EX}s> <{EX}p> <{EX}o> .\n"
+            f"<{EX}s> <{EX}p> \"x\" <{EX}g1> .\n"
+        )
+        items = list(parse_nquads(doc))
+        assert isinstance(items[0], Triple) and not isinstance(items[0], Quad)
+        assert isinstance(items[1], Quad)
+        assert items[1].graph == iri("g1")
+
+    def test_literal_graph_label_rejected(self):
+        with pytest.raises(RDFSyntaxError):
+            list(parse_nquads(f'<{EX}s> <{EX}p> <{EX}o> "not a graph" .\n'))
+
+    def test_missing_dot(self):
+        with pytest.raises(RDFSyntaxError):
+            list(parse_nquads(f"<{EX}s> <{EX}p> <{EX}o> <{EX}g>\n"))
+
+    def test_roundtrip(self):
+        items = [
+            Triple(iri("s"), iri("p"), Literal("plain")),
+            Quad(iri("s"), iri("p"), iri("o"), iri("g1")),
+            Quad(iri("s2"), iri("p"), Literal("7", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer")), iri("g2")),
+        ]
+        assert list(parse_nquads(serialize_nquads(items))) == items
+
+
+class TestDatasetPersistence:
+    def test_dataset_roundtrip(self):
+        dataset = Dataset()
+        dataset.add(Triple(iri("s"), iri("p"), iri("o")))
+        dataset.add(Quad(iri("s"), iri("p"), Literal("x"), iri("g1")))
+        dataset.add(Quad(iri("s2"), iri("q"), iri("o2"), iri("g2")))
+        document = dataset.to_nquads()
+        restored = Dataset.from_nquads(document)
+        assert len(restored) == len(dataset)
+        assert restored.graph_names() == dataset.graph_names()
+        assert Triple(iri("s"), iri("p"), Literal("x")) in restored.graph(iri("g1"))
+
+    def test_union_view_after_reload(self):
+        dataset = Dataset()
+        dataset.add(Quad(iri("s"), iri("p"), iri("o"), iri("g1")))
+        restored = Dataset.from_nquads(dataset.to_nquads())
+        view = restored.union_view()
+        assert view.count(iri("s"), None, None) == 1

@@ -1,0 +1,101 @@
+"""Unit tests for BGP cardinality estimation and join ordering."""
+
+import pytest
+
+from repro.rdf import IRI, Triple, Variable, literal_from_python
+from repro.sparql import parse_query
+from repro.sparql.ast import SequencePath, TriplePattern
+from repro.sparql.optimizer import estimate_cardinality, order_patterns
+from repro.store import Graph
+
+EX = "http://example.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    # 100 'common' edges, 2 'rare' edges, 1 'unique' edge.
+    for i in range(100):
+        g.add(Triple(iri(f"s{i}"), iri("common"), iri(f"o{i % 10}")))
+    g.add(Triple(iri("s0"), iri("rare"), iri("x")))
+    g.add(Triple(iri("s1"), iri("rare"), iri("y")))
+    g.add(Triple(iri("s0"), iri("unique"), iri("z")))
+    return g
+
+
+class TestEstimateCardinality:
+    def test_constant_predicate(self, graph):
+        p = TriplePattern(Variable("s"), iri("common"), Variable("o"))
+        assert estimate_cardinality(graph, p) == 100
+
+    def test_constant_object_narrows(self, graph):
+        p = TriplePattern(Variable("s"), iri("common"), iri("o3"))
+        assert estimate_cardinality(graph, p) == 10
+
+    def test_fully_bound(self, graph):
+        p = TriplePattern(iri("s0"), iri("unique"), iri("z"))
+        assert estimate_cardinality(graph, p) == 1
+
+    def test_variable_predicate(self, graph):
+        p = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        assert estimate_cardinality(graph, p) == len(graph)
+
+    def test_path_uses_first_step(self, graph):
+        path = SequencePath((iri("rare"), iri("common")))
+        p = TriplePattern(Variable("s"), path, Variable("o"))
+        assert estimate_cardinality(graph, p) == 2
+
+    def test_unknown_predicate_is_zero(self, graph):
+        p = TriplePattern(Variable("s"), iri("never"), Variable("o"))
+        assert estimate_cardinality(graph, p) == 0
+
+
+class TestOrderPatterns:
+    def test_most_selective_first(self, graph):
+        patterns = [
+            TriplePattern(Variable("a"), iri("common"), Variable("b")),
+            TriplePattern(Variable("a"), iri("rare"), Variable("c")),
+            TriplePattern(Variable("a"), iri("unique"), Variable("d")),
+        ]
+        ordered = order_patterns(graph, list(patterns))
+        predicates = [p.p for p in ordered]
+        assert predicates == [iri("unique"), iri("rare"), iri("common")]
+
+    def test_join_discount_prefers_connected(self, graph):
+        # After the rare pattern binds ?a, the common pattern sharing ?a
+        # must come before a disconnected pattern of equal base cost.
+        patterns = [
+            TriplePattern(Variable("x"), iri("common"), Variable("y")),  # disconnected
+            TriplePattern(Variable("a"), iri("common"), Variable("b")),  # joins ?a
+            TriplePattern(Variable("a"), iri("rare"), Variable("c")),
+        ]
+        ordered = order_patterns(graph, list(patterns))
+        assert ordered[0].p == iri("rare")
+        assert Variable("a") in ordered[1].variables()
+
+    def test_bound_seed_variables(self, graph):
+        patterns = [
+            TriplePattern(Variable("a"), iri("common"), Variable("b")),
+            TriplePattern(Variable("z"), iri("rare"), Variable("w")),
+        ]
+        # With ?a pre-bound by VALUES, the common pattern becomes cheap.
+        ordered = order_patterns(graph, list(patterns), bound={Variable("a")})
+        assert ordered[0].p == iri("common")
+
+    def test_order_preserves_multiset(self, graph):
+        patterns = [
+            TriplePattern(Variable("a"), iri("common"), Variable("b")),
+            TriplePattern(Variable("b"), iri("rare"), Variable("c")),
+            TriplePattern(Variable("c"), iri("unique"), Variable("d")),
+        ]
+        ordered = order_patterns(graph, list(patterns))
+        assert sorted(map(repr, ordered)) == sorted(map(repr, patterns))
+
+    def test_empty_and_single(self, graph):
+        assert order_patterns(graph, []) == []
+        single = [TriplePattern(Variable("a"), iri("rare"), Variable("b"))]
+        assert order_patterns(graph, list(single)) == single

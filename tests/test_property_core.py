@@ -1,0 +1,115 @@
+"""Property-based tests of the paper's core invariants over random cubes.
+
+For randomly shaped mini-cubes (random level sizes, hierarchy depths,
+observation counts, seeds), the algorithmic guarantees of Sections 5-6
+must hold unconditionally:
+
+* every synthesized query is non-empty and contains the example;
+* synthesized queries group at exactly the matched levels (minimality);
+* every refinement's results still contain the example;
+* Disaggregate adds exactly one grouping dimension.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Disaggregate,
+    Percentile,
+    SimilaritySearch,
+    TopK,
+    VirtualSchemaGraph,
+    reolap,
+)
+from repro.qb import (
+    CubeBuilder,
+    CubeSchema,
+    DimensionSpec,
+    HierarchySpec,
+    LevelSpec,
+    MeasureSpec,
+    OBSERVATION_CLASS,
+)
+
+cube_shapes = st.fixed_dictionaries(
+    {
+        "base_size": st.integers(min_value=2, max_value=6),
+        "upper_size": st.integers(min_value=2, max_value=3),
+        "second_dim_size": st.integers(min_value=2, max_value=5),
+        "n_observations": st.integers(min_value=10, max_value=80),
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "shared_pool": st.booleans(),
+    }
+)
+
+
+def build_stack(shape):
+    base = LevelSpec("base", shape["base_size"],
+                     pool="shared" if shape["shared_pool"] else None)
+    upper = LevelSpec("upper", shape["upper_size"])
+    other = LevelSpec("other", shape["second_dim_size"],
+                      pool="shared" if shape["shared_pool"] else None)
+    if shape["shared_pool"] and shape["second_dim_size"] != shape["base_size"]:
+        # Shared pools must agree on size; align them.
+        other = LevelSpec("other", shape["base_size"], pool="shared")
+    schema = CubeSchema(
+        "prop",
+        (
+            DimensionSpec("alpha", (HierarchySpec("a", (base, upper)),)),
+            DimensionSpec("beta", (HierarchySpec("b", (other,)),)),
+        ),
+        (MeasureSpec("m", low=0, high=50),),
+        namespace="http://example.org/prop/",
+    )
+    kg = CubeBuilder(schema, seed=shape["seed"]).build(shape["n_observations"])
+    endpoint = kg.endpoint()
+    vgraph = VirtualSchemaGraph.bootstrap(endpoint, OBSERVATION_CLASS)
+    return kg, endpoint, vgraph
+
+
+@settings(max_examples=15, deadline=None)
+@given(cube_shapes)
+def test_synthesis_invariants_hold_for_random_cubes(shape):
+    kg, endpoint, vgraph = build_stack(shape)
+    # Take an observed base member of the alpha dimension.
+    base_level = next(l for l in vgraph.base_levels()
+                      if l.dimension_predicate.local_name() == "alpha")
+    member_iri = base_level.sample_members[0]
+    label = next(
+        m.label for m in kg.members_of("alpha", "base") if m.iri == member_iri
+    )
+    queries = reolap(endpoint, vgraph, (label,))
+    assert queries  # completeness: a matched member always yields a query
+    for query in queries:
+        results = endpoint.select(query.to_select())
+        assert len(results) > 0  # correctness: non-empty
+        assert query.anchor_row_indexes(results)  # containment
+        # Minimality: one grouping dimension for a one-value example.
+        assert len(query.dimensions) == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(cube_shapes)
+def test_refinement_invariants_hold_for_random_cubes(shape):
+    kg, endpoint, vgraph = build_stack(shape)
+    base_level = next(l for l in vgraph.base_levels()
+                      if l.dimension_predicate.local_name() == "alpha")
+    member_iri = base_level.sample_members[0]
+    label = next(
+        m.label for m in kg.members_of("alpha", "base") if m.iri == member_iri
+    )
+    (query, *_rest) = reolap(endpoint, vgraph, (label,))
+    results = endpoint.select(query.to_select())
+
+    for refinement in Disaggregate(vgraph).propose(query, results):
+        assert len(refinement.query.dimensions) == len(query.dimensions) + 1
+        refined = endpoint.select(refinement.query.to_select())
+        assert refinement.query.anchor_row_indexes(refined)
+
+    for method in (TopK(), Percentile(), SimilaritySearch(k=2)):
+        for refinement in method.propose(query, results):
+            refined = endpoint.select(refinement.query.to_select())
+            assert refinement.query.anchor_row_indexes(refined), (
+                f"{method.name} lost the example"
+            )
+            assert len(refined) <= len(results)

@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the RDF term model and serializers."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import (
+    IRI,
+    Literal,
+    Triple,
+    literal_from_python,
+    parse_ntriples,
+    serialize_ntriples,
+)
+from repro.rdf.ntriples import parse_term
+
+# -- strategies -------------------------------------------------------------
+
+iri_local = st.text(alphabet=string.ascii_letters + string.digits + "_-.", min_size=1, max_size=20)
+iris = iri_local.map(lambda s: IRI("http://example.org/" + s))
+
+literal_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    max_size=40,
+)
+plain_literals = literal_text.map(Literal)
+typed_literals = st.one_of(
+    st.integers(min_value=-(10**12), max_value=10**12).map(literal_from_python),
+    st.floats(allow_nan=False, allow_infinity=False, width=32).map(literal_from_python),
+    st.booleans().map(literal_from_python),
+    plain_literals,
+    st.tuples(literal_text, st.sampled_from(["en", "de", "fr-be"])).map(
+        lambda pair: Literal(pair[0], language=pair[1])
+    ),
+)
+
+nodes = st.one_of(iris, typed_literals)
+triples = st.builds(Triple, iris, iris, nodes)
+
+
+class TestTermProperties:
+    @given(typed_literals)
+    def test_literal_n3_roundtrip(self, literal):
+        """Any literal's N-Triples rendering parses back to an equal term."""
+        parsed, rest = parse_term(literal.n3())
+        assert rest == ""
+        assert parsed == literal
+
+    @given(iris)
+    def test_iri_n3_roundtrip(self, iri):
+        parsed, rest = parse_term(iri.n3())
+        assert rest == ""
+        assert parsed == iri
+
+    @given(st.integers(min_value=-(10**15), max_value=10**15))
+    def test_int_roundtrip_through_literal(self, value):
+        assert literal_from_python(value).to_python() == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_roundtrip_through_literal(self, value):
+        assert literal_from_python(value).to_python() == value
+
+    @given(st.lists(nodes, min_size=2, max_size=8))
+    def test_sort_key_total_order(self, terms):
+        """sort_key induces a consistent total order over mixed terms."""
+        ordered = sorted(terms)
+        for left, right in zip(ordered, ordered[1:]):
+            assert left.sort_key() <= right.sort_key()
+        assert sorted(ordered) == ordered  # idempotent
+
+    @given(typed_literals, typed_literals)
+    def test_equality_consistent_with_hash(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
+
+
+class TestSerializationProperties:
+    @settings(max_examples=50)
+    @given(st.lists(triples, max_size=20))
+    def test_ntriples_roundtrip(self, items):
+        document = serialize_ntriples(items)
+        parsed = list(parse_ntriples(document))
+        assert parsed == items
+
+    @settings(max_examples=50)
+    @given(st.sets(triples, max_size=20))
+    def test_graph_roundtrip_preserves_set(self, items):
+        from repro.store import Graph
+
+        graph = Graph(triples=items)
+        assert len(graph) == len(items)
+        restored = Graph.from_ntriples(graph.to_ntriples())
+        assert {t for t in restored} == set(items)

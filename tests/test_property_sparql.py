@@ -1,0 +1,174 @@
+"""Property-based tests for the SPARQL engine's core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import IRI, Triple, literal_from_python
+from repro.sparql import Evaluator, parse_query
+from repro.store import Graph
+
+EX = "http://example.org/"
+
+# Tiny universes so random BGPs actually join.
+subject_ids = st.integers(min_value=0, max_value=5)
+predicate_ids = st.integers(min_value=0, max_value=3)
+object_ids = st.integers(min_value=0, max_value=5)
+
+graph_triples = st.lists(
+    st.tuples(subject_ids, predicate_ids, object_ids), min_size=1, max_size=40
+)
+
+# A random 2-pattern BGP over variables ?a ?b ?c with random predicates.
+bgp_shapes = st.tuples(
+    predicate_ids, predicate_ids,
+    st.sampled_from(["chain", "fork", "loop"]),
+)
+
+
+def build_graph(encoded):
+    graph = Graph()
+    for s, p, o in encoded:
+        graph.add(Triple(IRI(f"{EX}n{s}"), IRI(f"{EX}p{p}"), IRI(f"{EX}n{o}")))
+    # Numeric values on every subject, for aggregate properties.
+    for s in {s for s, _p, _o in encoded}:
+        graph.add(Triple(IRI(f"{EX}n{s}"), IRI(f"{EX}value"), literal_from_python(s * 10)))
+    return graph
+
+
+def bgp_query(p1, p2, shape):
+    if shape == "chain":
+        body = f"?a <{EX}p{p1}> ?b . ?b <{EX}p{p2}> ?c ."
+    elif shape == "fork":
+        body = f"?a <{EX}p{p1}> ?b . ?a <{EX}p{p2}> ?c ."
+    else:  # loop
+        body = f"?a <{EX}p{p1}> ?b . ?b <{EX}p{p2}> ?a ."
+    return f"SELECT ?a ?b ?c WHERE {{ {body} }}"
+
+
+class TestEvaluatorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(graph_triples, bgp_shapes)
+    def test_optimizer_never_changes_results(self, encoded, shape):
+        graph = build_graph(encoded)
+        query = parse_query(bgp_query(*shape))
+        optimized = Evaluator(graph, optimize=True).select(query)
+        plain = Evaluator(graph, optimize=False).select(query)
+        assert optimized == plain
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph_triples, bgp_shapes)
+    def test_join_agrees_with_nested_loop_reference(self, encoded, shape):
+        """The engine's BGP join equals a brute-force nested-loop join."""
+        graph = build_graph(encoded)
+        p1, p2, kind = shape
+        pred1, pred2 = IRI(f"{EX}p{p1}"), IRI(f"{EX}p{p2}")
+        expected = set()
+        for t1 in graph.triples(None, pred1, None):
+            for t2 in graph.triples(None, pred2, None):
+                if kind == "chain" and t1.o == t2.s:
+                    expected.add((t1.s, t1.o, t2.o))
+                elif kind == "fork" and t1.s == t2.s:
+                    expected.add((t1.s, t1.o, t2.o))
+                elif kind == "loop" and t1.o == t2.s and t2.o == t1.s:
+                    expected.add((t1.s, t1.o, t1.s))
+        results = Evaluator(graph).select(parse_query(bgp_query(*shape)))
+        if kind == "loop":
+            got = {(row[0], row[1], row[0]) for row in results}
+        else:
+            got = set(results.rows)
+        assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_triples)
+    def test_sum_group_by_matches_python(self, encoded):
+        graph = build_graph(encoded)
+        query = parse_query(
+            f"SELECT ?o (SUM(?v) AS ?s) WHERE {{ ?s <{EX}p0> ?o . "
+            f"?s <{EX}value> ?v }} GROUP BY ?o"
+        )
+        results = Evaluator(graph).select(query)
+        expected: dict = {}
+        for triple in graph.triples(None, IRI(f"{EX}p0"), None):
+            value = graph.value(triple.s, IRI(f"{EX}value"), None)
+            expected[triple.o] = expected.get(triple.o, 0) + int(value.lexical)
+        got = {row[0]: int(row[1].lexical) for row in results}
+        assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_triples, st.integers(min_value=0, max_value=10))
+    def test_limit_is_a_prefix_of_unlimited(self, encoded, limit):
+        graph = build_graph(encoded)
+        base = f"SELECT ?a ?b WHERE {{ ?a <{EX}p0> ?b }} ORDER BY ?a ?b"
+        full = Evaluator(graph).select(parse_query(base))
+        limited = Evaluator(graph).select(parse_query(base + f" LIMIT {limit}"))
+        assert limited.rows == full.rows[:limit]
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_triples)
+    def test_distinct_removes_exactly_duplicates(self, encoded):
+        graph = build_graph(encoded)
+        query_text = f"SELECT ?b WHERE {{ ?a <{EX}p0> ?b }}"
+        plain = Evaluator(graph).select(parse_query(query_text))
+        distinct = Evaluator(graph).select(parse_query(query_text.replace("SELECT", "SELECT DISTINCT")))
+        assert set(distinct.rows) == set(plain.rows)
+        assert len(distinct) == len(set(plain.rows))
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_triples)
+    def test_path_equals_chain(self, encoded):
+        """``p0/p1`` path results equal the explicit two-pattern chain."""
+        graph = build_graph(encoded)
+        path = Evaluator(graph).select(parse_query(
+            f"SELECT ?a ?c WHERE {{ ?a <{EX}p0> / <{EX}p1> ?c }}"
+        ))
+        chain = Evaluator(graph).select(parse_query(
+            f"SELECT DISTINCT ?a ?c WHERE {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c }}"
+        ))
+        assert set(path.rows) == set(chain.rows)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_triples)
+    def test_plus_closure_equals_reference_fixpoint(self, encoded):
+        """``p0+`` equals the transitive closure computed by iteration."""
+        graph = build_graph(encoded)
+        edges = {
+            (t.s, t.o) for t in graph.triples(None, IRI(f"{EX}p0"), None)
+        }
+        closure = set(edges)
+        while True:
+            extra = {
+                (a, d) for (a, b) in closure for (c, d) in edges if b == c
+            } - closure
+            if not extra:
+                break
+            closure |= extra
+        result = Evaluator(graph).select(parse_query(
+            f"SELECT ?a ?b WHERE {{ ?a <{EX}p0>+ ?b }}"
+        ))
+        assert set(result.rows) == closure
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_triples)
+    def test_star_closure_adds_reflexive_pairs(self, encoded):
+        graph = build_graph(encoded)
+        plus = Evaluator(graph).select(parse_query(
+            f"SELECT ?a ?b WHERE {{ ?a <{EX}p0>* ?b }}"
+        ))
+        strict = Evaluator(graph).select(parse_query(
+            f"SELECT ?a ?b WHERE {{ ?a <{EX}p0>+ ?b }}"
+        ))
+        star_pairs = set(plus.rows)
+        assert set(strict.rows) <= star_pairs
+        # Every endpoint of the predicate appears reflexively under '*'.
+        for t in graph.triples(None, IRI(f"{EX}p0"), None):
+            assert (t.s, t.s) in star_pairs
+            assert (t.o, t.o) in star_pairs
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_triples)
+    def test_ask_iff_select_nonempty(self, encoded):
+        graph = build_graph(encoded)
+        body = f"{{ ?a <{EX}p1> ?b . ?b <{EX}p2> ?c }}"
+        ask = Evaluator(graph).ask(parse_query("ASK " + body))
+        select = Evaluator(graph).select(parse_query("SELECT ?a WHERE " + body))
+        assert ask == bool(select)

@@ -1,0 +1,95 @@
+"""Property-based tests for the triple index and the text index."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import IRI, Literal
+from repro.store import Graph, TextIndex, TripleIndex, tokenize
+from repro.rdf.triple import Triple
+
+small_ids = st.integers(min_value=0, max_value=6)
+id_triples = st.tuples(small_ids, small_ids, small_ids)
+
+# Operations: (op, triple) with op in add/remove.
+operations = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), id_triples), max_size=60
+)
+
+
+def apply_operations(ops):
+    """Run ops against the index and a reference Python set in lockstep."""
+    index = TripleIndex()
+    reference: set[tuple[int, int, int]] = set()
+    for op, triple in ops:
+        if op == "add":
+            added = index.add(*triple)
+            assert added == (triple not in reference)
+            reference.add(triple)
+        else:
+            removed = index.remove(*triple)
+            assert removed == (triple in reference)
+            reference.discard(triple)
+    return index, reference
+
+
+class TestTripleIndexProperties:
+    @settings(max_examples=60)
+    @given(operations)
+    def test_index_agrees_with_reference_set(self, ops):
+        index, reference = apply_operations(ops)
+        assert len(index) == len(reference)
+        assert set(index.match(None, None, None)) == reference
+
+    @settings(max_examples=60)
+    @given(operations, id_triples)
+    def test_every_pattern_shape_consistent(self, ops, probe):
+        """count() == len(match()) == reference filter, for all 8 shapes."""
+        index, reference = apply_operations(ops)
+        s, p, o = probe
+        for pattern in [
+            (None, None, None), (s, None, None), (None, p, None),
+            (None, None, o), (s, p, None), (s, None, o), (None, p, o),
+            (s, p, o),
+        ]:
+            expected = {
+                t for t in reference
+                if all(b is None or t[i] == b for i, b in enumerate(pattern))
+            }
+            assert set(index.match(*pattern)) == expected
+            assert index.count(*pattern) == len(expected)
+
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+phrases = st.lists(words, min_size=1, max_size=4).map(" ".join)
+
+
+class TestTextIndexProperties:
+    @settings(max_examples=60)
+    @given(st.lists(phrases, min_size=1, max_size=20), phrases)
+    def test_index_agrees_with_scan(self, texts, keyword):
+        """Inverted-index search === brute-force literal scan."""
+        graph = Graph()
+        predicate = IRI("http://example.org/label")
+        for position, text in enumerate(texts):
+            graph.add(Triple(IRI(f"http://example.org/e{position}"), predicate, Literal(text)))
+        index = TextIndex.from_graph(graph)
+        assert index.search(keyword) == index.scan_search(graph, keyword)
+
+    @settings(max_examples=60)
+    @given(st.lists(phrases, min_size=1, max_size=15))
+    def test_every_indexed_phrase_is_findable(self, texts):
+        graph = Graph()
+        predicate = IRI("http://example.org/label")
+        for position, text in enumerate(texts):
+            graph.add(Triple(IRI(f"http://example.org/e{position}"), predicate, Literal(text)))
+        index = TextIndex.from_graph(graph)
+        for text in texts:
+            assert Literal(text) in index.search(text)
+
+    @settings(max_examples=60)
+    @given(phrases)
+    def test_tokenize_is_idempotent_on_joined_tokens(self, phrase):
+        tokens = tokenize(phrase)
+        assert tokenize(" ".join(tokens)) == tokens

@@ -1,0 +1,198 @@
+"""Unit tests for cube schema descriptors and the cube builder."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.qb import (
+    CubeBuilder,
+    CubeSchema,
+    DimensionSpec,
+    HierarchySpec,
+    LABEL,
+    LevelSpec,
+    MEMBER_OF,
+    MeasureSpec,
+    OBSERVATION_CLASS,
+    TYPE,
+)
+from repro.rdf import IRI, Literal
+
+
+def simple_schema(**overrides) -> CubeSchema:
+    country = LevelSpec("country", 4, pool="country",
+                        label_values=("Germany", "France", "Syria", "China"))
+    continent = LevelSpec("continent", 2, label_values=("Europe", "Asia"))
+    year = LevelSpec("year", 3, label_values=("2013", "2014", "2015"))
+    defaults = dict(
+        name="mini",
+        namespace="http://example.org/mini/",
+        dimensions=(
+            DimensionSpec(
+                "origin",
+                (HierarchySpec("origin_geo", (country, continent), rollup_names=("in_continent",)),),
+                predicate_name="country_of_origin",
+            ),
+            DimensionSpec(
+                "destination",
+                (HierarchySpec("dest_geo", (country,)),),
+                predicate_name="country_of_destination",
+            ),
+            DimensionSpec("period", (HierarchySpec("period", (year,)),)),
+        ),
+        measures=(MeasureSpec("applicants", low=0, high=100),),
+    )
+    defaults.update(overrides)
+    return CubeSchema(**defaults)
+
+
+class TestSchemaValidation:
+    def test_level_requires_members(self):
+        with pytest.raises(SchemaError):
+            LevelSpec("x", 0)
+
+    def test_level_label_shortage(self):
+        with pytest.raises(SchemaError):
+            LevelSpec("x", 3, label_values=("a",))
+
+    def test_hierarchy_default_rollup_names(self):
+        h = HierarchySpec("h", (LevelSpec("a", 2), LevelSpec("b", 2)))
+        assert h.rollup_names == ("in_b",)
+
+    def test_hierarchy_rollup_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            HierarchySpec("h", (LevelSpec("a", 2), LevelSpec("b", 2)), rollup_names=("x", "y"))
+
+    def test_hierarchy_duplicate_level(self):
+        lvl = LevelSpec("a", 2)
+        with pytest.raises(SchemaError):
+            HierarchySpec("h", (lvl, lvl))
+
+    def test_dimension_base_levels_must_agree(self):
+        a, b = LevelSpec("a", 2), LevelSpec("b", 2)
+        with pytest.raises(SchemaError):
+            DimensionSpec("d", (HierarchySpec("h1", (a,)), HierarchySpec("h2", (b,))))
+
+    def test_cube_requires_dimension_and_measure(self):
+        dim = DimensionSpec("d", (HierarchySpec("h", (LevelSpec("a", 2),)),))
+        with pytest.raises(SchemaError):
+            CubeSchema("c", (), (MeasureSpec("m"),))
+        with pytest.raises(SchemaError):
+            CubeSchema("c", (dim,), ())
+
+    def test_duplicate_dimension_names(self):
+        dim = DimensionSpec("d", (HierarchySpec("h", (LevelSpec("a", 2),)),))
+        with pytest.raises(SchemaError):
+            CubeSchema("c", (dim, dim), (MeasureSpec("m"),))
+
+    def test_measure_bounds(self):
+        with pytest.raises(SchemaError):
+            MeasureSpec("m", low=10, high=0)
+
+    def test_statistics(self):
+        schema = simple_schema()
+        stats = schema.describe()
+        assert stats["D"] == 3
+        assert stats["M"] == 1
+        assert stats["H"] == 3
+        assert stats["L"] == 4  # origin country+continent, dest country, year
+        assert stats["N_D"] == 4 + 2 + 4 + 3
+
+
+class TestCubeBuilder:
+    @pytest.fixture
+    def kg(self):
+        return CubeBuilder(simple_schema(), seed=7).build(50)
+
+    def test_observation_count(self, kg):
+        obs = list(kg.graph.subjects(TYPE, OBSERVATION_CLASS))
+        assert len(obs) == 50
+
+    def test_every_observation_fully_connected(self, kg):
+        builder = CubeBuilder(simple_schema(), seed=7)
+        origin = builder.dimension_predicate(kg.schema.dimensions[0])
+        measure = builder.measure_predicate(kg.schema.measures[0])
+        for obs in kg.graph.subjects(TYPE, OBSERVATION_CLASS):
+            assert kg.graph.value(obs, origin, None) is not None
+            value = kg.graph.value(obs, measure, None)
+            assert value is not None and value.is_numeric
+
+    def test_shared_pool_reuses_member_iris(self, kg):
+        origin_members = {m.iri for m in kg.members_of("origin", "country")}
+        dest_members = {m.iri for m in kg.members_of("destination", "country")}
+        assert origin_members == dest_members
+
+    def test_members_have_labels(self, kg):
+        for member in kg.members_of("origin", "country"):
+            assert kg.graph.value(member.iri, LABEL, None) == Literal(member.label)
+
+    def test_rollup_edges_exist(self, kg):
+        builder = CubeBuilder(simple_schema(), seed=7)
+        rollup = builder.rollup_predicate("in_continent")
+        for member in kg.members_of("origin", "country"):
+            parents = list(kg.graph.objects(member.iri, rollup))
+            assert len(parents) == 1
+
+    def test_member_of_annotations(self, kg):
+        member = kg.members_of("origin", "country")[0]
+        levels = set(kg.graph.objects(member.iri, MEMBER_OF))
+        # The country pool is shared, so the member sits in both the origin
+        # and the destination country level.
+        assert kg.level_iri[("origin", "country")] in levels
+        assert kg.level_iri[("destination", "country")] in levels
+
+    def test_deterministic_generation(self):
+        a = CubeBuilder(simple_schema(), seed=3).build(20)
+        b = CubeBuilder(simple_schema(), seed=3).build(20)
+        assert sorted(a.graph.triples()) == sorted(b.graph.triples())
+
+    def test_different_seeds_differ(self):
+        a = CubeBuilder(simple_schema(), seed=1).build(20)
+        b = CubeBuilder(simple_schema(), seed=2).build(20)
+        assert sorted(a.graph.triples()) != sorted(b.graph.triples())
+
+    def test_predicate_labels(self, kg):
+        builder = CubeBuilder(simple_schema(), seed=7)
+        predicate = builder.dimension_predicate(kg.schema.dimensions[0])
+        assert kg.graph.value(predicate, LABEL, None) == Literal("Country Of Origin")
+
+    def test_observation_attributes(self):
+        schema = simple_schema(observation_attributes=2)
+        kg = CubeBuilder(schema, seed=0).build(5)
+        builder = CubeBuilder(schema, seed=0)
+        obs = builder.observation_iri(0)
+        attrs = [
+            o for o in kg.graph.objects(obs, builder.attribute_predicate(0))
+        ]
+        assert len(attrs) == 1
+
+    def test_m_to_n_rollups(self):
+        lower = LevelSpec("song", 10)
+        upper = LevelSpec("genre", 5, parents_per_member=3)
+        schema = CubeSchema(
+            "mn",
+            (DimensionSpec("genre", (HierarchySpec("g", (lower, upper)),)),),
+            (MeasureSpec("m"),),
+            namespace="http://example.org/mn/",
+        )
+        kg = CubeBuilder(schema, seed=0).build(5)
+        builder = CubeBuilder(schema, seed=0)
+        rollup = builder.rollup_predicate("in_genre")
+        fans = [len(list(kg.graph.objects(m.iri, rollup)))
+                for m in kg.members_of("genre", "song")]
+        assert all(fan == 3 for fan in fans)
+
+    def test_sample_member_deterministic(self, kg):
+        import random
+
+        a = kg.sample_member(random.Random(5))
+        b = kg.sample_member(random.Random(5))
+        assert a == b
+
+    def test_describe_includes_sizes(self, kg):
+        stats = kg.describe()
+        assert stats["observations"] == 50
+        assert stats["triples"] == len(kg.graph)
+
+    def test_negative_observations_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeBuilder(simple_schema()).build(-1)

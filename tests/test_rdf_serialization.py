@@ -1,0 +1,145 @@
+"""Unit tests for N-Triples and Turtle parsing/serialization."""
+
+import io
+
+import pytest
+
+from repro.errors import RDFSyntaxError
+from repro.rdf import (
+    IRI,
+    BNode,
+    Literal,
+    RDF,
+    Triple,
+    XSD_INTEGER,
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+
+
+EX = "http://example.org/"
+
+
+def t(s, p, o):
+    return Triple(IRI(EX + s), IRI(EX + p), o if not isinstance(o, str) else IRI(EX + o))
+
+
+class TestNTriples:
+    def test_parse_basic(self):
+        doc = f"<{EX}s> <{EX}p> <{EX}o> .\n"
+        triples = list(parse_ntriples(doc))
+        assert triples == [t("s", "p", "o")]
+
+    def test_parse_literal_variants(self):
+        doc = (
+            f'<{EX}s> <{EX}p> "plain" .\n'
+            f'<{EX}s> <{EX}p> "tagged"@en .\n'
+            f'<{EX}s> <{EX}p> "403"^^<http://www.w3.org/2001/XMLSchema#integer> .\n'
+        )
+        objects = [tr.o for tr in parse_ntriples(doc)]
+        assert objects == [
+            Literal("plain"),
+            Literal("tagged", language="en"),
+            Literal("403", datatype=XSD_INTEGER),
+        ]
+
+    def test_parse_bnode(self):
+        doc = f"_:n1 <{EX}p> _:n2 .\n"
+        (triple,) = parse_ntriples(doc)
+        assert triple.s == BNode("n1")
+        assert triple.o == BNode("n2")
+
+    def test_parse_escapes(self):
+        doc = f'<{EX}s> <{EX}p> "line\\nbreak \\"q\\"" .\n'
+        (triple,) = parse_ntriples(doc)
+        assert triple.o.lexical == 'line\nbreak "q"'
+
+    def test_skips_comments_and_blank_lines(self):
+        doc = f"# comment\n\n<{EX}s> <{EX}p> <{EX}o> .\n"
+        assert len(list(parse_ntriples(doc))) == 1
+
+    def test_error_reports_line_number(self):
+        doc = f"<{EX}s> <{EX}p> <{EX}o> .\nbroken line\n"
+        with pytest.raises(RDFSyntaxError) as err:
+            list(parse_ntriples(doc))
+        assert err.value.line == 2
+
+    def test_missing_dot(self):
+        with pytest.raises(RDFSyntaxError):
+            list(parse_ntriples(f"<{EX}s> <{EX}p> <{EX}o>\n"))
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(RDFSyntaxError):
+            list(parse_ntriples(f'"lit" <{EX}p> <{EX}o> .\n'))
+
+    def test_roundtrip(self):
+        triples = [
+            t("s", "p", "o"),
+            t("s", "p", Literal("x \n y", language="de")),
+            t("s", "q", Literal("7", datatype=XSD_INTEGER)),
+        ]
+        doc = serialize_ntriples(triples)
+        assert list(parse_ntriples(doc)) == triples
+
+    def test_serialize_to_stream(self):
+        out = io.StringIO()
+        serialize_ntriples([t("s", "p", "o")], out)
+        assert out.getvalue().strip().endswith(".")
+
+    def test_parse_from_file_object(self):
+        source = io.StringIO(f"<{EX}s> <{EX}p> <{EX}o> .\n")
+        assert len(list(parse_ntriples(source))) == 1
+
+
+class TestTurtle:
+    def test_prefix_and_a(self):
+        doc = (
+            "@prefix ex: <http://example.org/> .\n"
+            "ex:s a ex:Type .\n"
+        )
+        (triple,) = parse_turtle(doc)
+        assert triple.p == RDF.type
+        assert triple.o == IRI(EX + "Type")
+
+    def test_predicate_and_object_lists(self):
+        doc = (
+            "@prefix ex: <http://example.org/> .\n"
+            "ex:s ex:p ex:a, ex:b ; ex:q ex:c .\n"
+        )
+        triples = set(parse_turtle(doc))
+        assert triples == {t("s", "p", "a"), t("s", "p", "b"), t("s", "q", "c")}
+
+    def test_numeric_shorthand(self):
+        doc = "@prefix ex: <http://example.org/> .\nex:s ex:p 42 .\n"
+        (triple,) = parse_turtle(doc)
+        assert triple.o == Literal("42", datatype=XSD_INTEGER)
+
+    def test_decimal_and_boolean(self):
+        doc = "@prefix ex: <http://example.org/> .\nex:s ex:p 4.5 ; ex:q true .\n"
+        objs = {tr.o.lexical for tr in parse_turtle(doc)}
+        assert objs == {"4.5", "true"}
+
+    def test_undeclared_prefix(self):
+        with pytest.raises(RDFSyntaxError):
+            list(parse_turtle("ex:s ex:p ex:o .\n"))
+
+    def test_datatyped_literal_with_pname(self):
+        doc = (
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            "@prefix ex: <http://example.org/> .\n"
+            'ex:s ex:p "7"^^xsd:integer .\n'
+        )
+        (triple,) = parse_turtle(doc)
+        assert triple.o == Literal("7", datatype=XSD_INTEGER)
+
+    def test_serialize_roundtrip(self):
+        triples = [t("s", "p", "a"), t("s", "p", "b"), t("z", "q", Literal("text"))]
+        doc = serialize_turtle(triples, prefixes={"ex": EX})
+        assert set(parse_turtle(doc)) == set(triples)
+
+    def test_serialize_uses_prefixes(self):
+        doc = serialize_turtle([t("s", "p", "o")], prefixes={"ex": EX})
+        assert "ex:s" in doc
+        assert "@prefix ex:" in doc

@@ -1,0 +1,173 @@
+"""Unit tests for the RDF term model."""
+
+import math
+from datetime import date, datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.rdf import (
+    IRI,
+    BNode,
+    Literal,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DATE,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    literal_from_python,
+)
+
+
+class TestIRI:
+    def test_equality_and_hash(self):
+        a = IRI("http://example.org/x")
+        b = IRI("http://example.org/x")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != IRI("http://example.org/y")
+
+    def test_n3(self):
+        assert IRI("http://example.org/x").n3() == "<http://example.org/x>"
+
+    def test_local_name(self):
+        assert IRI("http://example.org/schema#Country").local_name() == "Country"
+        assert IRI("http://example.org/Germany").local_name() == "Germany"
+        assert IRI("urn:thing").local_name() == "urn:thing"
+
+    def test_immutability(self):
+        iri = IRI("http://example.org/x")
+        with pytest.raises(AttributeError):
+            iri.value = "other"
+
+    def test_rejects_empty_and_non_string(self):
+        with pytest.raises(ValueError):
+            IRI("")
+        with pytest.raises(TypeError):
+            IRI(42)
+
+    def test_not_equal_to_literal_with_same_text(self):
+        assert IRI("http://example.org/x") != Literal("http://example.org/x")
+
+
+class TestBNode:
+    def test_fresh_labels_are_unique(self):
+        assert BNode() != BNode()
+
+    def test_explicit_label(self):
+        assert BNode("n1") == BNode("n1")
+        assert BNode("n1").n3() == "_:n1"
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            BNode("has space")
+
+
+class TestLiteral:
+    def test_plain_literal(self):
+        lit = Literal("Germany")
+        assert lit.n3() == '"Germany"'
+        assert lit.to_python() == "Germany"
+        assert not lit.is_numeric
+
+    def test_language_tagged(self):
+        lit = Literal("Germany", language="en")
+        assert lit.n3() == '"Germany"@en'
+        assert lit.language == "en"
+
+    def test_language_tag_normalized_to_lowercase(self):
+        assert Literal("x", language="EN") == Literal("x", language="en")
+
+    def test_datatype_and_language_are_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD_INTEGER, language="en")
+
+    def test_integer_roundtrip(self):
+        lit = Literal("403", datatype=XSD_INTEGER)
+        assert lit.to_python() == 403
+        assert lit.is_numeric
+        assert lit.numeric_value() == 403.0
+
+    def test_double_and_decimal(self):
+        assert Literal("1.5", datatype=XSD_DOUBLE).to_python() == 1.5
+        assert Literal("1.5", datatype=XSD_DECIMAL).to_python() == Decimal("1.5")
+
+    def test_boolean(self):
+        assert Literal("true", datatype=XSD_BOOLEAN).to_python() is True
+        assert Literal("false", datatype=XSD_BOOLEAN).to_python() is False
+        with pytest.raises(ValueError):
+            Literal("maybe", datatype=XSD_BOOLEAN).to_python()
+
+    def test_date(self):
+        assert Literal("2014-10-01", datatype=XSD_DATE).to_python() == date(2014, 10, 1)
+
+    def test_numeric_value_rejects_non_numeric(self):
+        with pytest.raises(ValueError):
+            Literal("abc").numeric_value()
+
+    def test_escaping_in_n3(self):
+        lit = Literal('say "hi"\n')
+        assert lit.n3() == '"say \\"hi\\"\\n"'
+
+    def test_numeric_sort_order(self):
+        values = [Literal(str(v), datatype=XSD_INTEGER) for v in (10, 2, 33)]
+        ordered = sorted(values)
+        assert [v.lexical for v in ordered] == ["2", "10", "33"]
+
+    def test_cross_kind_ordering(self):
+        # IRIs < BNodes < Literals by design.
+        terms = [Literal("z"), BNode("a"), IRI("urn:a")]
+        ordered = sorted(terms)
+        assert isinstance(ordered[0], IRI)
+        assert isinstance(ordered[1], BNode)
+        assert isinstance(ordered[2], Literal)
+
+
+class TestVariable:
+    def test_strip_question_mark(self):
+        assert Variable("?obs") == Variable("obs")
+        assert Variable("$obs") == Variable("obs")
+
+    def test_n3(self):
+        assert Variable("obs").n3() == "?obs"
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            Variable("not valid")
+
+
+class TestLiteralFromPython:
+    def test_int(self):
+        lit = literal_from_python(403)
+        assert lit.datatype == XSD_INTEGER
+        assert lit.lexical == "403"
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int; must map to xsd:boolean.
+        assert literal_from_python(True).datatype == XSD_BOOLEAN
+
+    def test_float(self):
+        assert literal_from_python(1.5).datatype == XSD_DOUBLE
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            literal_from_python(float("nan"))
+        with pytest.raises(ValueError):
+            literal_from_python(math.inf)
+
+    def test_str(self):
+        lit = literal_from_python("Germany")
+        assert lit.datatype is None
+
+    def test_datetime(self):
+        lit = literal_from_python(datetime(2014, 10, 1, 12, 0))
+        assert lit.to_python() == datetime(2014, 10, 1, 12, 0)
+
+    def test_passthrough_literal(self):
+        lit = Literal("x")
+        assert literal_from_python(lit) is lit
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            literal_from_python(object())

@@ -1,0 +1,128 @@
+"""Tests for REOLAP query synthesis (Algorithm 1 / Problem 1)."""
+
+import pytest
+
+from repro.core import SynthesisReport, reolap
+from repro.errors import SynthesisError
+from repro.rdf import IRI, Variable
+from repro.sparql import parse_query
+
+MINI = "http://example.org/mini/"
+
+
+def prop(name):
+    return IRI(MINI + "prop/" + name)
+
+
+class TestSynthesis:
+    def test_germany_2014_yields_two_queries(self, mini_endpoint, mini_vgraph):
+        """The paper's running example: origin and destination readings."""
+        queries = reolap(mini_endpoint, mini_vgraph, ("Germany", "2014"))
+        assert len(queries) == 2
+        dimension_sets = {
+            frozenset(d.level.dimension_predicate for d in q.dimensions) for q in queries
+        }
+        assert dimension_sets == {
+            frozenset({prop("country_of_origin"), prop("ref_period")}),
+            frozenset({prop("country_of_destination"), prop("ref_period")}),
+        }
+
+    def test_minimality(self, mini_endpoint, mini_vgraph):
+        """Queries contain exactly the dimensions matched by the example."""
+        queries = reolap(mini_endpoint, mini_vgraph, ("2014",))
+        assert all(len(q.dimensions) == 1 for q in queries)
+
+    def test_continental_example_groups_at_continent(self, mini_endpoint, mini_vgraph):
+        queries = reolap(mini_endpoint, mini_vgraph, ("Europe",))
+        assert queries
+        assert all(d.level.depth == 2 for q in queries for d in q.dimensions)
+
+    def test_all_aggregates_projected(self, mini_endpoint, mini_vgraph):
+        (query, *_rest) = reolap(mini_endpoint, mini_vgraph, ("2014",))
+        select = query.to_select()
+        aliases = {p.variable.name for p in select.projections}
+        assert {"sum_num_applicants", "min_num_applicants",
+                "max_num_applicants", "avg_num_applicants"} <= aliases
+
+    def test_generated_sparql_roundtrips(self, mini_endpoint, mini_vgraph):
+        for query in reolap(mini_endpoint, mini_vgraph, ("Germany", "2014")):
+            text = query.sparql()
+            reparsed = parse_query(text)
+            assert reparsed.to_sparql() == text
+
+    def test_queries_return_nonempty_results(self, mini_endpoint, mini_vgraph):
+        """Correctness (Section 5.3): every candidate has results."""
+        for query in reolap(mini_endpoint, mini_vgraph, ("Syria", "2013")):
+            results = mini_endpoint.select(query.to_select())
+            assert len(results) > 0
+
+    def test_example_containment(self, mini_endpoint, mini_vgraph):
+        """The example members appear in the results (T_E ⊑ T)."""
+        for query in reolap(mini_endpoint, mini_vgraph, ("Germany", "2014")):
+            results = mini_endpoint.select(query.to_select())
+            assert query.anchor_row_indexes(results)
+
+    def test_two_values_same_level_are_compatible(self, mini_endpoint, mini_vgraph):
+        # Germany and France can both be countries of destination: the
+        # combination is consistent and groups by one country variable.
+        queries = reolap(mini_endpoint, mini_vgraph, ("Germany", "France"))
+        assert queries
+        assert any(len(q.dimensions) == 1 for q in queries)
+
+    def test_same_dimension_different_levels_skipped(self, mini_endpoint, mini_vgraph):
+        # "Germany" (country) and "Europe" (continent) in the same dimension
+        # are contradictory; only cross-dimension combinations survive
+        # (e.g. origin country x destination continent).
+        report = SynthesisReport()
+        queries = reolap(
+            mini_endpoint, mini_vgraph, ("Germany", "Europe"), report=report
+        )
+        assert report.combinations_invalid > 0
+        for query in queries:
+            dims = [d.level.dimension_predicate for d in query.dimensions]
+            assert len(set(dims)) == len(dims)
+
+    def test_empty_example_raises(self, mini_endpoint, mini_vgraph):
+        with pytest.raises(SynthesisError):
+            reolap(mini_endpoint, mini_vgraph, ())
+
+    def test_unmatched_value_raises(self, mini_endpoint, mini_vgraph):
+        with pytest.raises(SynthesisError):
+            reolap(mini_endpoint, mini_vgraph, ("Germany", "Atlantis"))
+
+    def test_report_statistics(self, mini_endpoint, mini_vgraph):
+        report = SynthesisReport()
+        reolap(mini_endpoint, mini_vgraph, ("Germany", "2014"), report=report)
+        assert report.keyword_interpretations["Germany"] == 2
+        assert report.keyword_interpretations["2014"] == 1
+        assert report.combinations_considered == 2
+        assert report.total_interpretations == 3
+
+    def test_description_mentions_levels_and_example(self, mini_endpoint, mini_vgraph):
+        (query, *_ignored) = reolap(mini_endpoint, mini_vgraph, ("Germany", "2014"))
+        assert "grouped by" in query.description
+        assert "Germany" in query.description
+
+    def test_deterministic_order(self, mini_endpoint, mini_vgraph):
+        a = reolap(mini_endpoint, mini_vgraph, ("Germany", "2014"))
+        b = reolap(mini_endpoint, mini_vgraph, ("Germany", "2014"))
+        assert [q.sparql() for q in a] == [q.sparql() for q in b]
+
+    def test_duplicate_keywords_collapse(self, mini_endpoint, mini_vgraph):
+        # The same value twice adds no new grouping dimension.
+        queries_single = reolap(mini_endpoint, mini_vgraph, ("2014",))
+        queries_double = reolap(mini_endpoint, mini_vgraph, ("2014", "2014"))
+        assert {q.sparql() for q in queries_double} == {q.sparql() for q in queries_single}
+
+
+class TestEurostatSynthesis:
+    def test_input_size_grows_interpretations(self, eurostat_endpoint, eurostat_vgraph):
+        r1, r2 = SynthesisReport(), SynthesisReport()
+        reolap(eurostat_endpoint, eurostat_vgraph, ("Germany",), report=r1)
+        reolap(eurostat_endpoint, eurostat_vgraph, ("Germany", "2010"), report=r2)
+        assert r2.combinations_considered >= r1.combinations_considered
+
+    def test_typical_candidate_count_below_ten(self, eurostat_endpoint, eurostat_vgraph):
+        """Fig. 7b: small inputs produce fewer than ten candidates."""
+        queries = reolap(eurostat_endpoint, eurostat_vgraph, ("Germany", "2010"))
+        assert 1 <= len(queries) < 10

@@ -1,0 +1,73 @@
+"""Unit tests for the ResultSet container."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Variable, XSD_INTEGER
+from repro.sparql.results import ResultSet
+
+
+def num(value):
+    return Literal(str(value), datatype=XSD_INTEGER)
+
+
+@pytest.fixture
+def rs():
+    return ResultSet(
+        [Variable("x"), Variable("n")],
+        [
+            (IRI("http://example.org/a"), num(1)),
+            (IRI("http://example.org/b"), num(2)),
+            (IRI("http://example.org/c"), None),
+        ],
+    )
+
+
+class TestResultSet:
+    def test_len_bool_iter(self, rs):
+        assert len(rs) == 3
+        assert bool(rs)
+        assert not ResultSet([Variable("x")], [])
+        assert len(list(iter(rs))) == 3
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            ResultSet([Variable("x")], [(num(1), num(2))])
+
+    def test_index_of_accepts_str_and_variable(self, rs):
+        assert rs.index_of("n") == 1
+        assert rs.index_of(Variable("n")) == 1
+        with pytest.raises(KeyError):
+            rs.index_of("missing")
+
+    def test_column(self, rs):
+        assert rs.column("n") == [num(1), num(2), None]
+
+    def test_to_dicts_and_python(self, rs):
+        dicts = rs.to_dicts()
+        assert dicts[0]["x"] == IRI("http://example.org/a")
+        values = rs.to_python()
+        assert values[0]["n"] == 1
+        assert values[2]["n"] is None
+
+    def test_equality_is_order_insensitive(self, rs):
+        shuffled = ResultSet(rs.variables, list(reversed(rs.rows)))
+        assert rs == shuffled
+        different = ResultSet(rs.variables, rs.rows[:2])
+        assert rs != different
+
+    def test_equality_respects_variables(self, rs):
+        renamed = ResultSet([Variable("y"), Variable("n")], rs.rows)
+        assert rs != renamed
+
+    def test_pretty_handles_unbound(self, rs):
+        text = rs.pretty()
+        assert "?x" in text and "?n" in text
+        # Unbound cell renders as blank, not as "None".
+        assert "None" not in text
+
+    def test_pretty_truncation_note(self, rs):
+        text = rs.pretty(max_rows=1)
+        assert "2 more rows" in text
+
+    def test_pretty_unlimited(self, rs):
+        assert "more rows" not in rs.pretty(max_rows=None)

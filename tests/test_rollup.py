@@ -1,0 +1,106 @@
+"""Tests for the Roll-up refinement operator."""
+
+import pytest
+
+from repro.core import Rollup, reolap
+from repro.rdf import IRI
+
+MINI = "http://example.org/mini/"
+
+
+def prop(name):
+    return IRI(MINI + "prop/" + name)
+
+
+@pytest.fixture()
+def country_query(mini_endpoint, mini_vgraph):
+    queries = reolap(mini_endpoint, mini_vgraph, ("Germany", "2014"))
+    by_dims = {
+        frozenset(d.level.dimension_predicate for d in q.dimensions): q for q in queries
+    }
+    return by_dims[frozenset({prop("country_of_destination"), prop("ref_period")})]
+
+
+class TestRollup:
+    def test_proposes_continent_rollup(self, mini_endpoint, mini_vgraph, country_query):
+        proposals = Rollup(mini_vgraph, mini_endpoint).propose(country_query)
+        labels = {p.explanation for p in proposals}
+        assert any("In Continent" in label for label in labels)
+
+    def test_dimension_count_unchanged(self, mini_endpoint, mini_vgraph, country_query):
+        for proposal in Rollup(mini_vgraph, mini_endpoint).propose(country_query):
+            assert len(proposal.query.dimensions) == len(country_query.dimensions)
+
+    def test_anchor_lifted_to_ancestor(self, mini_endpoint, mini_vgraph, country_query, mini_kg):
+        (proposal,) = Rollup(mini_vgraph, mini_endpoint).propose(country_query)
+        results = mini_endpoint.select(proposal.query.to_select())
+        # Germany's continent (Europe) must anchor the rolled-up results.
+        assert proposal.query.anchor_row_indexes(results)
+        continent_var = next(
+            d.variable for d in proposal.query.dimensions if d.level.depth == 2
+        )
+        europe = {
+            m.iri for m in mini_kg.members_of("origin", "continent") if m.label == "Europe"
+        }
+        anchored = {
+            a.member for a in proposal.query.anchors if a.variable == continent_var
+        }
+        assert anchored == europe
+
+    def test_rollup_shrinks_or_keeps_result_size(self, mini_endpoint, mini_vgraph, country_query):
+        base_results = mini_endpoint.select(country_query.to_select())
+        for proposal in Rollup(mini_vgraph, mini_endpoint).propose(country_query):
+            rolled = mini_endpoint.select(proposal.query.to_select())
+            assert len(rolled) <= len(base_results)
+
+    def test_no_rollup_at_top_level(self, mini_endpoint, mini_vgraph):
+        # A query already grouped at continent has nowhere to roll up to.
+        queries = reolap(mini_endpoint, mini_vgraph, ("Europe",))
+        for query in queries:
+            assert Rollup(mini_vgraph, mini_endpoint).propose(query) == []
+
+    def test_roundtrip_with_disaggregate(self, mini_endpoint, mini_vgraph, country_query):
+        """Rolling up then drilling back down restores the original view."""
+        from repro.core import Disaggregate
+
+        (rolled,) = Rollup(mini_vgraph, mini_endpoint).propose(country_query)
+        drills = Disaggregate(mini_vgraph).propose(rolled.query)
+        restored_paths = {
+            p.query.dimensions[-1].level.path for p in drills
+        }
+        assert (prop("country_of_destination"),) in restored_paths
+
+    def test_m_to_n_rollup_branches_groups(self):
+        """With two parents per member, both ancestors anchor the rollup."""
+        from repro.core import VirtualSchemaGraph
+        from repro.qb import (
+            CubeBuilder, CubeSchema, DimensionSpec, HierarchySpec,
+            LevelSpec, MeasureSpec, OBSERVATION_CLASS,
+        )
+
+        schema = CubeSchema(
+            "mn",
+            (
+                DimensionSpec(
+                    "genre",
+                    (HierarchySpec("g", (
+                        LevelSpec("song_genre", 6),
+                        LevelSpec("super", 4, parents_per_member=2),
+                    )),),
+                ),
+            ),
+            (MeasureSpec("m"),),
+            namespace="http://example.org/mn2/",
+        )
+        kg = CubeBuilder(schema, seed=1).build(60)
+        endpoint = kg.endpoint()
+        vgraph = VirtualSchemaGraph.bootstrap(endpoint, OBSERVATION_CLASS)
+        queries = reolap(endpoint, vgraph, (kg.members_of("genre", "song_genre")[0].label,))
+        base = next(q for q in queries if q.dimensions[0].level.depth == 1)
+        proposals = Rollup(vgraph, endpoint).propose(base)
+        assert proposals
+        rolled = proposals[0].query
+        groups = {a.group for a in rolled.anchors}
+        assert len(groups) == 2  # one branch per parent
+        results = endpoint.select(rolled.to_select())
+        assert rolled.anchor_row_indexes(results)

@@ -1,0 +1,116 @@
+"""Tests for the interactive exploration session (Algorithm 2)."""
+
+import pytest
+
+from repro.core import ExplorationSession, account_paths, profile
+from repro.errors import RefinementError, SynthesisError
+
+
+@pytest.fixture()
+def session(mini_endpoint, mini_vgraph):
+    return ExplorationSession(mini_endpoint, mini_vgraph)
+
+
+class TestSessionFlow:
+    def test_synthesize_choose_refine(self, session):
+        candidates = session.synthesize("Germany", "2014")
+        assert len(candidates) == 2
+        results = session.choose(0)
+        assert len(results) > 0
+        assert session.current.kind == "synthesis"
+        menu = session.all_refinements()
+        assert set(menu) == {
+            "disaggregate", "rollup", "slice", "topk", "percentile", "similarity",
+        }
+        refined_results = session.apply(menu["disaggregate"][0])
+        assert session.current.kind == "disaggregate"
+        assert len(session.history) == 2
+        assert len(refined_results) >= len(results)
+
+    def test_choose_before_synthesize(self, session):
+        with pytest.raises(SynthesisError):
+            session.choose(0)
+
+    def test_choose_out_of_range(self, session):
+        session.synthesize("2014")
+        with pytest.raises(IndexError):
+            session.choose(99)
+
+    def test_current_before_choose(self, session):
+        session.synthesize("2014")
+        with pytest.raises(RefinementError):
+            _ = session.current
+
+    def test_unknown_refinement_kind(self, session):
+        session.synthesize("2014")
+        session.choose(0)
+        with pytest.raises(RefinementError):
+            session.refinements("clustering")
+
+    def test_backtracking(self, session):
+        session.synthesize("Germany", "2014")
+        session.choose(0)
+        first_query = session.query
+        session.apply(session.refinements("disaggregate")[0])
+        assert session.query is not first_query
+        session.back()
+        assert session.query is first_query
+        with pytest.raises(RefinementError):
+            session.back()
+
+    def test_resynthesis_resets_history(self, session):
+        session.synthesize("2014")
+        session.choose(0)
+        session.synthesize("Germany")
+        assert session.history == []
+
+    def test_arbitrary_refinement_chains(self, session):
+        """Operations compose in any order (Section 4.2)."""
+        session.synthesize("Germany", "2014")
+        session.choose(0)
+        session.apply(session.refinements("disaggregate")[0])
+        session.apply(session.refinements("similarity")[0])
+        proposals = session.refinements("topk")
+        if proposals:  # small restricted sets may leave no separable top-k
+            session.apply(proposals[0])
+        assert len(session.history) >= 3
+
+    def test_refinement_kinds_sorted(self, session):
+        assert session.refinement_kinds() == sorted(session.refinement_kinds())
+
+
+class TestPathAccounting:
+    def test_multiplicative_paths(self, session):
+        session.synthesize("Germany", "2014")
+        session.choose(0)
+        session.apply(session.refinements("disaggregate")[0])
+        accounting = account_paths(session.history)
+        assert accounting.cumulative_paths[0] == 2  # two candidates
+        step2_options = accounting.options[1]
+        assert accounting.cumulative_paths[1] == 2 * step2_options
+        assert accounting.cumulative_tuples[1] > accounting.cumulative_tuples[0]
+
+    def test_rows_structure(self, session):
+        session.synthesize("2014")
+        session.choose(0)
+        rows = account_paths(session.history).rows()
+        assert rows[0]["interaction"] == 1
+        assert rows[0]["kind"] == "synthesis"
+
+    def test_empty_history(self):
+        accounting = account_paths([])
+        assert accounting.cumulative_paths == ()
+
+
+class TestProfile:
+    def test_profile_contents(self, mini_vgraph):
+        prof = profile(mini_vgraph)
+        assert prof.observation_count == 120
+        assert prof.n_dimensions == 3
+        assert prof.n_levels == 5
+        assert prof.measures == ("Num Applicants",)
+
+    def test_pretty_renders(self, mini_vgraph):
+        text = profile(mini_vgraph).pretty()
+        assert "observations: 120" in text
+        assert "Country Of Origin" in text

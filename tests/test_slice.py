@@ -1,0 +1,100 @@
+"""Tests for the Slice refinement operator."""
+
+import pytest
+
+from repro.core import Slice, reolap
+from repro.rdf import IRI
+
+MINI = "http://example.org/mini/"
+
+
+def prop(name):
+    return IRI(MINI + "prop/" + name)
+
+
+@pytest.fixture()
+def two_dim_query(mini_endpoint, mini_vgraph):
+    queries = reolap(mini_endpoint, mini_vgraph, ("Germany", "2014"))
+    by_dims = {
+        frozenset(d.level.dimension_predicate for d in q.dimensions): q for q in queries
+    }
+    return by_dims[frozenset({prop("country_of_destination"), prop("ref_period")})]
+
+
+class TestSlice:
+    def test_one_proposal_per_anchored_dimension(self, two_dim_query):
+        proposals = Slice().propose(two_dim_query)
+        assert len(proposals) == 2  # Germany slice + 2014 slice
+
+    def test_slice_drops_column_and_filters(self, mini_endpoint, two_dim_query):
+        germany_slice = next(
+            p for p in Slice().propose(two_dim_query) if "Germany" in p.explanation
+        )
+        results = mini_endpoint.select(germany_slice.query.to_select())
+        base = mini_endpoint.select(two_dim_query.to_select())
+        # Column count shrinks by one dimension.
+        assert len(results.variables) == len(base.variables) - 1
+        # Rows correspond to the Germany slice: one per year.
+        year_var = next(
+            v for v in germany_slice.query.group_variables if "ref_period" in v.name
+        )
+        assert len(results) == len(set(results.column(year_var)))
+
+    def test_slice_totals_match_filtered_base(self, mini_endpoint, two_dim_query):
+        germany_slice = next(
+            p for p in Slice().propose(two_dim_query) if "Germany" in p.explanation
+        )
+        sliced = mini_endpoint.select(germany_slice.query.to_select())
+        base = mini_endpoint.select(two_dim_query.to_select())
+        sum_var = two_dim_query.measures[0].alias("SUM")
+        year_var = next(v for v in two_dim_query.group_variables if "ref_period" in v.name)
+        dest_var = next(v for v in two_dim_query.group_variables if "destination" in v.name)
+        germany = next(
+            a.member for a in two_dim_query.anchors if a.keyword == "Germany"
+        )
+        base_by_year = {
+            row[base.index_of(year_var)]: row[base.index_of(sum_var)]
+            for row in base.rows
+            if row[base.index_of(dest_var)] == germany
+        }
+        sliced_by_year = {
+            row[sliced.index_of(year_var)]: row[sliced.index_of(sum_var)]
+            for row in sliced.rows
+        }
+        assert sliced_by_year == base_by_year
+
+    def test_remaining_anchor_still_enforced(self, mini_endpoint, two_dim_query):
+        year_slice = next(
+            p for p in Slice().propose(two_dim_query) if "2014" in p.explanation
+        )
+        results = mini_endpoint.select(year_slice.query.to_select())
+        # Germany still anchors: at least one row matches it.
+        assert year_slice.query.anchor_row_indexes(results)
+
+    def test_single_dimension_query_not_sliceable(self, mini_endpoint, mini_vgraph):
+        (query, *_rest) = reolap(mini_endpoint, mini_vgraph, ("Germany",))
+        best = next(q for q in [query] if len(q.dimensions) == 1)
+        assert Slice().propose(best) == []
+
+    def test_session_exposes_slice(self, mini_endpoint, mini_vgraph):
+        from repro.core import ExplorationSession
+
+        session = ExplorationSession(mini_endpoint, mini_vgraph)
+        session.synthesize("Germany", "2014")
+        session.choose(0)
+        proposals = session.refinements("slice")
+        assert proposals
+        results = session.apply(proposals[0])
+        assert len(results) > 0
+
+    def test_slice_sparql_roundtrips(self, two_dim_query):
+        from repro.sparql import parse_query
+
+        for proposal in Slice().propose(two_dim_query):
+            text = proposal.query.sparql()
+            assert parse_query(text).to_sparql() == text
+
+    def test_with_slice_validation(self, two_dim_query, mini_vgraph):
+        foreign = mini_vgraph.level((prop("country_of_origin"),))
+        with pytest.raises(ValueError):
+            two_dim_query.with_slice(foreign, IRI(MINI + "member/country/0"), "x")

@@ -1,0 +1,355 @@
+"""Unit tests for SPARQL evaluation: BGPs, paths, filters, aggregation."""
+
+import pytest
+
+from repro.errors import QueryTimeoutError
+from repro.rdf import IRI, Literal, Triple, literal_from_python
+from repro.sparql import Evaluator, evaluate_query, parse_query
+from repro.store import Graph
+
+EX = "http://example.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+def q(text):
+    return parse_query(text)
+
+
+@pytest.fixture
+def cube_graph():
+    """A miniature statistical graph: obs -> country -> continent + value."""
+    g = Graph()
+    data = [
+        ("obs1", "Germany", "Europe", 10),
+        ("obs2", "Germany", "Europe", 5),
+        ("obs3", "France", "Europe", 20),
+        ("obs4", "Syria", "Asia", 40),
+        ("obs5", "China", "Asia", 2),
+    ]
+    for obs, country, continent, value in data:
+        g.add(Triple(iri(obs), iri("country"), iri(country)))
+        g.add(Triple(iri(country), iri("inContinent"), iri(continent)))
+        g.add(Triple(iri(obs), iri("value"), literal_from_python(value)))
+        g.add(Triple(iri(country), iri("label"), Literal(country)))
+    return g
+
+
+class TestBGP:
+    def test_single_pattern(self, cube_graph):
+        rs = evaluate_query(cube_graph, f"SELECT ?c WHERE {{ ?o <{EX}country> ?c }}")
+        assert len(rs) == 5
+
+    def test_join(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o ?cont WHERE {{ ?o <{EX}country> ?c . ?c <{EX}inContinent> ?cont }}",
+        )
+        assert len(rs) == 5
+        continents = {row[1] for row in rs}
+        assert continents == {iri("Europe"), iri("Asia")}
+
+    def test_constant_subject(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph, f"SELECT ?c WHERE {{ <{EX}obs1> <{EX}country> ?c }}"
+        )
+        assert rs.rows == [(iri("Germany"),)]
+
+    def test_shared_variable_consistency(self, cube_graph):
+        # ?x must take the same value in both patterns.
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?x WHERE {{ ?x <{EX}inContinent> <{EX}Europe> . "
+            f"?x <{EX}label> \"Germany\" }}",
+        )
+        assert rs.rows == [(iri("Germany"),)]
+
+    def test_variable_predicate(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph, f"SELECT DISTINCT ?p WHERE {{ <{EX}Germany> ?p ?o }}"
+        )
+        assert {row[0] for row in rs} == {iri("inContinent"), iri("label")}
+
+    def test_empty_result(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph, f"SELECT ?o WHERE {{ ?o <{EX}country> <{EX}Atlantis> }}"
+        )
+        assert len(rs) == 0
+
+    def test_ask(self, cube_graph):
+        assert evaluate_query(cube_graph, f"ASK {{ ?o <{EX}country> <{EX}Syria> }}")
+        assert not evaluate_query(cube_graph, f"ASK {{ ?o <{EX}country> <{EX}Mars> }}")
+
+
+class TestPaths:
+    def test_sequence_path(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o ?cont WHERE {{ ?o <{EX}country> / <{EX}inContinent> ?cont }}",
+        )
+        assert len(rs) == 5
+
+    def test_sequence_path_bound_object(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o WHERE {{ ?o <{EX}country> / <{EX}inContinent> <{EX}Asia> }}",
+        )
+        assert {row[0] for row in rs} == {iri("obs4"), iri("obs5")}
+
+    def test_inverse_path(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o WHERE {{ <{EX}Germany> ^<{EX}country> ?o }}",
+        )
+        assert {row[0] for row in rs} == {iri("obs1"), iri("obs2")}
+
+    def test_alternative_path(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?x WHERE {{ <{EX}Germany> <{EX}inContinent> | <{EX}label> ?x }}",
+        )
+        assert {row[0] for row in rs} == {iri("Europe"), Literal("Germany")}
+
+    def test_three_step_path(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?l WHERE {{ <{EX}obs1> <{EX}country> / <{EX}inContinent> / ^<{EX}inContinent> / <{EX}label> ?l }}",
+        )
+        assert {row[0].lexical for row in rs} == {"Germany", "France"}
+
+
+class TestFilters:
+    def test_numeric_filter(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o WHERE {{ ?o <{EX}value> ?v . FILTER(?v >= 20) }}",
+        )
+        assert {row[0] for row in rs} == {iri("obs3"), iri("obs4")}
+
+    def test_filter_equality_on_iri(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o WHERE {{ ?o <{EX}country> ?c . FILTER(?c = <{EX}Syria>) }}",
+        )
+        assert {row[0] for row in rs} == {iri("obs4")}
+
+    def test_filter_error_drops_row(self, cube_graph):
+        # Comparing an IRI with a number errors -> all rows dropped.
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o WHERE {{ ?o <{EX}country> ?c . FILTER(?c > 5) }}",
+        )
+        assert len(rs) == 0
+
+    def test_filter_in(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o WHERE {{ ?o <{EX}country> ?c . "
+            f"FILTER(?c IN (<{EX}Syria>, <{EX}China>)) }}",
+        )
+        assert len(rs) == 2
+
+    def test_regex_filter(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f'SELECT ?c WHERE {{ ?c <{EX}label> ?l . FILTER REGEX(?l, "^Ger") }}',
+        )
+        assert rs.rows == [(iri("Germany"),)]
+
+    def test_isliteral(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT DISTINCT ?x WHERE {{ <{EX}Germany> ?p ?x . FILTER isLiteral(?x) }}",
+        )
+        assert rs.rows == [(Literal("Germany"),)]
+
+    def test_arithmetic_in_filter(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o WHERE {{ ?o <{EX}value> ?v . FILTER(?v * 2 = 10) }}",
+        )
+        assert rs.rows == [(iri("obs2"),)]
+
+
+class TestAggregation:
+    def test_sum_group_by(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?c (SUM(?v) AS ?total) WHERE {{ ?o <{EX}country> ?c . "
+            f"?o <{EX}value> ?v }} GROUP BY ?c",
+        )
+        totals = {row[0]: row[1].to_python() for row in rs}
+        assert totals[iri("Germany")] == 15
+        assert totals[iri("France")] == 20
+
+    def test_group_by_hierarchy_level(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?cont (SUM(?v) AS ?total) WHERE {{ "
+            f"?o <{EX}country> / <{EX}inContinent> ?cont . ?o <{EX}value> ?v }} "
+            f"GROUP BY ?cont",
+        )
+        totals = {row[0]: row[1].to_python() for row in rs}
+        assert totals == {iri("Europe"): 35, iri("Asia"): 42}
+
+    def test_all_aggregate_functions(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT (SUM(?v) AS ?s) (MIN(?v) AS ?mn) (MAX(?v) AS ?mx) "
+            f"(AVG(?v) AS ?av) (COUNT(?v) AS ?n) "
+            f"WHERE {{ ?o <{EX}value> ?v }}",
+        )
+        (row,) = rs.rows
+        s, mn, mx, av, n = (x.to_python() for x in row)
+        assert (s, mn, mx, n) == (77, 2, 40, 5)
+        assert av == pytest.approx(15.4)
+
+    def test_count_star_and_distinct(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT (COUNT(*) AS ?n) (COUNT(DISTINCT ?c) AS ?d) "
+            f"WHERE {{ ?o <{EX}country> ?c }}",
+        )
+        (row,) = rs.rows
+        assert row[0].to_python() == 5
+        assert row[1].to_python() == 4
+
+    def test_count_on_empty_input(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT (COUNT(*) AS ?n) WHERE {{ ?o <{EX}country> <{EX}Mars> }}",
+        )
+        assert rs.rows == [(Literal("0", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer")),)]
+
+    def test_group_by_empty_input_yields_no_groups(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?c (SUM(?v) AS ?t) WHERE {{ ?o <{EX}country> <{EX}Mars> . "
+            f"?o <{EX}country> ?c . ?o <{EX}value> ?v }} GROUP BY ?c",
+        )
+        assert len(rs) == 0
+
+    def test_having(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?c (SUM(?v) AS ?t) WHERE {{ ?o <{EX}country> ?c . "
+            f"?o <{EX}value> ?v }} GROUP BY ?c HAVING (SUM(?v) >= 20)",
+        )
+        assert {row[0] for row in rs} == {iri("France"), iri("Syria")}
+
+    def test_order_by_aggregate_alias(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?c (SUM(?v) AS ?t) WHERE {{ ?o <{EX}country> ?c . "
+            f"?o <{EX}value> ?v }} GROUP BY ?c ORDER BY DESC(?t) LIMIT 2",
+        )
+        assert [row[0] for row in rs] == [iri("Syria"), iri("France")]
+
+
+class TestSolutionModifiers:
+    def test_distinct(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT DISTINCT ?cont WHERE {{ ?c <{EX}inContinent> ?cont }}",
+        )
+        assert len(rs) == 2
+
+    def test_order_by_with_limit_offset(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o ?v WHERE {{ ?o <{EX}value> ?v }} ORDER BY ?v LIMIT 2 OFFSET 1",
+        )
+        assert [row[1].to_python() for row in rs] == [5, 10]
+
+    def test_values_join(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o WHERE {{ VALUES ?c {{ <{EX}Syria> <{EX}China> }} "
+            f"?o <{EX}country> ?c }}",
+        )
+        assert len(rs) == 2
+
+    def test_multi_var_values_with_undef(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o ?c WHERE {{ VALUES (?c ?o) {{ (<{EX}Syria> UNDEF) }} "
+            f"?o <{EX}country> ?c }}",
+        )
+        assert rs.rows == [(iri("obs4"), iri("Syria"))]
+
+    def test_optional_binds_when_present(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?c ?l WHERE {{ ?c <{EX}inContinent> ?cont . "
+            f"OPTIONAL {{ ?c <{EX}label> ?l }} }}",
+        )
+        assert all(row[1] is not None for row in rs)
+
+    def test_optional_leaves_unbound(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?o ?miss WHERE {{ ?o <{EX}value> ?v . "
+            f"OPTIONAL {{ ?o <{EX}nonexistent> ?miss }} }}",
+        )
+        assert len(rs) == 5
+        assert all(row[1] is None for row in rs)
+
+    def test_union(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph,
+            f"SELECT ?x WHERE {{ {{ ?x <{EX}inContinent> <{EX}Asia> }} UNION "
+            f"{{ ?x <{EX}inContinent> <{EX}Europe> }} }}",
+        )
+        assert len(rs) == 4
+
+
+class TestTimeout:
+    def test_timeout_raises(self, cube_graph):
+        evaluator = Evaluator(cube_graph)
+        query = parse_query(
+            f"SELECT ?a ?b ?c WHERE {{ ?a ?p1 ?b . ?b ?p2 ?c . ?c ?p3 ?d }}"
+        )
+        with pytest.raises(QueryTimeoutError):
+            evaluator.select(query, timeout=-1.0)
+
+    def test_no_timeout_by_default(self, cube_graph):
+        rs = evaluate_query(cube_graph, f"SELECT ?o WHERE {{ ?o <{EX}value> ?v }}")
+        assert len(rs) == 5
+
+
+class TestOptimizerEquivalence:
+    QUERIES = [
+        f"SELECT ?o ?cont WHERE {{ ?o <{EX}country> ?c . ?c <{EX}inContinent> ?cont . "
+        f"?o <{EX}value> ?v . FILTER(?v > 4) }}",
+        f"SELECT ?c (SUM(?v) AS ?t) WHERE {{ ?o <{EX}country> ?c . "
+        f"?o <{EX}value> ?v }} GROUP BY ?c",
+        f"SELECT ?x WHERE {{ ?x <{EX}label> \"Germany\" . ?x <{EX}inContinent> ?cont }}",
+    ]
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_same_results_with_and_without_optimizer(self, cube_graph, query_text):
+        query = parse_query(query_text)
+        with_opt = Evaluator(cube_graph, optimize=True).select(query)
+        without_opt = Evaluator(cube_graph, optimize=False).select(query)
+        assert with_opt == without_opt
+
+
+class TestResultSet:
+    def test_column_access(self, cube_graph):
+        rs = evaluate_query(cube_graph, f"SELECT ?o ?v WHERE {{ ?o <{EX}value> ?v }}")
+        assert len(rs.column("v")) == 5
+        with pytest.raises(KeyError):
+            rs.column("zzz")
+
+    def test_to_python(self, cube_graph):
+        rs = evaluate_query(
+            cube_graph, f"SELECT ?v WHERE {{ <{EX}obs1> <{EX}value> ?v }}"
+        )
+        assert rs.to_python() == [{"v": 10}]
+
+    def test_pretty_renders(self, cube_graph):
+        rs = evaluate_query(cube_graph, f"SELECT ?o ?v WHERE {{ ?o <{EX}value> ?v }}")
+        text = rs.pretty(max_rows=2)
+        assert "?o" in text and "more rows" in text

@@ -1,0 +1,184 @@
+"""Tests for the extended SPARQL features: closures, BIND, EXISTS, MINUS."""
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+from repro.rdf import IRI, Literal, Triple, literal_from_python
+from repro.sparql import Evaluator, evaluate_query, parse_query
+from repro.sparql.ast import OneOrMorePath, ZeroOrMorePath
+from repro.store import Graph
+
+EX = "http://example.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def tree_graph():
+    """A small genre tree with a cycle: a -> b -> c -> d, e -> e."""
+    g = Graph()
+    edges = [("a", "b"), ("b", "c"), ("c", "d"), ("e", "e")]
+    for child, parent in edges:
+        g.add(Triple(iri(child), iri("broader"), iri(parent)))
+    for name in "abcde":
+        g.add(Triple(iri(name), iri("label"), Literal(name)))
+        g.add(Triple(iri(name), iri("size"), literal_from_python(ord(name))))
+    return g
+
+
+class TestClosurePaths:
+    def test_one_or_more_forward(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph, f"SELECT ?x WHERE {{ <{EX}a> <{EX}broader>+ ?x }}"
+        )
+        assert {row[0] for row in rs} == {iri("b"), iri("c"), iri("d")}
+
+    def test_zero_or_more_includes_start(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph, f"SELECT ?x WHERE {{ <{EX}a> <{EX}broader>* ?x }}"
+        )
+        assert {row[0] for row in rs} == {iri("a"), iri("b"), iri("c"), iri("d")}
+
+    def test_closure_bound_object(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph, f"SELECT ?x WHERE {{ ?x <{EX}broader>+ <{EX}d> }}"
+        )
+        assert {row[0] for row in rs} == {iri("a"), iri("b"), iri("c")}
+
+    def test_self_loop_terminates(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph, f"SELECT ?x WHERE {{ <{EX}e> <{EX}broader>+ ?x }}"
+        )
+        assert {row[0] for row in rs} == {iri("e")}
+
+    def test_closure_both_ends_free(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph, f"SELECT ?x ?y WHERE {{ ?x <{EX}broader>+ ?y }}"
+        )
+        pairs = set(rs.rows)
+        assert (iri("a"), iri("d")) in pairs
+        assert (iri("b"), iri("d")) in pairs
+
+    def test_closure_inside_sequence(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph,
+            f"SELECT ?l WHERE {{ <{EX}a> <{EX}broader>+ / <{EX}label> ?l }}",
+        )
+        assert {row[0].lexical for row in rs} == {"b", "c", "d"}
+
+    def test_closure_roundtrips_through_parser(self):
+        q = parse_query(f"SELECT ?x WHERE {{ <{EX}a> <{EX}p>+ ?x . ?x <{EX}q>* ?y . }}")
+        patterns = q.where.triple_patterns()
+        assert isinstance(patterns[0].p, OneOrMorePath)
+        assert isinstance(patterns[1].p, ZeroOrMorePath)
+        assert parse_query(q.to_sparql()).to_sparql() == q.to_sparql()
+
+    def test_plus_sign_on_numbers_still_works(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph,
+            f"SELECT ?x WHERE {{ ?x <{EX}size> ?v . FILTER(?v = +{ord('a')}) }}",
+        )
+        assert rs.rows == [(iri("a"),)]
+
+
+class TestBind:
+    def test_bind_computes_value(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph,
+            f"SELECT ?x ?double WHERE {{ ?x <{EX}size> ?v . BIND(?v * 2 AS ?double) }}",
+        )
+        for row in rs:
+            pass
+        values = {row[0]: row[1].to_python() for row in rs}
+        assert values[iri("a")] == 2 * ord("a")
+
+    def test_bind_error_leaves_unbound(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph,
+            f"SELECT ?x ?bad WHERE {{ ?x <{EX}label> ?l . BIND(?l * 2 AS ?bad) }}",
+        )
+        assert len(rs) == 5
+        assert all(row[1] is None for row in rs)
+
+    def test_bind_rebinding_rejected(self, tree_graph):
+        with pytest.raises(QueryEvaluationError):
+            evaluate_query(
+                tree_graph,
+                f"SELECT ?v WHERE {{ ?x <{EX}size> ?v . BIND(1 AS ?v) }}",
+            )
+
+    def test_bind_usable_in_projection_and_order(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph,
+            f"SELECT ?neg WHERE {{ ?x <{EX}size> ?v . BIND(0 - ?v AS ?neg) }} "
+            f"ORDER BY ?neg LIMIT 1",
+        )
+        assert rs.rows[0][0].to_python() == -ord("e")
+
+
+class TestExists:
+    def test_filter_exists(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph,
+            f"SELECT ?x WHERE {{ ?x <{EX}label> ?l . "
+            f"FILTER EXISTS {{ ?x <{EX}broader> <{EX}c> }} }}",
+        )
+        assert {row[0] for row in rs} == {iri("b")}
+
+    def test_filter_not_exists(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph,
+            f"SELECT ?x WHERE {{ ?x <{EX}label> ?l . "
+            f"FILTER NOT EXISTS {{ ?x <{EX}broader> ?p }} }}",
+        )
+        assert {row[0] for row in rs} == {iri("d")}
+
+    def test_exists_roundtrip(self):
+        q = parse_query(
+            f"SELECT ?x WHERE {{ ?x <{EX}p> ?y . FILTER NOT EXISTS {{ ?x <{EX}q> ?z . }} }}"
+        )
+        assert parse_query(q.to_sparql()).to_sparql() == q.to_sparql()
+
+
+class TestMinus:
+    def test_minus_removes_compatible(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph,
+            f"SELECT ?x WHERE {{ ?x <{EX}label> ?l . "
+            f"MINUS {{ ?x <{EX}broader> <{EX}c> }} }}",
+        )
+        assert {row[0] for row in rs} == {iri("a"), iri("c"), iri("d"), iri("e")}
+
+    def test_minus_without_shared_vars_keeps_all(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph,
+            f"SELECT ?x WHERE {{ ?x <{EX}label> ?l . "
+            f"MINUS {{ ?unrelated <{EX}broader> <{EX}c> }} }}",
+        )
+        assert len(rs) == 5
+
+    def test_minus_roundtrip(self):
+        q = parse_query(
+            f"SELECT ?x WHERE {{ ?x <{EX}p> ?y . MINUS {{ ?x <{EX}q> ?z . }} }}"
+        )
+        assert parse_query(q.to_sparql()).to_sparql() == q.to_sparql()
+
+
+class TestGroupConcat:
+    def test_group_concat(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph,
+            f"SELECT (GROUP_CONCAT(?l) AS ?all) WHERE {{ ?x <{EX}label> ?l }}",
+        )
+        (row,) = rs.rows
+        assert sorted(row[0].lexical.split()) == ["a", "b", "c", "d", "e"]
+
+    def test_group_concat_distinct(self, tree_graph):
+        rs = evaluate_query(
+            tree_graph,
+            f"SELECT (GROUP_CONCAT(DISTINCT ?p) AS ?preds) WHERE {{ ?x ?p ?y }}",
+        )
+        (row,) = rs.rows
+        assert len(row[0].lexical.split()) == 3  # broader, label, size

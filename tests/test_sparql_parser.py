@@ -1,0 +1,235 @@
+"""Unit tests for the SPARQL parser and AST serialization round-trips."""
+
+import pytest
+
+from repro.errors import SPARQLSyntaxError
+from repro.rdf import IRI, Literal, Variable, XSD_INTEGER
+from repro.sparql import (
+    Aggregate,
+    AlternativePath,
+    AskQuery,
+    Comparison,
+    Filter,
+    InversePath,
+    OptionalPattern,
+    SelectQuery,
+    SequencePath,
+    TriplePattern,
+    UnionPattern,
+    ValuesClause,
+    parse_query,
+)
+
+EX = "http://example.org/"
+
+
+class TestBasicParsing:
+    def test_simple_select(self):
+        q = parse_query(f"SELECT ?s WHERE {{ ?s <{EX}p> ?o . }}")
+        assert isinstance(q, SelectQuery)
+        assert q.output_variables() == [Variable("s")]
+        (pattern,) = q.where.triple_patterns()
+        assert pattern.p == IRI(EX + "p")
+
+    def test_select_star(self):
+        q = parse_query(f"SELECT * WHERE {{ ?s <{EX}p> ?o }}")
+        assert q.select_all
+        assert set(q.output_variables()) == {Variable("s"), Variable("o")}
+
+    def test_prefix_resolution(self):
+        q = parse_query(
+            f"PREFIX ex: <{EX}> SELECT ?s WHERE {{ ?s ex:p ex:o . }}"
+        )
+        (pattern,) = q.where.triple_patterns()
+        assert pattern.p == IRI(EX + "p")
+        assert pattern.o == IRI(EX + "o")
+
+    def test_undeclared_prefix(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s ex:p ?o . }")
+
+    def test_a_keyword(self):
+        q = parse_query(f"SELECT ?s WHERE {{ ?s a <{EX}T> }}")
+        (pattern,) = q.where.triple_patterns()
+        assert pattern.p.value.endswith("type")
+
+    def test_semicolon_and_comma(self):
+        q = parse_query(
+            f"SELECT ?s WHERE {{ ?s <{EX}p> ?a , ?b ; <{EX}q> ?c . }}"
+        )
+        assert len(q.where.triple_patterns()) == 3
+
+    def test_distinct(self):
+        q = parse_query(f"SELECT DISTINCT ?s WHERE {{ ?s <{EX}p> ?o }}")
+        assert q.distinct
+
+    def test_literals_in_pattern(self):
+        q = parse_query(f'SELECT ?s WHERE {{ ?s <{EX}p> "Germany" . ?s <{EX}q> 42 . }}')
+        objs = [p.o for p in q.where.triple_patterns()]
+        assert objs == [Literal("Germany"), Literal("42", datatype=XSD_INTEGER)]
+
+    def test_langtag_and_datatype_literals(self):
+        q = parse_query(
+            f'SELECT ?s WHERE {{ ?s <{EX}p> "x"@en . '
+            f'?s <{EX}q> "7"^^<http://www.w3.org/2001/XMLSchema#integer> . }}'
+        )
+        objs = [p.o for p in q.where.triple_patterns()]
+        assert objs[0].language == "en"
+        assert objs[1].datatype == XSD_INTEGER
+
+    def test_ask(self):
+        q = parse_query(f"ASK {{ ?s <{EX}p> ?o }}")
+        assert isinstance(q, AskQuery)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query(f"SELECT ?s WHERE {{ ?s <{EX}p> ?o }} extra:stuff")
+
+    def test_missing_where_body(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?s")
+
+
+class TestPropertyPaths:
+    def test_sequence_path(self):
+        q = parse_query(f"SELECT ?s WHERE {{ ?s <{EX}p1> / <{EX}p2> ?o }}")
+        (pattern,) = q.where.triple_patterns()
+        assert isinstance(pattern.p, SequencePath)
+        assert [s.value for s in pattern.p.steps] == [EX + "p1", EX + "p2"]
+
+    def test_inverse_path(self):
+        q = parse_query(f"SELECT ?s WHERE {{ ?s ^<{EX}p> ?o }}")
+        (pattern,) = q.where.triple_patterns()
+        assert isinstance(pattern.p, InversePath)
+
+    def test_alternative_path(self):
+        q = parse_query(f"SELECT ?s WHERE {{ ?s <{EX}p> | <{EX}q> ?o }}")
+        (pattern,) = q.where.triple_patterns()
+        assert isinstance(pattern.p, AlternativePath)
+
+    def test_nested_path(self):
+        q = parse_query(f"SELECT ?s WHERE {{ ?s (<{EX}a> | <{EX}b>) / <{EX}c> ?o }}")
+        (pattern,) = q.where.triple_patterns()
+        assert isinstance(pattern.p, SequencePath)
+        assert isinstance(pattern.p.steps[0], AlternativePath)
+
+
+class TestFiltersAndModifiers:
+    def test_filter_comparison(self):
+        q = parse_query(f"SELECT ?s WHERE {{ ?s <{EX}p> ?v . FILTER(?v > 10) }}")
+        (flt,) = q.where.filters()
+        assert isinstance(flt.expression, Comparison)
+
+    def test_filter_boolean_connectives(self):
+        q = parse_query(
+            f"SELECT ?s WHERE {{ ?s <{EX}p> ?v . FILTER(?v > 10 && ?v < 20 || ?v = 0) }}"
+        )
+        assert q.where.filters()
+
+    def test_filter_in(self):
+        q = parse_query(
+            f'SELECT ?s WHERE {{ ?s <{EX}p> ?v . FILTER(?v IN ("a", "b")) }}'
+        )
+        assert q.where.filters()
+
+    def test_filter_not_in(self):
+        q = parse_query(
+            f'SELECT ?s WHERE {{ ?s <{EX}p> ?v . FILTER(?v NOT IN ("a")) }}'
+        )
+        (flt,) = q.where.filters()
+        assert flt.expression.negated
+
+    def test_filter_builtin_without_parens(self):
+        q = parse_query(f"SELECT ?s WHERE {{ ?s <{EX}p> ?v . FILTER isLiteral(?v) }}")
+        assert q.where.filters()
+
+    def test_group_by_and_aggregates(self):
+        q = parse_query(
+            f"SELECT ?d (SUM(?v) AS ?total) WHERE {{ ?o <{EX}dim> ?d . "
+            f"?o <{EX}val> ?v }} GROUP BY ?d"
+        )
+        assert q.group_by == (Variable("d"),)
+        assert q.is_aggregate_query
+        assert isinstance(q.projections[1].expression, Aggregate)
+
+    def test_count_star_and_distinct(self):
+        q = parse_query(
+            f"SELECT (COUNT(*) AS ?n) (COUNT(DISTINCT ?v) AS ?m) "
+            f"WHERE {{ ?s <{EX}p> ?v }}"
+        )
+        first, second = (p.expression for p in q.projections)
+        assert first.arg is None
+        assert second.distinct
+
+    def test_having(self):
+        q = parse_query(
+            f"SELECT ?d (SUM(?v) AS ?t) WHERE {{ ?o <{EX}d> ?d . ?o <{EX}v> ?v }} "
+            f"GROUP BY ?d HAVING (SUM(?v) > 100)"
+        )
+        assert len(q.having) == 1
+
+    def test_order_limit_offset(self):
+        q = parse_query(
+            f"SELECT ?s WHERE {{ ?s <{EX}p> ?v }} ORDER BY DESC(?v) ?s LIMIT 5 OFFSET 2"
+        )
+        assert not q.order_by[0].ascending
+        assert q.order_by[1].ascending
+        assert q.limit == 5
+        assert q.offset == 2
+
+    def test_keywords_case_insensitive(self):
+        q = parse_query(f"select ?s where {{ ?s <{EX}p> ?v }} order by ?v limit 1")
+        assert q.limit == 1
+
+
+class TestGroupPatterns:
+    def test_optional(self):
+        q = parse_query(
+            f"SELECT ?s ?l WHERE {{ ?s <{EX}p> ?o . OPTIONAL {{ ?s <{EX}label> ?l }} }}"
+        )
+        optionals = [e for e in q.where.elements if isinstance(e, OptionalPattern)]
+        assert len(optionals) == 1
+
+    def test_union(self):
+        q = parse_query(
+            f"SELECT ?s WHERE {{ {{ ?s <{EX}p> ?o }} UNION {{ ?s <{EX}q> ?o }} }}"
+        )
+        unions = [e for e in q.where.elements if isinstance(e, UnionPattern)]
+        assert len(unions) == 1
+        assert len(unions[0].branches) == 2
+
+    def test_values_multi_var(self):
+        q = parse_query(
+            f'SELECT ?a ?b WHERE {{ VALUES (?a ?b) {{ (<{EX}x> "1") (<{EX}y> UNDEF) }} '
+            f"?a <{EX}p> ?c }}"
+        )
+        (clause,) = [e for e in q.where.elements if isinstance(e, ValuesClause)]
+        assert len(clause.rows) == 2
+        assert clause.rows[1][1] is None
+
+    def test_values_single_var_shorthand(self):
+        q = parse_query(
+            f"SELECT ?a WHERE {{ VALUES ?a {{ <{EX}x> <{EX}y> }} ?a <{EX}p> ?c }}"
+        )
+        (clause,) = [e for e in q.where.elements if isinstance(e, ValuesClause)]
+        assert len(clause.rows) == 2
+
+
+class TestRoundTrip:
+    QUERIES = [
+        f"SELECT ?s WHERE {{ ?s <{EX}p> ?o . }}",
+        f"SELECT DISTINCT ?s (SUM(?v) AS ?t) WHERE {{ ?s <{EX}p> ?v . }} GROUP BY ?s",
+        f"SELECT ?s WHERE {{ ?s <{EX}a> / <{EX}b> ?o . FILTER(?o > 3) }} ORDER BY DESC(?o) LIMIT 2",
+        f"SELECT ?s WHERE {{ ?s ^<{EX}p> ?o . }}",
+        f'SELECT ?s WHERE {{ VALUES (?s) {{ (<{EX}x>) }} ?s <{EX}p> ?o . }}',
+        f"SELECT ?s ?l WHERE {{ ?s <{EX}p> ?o . OPTIONAL {{ ?s <{EX}l> ?l . }} }}",
+        f"SELECT ?d (AVG(?v) AS ?a) WHERE {{ ?o <{EX}d> ?d . ?o <{EX}v> ?v . }} "
+        f"GROUP BY ?d HAVING ((AVG(?v) >= 10)) ORDER BY ?a OFFSET 1",
+    ]
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_parse_serialize_parse_fixpoint(self, query_text):
+        first = parse_query(query_text)
+        rendered = first.to_sparql()
+        second = parse_query(rendered)
+        assert second.to_sparql() == rendered

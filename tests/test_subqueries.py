@@ -1,0 +1,93 @@
+"""Tests for nested SELECT subqueries."""
+
+import pytest
+
+from repro.rdf import IRI, Triple, literal_from_python
+from repro.sparql import evaluate_query, parse_query
+from repro.sparql.ast import SubSelect
+from repro.store import Graph
+
+EX = "http://example.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def sales_graph():
+    g = Graph()
+    data = [
+        ("s1", "berlin", 10), ("s2", "berlin", 30), ("s3", "paris", 5),
+        ("s4", "paris", 15), ("s5", "rome", 100),
+    ]
+    for sale, city, amount in data:
+        g.add(Triple(iri(sale), iri("city"), iri(city)))
+        g.add(Triple(iri(sale), iri("amount"), literal_from_python(amount)))
+        g.add(Triple(iri(city), iri("country"), iri(city + "_country")))
+    return g
+
+
+class TestSubqueries:
+    def test_parse_produces_subselect(self):
+        q = parse_query(
+            f"SELECT ?x WHERE {{ {{ SELECT ?x WHERE {{ ?x <{EX}p> ?y }} }} }}"
+        )
+        assert any(isinstance(e, SubSelect) for e in q.where.elements)
+
+    def test_aggregate_subquery_joined_with_outer(self, sales_graph):
+        """The canonical use: aggregate inside, enrich outside."""
+        rs = evaluate_query(
+            sales_graph,
+            f"SELECT ?city ?country ?total WHERE {{ "
+            f"{{ SELECT ?city (SUM(?a) AS ?total) WHERE {{ "
+            f"?s <{EX}city> ?city . ?s <{EX}amount> ?a }} GROUP BY ?city }} "
+            f"?city <{EX}country> ?country }}",
+        )
+        got = {
+            row[0].local_name(): (row[1].local_name(), row[2].to_python())
+            for row in rs
+        }
+        assert got == {
+            "berlin": ("berlin_country", 40),
+            "paris": ("paris_country", 20),
+            "rome": ("rome_country", 100),
+        }
+
+    def test_limit_inside_subquery(self, sales_graph):
+        """Top-1 city by total via inner ORDER BY + LIMIT."""
+        rs = evaluate_query(
+            sales_graph,
+            f"SELECT ?city ?country WHERE {{ "
+            f"{{ SELECT ?city (SUM(?a) AS ?t) WHERE {{ ?s <{EX}city> ?city . "
+            f"?s <{EX}amount> ?a }} GROUP BY ?city ORDER BY DESC(?t) LIMIT 1 }} "
+            f"?city <{EX}country> ?country }}",
+        )
+        assert len(rs) == 1
+        assert rs.rows[0][0] == iri("rome")
+
+    def test_subquery_filtered_by_outer_filter(self, sales_graph):
+        rs = evaluate_query(
+            sales_graph,
+            f"SELECT ?city WHERE {{ "
+            f"{{ SELECT ?city (SUM(?a) AS ?t) WHERE {{ ?s <{EX}city> ?city . "
+            f"?s <{EX}amount> ?a }} GROUP BY ?city }} "
+            f"FILTER(?t >= 40) }}",
+        )
+        assert {row[0] for row in rs} == {iri("berlin"), iri("rome")}
+
+    def test_roundtrip(self):
+        q = parse_query(
+            f"SELECT ?x ?t WHERE {{ {{ SELECT ?x (SUM(?v) AS ?t) WHERE {{ "
+            f"?x <{EX}p> ?v . }} GROUP BY ?x }} ?x <{EX}q> ?z . }}"
+        )
+        assert parse_query(q.to_sparql()).to_sparql() == q.to_sparql()
+
+    def test_union_of_groups_still_works(self, sales_graph):
+        # '{' followed by a pattern (not SELECT) must stay a union branch.
+        rs = evaluate_query(
+            sales_graph,
+            f"SELECT ?s WHERE {{ {{ ?s <{EX}city> <{EX}rome> }} UNION "
+            f"{{ ?s <{EX}city> <{EX}paris> }} }}",
+        )
+        assert len(rs) == 3

@@ -1,0 +1,100 @@
+"""Unit tests for the full-text keyword index."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Triple
+from repro.store import Graph, TextIndex, tokenize
+
+EX = "http://example.org/"
+LABEL = IRI(EX + "label")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    rows = [
+        ("germany", "Germany"),
+        ("germany", "Bundesrepublik Deutschland"),
+        ("france", "France"),
+        ("origin", "Country of Origin"),
+        ("dest", "Country of Destination"),
+        ("y2014", "2014"),
+    ]
+    for name, text in rows:
+        g.add(Triple(IRI(EX + name), LABEL, Literal(text)))
+    return g
+
+
+@pytest.fixture
+def index(graph):
+    return TextIndex.from_graph(graph)
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Country of Origin") == ["country", "of", "origin"]
+
+    def test_punctuation_and_numbers(self):
+        assert tokenize("Oct-2014 (est.)") == ["oct", "2014", "est"]
+
+    def test_empty(self):
+        assert tokenize("...") == []
+
+
+class TestTextIndex:
+    def test_len_counts_distinct_literals(self, index):
+        assert len(index) == 6
+
+    def test_exact_search_case_insensitive(self, index):
+        assert index.search_exact("germany") == {Literal("Germany")}
+        assert index.search_exact("GERMANY") == {Literal("Germany")}
+
+    def test_exact_search_multiword(self, index):
+        assert index.search_exact("country of origin") == {Literal("Country of Origin")}
+
+    def test_token_search_conjunctive(self, index):
+        hits = index.search_tokens("country")
+        assert hits == {Literal("Country of Origin"), Literal("Country of Destination")}
+        assert index.search_tokens("country origin") == {Literal("Country of Origin")}
+
+    def test_token_search_no_hits(self, index):
+        assert index.search_tokens("atlantis") == set()
+        assert index.search_tokens("") == set()
+
+    def test_search_prefers_exact(self, index):
+        # "France" matches exactly; token fallback not used.
+        assert index.search("France") == {Literal("France")}
+
+    def test_search_falls_back_to_tokens(self, index):
+        assert index.search("Destination") == {Literal("Country of Destination")}
+
+    def test_numeric_keyword(self, index):
+        assert index.search("2014") == {Literal("2014")}
+
+    def test_prefix_search(self, index):
+        hits = index.search_prefix("deut")
+        assert Literal("Bundesrepublik Deutschland") in hits
+
+    def test_occurrences(self, index):
+        occ = index.occurrences(Literal("Germany"))
+        assert occ == {(IRI(EX + "germany"), LABEL)}
+
+    def test_subjects_matching_is_deterministic(self, index):
+        first = list(index.subjects_matching("country"))
+        second = list(index.subjects_matching("country"))
+        assert first == second
+        subjects = {s for s, _, _ in first}
+        assert subjects == {IRI(EX + "origin"), IRI(EX + "dest")}
+
+    def test_scan_search_agrees_with_index(self, graph, index):
+        for keyword in ("Germany", "country", "2014", "nothing-here"):
+            assert index.scan_search(graph, keyword) == index.search(keyword)
+
+    def test_incremental_indexing(self):
+        index = TextIndex()
+        index.index_triple(IRI(EX + "s"), LABEL, Literal("Syria"))
+        assert index.search("syria") == {Literal("Syria")}
+        # Second occurrence of the same literal under another subject.
+        index.index_triple(IRI(EX + "s2"), LABEL, Literal("Syria"))
+        assert len(index) == 1
+        assert len(index.occurrences(Literal("Syria"))) == 2

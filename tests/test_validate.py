@@ -1,0 +1,102 @@
+"""Tests for the statistical-KG integrity validator."""
+
+import pytest
+
+from repro.qb import CubeBuilder, OBSERVATION_CLASS, validate_cube
+from repro.rdf import IRI, Literal, Triple
+
+from tests.conftest import mini_schema
+
+
+@pytest.fixture()
+def kg():
+    return CubeBuilder(mini_schema(), seed=3).build(40)
+
+
+class TestValidateCube:
+    def test_generated_cube_is_valid(self, kg):
+        report = validate_cube(kg.graph, kg.schema)
+        assert report.ok, report.summary()
+        assert report.observations_checked == 40
+        assert report.members_checked > 0
+        assert "OK" in report.summary()
+
+    def test_missing_measure_detected(self, kg):
+        builder = CubeBuilder(kg.schema)
+        obs = builder.observation_iri(0)
+        measure = builder.measure_predicate(kg.schema.measures[0])
+        value = kg.graph.value(obs, measure, None)
+        kg.graph.remove(Triple(obs, measure, value))
+        try:
+            report = validate_cube(kg.graph, kg.schema)
+            assert not report.ok
+            assert report.by_kind().get("missing-measure") == 1
+        finally:
+            kg.graph.add(Triple(obs, measure, value))
+
+    def test_missing_dimension_detected(self, kg):
+        builder = CubeBuilder(kg.schema)
+        obs = builder.observation_iri(1)
+        predicate = builder.dimension_predicate(kg.schema.dimensions[0])
+        member = kg.graph.value(obs, predicate, None)
+        kg.graph.remove(Triple(obs, predicate, member))
+        try:
+            report = validate_cube(kg.graph, kg.schema)
+            assert report.by_kind().get("missing-dimension") == 1
+        finally:
+            kg.graph.add(Triple(obs, predicate, member))
+
+    def test_non_numeric_measure_detected(self, kg):
+        builder = CubeBuilder(kg.schema)
+        obs = builder.observation_iri(2)
+        measure = builder.measure_predicate(kg.schema.measures[0])
+        value = kg.graph.value(obs, measure, None)
+        kg.graph.remove(Triple(obs, measure, value))
+        kg.graph.add(Triple(obs, measure, Literal("not a number")))
+        try:
+            report = validate_cube(kg.graph, kg.schema)
+            assert report.by_kind().get("non-numeric-measure") == 1
+        finally:
+            kg.graph.remove(Triple(obs, measure, Literal("not a number")))
+            kg.graph.add(Triple(obs, measure, value))
+
+    def test_unlabelled_member_detected(self, kg):
+        from repro.qb import LABEL
+
+        member = kg.members_of("origin", "country")[0]
+        label = kg.graph.value(member.iri, LABEL, None)
+        kg.graph.remove(Triple(member.iri, LABEL, label))
+        try:
+            report = validate_cube(kg.graph, kg.schema)
+            assert report.by_kind().get("unlabelled-member") == 1
+        finally:
+            kg.graph.add(Triple(member.iri, LABEL, label))
+
+    def test_dangling_rollup_detected(self, kg):
+        builder = CubeBuilder(kg.schema)
+        rollup = builder.rollup_predicate("in_continent")
+        member = kg.members_of("origin", "country")[0]
+        parent = kg.graph.value(member.iri, rollup, None)
+        kg.graph.remove(Triple(member.iri, rollup, parent))
+        try:
+            report = validate_cube(kg.graph, kg.schema)
+            assert report.by_kind().get("dangling-rollup") == 1
+        finally:
+            kg.graph.add(Triple(member.iri, rollup, parent))
+
+    def test_max_violations_caps_collection(self, kg):
+        builder = CubeBuilder(kg.schema)
+        measure = builder.measure_predicate(kg.schema.measures[0])
+        removed = []
+        for index in range(10):
+            obs = builder.observation_iri(index)
+            value = kg.graph.value(obs, measure, None)
+            kg.graph.remove(Triple(obs, measure, value))
+            removed.append((obs, value))
+        try:
+            report = validate_cube(kg.graph, kg.schema, max_violations=3)
+            assert len(report.violations) == 3
+            assert not report.ok
+        finally:
+            for obs, value in removed:
+                kg.graph.add(Triple(obs, measure, value))
