@@ -11,7 +11,9 @@ bottom-up:
 * :mod:`repro.datasets` — schema-faithful synthetic dataset generators;
 * :mod:`repro.core` — the paper's contribution: virtual schema graph,
   REOLAP synthesis, ExRef refinements, and the interactive session;
-* :mod:`repro.baselines` — the SPARQLByE comparator.
+* :mod:`repro.baselines` — the SPARQLByE comparator;
+* :mod:`repro.serving` — concurrent, cache-accelerated query service layer
+  (multi-tier result cache, bounded worker pool, session multiplexing).
 
 Quickstart::
 
@@ -43,6 +45,7 @@ from .core import (
     suggest,
 )
 from .errors import (
+    AdmissionError,
     BootstrapError,
     QueryEvaluationError,
     QueryTimeoutError,
@@ -50,9 +53,12 @@ from .errors import (
     RefinementError,
     ReproError,
     SchemaError,
+    ServiceShutdownError,
+    ServingError,
     SPARQLSyntaxError,
     SynthesisError,
 )
+from .serving import QueryCache, QueryService
 from .store import Endpoint, Graph
 
 __version__ = "1.0.0"
@@ -74,6 +80,8 @@ __all__ = [
     "profile",
     "Endpoint",
     "Graph",
+    "QueryCache",
+    "QueryService",
     "ReproError",
     "RDFSyntaxError",
     "SPARQLSyntaxError",
@@ -83,4 +91,7 @@ __all__ = [
     "BootstrapError",
     "SynthesisError",
     "RefinementError",
+    "ServingError",
+    "AdmissionError",
+    "ServiceShutdownError",
 ]

@@ -42,6 +42,7 @@ from .datasets import generate_dbpedia, generate_eurostat, generate_production
 from .errors import ReproError
 from .qb import OBSERVATION_CLASS
 from .rdf import IRI
+from .serving import QueryCache, QueryService
 from .store import Endpoint, Graph
 
 __all__ = ["ExplorerShell", "build_endpoint", "main"]
@@ -54,23 +55,42 @@ _GENERATORS = {
 
 
 def build_endpoint(args: argparse.Namespace) -> tuple[Endpoint, IRI]:
-    """Construct the endpoint from CLI arguments (dataset or N-Triples file)."""
+    """Construct the endpoint from CLI arguments (dataset or N-Triples file).
+
+    When ``--cache-size`` is positive (the default) the endpoint gets a
+    :class:`QueryCache`, so repeated REOLAP probes and re-executed
+    refinements are served from memory.
+    """
+    cache = QueryCache(max_results=args.cache_size) if getattr(
+        args, "cache_size", 0) > 0 else None
     if args.ntriples:
         with open(args.ntriples, encoding="utf-8") as handle:
             graph = Graph.from_ntriples(handle)
-        return Endpoint(graph), IRI(args.observation_class)
+        return Endpoint(graph, cache=cache), IRI(args.observation_class)
     generator = _GENERATORS[args.dataset]
     kg = generator(n_observations=args.observations, scale=args.scale, seed=args.seed)
-    return kg.endpoint(), OBSERVATION_CLASS
+    endpoint = kg.endpoint()
+    endpoint.cache = cache
+    return endpoint, OBSERVATION_CLASS
 
 
 class ExplorerShell:
     """Stateful command handler behind the REPL."""
 
-    def __init__(self, endpoint: Endpoint, observation_class: IRI):
-        self.endpoint = endpoint
-        self.vgraph = VirtualSchemaGraph.bootstrap(endpoint, observation_class)
-        self.session = ExplorationSession(endpoint, self.vgraph)
+    def __init__(self, endpoint: Endpoint, observation_class: IRI,
+                 service: QueryService | None = None):
+        self.service = service
+        if service is not None:
+            # Route everything through the service's metered, read-locked
+            # endpoint so the stats command sees the whole workload.
+            self.endpoint = service.endpoint
+            self.vgraph = service.vgraph(observation_class)
+            self._session_id = service.open_session(observation_class)
+            self.session = service.session(self._session_id)
+        else:
+            self.endpoint = endpoint
+            self.vgraph = VirtualSchemaGraph.bootstrap(endpoint, observation_class)
+            self.session = ExplorationSession(endpoint, self.vgraph)
         self._candidates = []
         self._last_proposals: dict[str, list] = {}
 
@@ -92,6 +112,7 @@ class ExplorerShell:
             "apply": self._cmd_apply,
             "back": self._cmd_back,
             "profile": self._cmd_profile,
+            "stats": self._cmd_stats,
             "insights": self._cmd_insights,
             "trace": self._cmd_trace,
             "contrast": self._cmd_contrast,
@@ -176,6 +197,31 @@ class ExplorerShell:
     def _cmd_profile(self, rest: str) -> str:
         return profile(self.vgraph).pretty()
 
+    def _cmd_stats(self, rest: str) -> str:
+        stats = self.endpoint.stats
+        lines = [
+            "endpoint:",
+            f"  queries         {stats.total_queries} "
+            f"(select {stats.select_queries}, ask {stats.ask_queries}, "
+            f"construct {stats.construct_queries})",
+            f"  keyword lookups {stats.keyword_lookups}",
+            f"  timeouts        {stats.timeouts}",
+            f"  cache hits      {stats.cache_hits}",
+        ]
+        cache = getattr(self.endpoint, "cache", None)
+        if cache is not None:
+            lines.append("cache tiers (hits/misses/evictions):")
+            for tier, tier_stats in cache.stats.items():
+                lines.append(
+                    f"  {tier:<9} {tier_stats.hits}/{tier_stats.misses}"
+                    f"/{tier_stats.evictions}"
+                )
+        if self.service is not None:
+            lines.append("serving:")
+            lines.extend("  " + line for line in
+                         self.service.stats().pretty().splitlines())
+        return "\n".join(lines)
+
     def _cmd_insights(self, rest: str) -> str:
         insights = insight_summary(self.session.query, self.session.results)
         if not insights:
@@ -209,8 +255,23 @@ class ExplorerShell:
             "  trace                  Markdown record of this exploration\n"
             "  contrast A vs B        compare two example sets side by side\n"
             "  profile                dataset overview\n"
+            "  stats                  endpoint / cache / serving statistics\n"
             "  quit                   leave"
         )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -228,6 +289,10 @@ def make_parser() -> argparse.ArgumentParser:
                         help="explore an N-Triples file instead of a generator")
     parser.add_argument("--observation-class", default=str(OBSERVATION_CLASS),
                         help="observation class IRI (with --ntriples)")
+    parser.add_argument("--workers", type=_positive_int, default=4,
+                        help="serving worker threads (see repro.serving)")
+    parser.add_argument("--cache-size", type=_nonnegative_int, default=4096,
+                        help="query result cache entries; 0 disables caching")
     return parser
 
 
@@ -239,16 +304,26 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
     args = make_parser().parse_args(argv)
     print("loading data and bootstrapping (one-off)...", file=stdout)
     endpoint, observation_class = build_endpoint(args)
-    shell = ExplorerShell(endpoint, observation_class)
-    print(f"ready: {shell.vgraph.n_levels} levels, "
-          f"{shell.vgraph.observation_count} observations. Type 'help'.", file=stdout)
-    for line in stdin:
-        if line.strip().lower() in ("quit", "exit", "q"):
-            break
-        output = shell.handle(line)
-        if output:
-            print(output, file=stdout)
-        print("> ", end="", file=stdout, flush=True)
+    # cache_size is forwarded so --cache-size 0 stays off: the service
+    # adopts the endpoint's cache and must not substitute a default one.
+    service = QueryService(endpoint, workers=args.workers,
+                           cache_size=args.cache_size)
+    try:
+        shell = ExplorerShell(endpoint, observation_class, service=service)
+        print(f"ready: {shell.vgraph.n_levels} levels, "
+              f"{shell.vgraph.observation_count} observations "
+              f"({args.workers} workers, cache "
+              f"{'off' if endpoint.cache is None else 'on'}). Type 'help'.",
+              file=stdout)
+        for line in stdin:
+            if line.strip().lower() in ("quit", "exit", "q"):
+                break
+            output = shell.handle(line)
+            if output:
+                print(output, file=stdout)
+            print("> ", end="", file=stdout, flush=True)
+    finally:
+        service.shutdown()
     print("bye", file=stdout)
     return 0
 

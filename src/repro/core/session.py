@@ -15,6 +15,7 @@ of its results, feeding the exploration-path accounting of Figure 8c.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..errors import RefinementError, SynthesisError
@@ -44,6 +45,7 @@ class ExplorationStep:
     results: ResultSet
     kind: str  # "synthesis" or the refinement kind that produced it
     options_offered: int  # how many alternatives the user chose among
+    elapsed: float = 0.0  # endpoint evaluation time, feeds serving stats
 
     @property
     def n_tuples(self) -> int:
@@ -93,9 +95,12 @@ class ExplorationSession:
                 f"candidate index {index} out of range (0..{len(self._candidates) - 1})"
             )
         query = self._candidates[index]
+        start = time.monotonic()
         results = self.endpoint.select(query.to_select())
+        elapsed = time.monotonic() - start
         self._steps.append(
-            ExplorationStep(query, results, "synthesis", len(self._candidates))
+            ExplorationStep(query, results, "synthesis", len(self._candidates),
+                            elapsed=elapsed)
         )
         return results
 
@@ -118,6 +123,11 @@ class ExplorationSession:
     @property
     def history(self) -> list[ExplorationStep]:
         return list(self._steps)
+
+    @property
+    def total_query_time(self) -> float:
+        """Endpoint time spent across all steps (serving-stats feed)."""
+        return sum(step.elapsed for step in self._steps)
 
     def refinement_kinds(self) -> list[str]:
         return sorted(self.methods)
@@ -145,9 +155,12 @@ class ExplorationSession:
         """
         if options_offered is None:
             options_offered = len(self.refinements(refinement.kind))
+        start = time.monotonic()
         results = self.endpoint.select(refinement.query.to_select())
+        elapsed = time.monotonic() - start
         self._steps.append(
-            ExplorationStep(refinement.query, results, refinement.kind, options_offered)
+            ExplorationStep(refinement.query, results, refinement.kind,
+                            options_offered, elapsed=elapsed)
         )
         return results
 

@@ -48,6 +48,22 @@ class BootstrapError(ReproError):
     """Raised when virtual schema graph construction fails."""
 
 
+class ServingError(ReproError):
+    """Base class for errors raised by the concurrent serving layer."""
+
+
+class AdmissionError(ServingError):
+    """Raised when the executor's bounded queue is full (backpressure).
+
+    Callers should treat this like an HTTP 503: back off and retry rather
+    than queueing unbounded work behind a saturated pool.
+    """
+
+
+class ServiceShutdownError(ServingError):
+    """Raised when work is submitted to a service that has shut down."""
+
+
 class SynthesisError(ReproError):
     """Raised when REOLAP cannot derive any query from the given examples."""
 

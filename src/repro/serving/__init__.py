@@ -1,0 +1,32 @@
+"""Concurrent, cache-accelerated serving layer.
+
+The paper's prototype serves one analyst against one endpoint; this
+subsystem is the scaling substrate the ROADMAP's production north star
+builds on.  It layers three pieces over the in-process store:
+
+* :mod:`repro.serving.cache` — a thread-safe multi-tier LRU+TTL cache
+  (parsed ASTs, query results, keyword resolutions) invalidated by the
+  graph epoch counter;
+* :mod:`repro.serving.executor` — a bounded worker pool with admission
+  control, per-request deadlines, and a read-write lock;
+* :mod:`repro.serving.service` — :class:`QueryService`, which multiplexes
+  many concurrent exploration sessions over one shared store and exposes
+  aggregate throughput/latency/hit-rate statistics.
+"""
+
+from .cache import MISS, CacheStats, LRUCache, QueryCache, timeout_class
+from .executor import ExecutorStats, RWLock, ServingExecutor
+from .service import QueryService, ServingStats
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "MISS",
+    "QueryCache",
+    "timeout_class",
+    "ExecutorStats",
+    "RWLock",
+    "ServingExecutor",
+    "QueryService",
+    "ServingStats",
+]

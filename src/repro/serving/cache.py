@@ -1,0 +1,231 @@
+"""Thread-safe multi-tier query cache for the serving layer.
+
+Exploratory OLAP traffic is dominated by repeated, near-identical queries:
+REOLAP probes every candidate for non-emptiness, refinement menus re-issue
+the current query with one clause changed, and concurrent analysts explore
+the same dataset.  The cache exploits that repetition at three tiers:
+
+* **ASTs** — parsed query objects keyed by query text, so a hot query
+  string is tokenized and parsed once;
+* **results** — SELECT/ASK/CONSTRUCT outcomes keyed by
+  ``(query text, graph epoch, timeout class)``;
+* **keywords** — full-text keyword resolutions keyed by
+  ``(keyword, exact, graph epoch)``.
+
+Correctness hinges on the graph **epoch** (:attr:`repro.store.Graph.epoch`):
+every mutation bumps it, the epoch is part of every result/keyword key, so
+stale entries can never be served — they simply age out of the LRU ring.
+Each tier is an :class:`LRUCache`: an ``OrderedDict`` under a lock with
+optional TTL expiry, a size cap, and hit/miss/eviction statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+__all__ = ["CacheStats", "LRUCache", "QueryCache", "MISS", "timeout_class"]
+
+#: Sentinel distinguishing "not cached" from a cached ``None``/``False``.
+MISS = object()
+
+
+def timeout_class(timeout: float | None) -> str:
+    """Bucket a timeout value into a cache-key class.
+
+    Results computed under different deadlines are not interchangeable (a
+    tight deadline may time out where a loose one succeeds), but keying by
+    the raw float would fragment the cache under jittered deadlines.  The
+    class keeps ``None`` distinct and rounds finite timeouts to the
+    millisecond.
+    """
+    return "none" if timeout is None else f"{timeout:.3f}"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache tier; read them via :attr:`LRUCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions,
+                          self.expirations, self.puts)
+
+
+class LRUCache:
+    """A bounded, thread-safe LRU map with optional per-entry TTL.
+
+    ``get`` returns :data:`MISS` on absence so that falsy values (``False``
+    from ASK, empty result sets) are cacheable.  All operations take the
+    internal lock, so one instance can serve many executor threads.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("cache ttl must be positive (or None)")
+        self.maxsize = maxsize
+        self.ttl = ttl
+        self._clock = clock
+        self._data: OrderedDict[Hashable, tuple[Any, float | None]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    def get(self, key: Hashable) -> Any:
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self._stats.misses += 1
+                return MISS
+            value, expires_at = entry
+            if expires_at is not None and self._clock() >= expires_at:
+                del self._data[key]
+                self._stats.expirations += 1
+                self._stats.misses += 1
+                return MISS
+            self._data.move_to_end(key)
+            self._stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        expires_at = None if self.ttl is None else self._clock() + self.ttl
+        with self._lock:
+            self._stats.puts += 1
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = (value, expires_at)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._stats.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it was present."""
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.get(key) is not MISS
+
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent point-in-time copy of the tier's counters."""
+        with self._lock:
+            return self._stats.snapshot()
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        return (f"<LRUCache {len(self)}/{self.maxsize} entries, "
+                f"{stats.hits}h/{stats.misses}m>")
+
+
+class QueryCache:
+    """The endpoint-facing facade bundling the three tiers.
+
+    Inject one into :class:`repro.store.Endpoint` (the ``cache=`` argument)
+    or let :class:`repro.serving.QueryService` construct one.  A single
+    instance may back several endpoints over the same graph; endpoints over
+    *different* graphs must not share one (keys include the epoch but not
+    the graph identity).
+    """
+
+    def __init__(
+        self,
+        max_asts: int = 512,
+        max_results: int = 4096,
+        max_keywords: int = 1024,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.asts = LRUCache(max_asts, ttl=None, clock=clock)
+        self.results = LRUCache(max_results, ttl=ttl, clock=clock)
+        self.keywords = LRUCache(max_keywords, ttl=ttl, clock=clock)
+
+    # -- tier accessors ----------------------------------------------------
+
+    def get_ast(self, text: str) -> Any:
+        return self.asts.get(text)
+
+    def put_ast(self, text: str, query: Any) -> None:
+        self.asts.put(text, query)
+
+    def result_key(self, text: str, epoch: int, timeout: float | None,
+                   kind: str) -> tuple:
+        return (text, epoch, timeout_class(timeout), kind)
+
+    def get_result(self, key: tuple) -> Any:
+        return self.results.get(key)
+
+    def put_result(self, key: tuple, value: Any) -> None:
+        self.results.put(key, value)
+
+    def keyword_key(self, keyword: str, exact: bool, epoch: int) -> tuple:
+        return (keyword, exact, epoch)
+
+    def get_keyword(self, key: tuple) -> Any:
+        return self.keywords.get(key)
+
+    def put_keyword(self, key: tuple, value: Any) -> None:
+        self.keywords.put(key, value)
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self) -> None:
+        self.asts.clear()
+        self.results.clear()
+        self.keywords.clear()
+
+    @property
+    def stats(self) -> dict[str, CacheStats]:
+        return {
+            "asts": self.asts.stats,
+            "results": self.results.stats,
+            "keywords": self.keywords.stats,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        """Aggregate hit rate across the result and keyword tiers.
+
+        The AST tier is excluded: an AST hit still evaluates the query, so
+        counting it would overstate how much work the cache is saving.
+        """
+        tiers = (self.results.stats, self.keywords.stats)
+        lookups = sum(t.lookups for t in tiers)
+        hits = sum(t.hits for t in tiers)
+        return hits / lookups if lookups else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<QueryCache asts={len(self.asts)} results={len(self.results)} "
+                f"keywords={len(self.keywords)} hit_rate={self.hit_rate:.2f}>")

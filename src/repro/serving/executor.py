@@ -1,0 +1,211 @@
+"""Admission-controlled worker pool and read-write lock.
+
+The serving layer runs queries on a bounded :class:`ServingExecutor`
+rather than spawning unbounded threads: a fixed worker pool drains a
+bounded queue, and submissions beyond the queue cap are rejected
+immediately with :class:`~repro.errors.AdmissionError` (backpressure, the
+thread-pool equivalent of HTTP 503).  Each request may carry a *deadline*;
+when a worker finally picks the request up, the remaining budget is
+composed with the caller's cooperative evaluation timeout (the evaluator's
+:class:`~repro.sparql.eval._Deadline` stride checks), so time spent queued
+counts against the request — a request that waited past its deadline fails
+fast without touching the store.
+
+:class:`RWLock` is the classic many-readers/one-writer lock the
+:class:`~repro.serving.service.QueryService` uses to let concurrent
+queries share the store while mutations get exclusive access.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import AdmissionError, QueryTimeoutError, ServiceShutdownError
+
+__all__ = ["ExecutorStats", "RWLock", "ServingExecutor"]
+
+
+class RWLock:
+    """A read-write lock: many concurrent readers, one exclusive writer.
+
+    Writer-preferring: once a writer is waiting, new readers block, so
+    mutations cannot starve under a steady query stream.  Not reentrant —
+    a thread must not acquire the lock (either side) while holding it.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+@dataclass
+class ExecutorStats:
+    """Lifetime counters for one executor."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    deadline_expired: int = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self.submitted - self.completed - self.failed
+
+    def snapshot(self) -> "ExecutorStats":
+        return ExecutorStats(self.submitted, self.completed, self.failed,
+                             self.rejected, self.deadline_expired)
+
+
+class ServingExecutor:
+    """A :class:`ThreadPoolExecutor` with admission control and deadlines.
+
+    ``workers`` threads drain at most ``workers + max_pending`` admitted
+    requests; further :meth:`submit` calls raise
+    :class:`~repro.errors.AdmissionError` instead of queueing unbounded.
+    """
+
+    def __init__(self, workers: int = 4, max_pending: int | None = None,
+                 name: str = "repro-serving"):
+        if workers < 1:
+            raise ValueError("executor needs at least one worker")
+        if max_pending is None:
+            max_pending = workers * 8
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        self.workers = workers
+        self.max_pending = max_pending
+        self._pool = ThreadPoolExecutor(max_workers=workers,
+                                        thread_name_prefix=name)
+        self._slots = threading.BoundedSemaphore(workers + max_pending)
+        self._lock = threading.Lock()
+        self._stats = ExecutorStats()
+        self._shutdown = False
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        /,
+        *args: Any,
+        deadline: float | None = None,
+        **kwargs: Any,
+    ) -> Future:
+        """Admit ``fn(*args, **kwargs)`` onto the pool, or reject.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant.  When
+        set, the wrapper re-checks it as the request leaves the queue and
+        tightens any ``timeout=`` keyword to the remaining budget, so the
+        store-level cooperative timeout and the serving deadline compose.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise ServiceShutdownError("executor has been shut down")
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                self._stats.rejected += 1
+            raise AdmissionError(
+                f"serving queue full ({self.workers} workers, "
+                f"{self.max_pending} pending slots); retry later"
+            )
+
+        def run() -> Any:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    with self._lock:
+                        self._stats.deadline_expired += 1
+                    raise QueryTimeoutError(
+                        "request deadline expired while queued"
+                    )
+                timeout = kwargs.get("timeout")
+                kwargs["timeout"] = (
+                    remaining if timeout is None else min(timeout, remaining)
+                )
+            return fn(*args, **kwargs)
+
+        with self._lock:
+            self._stats.submitted += 1
+        try:
+            future = self._pool.submit(run)
+        except BaseException:
+            self._slots.release()
+            with self._lock:
+                self._stats.submitted -= 1
+            raise
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, future: Future) -> None:
+        self._slots.release()
+        with self._lock:
+            if future.cancelled() or future.exception() is not None:
+                self._stats.failed += 1
+            else:
+                self._stats.completed += 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admitting work; optionally wait for in-flight requests."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ServingExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    @property
+    def stats(self) -> ExecutorStats:
+        with self._lock:
+            return self._stats.snapshot()
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        state = "shutdown" if self._shutdown else "running"
+        return (f"<ServingExecutor {state}: {self.workers} workers, "
+                f"{stats.in_flight} in flight, {stats.rejected} rejected>")

@@ -1,0 +1,365 @@
+"""The concurrent query service: many analysts, one shared store.
+
+:class:`QueryService` is the serving-layer front door.  It owns
+
+* one shared :class:`~repro.store.Endpoint` (wired with a
+  :class:`~repro.serving.cache.QueryCache` unless caching is disabled),
+* a :class:`~repro.serving.executor.RWLock` so any number of concurrent
+  queries share the store while mutations run exclusively,
+* a :class:`~repro.serving.executor.ServingExecutor` for asynchronous
+  submission with admission control and per-request deadlines,
+* a session manager multiplexing many
+  :class:`~repro.core.session.ExplorationSession` instances — one per
+  analyst — over the shared endpoint, and
+* aggregate serving statistics: request counts, throughput, p50/p95
+  latency, and the cache hit rate.
+
+Every query issued through the service — directly via :meth:`execute` /
+:meth:`submit`, or indirectly by a managed exploration session — passes
+through a guarded endpoint proxy that takes the read lock and records the
+request's latency, so the stats cover the whole mixed workload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import QueryTimeoutError, ServiceShutdownError, ServingError
+from ..store.dataset import GraphView
+from ..store.endpoint import Endpoint
+from ..store.graph import Graph
+from .cache import QueryCache
+from .executor import RWLock, ServingExecutor
+
+__all__ = ["QueryService", "ServingStats"]
+
+#: How many recent request latencies feed the percentile estimates.
+_LATENCY_WINDOW = 8192
+
+
+@dataclass
+class ServingStats:
+    """A point-in-time snapshot of the service's aggregate behaviour."""
+
+    requests: int
+    errors: int
+    timeouts: int
+    open_sessions: int
+    uptime: float
+    throughput: float  # completed requests / second of uptime
+    p50_latency: float  # seconds; 0.0 before any request completes
+    p95_latency: float
+    cache_hit_rate: float
+
+    def pretty(self) -> str:
+        lines = [
+            f"requests        {self.requests}",
+            f"errors          {self.errors} ({self.timeouts} timeouts)",
+            f"open sessions   {self.open_sessions}",
+            f"uptime          {self.uptime:.1f}s",
+            f"throughput      {self.throughput:.1f} req/s",
+            f"latency p50     {self.p50_latency * 1000:.2f}ms",
+            f"latency p95     {self.p95_latency * 1000:.2f}ms",
+            f"cache hit rate  {self.cache_hit_rate * 100:.1f}%",
+        ]
+        return "\n".join(lines)
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = max(0, min(len(sorted_values) - 1,
+                       round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+class _GuardedEndpoint:
+    """Endpoint proxy: read-locks the store and meters every query.
+
+    Duck-types the :class:`~repro.store.Endpoint` query surface, so the
+    exploration session, REOLAP, and the refinement operators can run
+    against it unchanged.  Each call holds the service's read lock for the
+    duration of evaluation — mutations submitted through
+    :meth:`QueryService.mutate` wait for in-flight queries and vice versa.
+    """
+
+    def __init__(self, service: "QueryService", inner: Endpoint):
+        self._service = service
+        self._inner = inner
+
+    # Endpoint attributes the analytics layer reads directly.
+    @property
+    def graph(self):
+        return self._inner.graph
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    @property
+    def default_timeout(self):
+        return self._inner.default_timeout
+
+    @property
+    def cache(self):
+        return self._inner.cache
+
+    @property
+    def text_index(self):
+        with self._service._rwlock.read_locked():
+            return self._inner.text_index
+
+    def _metered(self, fn, *args, **kwargs):
+        start = time.monotonic()
+        try:
+            with self._service._rwlock.read_locked():
+                result = fn(*args, **kwargs)
+        except QueryTimeoutError:
+            self._service._record(time.monotonic() - start, timeout=True)
+            raise
+        except Exception:
+            self._service._record(time.monotonic() - start, error=True)
+            raise
+        self._service._record(time.monotonic() - start)
+        return result
+
+    def select(self, query, timeout=None):
+        return self._metered(self._inner.select, query, timeout=timeout)
+
+    def ask(self, query, timeout=None):
+        return self._metered(self._inner.ask, query, timeout=timeout)
+
+    def construct(self, query, timeout=None):
+        return self._metered(self._inner.construct, query, timeout=timeout)
+
+    def query(self, text, timeout=None):
+        return self._metered(self._inner.query, text, timeout=timeout)
+
+    def resolve_keyword(self, keyword, exact=True):
+        return self._metered(self._inner.resolve_keyword, keyword, exact=exact)
+
+    def refresh_text_index(self):
+        with self._service._rwlock.write_locked():
+            self._inner.refresh_text_index()
+
+    # Reuse Endpoint's probe logic; its self.ask/self.select calls come
+    # back through this proxy, so each leg takes the read lock separately
+    # (the RWLock is not reentrant).
+    is_non_empty = Endpoint.is_non_empty
+
+    def __repr__(self) -> str:
+        return f"<GuardedEndpoint over {self._inner!r}>"
+
+
+class QueryService:
+    """Serves concurrent query and exploration traffic over one store.
+
+    Construct it from a :class:`~repro.store.Graph` / ``GraphView`` (an
+    endpoint is built internally) or from an existing endpoint::
+
+        service = QueryService(graph, workers=8)
+        rows = service.execute("SELECT ?s WHERE { ?s ?p ?o }")
+        future = service.submit("ASK { ?s a ?c }")
+        sid = service.open_session(OBSERVATION_CLASS)
+        service.session(sid).synthesize("Germany", "2014")
+        print(service.stats().pretty())
+        service.shutdown()
+
+    ``cache=None`` with ``cache_size > 0`` (the default) builds a
+    :class:`QueryCache`; pass ``cache_size=0`` to serve uncached.
+    """
+
+    def __init__(
+        self,
+        target: Graph | GraphView | Endpoint,
+        workers: int = 4,
+        max_pending: int | None = None,
+        cache: QueryCache | None = None,
+        cache_size: int = 4096,
+        default_timeout: float | None = None,
+        request_deadline: float | None = None,
+    ):
+        if cache is None and cache_size > 0:
+            cache = QueryCache(max_results=cache_size)
+        self.cache = cache
+        if isinstance(target, Endpoint):
+            self._endpoint = target
+            if cache is not None and target.cache is None:
+                target.cache = cache
+            else:
+                self.cache = target.cache
+        else:
+            self._endpoint = Endpoint(
+                target, default_timeout=default_timeout, cache=cache
+            )
+        self.request_deadline = request_deadline
+        self._rwlock = RWLock()
+        self._executor = ServingExecutor(workers=workers, max_pending=max_pending)
+        self._guarded = _GuardedEndpoint(self, self._endpoint)
+        self._stats_lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._requests = 0
+        self._errors = 0
+        self._timeouts = 0
+        self._started_at = time.monotonic()
+        self._sessions: dict[str, object] = {}
+        self._session_seq = 0
+        self._vgraphs: dict[object, object] = {}
+        self._vgraph_lock = threading.Lock()
+        self._closed = False
+
+    # -- direct querying ---------------------------------------------------
+
+    @property
+    def endpoint(self) -> _GuardedEndpoint:
+        """The metered, read-locked endpoint facade."""
+        return self._guarded
+
+    def execute(self, text: str, timeout: float | None = None):
+        """Run one query string synchronously on the caller's thread."""
+        self._check_open()
+        return self._guarded.query(text, timeout=timeout)
+
+    def submit(self, text: str, timeout: float | None = None):
+        """Queue one query string on the worker pool; returns a Future.
+
+        Raises :class:`~repro.errors.AdmissionError` when the bounded
+        queue is full.  With a ``request_deadline`` configured, time spent
+        queued counts against the request's evaluation budget.
+        """
+        self._check_open()
+        deadline = (
+            None
+            if self.request_deadline is None
+            else time.monotonic() + self.request_deadline
+        )
+        return self._executor.submit(
+            self._guarded.query, text, timeout=timeout, deadline=deadline
+        )
+
+    def mutate(self, fn):
+        """Apply ``fn(graph)`` under the write lock; returns its result.
+
+        The graph's epoch counter advances with each mutation, so all
+        cached results for the old state become unreachable atomically
+        once the write lock is released.
+        """
+        self._check_open()
+        with self._rwlock.write_locked():
+            return fn(self._endpoint.graph)
+
+    # -- session management ------------------------------------------------
+
+    def vgraph(self, observation_class):
+        """The shared virtual schema graph for an observation class.
+
+        Bootstrapped on first use and reused by every session over the
+        same class — the bootstrap crawl itself runs through the cache,
+        so concurrent session creation after the first is cheap.
+        """
+        from ..core.virtual_graph import VirtualSchemaGraph
+
+        with self._vgraph_lock:
+            vgraph = self._vgraphs.get(observation_class)
+            if vgraph is None:
+                vgraph = VirtualSchemaGraph.bootstrap(self._guarded, observation_class)
+                self._vgraphs[observation_class] = vgraph
+            return vgraph
+
+    def open_session(self, observation_class, session_id: str | None = None,
+                     **session_kwargs) -> str:
+        """Create a managed exploration session; returns its id."""
+        self._check_open()
+        from ..core.session import ExplorationSession
+
+        vgraph = self.vgraph(observation_class)
+        session = ExplorationSession(self._guarded, vgraph, **session_kwargs)
+        with self._stats_lock:
+            if session_id is None:
+                self._session_seq += 1
+                session_id = f"s{self._session_seq}"
+            if session_id in self._sessions:
+                raise ServingError(f"session {session_id!r} already open")
+            self._sessions[session_id] = session
+        return session_id
+
+    def session(self, session_id: str):
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ServingError(f"no open session {session_id!r}") from None
+
+    def close_session(self, session_id: str) -> None:
+        with self._stats_lock:
+            if self._sessions.pop(session_id, None) is None:
+                raise ServingError(f"no open session {session_id!r}")
+
+    def session_ids(self) -> list[str]:
+        with self._stats_lock:
+            return sorted(self._sessions)
+
+    # -- statistics --------------------------------------------------------
+
+    def _record(self, elapsed: float, error: bool = False,
+                timeout: bool = False) -> None:
+        with self._stats_lock:
+            self._requests += 1
+            self._latencies.append(elapsed)
+            if timeout:
+                self._timeouts += 1
+                self._errors += 1
+            elif error:
+                self._errors += 1
+
+    def stats(self) -> ServingStats:
+        with self._stats_lock:
+            latencies = sorted(self._latencies)
+            requests = self._requests
+            errors = self._errors
+            timeouts = self._timeouts
+            open_sessions = len(self._sessions)
+        uptime = max(time.monotonic() - self._started_at, 1e-9)
+        return ServingStats(
+            requests=requests,
+            errors=errors,
+            timeouts=timeouts,
+            open_sessions=open_sessions,
+            uptime=uptime,
+            throughput=requests / uptime,
+            p50_latency=_percentile(latencies, 0.50),
+            p95_latency=_percentile(latencies, 0.95),
+            cache_hit_rate=self.cache.hit_rate if self.cache else 0.0,
+        )
+
+    @property
+    def executor_stats(self):
+        return self._executor.stats
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceShutdownError("query service has been shut down")
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admitting work, drain the pool, drop all sessions."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+        with self._stats_lock:
+            self._sessions.clear()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        state = "shutdown" if self._closed else "running"
+        return (f"<QueryService {state}: {self._executor.workers} workers, "
+                f"{len(self._sessions)} sessions, {self._requests} requests>")

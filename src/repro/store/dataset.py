@@ -33,6 +33,16 @@ class GraphView:
         if not self._graphs:
             raise ValueError("GraphView requires at least one graph")
 
+    @property
+    def epoch(self) -> int:
+        """Aggregate version counter: the sum of the member graphs' epochs.
+
+        Member epochs never decrease, so the sum is monotonic and changes
+        whenever any member graph mutates — which is all the serving cache
+        needs for invalidation.
+        """
+        return sum(g.epoch for g in self._graphs)
+
     def __len__(self) -> int:
         if len(self._graphs) == 1:
             return len(self._graphs[0])
@@ -112,6 +122,11 @@ class Dataset:
     @property
     def default_graph(self) -> Graph:
         return self._default
+
+    @property
+    def epoch(self) -> int:
+        """Aggregate version counter over the default and all named graphs."""
+        return self._default.epoch + sum(g.epoch for g in self._named.values())
 
     def graph(self, name: IRI | None = None) -> Graph:
         """The graph with the given name, creating it on first access."""

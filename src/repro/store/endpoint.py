@@ -12,12 +12,19 @@ paper claims.  The facade adds what a real endpoint provides:
   a 15-minute Virtuoso timeout on DBpedia; ours is configurable per call);
 * a full-text keyword-resolution service backed by :class:`TextIndex`
   (standing in for Virtuoso's text index, Section 7.1);
-* query statistics, which the benchmark harness uses to count round-trips.
+* query statistics, which the benchmark harness uses to count round-trips;
+* an optional result cache (:class:`~repro.serving.cache.QueryCache`),
+  keyed by query text and the graph's epoch counter, standing in for the
+  result reuse real endpoints get from their buffer pools.
+
+Stats updates and the lazy text-index build are guarded by a lock, so one
+endpoint may be shared by the serving layer's worker threads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 
 from ..rdf.terms import IRI, Literal, Node
 from ..sparql.ast import AskQuery, ConstructQuery, Query, SelectQuery
@@ -37,22 +44,34 @@ class EndpointStats:
 
     select_queries: int = 0
     ask_queries: int = 0
+    construct_queries: int = 0
     keyword_lookups: int = 0
     timeouts: int = 0
+    cache_hits: int = 0
 
     @property
     def total_queries(self) -> int:
-        return self.select_queries + self.ask_queries
+        return self.select_queries + self.ask_queries + self.construct_queries
 
     def reset(self) -> None:
         self.select_queries = 0
         self.ask_queries = 0
+        self.construct_queries = 0
         self.keyword_lookups = 0
         self.timeouts = 0
+        self.cache_hits = 0
 
 
 class Endpoint:
-    """The query interface the analytics layer is written against."""
+    """The query interface the analytics layer is written against.
+
+    ``cache`` (a :class:`~repro.serving.cache.QueryCache`) enables result
+    reuse: SELECT/ASK/CONSTRUCT outcomes and keyword resolutions are keyed
+    by ``(query text, graph epoch, timeout class)``, so any graph mutation
+    makes every previously cached answer unreachable.  Queries that time
+    out are never cached.  The stats counters count *calls*, cached or
+    not; ``cache_hits`` says how many were answered without evaluation.
+    """
 
     def __init__(
         self,
@@ -60,54 +79,138 @@ class Endpoint:
         default_timeout: float | None = None,
         optimize: bool = True,
         text_index: TextIndex | None = None,
+        cache: "QueryCache | None" = None,
     ):
         self.graph = graph
         self.default_timeout = default_timeout
         self._evaluator = Evaluator(graph, optimize=optimize)
         self._text_index = text_index
+        self.cache = cache
         self.stats = EndpointStats()
+        self._lock = threading.Lock()
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def _epoch(self) -> int | None:
+        """The graph's version counter, or None for un-versioned graphs.
+
+        Results over an un-versioned graph are never cached — without an
+        epoch there is no way to invalidate them.
+        """
+        return getattr(self.graph, "epoch", None)
+
+    def _parse(self, text: str) -> Query:
+        """Parse a query string, reusing the cache's AST tier when present."""
+        from ..serving.cache import MISS
+
+        if self.cache is None:
+            return parse_query(text)
+        parsed = self.cache.get_ast(text)
+        if parsed is MISS:
+            parsed = parse_query(text)
+            self.cache.put_ast(text, parsed)
+        return parsed
+
+    def _result_key(self, query, kind: str, timeout: float | None):
+        """Cache key for one call, or None when this call is uncacheable."""
+        if self.cache is None:
+            return None
+        epoch = self._epoch()
+        if epoch is None:
+            return None
+        text = query if isinstance(query, str) else query.to_sparql()
+        return self.cache.result_key(text, epoch, timeout, kind)
+
+    def _count(self, counter: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + n)
 
     # -- querying -----------------------------------------------------------
 
     def select(self, query: SelectQuery | str, timeout: float | None = None) -> ResultSet:
         """Run a SELECT query (AST or text)."""
-        self.stats.select_queries += 1
+        self._count("select_queries")
+        timeout = timeout or self.default_timeout
+        from ..serving.cache import MISS
+
+        key = self._result_key(query, "select", timeout)
+        if key is not None:
+            cached = self.cache.get_result(key)
+            if cached is not MISS:
+                self._count("cache_hits")
+                # Copy: ResultSet rows/variables are mutable lists and the
+                # cached instance must survive caller-side edits.
+                return ResultSet(cached.variables, cached.rows)
+        if isinstance(query, str):
+            query = self._parse(query)
         from ..errors import QueryTimeoutError
 
         try:
-            return self._evaluator.select(query, timeout=timeout or self.default_timeout)
+            result = self._evaluator.select(query, timeout=timeout)
         except QueryTimeoutError:
-            self.stats.timeouts += 1
+            self._count("timeouts")
             raise
+        if key is not None:
+            self.cache.put_result(key, result)
+        return result
 
     def ask(self, query: AskQuery | str, timeout: float | None = None) -> bool:
         """Run an ASK query (AST or text)."""
-        self.stats.ask_queries += 1
+        self._count("ask_queries")
+        timeout = timeout or self.default_timeout
+        from ..serving.cache import MISS
+
+        key = self._result_key(query, "ask", timeout)
+        if key is not None:
+            cached = self.cache.get_result(key)
+            if cached is not MISS:
+                self._count("cache_hits")
+                return cached
+        if isinstance(query, str):
+            query = self._parse(query)
         from ..errors import QueryTimeoutError
 
         try:
-            return self._evaluator.ask(query, timeout=timeout or self.default_timeout)
+            result = self._evaluator.ask(query, timeout=timeout)
         except QueryTimeoutError:
-            self.stats.timeouts += 1
+            self._count("timeouts")
             raise
+        if key is not None:
+            self.cache.put_result(key, result)
+        return result
 
     def construct(self, query: ConstructQuery | str, timeout: float | None = None):
         """Run a CONSTRUCT query; returns a new :class:`Graph`."""
-        self.stats.select_queries += 1
+        self._count("construct_queries")
+        timeout = timeout or self.default_timeout
+        from ..serving.cache import MISS
+
+        key = self._result_key(query, "construct", timeout)
+        if key is not None:
+            cached = self.cache.get_result(key)
+            if cached is not MISS:
+                self._count("cache_hits")
+                # Cached as a triple tuple; each hit gets a private graph.
+                return Graph(triples=cached)
+        if isinstance(query, str):
+            query = self._parse(query)
         from ..errors import QueryTimeoutError
 
         try:
-            return self._evaluator.construct(query, timeout=timeout or self.default_timeout)
+            result = self._evaluator.construct(query, timeout=timeout)
         except QueryTimeoutError:
-            self.stats.timeouts += 1
+            self._count("timeouts")
             raise
+        if key is not None:
+            self.cache.put_result(key, tuple(result.triples()))
+        return result
 
     def query(self, text: str, timeout: float | None = None):
         """Parse and dispatch a query string.
 
         SELECT → ResultSet, ASK → bool, CONSTRUCT → Graph.
         """
-        parsed: Query = parse_query(text)
+        parsed: Query = self._parse(text)
         if isinstance(parsed, AskQuery):
             return self.ask(parsed, timeout=timeout)
         if isinstance(parsed, ConstructQuery):
@@ -143,10 +246,19 @@ class Endpoint:
 
     @property
     def text_index(self) -> TextIndex:
-        """The full-text index, built lazily on first keyword lookup."""
-        if self._text_index is None:
-            self._text_index = TextIndex.from_graph(self.graph)
-        return self._text_index
+        """The full-text index, built lazily on first keyword lookup.
+
+        Double-checked under the endpoint lock so concurrent first lookups
+        build it exactly once.
+        """
+        index = self._text_index
+        if index is None:
+            with self._lock:
+                index = self._text_index
+                if index is None:
+                    index = TextIndex.from_graph(self.graph)
+                    self._text_index = index
+        return index
 
     def resolve_keyword(self, keyword: str, exact: bool = True) -> list[tuple[Node, IRI, Literal]]:
         """Entities whose literal attributes match a user keyword.
@@ -154,12 +266,28 @@ class Endpoint:
         Returns (entity, attribute predicate, matched literal) triples —
         the raw material of Algorithm 1's MATCHES step.
         """
-        self.stats.keyword_lookups += 1
-        return list(self.text_index.subjects_matching(keyword, exact=exact))
+        self._count("keyword_lookups")
+        from ..serving.cache import MISS
+
+        key = None
+        if self.cache is not None:
+            epoch = self._epoch()
+            if epoch is not None:
+                key = self.cache.keyword_key(keyword, exact, epoch)
+                cached = self.cache.get_keyword(key)
+                if cached is not MISS:
+                    self._count("cache_hits")
+                    return list(cached)
+        result = list(self.text_index.subjects_matching(keyword, exact=exact))
+        if key is not None:
+            self.cache.put_keyword(key, tuple(result))
+        return result
 
     def refresh_text_index(self) -> None:
         """Rebuild the text index after bulk updates to the graph."""
-        self._text_index = TextIndex.from_graph(self.graph)
+        index = TextIndex.from_graph(self.graph)
+        with self._lock:
+            self._text_index = index
 
     def __repr__(self) -> str:
         return f"<Endpoint over {self.graph!r}>"

@@ -32,24 +32,40 @@ class Graph:
     1
     """
 
-    __slots__ = ("name", "_terms", "_index")
+    __slots__ = ("name", "_terms", "_index", "_epoch")
 
     def __init__(self, name: IRI | None = None, triples: Iterable[Triple] | None = None):
         self.name = name
         self._terms = TermDictionary()
         self._index = TripleIndex()
+        self._epoch = 0
         if triples is not None:
             self.add_all(triples)
+
+    # -- versioning -------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic version counter, bumped on every successful mutation.
+
+        The serving layer keys cached query results by this value, so any
+        ``add``/``remove``/bulk load invalidates stale entries without the
+        cache having to watch the graph (see :mod:`repro.serving.cache`).
+        """
+        return self._epoch
 
     # -- mutation ---------------------------------------------------------
 
     def add(self, triple: Triple) -> bool:
         """Insert a triple; returns False if it was already present."""
-        return self._index.add(
+        added = self._index.add(
             self._terms.encode(triple.s),
             self._terms.encode(triple.p),
             self._terms.encode(triple.o),
         )
+        if added:
+            self._epoch += 1
+        return added
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; returns the number actually added."""
@@ -64,7 +80,10 @@ class Graph:
         ids = self._encode_pattern(triple.s, triple.p, triple.o)
         if ids is None:
             return False
-        return self._index.remove(*ids)
+        removed = self._index.remove(*ids)
+        if removed:
+            self._epoch += 1
+        return removed
 
     # -- lookup -----------------------------------------------------------
 

@@ -1,0 +1,335 @@
+"""Serving layer: executor admission control, RW lock, QueryService.
+
+The acceptance-critical test drives 8+ threads of mixed exploration
+sessions through one :class:`QueryService` and checks every thread saw
+exactly the results a serial, uncached run produces — concurrency plus
+caching must be invisible to correctness.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, wait
+
+import pytest
+
+from repro.core import ExplorationSession, VirtualSchemaGraph
+from repro.errors import (
+    AdmissionError,
+    QueryTimeoutError,
+    ServiceShutdownError,
+    ServingError,
+)
+from repro.qb import OBSERVATION_CLASS
+from repro.rdf import IRI, Literal
+from repro.rdf.triple import Triple
+from repro.serving import QueryCache, QueryService, RWLock, ServingExecutor
+from repro.store import Endpoint, Graph
+
+
+def triple(i: int) -> Triple:
+    return Triple(IRI(f"urn:s{i}"), IRI("urn:p"), Literal(str(i)))
+
+
+def small_graph(n: int = 30) -> Graph:
+    return Graph(triples=[triple(i) for i in range(n)])
+
+
+SELECT_ALL = "SELECT ?s ?o WHERE { ?s <urn:p> ?o }"
+
+
+# ---------------------------------------------------------------------------
+# ServingExecutor
+# ---------------------------------------------------------------------------
+
+
+class TestServingExecutor:
+    def test_runs_work_and_counts(self):
+        with ServingExecutor(workers=2) as pool:
+            futures = [pool.submit(lambda x: x * 2, i) for i in range(10)]
+            assert sorted(f.result() for f in futures) == [2 * i for i in range(10)]
+        stats = pool.stats
+        assert stats.submitted == 10 and stats.completed == 10
+        assert stats.rejected == 0 and stats.in_flight == 0
+
+    def test_admission_control_rejects_when_full(self):
+        release = threading.Event()
+        with ServingExecutor(workers=1, max_pending=0) as pool:
+            blocker = pool.submit(release.wait)
+            with pytest.raises(AdmissionError):
+                pool.submit(lambda: None)
+            assert pool.stats.rejected == 1
+            release.set()
+            blocker.result(timeout=5)
+            # Slot freed: admission works again.
+            assert pool.submit(lambda: 42).result(timeout=5) == 42
+
+    def test_expired_deadline_fails_without_running(self):
+        ran = []
+        with ServingExecutor(workers=1) as pool:
+            future = pool.submit(lambda **kw: ran.append(1),
+                                 deadline=time.monotonic() - 0.1)
+            with pytest.raises(QueryTimeoutError):
+                future.result(timeout=5)
+        assert not ran
+        assert pool.stats.deadline_expired == 1
+
+    def test_deadline_tightens_cooperative_timeout(self):
+        seen = {}
+
+        def work(timeout=None):
+            seen["timeout"] = timeout
+            return "ok"
+
+        with ServingExecutor(workers=1) as pool:
+            # Caller allows 100s but only 1s of deadline budget remains.
+            future = pool.submit(work, timeout=100.0,
+                                 deadline=time.monotonic() + 1.0)
+            assert future.result(timeout=5) == "ok"
+        assert seen["timeout"] <= 1.0
+
+    def test_submit_after_shutdown_raises(self):
+        pool = ServingExecutor(workers=1)
+        pool.shutdown()
+        with pytest.raises(ServiceShutdownError):
+            pool.submit(lambda: None)
+
+    def test_failed_tasks_release_slots(self):
+        with ServingExecutor(workers=1, max_pending=0) as pool:
+            for _ in range(5):
+                future = pool.submit(lambda: 1 / 0)
+                with pytest.raises(ZeroDivisionError):
+                    future.result(timeout=5)
+        assert pool.stats.failed == 5
+
+
+class TestRWLock:
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        log = []
+
+        def reader(delay):
+            with lock.read_locked():
+                log.append("r-in")
+                time.sleep(delay)
+                log.append("r-out")
+
+        def writer():
+            with lock.write_locked():
+                log.append("w")
+
+        threads = [threading.Thread(target=reader, args=(0.05,)) for _ in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.01)  # let readers enter
+        w = threading.Thread(target=writer)
+        w.start()
+        for t in threads + [w]:
+            t.join(timeout=5)
+        # The writer ran strictly after every in-flight reader left.
+        assert log.index("w") > max(i for i, e in enumerate(log) if e == "r-out") - 1
+        assert log.count("r-in") == 3 and log.count("w") == 1
+
+    def test_write_lock_protects_counter(self):
+        lock = RWLock()
+        state = {"n": 0}
+
+        def bump():
+            for _ in range(200):
+                with lock.write_locked():
+                    current = state["n"]
+                    time.sleep(0)  # force interleaving opportunity
+                    state["n"] = current + 1
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert state["n"] == 800
+
+
+# ---------------------------------------------------------------------------
+# Endpoint thread safety (shared under the executor)
+# ---------------------------------------------------------------------------
+
+
+class TestEndpointThreadSafety:
+    def test_stats_updates_are_not_lost(self):
+        ep = Endpoint(small_graph(), cache=QueryCache())
+        n_threads, n_calls = 8, 40
+
+        def worker():
+            for _ in range(n_calls):
+                ep.select(SELECT_ALL)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert ep.stats.select_queries == n_threads * n_calls
+        assert ep.stats.cache_hits >= n_threads * n_calls - n_threads
+
+    def test_lazy_text_index_built_once(self, monkeypatch):
+        from repro.store import text_index as text_index_module
+
+        calls = []
+        original = text_index_module.TextIndex.from_graph.__func__
+
+        def counting(cls, graph):
+            calls.append(1)
+            time.sleep(0.02)  # widen the race window
+            return original(cls, graph)
+
+        monkeypatch.setattr(text_index_module.TextIndex, "from_graph",
+                            classmethod(counting))
+        ep = Endpoint(small_graph())
+        start = threading.Barrier(8)
+
+        def lookup():
+            start.wait(timeout=5)
+            ep.resolve_keyword("3")
+
+        threads = [threading.Thread(target=lookup) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(calls) == 1
+
+
+# ---------------------------------------------------------------------------
+# QueryService
+# ---------------------------------------------------------------------------
+
+
+class TestQueryService:
+    def test_execute_and_submit_agree(self):
+        with QueryService(small_graph(), workers=2) as service:
+            direct = service.execute(SELECT_ALL)
+            queued = service.submit(SELECT_ALL).result(timeout=10)
+            assert direct == queued
+            assert service.stats().requests == 2
+
+    def test_mutation_through_service_invalidates_cache(self):
+        graph = small_graph()
+        with QueryService(graph, workers=2) as service:
+            before = service.execute(SELECT_ALL)
+            service.mutate(lambda g: g.add(triple(999)))
+            after = service.execute(SELECT_ALL)
+            assert len(after) == len(before) + 1
+
+    def test_session_lifecycle(self, mini_kg):
+        endpoint = mini_kg.endpoint()
+        with QueryService(endpoint, workers=2) as service:
+            sid = service.open_session(OBSERVATION_CLASS)
+            assert service.session_ids() == [sid]
+            with pytest.raises(ServingError):
+                service.open_session(OBSERVATION_CLASS, session_id=sid)
+            service.close_session(sid)
+            assert service.session_ids() == []
+            with pytest.raises(ServingError):
+                service.session(sid)
+
+    def test_shutdown_rejects_new_work(self):
+        service = QueryService(small_graph(), workers=1)
+        service.shutdown()
+        with pytest.raises(ServiceShutdownError):
+            service.execute(SELECT_ALL)
+        with pytest.raises(ServiceShutdownError):
+            service.submit(SELECT_ALL)
+
+    def test_request_deadline_composes(self):
+        service = QueryService(small_graph(), workers=1,
+                               request_deadline=-0.001)
+        try:
+            with pytest.raises(QueryTimeoutError):
+                service.submit(SELECT_ALL).result(timeout=10)
+        finally:
+            service.shutdown()
+
+    def test_concurrent_mixed_sessions_match_serial(self, mini_kg):
+        """≥8 threads of mixed sessions; results identical to serial."""
+        n_threads = 8
+        example = "Germany"
+
+        # Serial, uncached reference run.
+        plain = Endpoint(mini_kg.graph)
+        vgraph = VirtualSchemaGraph.bootstrap(plain, OBSERVATION_CLASS)
+        reference = ExplorationSession(plain, vgraph)
+        expected_candidates = [c.description for c in reference.synthesize(example)]
+        expected_results = [reference.choose(i)
+                            for i in range(len(expected_candidates))]
+        expected_direct = plain.select(
+            "SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }")
+
+        with QueryService(mini_kg.endpoint(), workers=n_threads) as service:
+            session_ids = [service.open_session(OBSERVATION_CLASS)
+                           for _ in range(n_threads)]
+            barrier = threading.Barrier(n_threads)
+
+            def explore(worker: int):
+                session = service.session(session_ids[worker])
+                barrier.wait(timeout=30)
+                candidates = session.synthesize(example)
+                descriptions = [c.description for c in candidates]
+                # Each worker picks a different candidate — mixed workload.
+                index = worker % len(candidates)
+                chosen = session.choose(index)
+                # And issues a direct service query between session steps.
+                direct = service.execute(
+                    "SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }")
+                return descriptions, index, chosen, direct
+
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                futures = [pool.submit(explore, w) for w in range(n_threads)]
+                done, not_done = wait(futures, timeout=180)
+            assert not not_done
+            for future in done:
+                descriptions, index, chosen, direct = future.result()
+                assert descriptions == expected_candidates
+                assert chosen == expected_results[index]
+                assert direct == expected_direct
+            stats = service.stats()
+            assert stats.errors == 0
+            assert stats.open_sessions == n_threads
+            # Heavy repetition across sessions → the cache must be earning.
+            assert service.cache.hit_rate > 0.5
+
+    def test_concurrent_queries_with_interleaved_mutations(self):
+        """Readers under churn never see a stale cached result."""
+        graph = small_graph(10)
+        errors = []
+        stop = threading.Event()
+
+        with QueryService(graph, workers=4) as service:
+            def reader():
+                while not stop.is_set():
+                    cached = service.execute(SELECT_ALL)
+                    # The graph only grows during this test, so any cached
+                    # answer smaller than the initial state is stale.
+                    if len(cached) < 10:
+                        errors.append(f"stale result: {len(cached)} rows")
+                    if [v.name for v in cached.variables] != ["s", "o"]:
+                        errors.append("variable mismatch")
+
+            def mutator():
+                for i in range(100, 140):
+                    service.mutate(lambda g, i=i: g.add(triple(i)))
+                    time.sleep(0.001)
+
+            readers = [threading.Thread(target=reader) for _ in range(6)]
+            writer = threading.Thread(target=mutator)
+            for t in readers:
+                t.start()
+            writer.start()
+            writer.join(timeout=60)
+            stop.set()
+            for t in readers:
+                t.join(timeout=60)
+
+            assert not errors
+            # Quiesced: cached answer equals a fresh uncached evaluation.
+            final = service.execute(SELECT_ALL)
+            assert final == Endpoint(graph).select(SELECT_ALL)
+            assert len(final) == 50
