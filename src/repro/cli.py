@@ -63,13 +63,14 @@ def build_endpoint(args: argparse.Namespace) -> tuple[Endpoint, IRI]:
     """
     cache = QueryCache(max_results=args.cache_size) if getattr(
         args, "cache_size", 0) > 0 else None
+    compile_queries = not getattr(args, "no_compile", False)
     if args.ntriples:
         with open(args.ntriples, encoding="utf-8") as handle:
             graph = Graph.from_ntriples(handle)
-        return Endpoint(graph, cache=cache), IRI(args.observation_class)
+        return Endpoint(graph, cache=cache, compile=compile_queries), IRI(args.observation_class)
     generator = _GENERATORS[args.dataset]
     kg = generator(n_observations=args.observations, scale=args.scale, seed=args.seed)
-    endpoint = kg.endpoint()
+    endpoint = kg.endpoint(compile=compile_queries)
     endpoint.cache = cache
     return endpoint, OBSERVATION_CLASS
 
@@ -204,6 +205,8 @@ class ExplorerShell:
             f"  queries         {stats.total_queries} "
             f"(select {stats.select_queries}, ask {stats.ask_queries}, "
             f"construct {stats.construct_queries})",
+            f"  batched asks    {stats.batch_asks} "
+            f"(shared join steps {stats.batch_shared_steps})",
             f"  keyword lookups {stats.keyword_lookups}",
             f"  timeouts        {stats.timeouts}",
             f"  cache hits      {stats.cache_hits}",
@@ -293,6 +296,9 @@ def make_parser() -> argparse.ArgumentParser:
                         help="serving worker threads (see repro.serving)")
     parser.add_argument("--cache-size", type=_nonnegative_int, default=4096,
                         help="query result cache entries; 0 disables caching")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="disable compiled id-space BGP execution "
+                             "(fall back to the term-space interpreter)")
     return parser
 
 

@@ -26,6 +26,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from ..errors import SynthesisError
+from ..sparql.ast import AskQuery
 from ..store.endpoint import Endpoint
 from .describe import describe_query
 from .matching import Interpretation, find_interpretations
@@ -98,12 +99,40 @@ def reolap(
         if signature in seen_signatures:
             continue
         seen_signatures.add(signature)
-        query = get_query(vgraph, combination)
-        if validate and not endpoint.is_non_empty(query.to_select()):
-            report.candidates_empty += 1
-            continue
-        queries.append(query)
+        queries.append(get_query(vgraph, combination))
+    if validate:
+        queries = _validate_candidates(endpoint, queries, report)
     return queries
+
+
+def _validate_candidates(
+    endpoint, queries: list[OLAPQuery], report: SynthesisReport
+) -> list[OLAPQuery]:
+    """Keep the candidates whose query is non-empty (Section 5.3).
+
+    Candidates without HAVING reduce to ASK probes over their WHERE
+    clause, and sibling candidates share most of their anchored patterns —
+    so when the endpoint offers :meth:`~repro.store.Endpoint.ask_batch`
+    they are validated in one batched round-trip that evaluates the shared
+    prefixes once.  Everything else (HAVING candidates, plain endpoints)
+    keeps the per-candidate :meth:`is_non_empty` probe.
+    """
+    selects = [query.to_select() for query in queries]
+    verdicts = [False] * len(queries)
+    probes = [index for index, select in enumerate(selects) if not select.having]
+    ask_batch = getattr(endpoint, "ask_batch", None)
+    if ask_batch is not None and len(probes) > 1:
+        asks = [AskQuery(selects[index].where) for index in probes]
+        for index, verdict in zip(probes, ask_batch(asks)):
+            verdicts[index] = verdict
+    else:
+        for index in probes:
+            verdicts[index] = endpoint.is_non_empty(selects[index])
+    for index, select in enumerate(selects):
+        if select.having:
+            verdicts[index] = endpoint.is_non_empty(select)
+    report.candidates_empty += sum(1 for verdict in verdicts if not verdict)
+    return [query for query, verdict in zip(queries, verdicts) if verdict]
 
 
 def reolap_multi(

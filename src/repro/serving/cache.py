@@ -10,7 +10,11 @@ the same dataset.  The cache exploits that repetition at three tiers:
 * **results** — SELECT/ASK/CONSTRUCT outcomes keyed by
   ``(query text, graph epoch, timeout class)``;
 * **keywords** — full-text keyword resolutions keyed by
-  ``(keyword, exact, graph epoch)``.
+  ``(keyword, exact, graph epoch)``;
+* **plans** — compiled id-space BGP plans keyed by
+  ``(patterns, bound variables, flags, graph epoch)``, so a hot pattern
+  sequence is ordered and lowered to id steps once (the evaluator reads
+  this tier directly through :attr:`Evaluator.plan_cache`).
 
 Correctness hinges on the graph **epoch** (:attr:`repro.store.Graph.epoch`):
 every mutation bumps it, the epoch is part of every result/keyword key, so
@@ -165,12 +169,16 @@ class QueryCache:
         max_asts: int = 512,
         max_results: int = 4096,
         max_keywords: int = 1024,
+        max_plans: int = 512,
         ttl: float | None = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.asts = LRUCache(max_asts, ttl=None, clock=clock)
         self.results = LRUCache(max_results, ttl=ttl, clock=clock)
         self.keywords = LRUCache(max_keywords, ttl=ttl, clock=clock)
+        # Plans are invalidated by their epoch component like results, but
+        # never by TTL: a plan is pure compilation state, not data.
+        self.plans = LRUCache(max_plans, ttl=None, clock=clock)
 
     # -- tier accessors ----------------------------------------------------
 
@@ -205,6 +213,7 @@ class QueryCache:
         self.asts.clear()
         self.results.clear()
         self.keywords.clear()
+        self.plans.clear()
 
     @property
     def stats(self) -> dict[str, CacheStats]:
@@ -212,14 +221,16 @@ class QueryCache:
             "asts": self.asts.stats,
             "results": self.results.stats,
             "keywords": self.keywords.stats,
+            "plans": self.plans.stats,
         }
 
     @property
     def hit_rate(self) -> float:
         """Aggregate hit rate across the result and keyword tiers.
 
-        The AST tier is excluded: an AST hit still evaluates the query, so
-        counting it would overstate how much work the cache is saving.
+        The AST and plan tiers are excluded: those hits still evaluate the
+        query, so counting them would overstate how much work the cache is
+        saving.
         """
         tiers = (self.results.stats, self.keywords.stats)
         lookups = sum(t.lookups for t in tiers)

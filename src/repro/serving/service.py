@@ -132,6 +132,10 @@ class _GuardedEndpoint:
     def ask(self, query, timeout=None):
         return self._metered(self._inner.ask, query, timeout=timeout)
 
+    def ask_batch(self, queries, timeout=None):
+        # One metered call (and one read-lock hold) for the whole batch.
+        return self._metered(self._inner.ask_batch, queries, timeout=timeout)
+
     def construct(self, query, timeout=None):
         return self._metered(self._inner.construct, query, timeout=timeout)
 

@@ -39,7 +39,9 @@ from .ast import (
     UnionPattern,
     ValuesClause,
 )
+from .batch import BatchStats, ask_bgp_batch, order_batch, simple_bgp
 from .builder import SelectBuilder, agg, path, var
+from .compiler import BGPPlan, compile_bgp
 from .eval import Evaluator, evaluate_query
 from .explain import PlanStep, QueryPlan, explain
 from .expressions import ExpressionError, effective_boolean_value, evaluate
@@ -50,6 +52,12 @@ __all__ = [
     "parse_query",
     "Evaluator",
     "evaluate_query",
+    "BGPPlan",
+    "compile_bgp",
+    "BatchStats",
+    "ask_bgp_batch",
+    "order_batch",
+    "simple_bgp",
     "explain",
     "QueryPlan",
     "PlanStep",

@@ -1,0 +1,379 @@
+"""Compiled id-space execution of basic graph patterns.
+
+The store dictionary-encodes every term into a dense integer id, but the
+naive evaluator joins in *term space*: each pattern extension re-encodes
+constants, decodes every matched id-triple back into RDF terms, and copies
+``dict[Variable, Node]`` bindings.  This module lowers an ordered BGP into
+a plan that stays in id space end to end:
+
+* **compile once** — constants are encoded into ids at compile time; a
+  constant the dictionary has never seen short-circuits the whole BGP to
+  the empty plan (no index is ever probed);
+* **registers, not dicts** — every variable gets a dense register slot;
+  intermediate solutions are flat lists of ints, extended by probing
+  :class:`~repro.store.index.TripleIndex` directly;
+* **decode at the boundary** — ids are translated back to RDF terms only
+  when a filter needs to evaluate or when the final solutions are
+  materialized, through a per-execution decode memo.
+
+Plans depend on the dictionary's id assignment, so they are only valid for
+the graph (and graph epoch) they were compiled against — the serving
+layer caches them keyed by ``(patterns, bound variables, epoch)`` exactly
+like query results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..rdf.terms import Node, Variable
+from .ast import Filter, PropertyPath, TriplePattern
+from .expressions import ExpressionError, effective_boolean_value, evaluate
+
+__all__ = ["BGPPlan", "compile_bgp", "id_backend"]
+
+Binding = dict[Variable, Node]
+
+#: A step is ``(s_const, s_slot, p_const, p_slot, o_const, o_slot)``: for
+#: each position exactly one of (const id, register slot) is set.
+Step = tuple
+
+
+def id_backend(graph):
+    """The ``(term_dictionary, triple_index)`` behind ``graph``, if any.
+
+    Single-member :class:`~repro.store.dataset.GraphView` wrappers are
+    unwrapped; multi-graph unions have no shared id space and return None,
+    as does any object that does not expose the id-level API.
+    """
+    unwrap = getattr(graph, "backing_graph", None)
+    if unwrap is not None:
+        graph = unwrap()
+        if graph is None:
+            return None
+    dictionary = getattr(graph, "term_dictionary", None)
+    index = getattr(graph, "triple_index", None)
+    if dictionary is None or index is None:
+        return None
+    return dictionary, index
+
+
+def compile_bgp(graph, patterns: list[TriplePattern]) -> "BGPPlan | None":
+    """Lower an *ordered* BGP into a :class:`BGPPlan`.
+
+    Returns None when the BGP cannot be compiled — the graph lacks an id
+    backend, or a predicate is a property path (paths stay on the
+    term-space interpreter).  Pattern order is preserved: run the join
+    optimizer first.
+    """
+    backend = id_backend(graph)
+    if backend is None or not patterns:
+        return None
+    dictionary, index = backend
+    if any(isinstance(p.p, PropertyPath) for p in patterns):
+        return None
+
+    lookup = dictionary.lookup
+    slots: dict[Variable, int] = {}
+    steps: list[Step] = []
+    step_vars: list[frozenset[Variable]] = []
+    for pattern in patterns:
+        positions = []
+        for term in (pattern.s, pattern.p, pattern.o):
+            if isinstance(term, Variable):
+                slot = slots.get(term)
+                if slot is None:
+                    slot = len(slots)
+                    slots[term] = slot
+                positions.extend((None, slot))
+            else:
+                term_id = lookup(term)
+                if term_id is None:
+                    # Unseen constant: nothing can ever match this BGP.
+                    return BGPPlan(dictionary, index, {}, (), (), empty=True)
+                positions.extend((term_id, None))
+        steps.append(tuple(positions))
+        step_vars.append(frozenset(pattern.variables()))
+    return BGPPlan(dictionary, index, slots, tuple(steps), tuple(step_vars))
+
+
+class BGPPlan:
+    """An executable id-space join plan for one ordered BGP."""
+
+    __slots__ = ("dictionary", "index", "slots", "steps", "step_vars", "empty")
+
+    def __init__(self, dictionary, index, slots, steps, step_vars, empty=False):
+        self.dictionary = dictionary
+        self.index = index
+        self.slots = slots
+        self.steps = steps
+        self.step_vars = step_vars
+        self.empty = empty
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slots)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        solutions: list[Binding],
+        filters: list[Filter],
+        available: set[Variable],
+        deadline,
+    ) -> tuple[list[Binding], list[Filter]]:
+        """Join all steps over ``solutions``; returns (solutions, leftover).
+
+        ``filters`` are applied as soon as all their variables are bound
+        (by ``available`` from the outer scope or by a completed step),
+        mirroring the term-space evaluator's eager filter pushdown; the
+        ones that never become ready are handed back to the caller.
+        """
+        if self.empty or not solutions:
+            return [], list(filters)
+        schedule, leftover = self._schedule(filters, available)
+        memo: dict[int, Node] = {}
+        rows = self._seed_rows(solutions)
+        spo = self.index.spo
+        pos = self.index.pos
+        osp = self.index.osp
+        match = self.index.match
+        check = deadline.check
+        for step_index, step in enumerate(self.steps):
+            sc, ss, pc, ps, oc, os_ = step
+            out: list[list] = []
+            append = out.append
+            for row in rows:
+                s = sc if ss is None else row[ss]
+                p = pc if ps is None else row[ps]
+                o = oc if os_ is None else row[os_]
+                # The three ≥2-bound shapes probe the nested index maps
+                # directly and bind at most one register, so the hot loop
+                # allocates one row copy per match and nothing else.
+                if s is not None and p is not None:
+                    objects = spo.get(s)
+                    if objects is not None:
+                        objects = objects.get(p)
+                    if objects is None:
+                        continue
+                    if o is not None:
+                        check()
+                        if o in objects:
+                            append(row)  # fully bound: row is unchanged
+                        continue
+                    for oid in objects:
+                        check()
+                        new = row.copy()
+                        new[os_] = oid
+                        append(new)
+                    continue
+                if p is not None and o is not None:
+                    subjects = pos.get(p)
+                    if subjects is not None:
+                        subjects = subjects.get(o)
+                    if subjects is None:
+                        continue
+                    for sid in subjects:
+                        check()
+                        new = row.copy()
+                        new[ss] = sid
+                        append(new)
+                    continue
+                if s is not None and o is not None:
+                    predicates = osp.get(o)
+                    if predicates is not None:
+                        predicates = predicates.get(s)
+                    if predicates is None:
+                        continue
+                    for pid in predicates:
+                        check()
+                        new = row.copy()
+                        new[ps] = pid
+                        append(new)
+                    continue
+                # ≤1 position bound: fall back to the generic matcher.  A
+                # wildcard position always has a register (constants are
+                # never None), so every yielded id is simply written.
+                for sid, pid, oid in match(s, p, o):
+                    check()
+                    new = row.copy()
+                    if s is None:
+                        new[ss] = sid
+                    if p is None:
+                        new[ps] = pid
+                    if o is None:
+                        new[os_] = oid
+                    append(new)
+            rows = out
+            ready = schedule.get(step_index)
+            if ready and rows:
+                rows = self._filter_rows(rows, ready, solutions, memo)
+            if not rows:
+                return [], leftover
+        return self._materialize(rows, solutions, memo), leftover
+
+    def exists(
+        self,
+        solutions: list[Binding],
+        filters: list[Filter],
+        available: set[Variable],
+        deadline,
+    ) -> bool:
+        """Depth-first existence check: True at the first full solution."""
+        if self.empty:
+            return False
+        schedule, leftover = self._schedule(filters, available)
+        if leftover:
+            # Filters that never become ready error on evaluation and
+            # remove the row, per SPARQL — so no solution can survive.
+            last = len(self.steps) - 1
+            schedule[last] = schedule.get(last, []) + leftover
+        memo: dict[int, Node] = {}
+        steps = self.steps
+        match = self.index.match
+        check = deadline.check
+        depth_filters = [schedule.get(i) for i in range(len(steps))]
+
+        def search(depth: int, row: list, source: Binding) -> bool:
+            if depth == len(steps):
+                return True
+            sc, ss, pc, ps, oc, os_ = steps[depth]
+            s = sc if ss is None else row[ss]
+            p = pc if ps is None else row[ps]
+            o = oc if os_ is None else row[os_]
+            ready = depth_filters[depth]
+            for sid, pid, oid in match(s, p, o):
+                check()
+                new = row.copy()
+                if s is None:
+                    new[ss] = sid
+                if p is None:
+                    new[ps] = pid
+                if o is None:
+                    new[os_] = oid
+                if ready and not self._row_passes(new, ready, source, memo):
+                    continue
+                if search(depth + 1, new, source):
+                    return True
+            return False
+
+        for source in solutions:
+            row = self._seed_row(source)
+            if row is not None and search(0, row, source):
+                return True
+        return False
+
+    # -- helpers -----------------------------------------------------------
+
+    def _schedule(
+        self, filters: Iterable[Filter], available: set[Variable]
+    ) -> tuple[dict[int, list[Filter]], list[Filter]]:
+        """Assign each filter to the first step after which it is ready."""
+        pending = list(filters)
+        if not pending:
+            return {}, []
+        schedule: dict[int, list[Filter]] = {}
+        bound = set(available)
+        for index, step_vars in enumerate(self.step_vars):
+            bound |= step_vars
+            ready = [f for f in pending if f.expression.variables() <= bound]
+            if ready:
+                schedule[index] = ready
+                pending = [f for f in pending if f not in ready]
+                if not pending:
+                    break
+        return schedule, pending
+
+    def _seed_row(self, binding: Binding) -> list | None:
+        """An initial register file for one outer binding.
+
+        Pre-bound variables are encoded once; a pre-bound term the
+        dictionary has never seen can match nothing, so the whole row is
+        dropped (returns None).  Unbound registers hold None and act as
+        wildcards until a step writes them.
+        """
+        row = [None] * len(self.slots)
+        lookup = self.dictionary.lookup
+        if binding:
+            for variable, slot in self.slots.items():
+                term = binding.get(variable)
+                if term is not None:
+                    term_id = lookup(term)
+                    if term_id is None:
+                        return None
+                    row[slot] = term_id
+        return row
+
+    def _seed_rows(self, solutions: list[Binding]) -> list[list]:
+        rows = []
+        for index, binding in enumerate(solutions):
+            row = self._seed_row(binding)
+            if row is not None:
+                row.append(index)  # trailing element: source-binding index
+                rows.append(row)
+        return rows
+
+    def _decode(self, term_id: int, memo: dict[int, Node]) -> Node:
+        term = memo.get(term_id)
+        if term is None:
+            term = self.dictionary.decode(term_id)
+            memo[term_id] = term
+        return term
+
+    def _row_binding(self, row: list, source: Binding, memo: dict[int, Node]) -> Binding:
+        binding = dict(source)
+        for variable, slot in self.slots.items():
+            term_id = row[slot]
+            if term_id is not None:
+                binding[variable] = self._decode(term_id, memo)
+        return binding
+
+    def _filter_rows(
+        self, rows: list[list], ready: list[Filter],
+        solutions: list[Binding], memo: dict[int, Node],
+    ) -> list[list]:
+        kept = []
+        for row in rows:
+            if self._row_passes(row, ready, solutions[row[-1]], memo):
+                kept.append(row)
+        return kept
+
+    def _row_passes(
+        self, row: list, ready: list[Filter], source: Binding, memo: dict[int, Node]
+    ) -> bool:
+        binding = self._row_binding(row, source, memo)
+        for constraint in ready:
+            try:
+                if not effective_boolean_value(evaluate(constraint.expression, binding)):
+                    return False
+            except ExpressionError:
+                return False  # SPARQL: an erroring filter removes the row.
+        return True
+
+    def _materialize(
+        self, rows: list[list], solutions: list[Binding], memo: dict[int, Node]
+    ) -> list[Binding]:
+        """Decode final register files back into term-space bindings."""
+        results = []
+        append = results.append
+        slot_items = tuple(self.slots.items())
+        decode = self.dictionary.decode
+        memo_get = memo.get
+        for row in rows:
+            source = solutions[row[-1]]
+            binding = dict(source) if source else {}
+            for variable, slot in slot_items:
+                term_id = row[slot]
+                if term_id is not None:
+                    term = memo_get(term_id)
+                    if term is None:
+                        term = decode(term_id)
+                        memo[term_id] = term
+                    binding[variable] = term
+            append(binding)
+        return results
+
+    def __repr__(self) -> str:
+        state = "empty" if self.empty else f"{len(self.steps)} steps"
+        return f"<BGPPlan {state}, {len(self.slots)} registers>"

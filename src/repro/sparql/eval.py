@@ -51,6 +51,7 @@ from .ast import (
     UnionPattern,
     ValuesClause,
 )
+from .compiler import compile_bgp
 from .expressions import ExpressionError, effective_boolean_value, evaluate
 from .optimizer import order_patterns
 from .parser import parse_query
@@ -87,11 +88,57 @@ class _Deadline:
 
 
 class Evaluator:
-    """Evaluates SPARQL queries against a graph or graph view."""
+    """Evaluates SPARQL queries against a graph or graph view.
 
-    def __init__(self, graph, optimize: bool = True):
+    ``compile=True`` (the default) lowers basic graph patterns into the
+    id-space join engine (:mod:`repro.sparql.compiler`); ``compile=False``
+    keeps the legacy term-space interpreter, which remains the fallback
+    for property paths and multi-graph union views.  ``plan_cache`` is an
+    optional LRU (the serving cache's plan tier) reusing compiled plans
+    across queries, keyed by pattern sequence, bound variables, and the
+    graph epoch.
+    """
+
+    def __init__(self, graph, optimize: bool = True, compile: bool = True,
+                 plan_cache=None):
         self.graph = graph
         self.optimize = optimize
+        self.compile = compile
+        self.plan_cache = plan_cache
+
+    def _plan_or_order(self, patterns, available):
+        """Order a BGP and (when possible) compile it, through the plan cache.
+
+        Returns ``(ordered_patterns, plan)`` where ``plan`` is None when
+        the BGP must run on the term-space interpreter.
+        """
+        key = None
+        if self.plan_cache is not None:
+            epoch = getattr(self.graph, "epoch", None)
+            if epoch is not None:
+                pattern_vars = set()
+                for pattern in patterns:
+                    pattern_vars |= pattern.variables()
+                key = (
+                    tuple(patterns),
+                    frozenset(available & pattern_vars),
+                    self.optimize,
+                    self.compile,
+                    epoch,
+                )
+                from ..serving.cache import MISS
+
+                cached = self.plan_cache.get(key)
+                if cached is not MISS:
+                    return cached
+        if self.optimize and len(patterns) > 1:
+            ordered = order_patterns(self.graph, patterns, bound=available)
+        else:
+            ordered = list(patterns)
+        plan = compile_bgp(self.graph, ordered) if self.compile else None
+        if key is not None:
+            self.plan_cache.put(key, (ordered, plan))
+        return ordered, plan
 
     # -- public API ----------------------------------------------------------
 
@@ -181,8 +228,10 @@ class Evaluator:
         """Depth-first existence check over a pattern-only group."""
         patterns = group.triple_patterns()
         filters = list(group.filters())
-        if self.optimize and len(patterns) > 1:
-            patterns = order_patterns(self.graph, patterns)
+        if patterns:
+            patterns, plan = self._plan_or_order(patterns, set())
+            if plan is not None:
+                return plan.exists([dict()], filters, set(), deadline)
 
         def search(index: int, binding: Binding, pending: list[Filter]) -> bool:
             if index == len(patterns):
@@ -194,7 +243,7 @@ class Evaluator:
             if isinstance(predicate, PropertyPath):
                 candidates = (
                     _try_bind(binding, pattern, subj, None, obj)
-                    for subj, obj in eval_path(self.graph, predicate, s_term, o_term)
+                    for subj, obj in eval_path(self.graph, predicate, s_term, o_term, deadline)
                 )
             else:
                 p_term = (
@@ -258,20 +307,28 @@ class Evaluator:
             available |= set(inner.variables)
 
         pending = list(filters)
-        if self.optimize and len(patterns) > 1:
-            patterns = order_patterns(self.graph, patterns, bound=available)
-        for pattern in patterns:
-            solutions = self._extend(solutions, pattern, deadline)
-            available |= pattern.variables()
-            # Apply every filter whose variables are all produced already:
-            # shrinking the intermediate result early is the main lever the
-            # engine has against large joins.
-            ready = [f for f in pending if f.expression.variables() <= available]
-            if ready:
-                pending = [f for f in pending if f not in ready]
-                solutions = _apply_filters(solutions, ready)
-            if not solutions:
-                break
+        if patterns:
+            patterns, plan = self._plan_or_order(patterns, available)
+            if plan is not None:
+                # Compiled id-space join: bindings flow as register files of
+                # ints, with ready filters applied at each step; decoding
+                # back to terms happens once, at the end.
+                solutions, pending = plan.run(solutions, pending, available, deadline)
+                for pattern in patterns:
+                    available |= pattern.variables()
+            else:
+                for pattern in patterns:
+                    solutions = self._extend(solutions, pattern, deadline)
+                    available |= pattern.variables()
+                    # Apply every filter whose variables are all produced
+                    # already: shrinking the intermediate result early is the
+                    # main lever the engine has against large joins.
+                    ready = [f for f in pending if f.expression.variables() <= available]
+                    if ready:
+                        pending = [f for f in pending if f not in ready]
+                        solutions = _apply_filters(solutions, ready)
+                    if not solutions:
+                        break
         for union in unions:
             merged: list[Binding] = []
             for binding in solutions:
@@ -325,7 +382,7 @@ class Evaluator:
             s_term = _resolve(pattern.s, binding)
             o_term = _resolve(pattern.o, binding)
             if isinstance(predicate, PropertyPath):
-                for subj, obj in eval_path(self.graph, predicate, s_term, o_term):
+                for subj, obj in eval_path(self.graph, predicate, s_term, o_term, deadline):
                     deadline.check()
                     extended = _try_bind(binding, pattern, subj, None, obj)
                     if extended is not None:

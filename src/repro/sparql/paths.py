@@ -27,45 +27,50 @@ PathLike = Union[IRI, PropertyPath]
 
 
 def eval_path(
-    graph, path: PathLike, s: Node | None, o: Node | None
+    graph, path: PathLike, s: Node | None, o: Node | None, deadline=None
 ) -> Iterator[tuple[Node, Node]]:
     """Yield (subject, object) pairs connected by ``path`` in ``graph``.
 
     ``s`` / ``o`` restrict the endpoints when bound.  Pairs are deduplicated,
-    matching SPARQL's set semantics for path results.
+    matching SPARQL's set semantics for path results.  ``deadline`` (a
+    cooperative checker with a ``check()`` method) bounds closure and
+    sequence traversals that may run long before yielding a single pair.
     """
     seen: set[tuple[Node, Node]] = set()
-    for pair in _eval(graph, path, s, o):
+    for pair in _eval(graph, path, s, o, deadline):
         if pair not in seen:
             seen.add(pair)
             yield pair
 
 
-def _eval(graph, path: PathLike, s: Node | None, o: Node | None) -> Iterator[tuple[Node, Node]]:
+def _eval(
+    graph, path: PathLike, s: Node | None, o: Node | None, deadline=None
+) -> Iterator[tuple[Node, Node]]:
     if isinstance(path, IRI):
         for triple in graph.triples(s, path, o):
             yield triple.s, triple.o
         return
     if isinstance(path, InversePath):
-        for subj, obj in _eval(graph, path.step, o, s):
+        for subj, obj in _eval(graph, path.step, o, s, deadline):
             yield obj, subj
         return
     if isinstance(path, AlternativePath):
         for option in path.options:
-            yield from _eval(graph, option, s, o)
+            yield from _eval(graph, option, s, o, deadline)
         return
     if isinstance(path, SequencePath):
-        yield from _eval_sequence(graph, list(path.steps), s, o)
+        yield from _eval_sequence(graph, list(path.steps), s, o, deadline)
         return
     if isinstance(path, (OneOrMorePath, ZeroOrMorePath)):
         include_zero = isinstance(path, ZeroOrMorePath)
-        yield from _eval_closure(graph, path.step, s, o, include_zero)
+        yield from _eval_closure(graph, path.step, s, o, include_zero, deadline)
         return
     raise TypeError(f"unsupported path type {type(path).__name__}")
 
 
 def _eval_closure(
-    graph, step: PathLike, s: Node | None, o: Node | None, include_zero: bool
+    graph, step: PathLike, s: Node | None, o: Node | None, include_zero: bool,
+    deadline=None,
 ) -> Iterator[tuple[Node, Node]]:
     """Transitive (``+``) / reflexive-transitive (``*``) closure by BFS.
 
@@ -74,31 +79,37 @@ def _eval_closure(
     and never useful over a statistical KG's hierarchies).
     """
     if s is not None:
-        yield from ((s, target) for target in _reachable(graph, step, s, include_zero, forward=True)
+        yield from ((s, target) for target in _reachable(graph, step, s, include_zero, True, deadline)
                     if o is None or target == o)
         return
     if o is not None:
-        yield from ((source, o) for source in _reachable(graph, step, o, include_zero, forward=False))
+        yield from ((source, o) for source in _reachable(graph, step, o, include_zero, False, deadline))
         return
     # Both ends free: start a forward BFS from every inner-path subject.
     starts: set[Node] = set()
-    for subj, obj in _eval(graph, step, None, None):
+    for subj, obj in _eval(graph, step, None, None, deadline):
         starts.add(subj)
         if include_zero:
             starts.add(obj)
     for start in starts:
-        for target in _reachable(graph, step, start, include_zero, forward=True):
+        for target in _reachable(graph, step, start, include_zero, True, deadline):
             yield start, target
 
 
-def _reachable(graph, step: PathLike, start: Node, include_zero: bool, forward: bool) -> list[Node]:
+def _reachable(
+    graph, step: PathLike, start: Node, include_zero: bool, forward: bool,
+    deadline=None,
+) -> list[Node]:
     found: list[Node] = [start] if include_zero else []
     seen: set[Node] = {start}
     frontier = [start]
     while frontier:
+        if deadline is not None:
+            deadline.check()
         node = frontier.pop()
         pairs = (
-            _eval(graph, step, node, None) if forward else _eval(graph, step, None, node)
+            _eval(graph, step, node, None, deadline)
+            if forward else _eval(graph, step, None, node, deadline)
         )
         for subj, obj in pairs:
             neighbor = obj if forward else subj
@@ -112,22 +123,26 @@ def _reachable(graph, step: PathLike, start: Node, include_zero: bool, forward: 
 
 
 def _eval_sequence(
-    graph, steps: list[PathLike], s: Node | None, o: Node | None
+    graph, steps: list[PathLike], s: Node | None, o: Node | None, deadline=None
 ) -> Iterator[tuple[Node, Node]]:
     if len(steps) == 1:
-        yield from _eval(graph, steps[0], s, o)
+        yield from _eval(graph, steps[0], s, o, deadline)
         return
     if s is not None or o is None:
         # Forward traversal: bind the first step, recurse on the rest.
         head, rest = steps[0], steps[1:]
-        for subj, middle in _eval(graph, head, s, None):
-            for _, obj in _eval_sequence(graph, rest, middle, o):
+        for subj, middle in _eval(graph, head, s, None, deadline):
+            if deadline is not None:
+                deadline.check()
+            for _, obj in _eval_sequence(graph, rest, middle, o, deadline):
                 yield subj, obj
         return
     # Only the object is bound: traverse backwards to avoid a full scan.
     front, tail = steps[:-1], steps[-1]
-    for middle, obj in _eval(graph, tail, None, o):
-        for subj, _ in _eval_sequence(graph, front, None, middle):
+    for middle, obj in _eval(graph, tail, None, o, deadline):
+        if deadline is not None:
+            deadline.check()
+        for subj, _ in _eval_sequence(graph, front, None, middle, deadline):
             yield subj, obj
 
 

@@ -7,7 +7,7 @@ an in-process, dictionary-encoded store and a SPARQL endpoint facade.
 from .dataset import Dataset, GraphView
 from .endpoint import Endpoint, EndpointStats
 from .graph import Graph
-from .index import TermDictionary, TripleIndex
+from .index import PredicateStats, TermDictionary, TripleIndex
 from .text_index import TextIndex, tokenize
 
 __all__ = [
@@ -20,4 +20,5 @@ __all__ = [
     "tokenize",
     "TermDictionary",
     "TripleIndex",
+    "PredicateStats",
 ]

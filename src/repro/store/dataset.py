@@ -13,6 +13,7 @@ from typing import Iterable, Iterator
 from ..rdf.terms import IRI, Literal, Node
 from ..rdf.triple import Quad, Triple
 from .graph import Graph
+from .index import PredicateStats
 
 __all__ = ["Dataset", "GraphView"]
 
@@ -42,6 +43,17 @@ class GraphView:
         needs for invalidation.
         """
         return sum(g.epoch for g in self._graphs)
+
+    def backing_graph(self) -> Graph | None:
+        """The single member graph, or None for a genuine multi-graph union.
+
+        Single-member views (the common case: a dataset queried through its
+        default graph) expose their member so the compiled id-space engine
+        can execute directly against its dictionary and indexes; unions of
+        several graphs have no shared id space and fall back to term-space
+        evaluation.
+        """
+        return self._graphs[0] if len(self._graphs) == 1 else None
 
     def __len__(self) -> int:
         if len(self._graphs) == 1:
@@ -91,6 +103,18 @@ class GraphView:
 
     def predicate_cardinality(self, p: IRI) -> int:
         return sum(g.predicate_cardinality(p) for g in self._graphs)
+
+    def predicate_stats(self, p: IRI) -> PredicateStats:
+        """Summed member statistics (an upper bound for the union view)."""
+        if len(self._graphs) == 1:
+            return self._graphs[0].predicate_stats(p)
+        triples = subjects = objects = 0
+        for graph in self._graphs:
+            stats = graph.predicate_stats(p)
+            triples += stats.triples
+            subjects += stats.distinct_subjects
+            objects += stats.distinct_objects
+        return PredicateStats(triples, subjects, objects)
 
     def literals(self) -> Iterator[Literal]:
         seen: set[Literal] = set()

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from ..rdf.terms import IRI, Literal, Node
 from ..sparql.ast import AskQuery, ConstructQuery, Query, SelectQuery
+from ..sparql.batch import simple_bgp as _simple_bgp
 from ..sparql.eval import Evaluator
 from ..sparql.parser import parse_query
 from ..sparql.results import ResultSet
@@ -48,6 +49,8 @@ class EndpointStats:
     keyword_lookups: int = 0
     timeouts: int = 0
     cache_hits: int = 0
+    batch_asks: int = 0  #: ask_batch round-trips (each covers many ASKs)
+    batch_shared_steps: int = 0  #: join steps deduplicated by prefix sharing
 
     @property
     def total_queries(self) -> int:
@@ -60,6 +63,8 @@ class EndpointStats:
         self.keyword_lookups = 0
         self.timeouts = 0
         self.cache_hits = 0
+        self.batch_asks = 0
+        self.batch_shared_steps = 0
 
 
 class Endpoint:
@@ -78,16 +83,34 @@ class Endpoint:
         graph: Graph | GraphView,
         default_timeout: float | None = None,
         optimize: bool = True,
+        compile: bool = True,
         text_index: TextIndex | None = None,
         cache: "QueryCache | None" = None,
     ):
         self.graph = graph
         self.default_timeout = default_timeout
-        self._evaluator = Evaluator(graph, optimize=optimize)
+        self._evaluator = Evaluator(graph, optimize=optimize, compile=compile)
         self._text_index = text_index
+        self._cache = None
         self.cache = cache
         self.stats = EndpointStats()
         self._lock = threading.Lock()
+
+    @property
+    def cache(self) -> "QueryCache | None":
+        return self._cache
+
+    @cache.setter
+    def cache(self, cache: "QueryCache | None") -> None:
+        """Attach a cache, wiring its plan tier into the evaluator.
+
+        The plan tier lets repeated pattern sequences (refinement menus,
+        REOLAP probes) skip join ordering and BGP compilation; caches
+        without one (plain LRU substitutes in tests) leave the evaluator's
+        per-instance behaviour unchanged.
+        """
+        self._cache = cache
+        self._evaluator.plan_cache = getattr(cache, "plans", None)
 
     # -- cache plumbing -----------------------------------------------------
 
@@ -216,6 +239,75 @@ class Endpoint:
         if isinstance(parsed, ConstructQuery):
             return self.construct(parsed, timeout=timeout)
         return self.select(parsed, timeout=timeout)
+
+    def ask_batch(
+        self, queries: list[AskQuery | str], timeout: float | None = None
+    ) -> list[bool]:
+        """Answer many ASK queries in one round-trip, sharing common work.
+
+        Queries whose WHERE clause is a pure BGP are compiled and merged
+        into a prefix trie (:mod:`repro.sparql.batch`), so candidates that
+        agree on leading patterns — REOLAP's validation workload — probe
+        the shared prefix once for the whole batch.  Cached answers are
+        reused and fresh ones cached, exactly as :meth:`ask` does; queries
+        the batch engine cannot take (filters, property paths, no id
+        backend, or ``compile=False``) fall back to individual ASKs.
+        Returns verdicts aligned with the input list.
+        """
+        if not queries:
+            return []
+        timeout = timeout or self.default_timeout
+        from ..serving.cache import MISS
+
+        parsed = [self._parse(q) if isinstance(q, str) else q for q in queries]
+        results: list[bool | None] = [None] * len(parsed)
+        keys = []
+        for index, query in enumerate(parsed):
+            key = self._result_key(query, "ask", timeout)
+            keys.append(key)
+            if key is not None:
+                cached = self.cache.get_result(key)
+                if cached is not MISS:
+                    self._count("ask_queries")
+                    self._count("cache_hits")
+                    results[index] = cached
+
+        batchable: list[int] = []
+        bgps = []
+        if self._evaluator.compile:
+            for index, query in enumerate(parsed):
+                if results[index] is not None:
+                    continue
+                patterns = None if not isinstance(query, AskQuery) else _simple_bgp(query.where)
+                if patterns is not None:
+                    batchable.append(index)
+                    bgps.append(patterns)
+        if bgps:
+            from ..errors import QueryTimeoutError
+            from ..sparql.batch import ask_bgp_batch, order_batch
+
+            self._count("batch_asks")
+            bgps = order_batch(self.graph, bgps, optimize=self._evaluator.optimize)
+            try:
+                verdicts, batch_stats = ask_bgp_batch(self.graph, bgps, timeout=timeout)
+            except QueryTimeoutError:
+                self._count("timeouts")
+                raise
+            self._count("batch_shared_steps", batch_stats.steps_shared)
+            for index, verdict in zip(batchable, verdicts):
+                if verdict is None:
+                    continue  # not compilable after all: individual fallback
+                self._count("ask_queries")
+                results[index] = verdict
+                if keys[index] is not None:
+                    self.cache.put_result(keys[index], verdict)
+
+        # Whatever the batch engine could not decide goes the normal route
+        # (which does its own counting and caching).
+        return [
+            self.ask(parsed[index], timeout=timeout) if verdict is None else verdict
+            for index, verdict in enumerate(results)
+        ]
 
     def is_non_empty(self, query: SelectQuery, timeout: float | None = None) -> bool:
         """Whether a SELECT query has at least one result.

@@ -14,7 +14,7 @@ from ..rdf.ntriples import parse_ntriples, serialize_ntriples
 from ..rdf.terms import IRI, Literal, Node
 from ..rdf.triple import Triple
 from ..rdf.turtle import parse_turtle
-from .index import TermDictionary, TripleIndex
+from .index import PredicateStats, TermDictionary, TripleIndex
 
 __all__ = ["Graph"]
 
@@ -51,8 +51,22 @@ class Graph:
         The serving layer keys cached query results by this value, so any
         ``add``/``remove``/bulk load invalidates stale entries without the
         cache having to watch the graph (see :mod:`repro.serving.cache`).
+        Compiled query plans are keyed by it too: term ids baked into a
+        plan stay valid only while the graph does not change.
         """
         return self._epoch
+
+    # -- id-space access ---------------------------------------------------
+
+    @property
+    def term_dictionary(self) -> TermDictionary:
+        """The term↔id dictionary, for id-space query execution."""
+        return self._terms
+
+    @property
+    def triple_index(self) -> TripleIndex:
+        """The id-level permutation indexes, for id-space query execution."""
+        return self._index
 
     # -- mutation ---------------------------------------------------------
 
@@ -152,6 +166,13 @@ class Graph:
     def predicate_cardinality(self, p: IRI) -> int:
         pid = self._terms.lookup(p)
         return 0 if pid is None else self._index.predicate_cardinality(pid)
+
+    def predicate_stats(self, p: IRI) -> PredicateStats:
+        """Catalog statistics for a predicate (zeros when unseen)."""
+        pid = self._terms.lookup(p)
+        if pid is None:
+            return PredicateStats(0, 0, 0)
+        return self._index.predicate_stats(pid)
 
     def value(self, s: Node | None = None, p: IRI | None = None, o: Node | None = None):
         """The single unbound position of a pattern with exactly one match.

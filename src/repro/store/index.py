@@ -7,15 +7,50 @@ integer id once, and triples are stored as id-tuples in three nested-hash
 permutation indexes (SPO, POS, OSP).  Any of the eight triple-pattern
 shapes then resolves with at most one dictionary lookup per bound term and
 one or two hash hops, without scanning the full store.
+
+The index doubles as the engine's **statistics catalog**: per-subject,
+per-predicate, and per-object triple counts plus the distinct-subject /
+distinct-object counts per predicate are maintained incrementally on every
+add/remove, so :meth:`TripleIndex.count` answers every single-constant
+pattern shape in O(1) and the join-order optimizer never pays O(data) to
+cost a plan.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..rdf.terms import Node
 
-__all__ = ["TermDictionary", "TripleIndex"]
+__all__ = ["TermDictionary", "TripleIndex", "PredicateStats"]
+
+
+@dataclass(frozen=True)
+class PredicateStats:
+    """Catalog entry for one predicate, maintained incrementally.
+
+    ``triples / distinct_subjects`` is the average out-degree (expected
+    matches of ``?s p ?o`` once ``?s`` is bound), and symmetrically for
+    objects — the two selectivity factors the join-order cost model uses.
+    """
+
+    triples: int
+    distinct_subjects: int
+    distinct_objects: int
+
+    @property
+    def subject_fanout(self) -> float:
+        """Average matches per bound subject (>= 1.0 when non-empty)."""
+        return self.triples / self.distinct_subjects if self.distinct_subjects else 0.0
+
+    @property
+    def object_fanout(self) -> float:
+        """Average matches per bound object (>= 1.0 when non-empty)."""
+        return self.triples / self.distinct_objects if self.distinct_objects else 0.0
+
+
+_EMPTY_STATS = PredicateStats(0, 0, 0)
 
 
 class TermDictionary:
@@ -67,6 +102,18 @@ def _index_remove(index: dict[int, dict[int, set[int]]], a: int, b: int, c: int)
             del index[a]
 
 
+def _count_up(counts: dict[int, int], key: int) -> None:
+    counts[key] = counts.get(key, 0) + 1
+
+
+def _count_down(counts: dict[int, int], key: int) -> None:
+    remaining = counts[key] - 1
+    if remaining:
+        counts[key] = remaining
+    else:
+        del counts[key]
+
+
 class TripleIndex:
     """Three permutation indexes over dictionary-encoded triples.
 
@@ -75,13 +122,21 @@ class TripleIndex:
     wildcard.
     """
 
-    __slots__ = ("_spo", "_pos", "_osp", "_size")
+    __slots__ = ("_spo", "_pos", "_osp", "_size",
+                 "_s_counts", "_p_counts", "_o_counts", "_p_subjects")
 
     def __init__(self) -> None:
         self._spo: dict[int, dict[int, set[int]]] = {}
         self._pos: dict[int, dict[int, set[int]]] = {}
         self._osp: dict[int, dict[int, set[int]]] = {}
         self._size = 0
+        # Statistics catalog: triples per subject / predicate / object, and
+        # distinct subjects per predicate (distinct objects per predicate
+        # fall out of len(self._pos[p]) for free).
+        self._s_counts: dict[int, int] = {}
+        self._p_counts: dict[int, int] = {}
+        self._o_counts: dict[int, int] = {}
+        self._p_subjects: dict[int, int] = {}
 
     def __len__(self) -> int:
         return self._size
@@ -95,6 +150,12 @@ class TripleIndex:
         _index_add(self._pos, p, o, s)
         _index_add(self._osp, o, s, p)
         self._size += 1
+        _count_up(self._s_counts, s)
+        _count_up(self._p_counts, p)
+        _count_up(self._o_counts, o)
+        if objects is None:
+            # First (s, p, *) triple: the predicate gains a distinct subject.
+            _count_up(self._p_subjects, p)
         return True
 
     def remove(self, s: int, p: int, o: int) -> bool:
@@ -106,11 +167,34 @@ class TripleIndex:
         _index_remove(self._pos, p, o, s)
         _index_remove(self._osp, o, s, p)
         self._size -= 1
+        _count_down(self._s_counts, s)
+        _count_down(self._p_counts, p)
+        _count_down(self._o_counts, o)
+        if p not in self._spo.get(s, {}):
+            # Last (s, p, *) triple went away with it.
+            _count_down(self._p_subjects, p)
         return True
 
     def contains(self, s: int, p: int, o: int) -> bool:
         objects = self._spo.get(s, {}).get(p)
         return objects is not None and o in objects
+
+    # -- raw permutation views ---------------------------------------------
+    # The compiled id-space engine probes the nested maps directly, so its
+    # inner join loop skips the generator and tuple allocation that
+    # :meth:`match` pays per triple.  Treat these as read-only.
+
+    @property
+    def spo(self) -> dict[int, dict[int, set[int]]]:
+        return self._spo
+
+    @property
+    def pos(self) -> dict[int, dict[int, set[int]]]:
+        return self._pos
+
+    @property
+    def osp(self) -> dict[int, dict[int, set[int]]]:
+        return self._osp
 
     def match(
         self, s: int | None, p: int | None, o: int | None
@@ -178,8 +262,9 @@ class TripleIndex:
     def count(self, s: int | None, p: int | None, o: int | None) -> int:
         """Exact cardinality of a pattern, without materializing matches.
 
-        Fully-nested index levels make the common shapes O(1) or a single
-        inner-dict walk; the join-order optimizer relies on this being cheap.
+        Every shape is O(1): two-constant shapes read an inner set's size,
+        single-constant shapes read the incrementally maintained counters —
+        the join-order optimizer relies on this being cheap.
         """
         if s is not None and p is not None and o is not None:
             return 1 if self.contains(s, p, o) else 0
@@ -190,11 +275,11 @@ class TripleIndex:
         if s is not None and o is not None:
             return len(self._osp.get(o, {}).get(s, ()))
         if s is not None:
-            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+            return self._s_counts.get(s, 0)
         if p is not None:
-            return sum(len(subjs) for subjs in self._pos.get(p, {}).values())
+            return self._p_counts.get(p, 0)
         if o is not None:
-            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+            return self._o_counts.get(o, 0)
         return self._size
 
     def subjects_for_predicate(self, p: int) -> Iterator[int]:
@@ -212,4 +297,15 @@ class TripleIndex:
         return iter(self._pos)
 
     def predicate_cardinality(self, p: int) -> int:
-        return sum(len(subjs) for subjs in self._pos.get(p, {}).values())
+        return self._p_counts.get(p, 0)
+
+    def predicate_stats(self, p: int) -> PredicateStats:
+        """The catalog entry for one predicate (all-zero when absent)."""
+        triples = self._p_counts.get(p, 0)
+        if not triples:
+            return _EMPTY_STATS
+        return PredicateStats(
+            triples=triples,
+            distinct_subjects=self._p_subjects.get(p, 0),
+            distinct_objects=len(self._pos.get(p, ())),
+        )

@@ -1,0 +1,307 @@
+"""Tests for compiled id-space BGP execution, batching, and the catalog.
+
+Covers the equivalence property (compiled plans return exactly what the
+term-space interpreter returns), the compile-time short-circuits, the
+cooperative deadline inside the compiled join loop, plan caching by graph
+epoch, the incremental statistics catalog, and the batched (prefix-trie)
+REOLAP candidate validation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SynthesisReport, VirtualSchemaGraph, reolap
+from repro.datasets import generate_eurostat
+from repro.errors import QueryTimeoutError
+from repro.qb import OBSERVATION_CLASS
+from repro.rdf import IRI, Triple, Variable, literal_from_python
+from repro.serving import QueryCache
+from repro.sparql import Evaluator, ask_bgp_batch, compile_bgp, order_batch, parse_query
+from repro.sparql.ast import TriplePattern
+from repro.store import Graph, PredicateStats
+
+EX = "http://example.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+# -- equivalence property ---------------------------------------------------
+
+subject_ids = st.integers(min_value=0, max_value=5)
+predicate_ids = st.integers(min_value=0, max_value=3)
+object_ids = st.integers(min_value=0, max_value=5)
+
+graph_triples = st.lists(
+    st.tuples(subject_ids, predicate_ids, object_ids), min_size=1, max_size=40
+)
+
+bgp_shapes = st.tuples(
+    predicate_ids, predicate_ids,
+    st.sampled_from(["chain", "fork", "loop", "anchored", "filtered"]),
+)
+
+
+def build_graph(encoded):
+    graph = Graph()
+    for s, p, o in encoded:
+        graph.add(Triple(iri(f"n{s}"), iri(f"p{p}"), iri(f"n{o}")))
+    for s in {s for s, _p, _o in encoded}:
+        graph.add(Triple(iri(f"n{s}"), iri("value"), literal_from_python(s * 10)))
+    return graph
+
+
+def bgp_query(p1, p2, shape):
+    if shape == "chain":
+        body = f"?a <{EX}p{p1}> ?b . ?b <{EX}p{p2}> ?c ."
+    elif shape == "fork":
+        body = f"?a <{EX}p{p1}> ?b . ?a <{EX}p{p2}> ?c ."
+    elif shape == "loop":
+        body = f"?a <{EX}p{p1}> ?b . ?b <{EX}p{p2}> ?a ."
+    elif shape == "anchored":
+        body = f"?a <{EX}p{p1}> <{EX}n2> . ?a <{EX}p{p2}> ?b . ?a <{EX}value> ?c ."
+    else:  # filtered
+        body = (
+            f"?a <{EX}p{p1}> ?b . ?a <{EX}value> ?c . "
+            f"FILTER(?c >= 20) FILTER(?a != ?b)"
+        )
+    return f"SELECT * WHERE {{ {body} }}"
+
+
+class TestCompiledEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(graph_triples, bgp_shapes)
+    def test_compiled_matches_term_space(self, encoded, shape):
+        graph = build_graph(encoded)
+        query = parse_query(bgp_query(*shape))
+        compiled = Evaluator(graph, compile=True).select(query)
+        legacy = Evaluator(graph, compile=False).select(query)
+        assert compiled == legacy
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_triples, bgp_shapes)
+    def test_compiled_matches_without_optimizer(self, encoded, shape):
+        graph = build_graph(encoded)
+        query = parse_query(bgp_query(*shape))
+        compiled = Evaluator(graph, optimize=False, compile=True).select(query)
+        legacy = Evaluator(graph, optimize=False, compile=False).select(query)
+        assert compiled == legacy
+
+    def test_values_undef_rows(self):
+        graph = build_graph([(0, 0, 1), (1, 0, 2)])
+        query = parse_query(
+            f"SELECT * WHERE {{ VALUES (?a) {{ (<{EX}n0>) (UNDEF) }} "
+            f"?a <{EX}p0> ?b . }}"
+        )
+        compiled = Evaluator(graph, compile=True).select(query)
+        legacy = Evaluator(graph, compile=False).select(query)
+        assert compiled == legacy
+        assert len(compiled) == 3  # bound row matches once, UNDEF row twice
+
+    def test_ask_agreement(self):
+        graph = build_graph([(0, 0, 1), (1, 1, 2)])
+        hit = f"ASK {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c . }}"
+        miss = f"ASK {{ ?a <{EX}p1> ?b . ?b <{EX}p0> ?c . }}"
+        for text in (hit, miss):
+            query = parse_query(text)
+            assert (
+                Evaluator(graph, compile=True).ask(query)
+                == Evaluator(graph, compile=False).ask(query)
+            )
+
+
+# -- compile-time behaviour -------------------------------------------------
+
+class TestPlanCompilation:
+    def test_unseen_constant_short_circuits(self):
+        graph = build_graph([(0, 0, 1)])
+        patterns = [TriplePattern(Variable("a"), iri("never-stored"), Variable("b"))]
+        plan = compile_bgp(graph, patterns)
+        assert plan is not None and plan.empty
+        result = Evaluator(graph).select(
+            parse_query(f"SELECT * WHERE {{ ?a <{EX}never-stored> ?b . }}")
+        )
+        assert len(result) == 0
+
+    def test_property_path_not_compiled(self):
+        graph = build_graph([(0, 0, 1)])
+        query = parse_query(f"SELECT * WHERE {{ ?a <{EX}p0>+ ?b . }}")
+        patterns = query.where.triple_patterns()
+        assert compile_bgp(graph, patterns) is None
+        # ...and the evaluator still answers through the interpreter.
+        assert len(Evaluator(graph, compile=True).select(query)) == 1
+
+    def test_plan_cache_reuse_and_epoch_invalidation(self):
+        graph = build_graph([(0, 0, 1), (1, 0, 2)])
+        cache = QueryCache()
+        evaluator = Evaluator(graph, compile=True, plan_cache=cache.plans)
+        query = parse_query(f"SELECT * WHERE {{ ?a <{EX}p0> ?b . ?b <{EX}p0> ?c . }}")
+        evaluator.select(query)
+        evaluator.select(query)
+        assert cache.plans.stats.hits >= 1
+        # A mutation bumps the epoch: the old plan's key is unreachable.
+        misses_before = cache.plans.stats.misses
+        graph.add(Triple(iri("n9"), iri("p0"), iri("n0")))
+        evaluator.select(query)
+        assert cache.plans.stats.misses > misses_before
+
+    def test_compiled_join_observes_deadline(self):
+        graph = Graph()
+        for i in range(60):
+            for j in range(60):
+                graph.add(Triple(iri(f"a{i}"), iri("edge"), iri(f"b{j}")))
+        # Two disconnected patterns: a 3600^2-row cartesian product the
+        # deadline must interrupt mid-join.
+        query = parse_query(
+            f"SELECT * WHERE {{ ?a <{EX}edge> ?b . ?c <{EX}edge> ?d . }}"
+        )
+        evaluator = Evaluator(graph, compile=True)
+        with pytest.raises(QueryTimeoutError):
+            evaluator.select(query, timeout=1e-4)
+
+
+# -- statistics catalog -----------------------------------------------------
+
+mutations = st.lists(
+    st.tuples(st.booleans(), subject_ids, predicate_ids, object_ids),
+    min_size=1, max_size=60,
+)
+
+
+class TestStatisticsCatalog:
+    @settings(max_examples=60, deadline=None)
+    @given(mutations)
+    def test_counters_match_brute_force(self, ops):
+        graph = Graph()
+        for add, s, p, o in ops:
+            triple = Triple(iri(f"n{s}"), iri(f"p{p}"), iri(f"n{o}"))
+            if add:
+                graph.add(triple)
+            else:
+                graph.remove(triple)
+        triples = list(graph.triples())
+        for p in {t.p for t in triples} | {iri("p0")}:
+            expected = PredicateStats(
+                triples=sum(1 for t in triples if t.p == p),
+                distinct_subjects=len({t.s for t in triples if t.p == p}),
+                distinct_objects=len({t.o for t in triples if t.p == p}),
+            )
+            assert graph.predicate_stats(p) == expected
+            assert graph.predicate_cardinality(p) == expected.triples
+            assert graph.count(None, p, None) == expected.triples
+        for s in {t.s for t in triples}:
+            assert graph.count(s, None, None) == sum(1 for t in triples if t.s == s)
+        for o in {t.o for t in triples}:
+            assert graph.count(None, None, o) == sum(1 for t in triples if t.o == o)
+
+    def test_fanouts(self):
+        graph = build_graph([(0, 0, 1), (0, 0, 2), (1, 0, 1)])
+        stats = graph.predicate_stats(iri("p0"))
+        assert stats == PredicateStats(3, 2, 2)
+        assert stats.subject_fanout == pytest.approx(1.5)
+        assert stats.object_fanout == pytest.approx(1.5)
+
+
+# -- batched evaluation -----------------------------------------------------
+
+class TestBatchedAsk:
+    def _graph(self):
+        return build_graph([(0, 0, 1), (1, 1, 2), (2, 2, 3), (0, 1, 3)])
+
+    def test_shared_prefix_probed_once(self):
+        graph = self._graph()
+        shared = TriplePattern(Variable("a"), iri("p0"), Variable("b"))
+        bgps = [
+            [shared, TriplePattern(Variable("b"), iri("p1"), Variable("c"))],
+            [shared, TriplePattern(Variable("b"), iri("p2"), Variable("c"))],
+            [shared, TriplePattern(Variable("a"), iri("p1"), Variable("d"))],
+        ]
+        verdicts, stats = ask_bgp_batch(graph, bgps)
+        assert verdicts == [True, False, True]
+        assert stats.candidates == 3
+        assert stats.total_steps == 6
+        assert stats.unique_steps == 4  # shared step stored once
+        assert stats.steps_shared == 2
+
+    def test_verdicts_match_individual_asks(self):
+        graph = self._graph()
+        texts = [
+            f"ASK {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c . }}",
+            f"ASK {{ ?a <{EX}p0> ?b . ?b <{EX}p2> ?c . }}",
+            f"ASK {{ ?a <{EX}p2> ?b . ?b <{EX}p0> ?c . }}",
+            f"ASK {{ ?a <{EX}unseen> ?b . }}",
+        ]
+        from repro.store import Endpoint
+
+        endpoint = Endpoint(graph)
+        batched = endpoint.ask_batch(texts)
+        assert batched == [endpoint.ask(text) for text in texts]
+
+    def test_endpoint_counters_observe_sharing(self):
+        from repro.store import Endpoint
+
+        endpoint = Endpoint(self._graph(), cache=QueryCache())
+        texts = [
+            f"ASK {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c . }}",
+            f"ASK {{ ?a <{EX}p0> ?b . ?b <{EX}p2> ?c . }}",
+        ]
+        endpoint.ask_batch(texts)
+        assert endpoint.stats.batch_asks == 1
+        assert endpoint.stats.batch_shared_steps >= 1
+        assert endpoint.stats.ask_queries == 2
+        # A repeat batch is answered from the result cache.
+        hits_before = endpoint.stats.cache_hits
+        endpoint.ask_batch(texts)
+        assert endpoint.stats.cache_hits == hits_before + 2
+        assert endpoint.stats.batch_asks == 1  # nothing left to batch
+
+    def test_order_batch_builds_common_prefix(self):
+        graph = self._graph()
+        shared_a = TriplePattern(Variable("a"), iri("p0"), Variable("b"))
+        shared_b = TriplePattern(Variable("b"), iri("p1"), Variable("c"))
+        own_1 = TriplePattern(Variable("c"), iri("p2"), Variable("d"))
+        own_2 = TriplePattern(Variable("a"), iri("p2"), Variable("e"))
+        ordered = order_batch(graph, [[own_1, shared_a, shared_b],
+                                      [shared_b, own_2, shared_a]])
+        prefix_0 = ordered[0][:2]
+        prefix_1 = ordered[1][:2]
+        assert prefix_0 == prefix_1
+        assert set(prefix_0) == {shared_a, shared_b}
+
+
+class TestReolapBatchValidation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        kg = generate_eurostat(n_observations=400, scale=0.3, seed=11)
+        endpoint = kg.endpoint()
+        vgraph = VirtualSchemaGraph.bootstrap(endpoint, OBSERVATION_CLASS)
+        return kg, endpoint, vgraph
+
+    def test_multi_candidate_validation_is_batched(self, setup):
+        _kg, endpoint, vgraph = setup
+        # "Asia" is ambiguous in this synthetic cube: it names members at
+        # two levels, so REOLAP emits two candidates to validate.
+        unvalidated = reolap(endpoint, vgraph, ("Asia",), validate=False)
+        assert len(unvalidated) > 1
+        endpoint.stats.reset()
+        report = SynthesisReport()
+        validated = reolap(endpoint, vgraph, ("Asia",), validate=True, report=report)
+        assert endpoint.stats.batch_asks == 1
+        assert endpoint.stats.batch_shared_steps >= 1
+        assert validated  # the cube contains observations for the members
+        assert len(validated) + report.candidates_empty == len(unvalidated)
+
+    def test_batched_validation_equals_sequential(self, setup):
+        _kg, endpoint, vgraph = setup
+        batched = reolap(endpoint, vgraph, ("Asia",), validate=True)
+        sequential_endpoint = _kg_endpoint_no_compile(_kg)
+        sequential = reolap(sequential_endpoint, vgraph, ("Asia",), validate=True)
+        assert [q.to_select().to_sparql() for q in batched] == [
+            q.to_select().to_sparql() for q in sequential
+        ]
+
+
+def _kg_endpoint_no_compile(kg):
+    return kg.endpoint(compile=False)
