@@ -188,9 +188,12 @@ class QueryCache:
     def put_ast(self, text: str, query: Any) -> None:
         self.asts.put(text, query)
 
-    def result_key(self, text: str, epoch: int, timeout: float | None,
+    def result_key(self, text: str, version, timeout: float | None,
                    kind: str) -> tuple:
-        return (text, epoch, timeout_class(timeout), kind)
+        """``version`` is the caller's invalidation tag — the endpoint
+        passes ``(graph uid, epoch)`` so entries are scoped to one graph
+        instance and one graph state."""
+        return (text, version, timeout_class(timeout), kind)
 
     def get_result(self, key: tuple) -> Any:
         return self.results.get(key)
@@ -198,8 +201,8 @@ class QueryCache:
     def put_result(self, key: tuple, value: Any) -> None:
         self.results.put(key, value)
 
-    def keyword_key(self, keyword: str, exact: bool, epoch: int) -> tuple:
-        return (keyword, exact, epoch)
+    def keyword_key(self, keyword: str, exact: bool, version) -> tuple:
+        return (keyword, exact, version)
 
     def get_keyword(self, key: tuple) -> Any:
         return self.keywords.get(key)

@@ -18,8 +18,8 @@ a plan that stays in id space end to end:
 
 Plans depend on the dictionary's id assignment, so they are only valid for
 the graph (and graph epoch) they were compiled against — the serving
-layer caches them keyed by ``(patterns, bound variables, epoch)`` exactly
-like query results.
+layer caches them keyed by ``(patterns, bound variables, graph uid,
+epoch)`` exactly like query results.
 """
 
 from __future__ import annotations
@@ -62,9 +62,12 @@ def compile_bgp(graph, patterns: list[TriplePattern]) -> "BGPPlan | None":
     """Lower an *ordered* BGP into a :class:`BGPPlan`.
 
     Returns None when the BGP cannot be compiled — the graph lacks an id
-    backend, or a predicate is a property path (paths stay on the
-    term-space interpreter).  Pattern order is preserved: run the join
-    optimizer first.
+    backend, a predicate is a property path, or a pattern repeats a
+    variable (e.g. ``?x <p> ?x``): a step binds each position into its
+    register independently, so the intra-pattern equality constraint
+    would be silently dropped.  All three cases stay on the term-space
+    interpreter.  Pattern order is preserved: run the join optimizer
+    first.
     """
     backend = id_backend(graph)
     if backend is None or not patterns:
@@ -79,8 +82,12 @@ def compile_bgp(graph, patterns: list[TriplePattern]) -> "BGPPlan | None":
     step_vars: list[frozenset[Variable]] = []
     for pattern in patterns:
         positions = []
+        pattern_vars: set[Variable] = set()
         for term in (pattern.s, pattern.p, pattern.o):
             if isinstance(term, Variable):
+                if term in pattern_vars:
+                    return None
+                pattern_vars.add(term)
                 slot = slots.get(term)
                 if slot is None:
                     slot = len(slots)

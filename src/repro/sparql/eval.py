@@ -96,7 +96,7 @@ class Evaluator:
     for property paths and multi-graph union views.  ``plan_cache`` is an
     optional LRU (the serving cache's plan tier) reusing compiled plans
     across queries, keyed by pattern sequence, bound variables, and the
-    graph epoch.
+    graph's identity and epoch.
     """
 
     def __init__(self, graph, optimize: bool = True, compile: bool = True,
@@ -115,7 +115,12 @@ class Evaluator:
         key = None
         if self.plan_cache is not None:
             epoch = getattr(self.graph, "epoch", None)
-            if epoch is not None:
+            # Plans embed one graph's term-id assignment, so the key needs
+            # the graph's *identity* as well as its version: a shared cache
+            # may serve endpoints over different graphs whose epochs
+            # coincide.  Graphs without a uid are never plan-cached.
+            uid = getattr(self.graph, "uid", None)
+            if epoch is not None and uid is not None:
                 pattern_vars = set()
                 for pattern in patterns:
                     pattern_vars |= pattern.variables()
@@ -124,6 +129,7 @@ class Evaluator:
                     frozenset(available & pattern_vars),
                     self.optimize,
                     self.compile,
+                    uid,
                     epoch,
                 )
                 from ..serving.cache import MISS

@@ -44,6 +44,15 @@ class GraphView:
         """
         return sum(g.epoch for g in self._graphs)
 
+    @property
+    def uid(self) -> tuple[int, ...]:
+        """Identity of the view: the member graphs' :attr:`Graph.uid` values.
+
+        Plan-cache keys combine this with :attr:`epoch` so plans compiled
+        for one view are never replayed against a different one.
+        """
+        return tuple(g.uid for g in self._graphs)
+
     def backing_graph(self) -> Graph | None:
         """The single member graph, or None for a genuine multi-graph union.
 

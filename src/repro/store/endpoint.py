@@ -72,8 +72,10 @@ class Endpoint:
 
     ``cache`` (a :class:`~repro.serving.cache.QueryCache`) enables result
     reuse: SELECT/ASK/CONSTRUCT outcomes and keyword resolutions are keyed
-    by ``(query text, graph epoch, timeout class)``, so any graph mutation
-    makes every previously cached answer unreachable.  Queries that time
+    by ``(query text, graph uid + epoch, timeout class)``, so any graph
+    mutation makes every previously cached answer unreachable — and a
+    cache shared by endpoints over different graphs keeps their entries
+    apart.  Queries that time
     out are never cached.  The stats counters count *calls*, cached or
     not; ``cache_hits`` says how many were answered without evaluation.
     """
@@ -114,13 +116,20 @@ class Endpoint:
 
     # -- cache plumbing -----------------------------------------------------
 
-    def _epoch(self) -> int | None:
-        """The graph's version counter, or None for un-versioned graphs.
+    def _version(self) -> tuple | None:
+        """``(graph uid, epoch)`` tag for cache keys, or None if uncacheable.
 
         Results over an un-versioned graph are never cached — without an
-        epoch there is no way to invalidate them.
+        epoch there is no way to invalidate them.  The uid carries the
+        graph's identity: a cache shared between endpoints over different
+        graphs must never answer one graph's query from the other's data,
+        even when their epochs coincide.
         """
-        return getattr(self.graph, "epoch", None)
+        epoch = getattr(self.graph, "epoch", None)
+        uid = getattr(self.graph, "uid", None)
+        if epoch is None or uid is None:
+            return None
+        return (uid, epoch)
 
     def _parse(self, text: str) -> Query:
         """Parse a query string, reusing the cache's AST tier when present."""
@@ -138,11 +147,11 @@ class Endpoint:
         """Cache key for one call, or None when this call is uncacheable."""
         if self.cache is None:
             return None
-        epoch = self._epoch()
-        if epoch is None:
+        version = self._version()
+        if version is None:
             return None
         text = query if isinstance(query, str) else query.to_sparql()
-        return self.cache.result_key(text, epoch, timeout, kind)
+        return self.cache.result_key(text, version, timeout, kind)
 
     def _count(self, counter: str, n: int = 1) -> None:
         with self._lock:
@@ -291,16 +300,21 @@ class Endpoint:
             try:
                 verdicts, batch_stats = ask_bgp_batch(self.graph, bgps, timeout=timeout)
             except QueryTimeoutError:
+                # The shared walk ran N candidates under one deadline, so a
+                # large batch can exhaust it even when every candidate is
+                # individually cheap.  Leave the batch undecided: the loop
+                # below re-asks each candidate with its own timeout budget,
+                # matching the per-probe behaviour of unbatched validation.
                 self._count("timeouts")
-                raise
-            self._count("batch_shared_steps", batch_stats.steps_shared)
-            for index, verdict in zip(batchable, verdicts):
-                if verdict is None:
-                    continue  # not compilable after all: individual fallback
-                self._count("ask_queries")
-                results[index] = verdict
-                if keys[index] is not None:
-                    self.cache.put_result(keys[index], verdict)
+            else:
+                self._count("batch_shared_steps", batch_stats.steps_shared)
+                for index, verdict in zip(batchable, verdicts):
+                    if verdict is None:
+                        continue  # not compilable after all: individual fallback
+                    self._count("ask_queries")
+                    results[index] = verdict
+                    if keys[index] is not None:
+                        self.cache.put_result(keys[index], verdict)
 
         # Whatever the batch engine could not decide goes the normal route
         # (which does its own counting and caching).
@@ -363,9 +377,9 @@ class Endpoint:
 
         key = None
         if self.cache is not None:
-            epoch = self._epoch()
-            if epoch is not None:
-                key = self.cache.keyword_key(keyword, exact, epoch)
+            version = self._version()
+            if version is not None:
+                key = self.cache.keyword_key(keyword, exact, version)
                 cached = self.cache.get_keyword(key)
                 if cached is not MISS:
                     self._count("cache_hits")

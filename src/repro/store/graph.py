@@ -8,6 +8,7 @@ index maintenance to :class:`TripleIndex`.
 
 from __future__ import annotations
 
+from itertools import count
 from typing import IO, Iterable, Iterator
 
 from ..rdf.ntriples import parse_ntriples, serialize_ntriples
@@ -32,13 +33,17 @@ class Graph:
     1
     """
 
-    __slots__ = ("name", "_terms", "_index", "_epoch")
+    __slots__ = ("name", "_terms", "_index", "_epoch", "_uid")
+
+    #: Process-wide instance counter backing :attr:`uid`.
+    _uids = count()
 
     def __init__(self, name: IRI | None = None, triples: Iterable[Triple] | None = None):
         self.name = name
         self._terms = TermDictionary()
         self._index = TripleIndex()
         self._epoch = 0
+        self._uid = next(Graph._uids)
         if triples is not None:
             self.add_all(triples)
 
@@ -55,6 +60,17 @@ class Graph:
         plan stay valid only while the graph does not change.
         """
         return self._epoch
+
+    @property
+    def uid(self) -> int:
+        """Process-unique, never-reused instance identity.
+
+        Compiled plans bake in this graph's term ids, so plan-cache keys
+        need an identity component alongside :attr:`epoch`: two distinct
+        graphs can share an epoch value, and ``id()`` can be recycled
+        after garbage collection.
+        """
+        return self._uid
 
     # -- id-space access ---------------------------------------------------
 

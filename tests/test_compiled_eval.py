@@ -40,7 +40,7 @@ graph_triples = st.lists(
 
 bgp_shapes = st.tuples(
     predicate_ids, predicate_ids,
-    st.sampled_from(["chain", "fork", "loop", "anchored", "filtered"]),
+    st.sampled_from(["chain", "fork", "loop", "anchored", "filtered", "self"]),
 )
 
 
@@ -62,6 +62,9 @@ def bgp_query(p1, p2, shape):
         body = f"?a <{EX}p{p1}> ?b . ?b <{EX}p{p2}> ?a ."
     elif shape == "anchored":
         body = f"?a <{EX}p{p1}> <{EX}n2> . ?a <{EX}p{p2}> ?b . ?a <{EX}value> ?c ."
+    elif shape == "self":
+        # Repeated variable inside one pattern: must keep ?a = ?a equality.
+        body = f"?a <{EX}p{p1}> ?a . ?a <{EX}p{p2}> ?b ."
     else:  # filtered
         body = (
             f"?a <{EX}p{p1}> ?b . ?a <{EX}value> ?c . "
@@ -112,6 +115,65 @@ class TestCompiledEquivalence:
             )
 
 
+# -- repeated variables within one pattern ----------------------------------
+
+class TestRepeatedVariablePatterns:
+    """A pattern like ``?x <p> ?x`` carries an intra-pattern equality
+    constraint that id-space steps (which bind each position into its
+    register independently) cannot express; such BGPs must stay on the
+    term-space interpreter."""
+
+    def _graph(self):
+        # One genuine self-loop (n3 p0 n3) among ordinary edges; no
+        # self-loop at all for p1.
+        return build_graph([(0, 0, 1), (1, 0, 2), (3, 0, 3), (2, 1, 4)])
+
+    def test_not_compiled(self):
+        graph = self._graph()
+        patterns = [TriplePattern(Variable("x"), iri("p0"), Variable("x"))]
+        assert compile_bgp(graph, patterns) is None
+        # A variable repeated across *different* patterns compiles fine.
+        chain = [
+            TriplePattern(Variable("a"), iri("p0"), Variable("b")),
+            TriplePattern(Variable("b"), iri("p1"), Variable("a")),
+        ]
+        assert compile_bgp(graph, chain) is not None
+
+    def test_select_keeps_equality(self):
+        graph = self._graph()
+        query = parse_query(f"SELECT ?x WHERE {{ ?x <{EX}p0> ?x . }}")
+        compiled = Evaluator(graph, compile=True).select(query)
+        legacy = Evaluator(graph, compile=False).select(query)
+        assert compiled == legacy
+        assert [row for row in compiled.rows] == [(iri("n3"),)]
+
+    def test_ask_keeps_equality(self):
+        graph = self._graph()
+        has_loop = parse_query(f"ASK {{ ?z <{EX}p0> ?z . }}")
+        no_loop = parse_query(f"ASK {{ ?z <{EX}p1> ?z . }}")
+        for mode in (True, False):
+            assert Evaluator(graph, compile=mode).ask(has_loop) is True
+            assert Evaluator(graph, compile=mode).ask(no_loop) is False
+
+    def test_batch_falls_back(self):
+        graph = self._graph()
+        bgps = [
+            [TriplePattern(Variable("z"), iri("p1"), Variable("z"))],
+            [TriplePattern(Variable("a"), iri("p0"), Variable("b"))],
+        ]
+        verdicts, _stats = ask_bgp_batch(graph, bgps)
+        assert verdicts == [None, True]  # None: caller must ASK individually
+        from repro.store import Endpoint
+
+        endpoint = Endpoint(graph)
+        texts = [
+            f"ASK {{ ?z <{EX}p1> ?z . }}",
+            f"ASK {{ ?z <{EX}p0> ?z . }}",
+            f"ASK {{ ?a <{EX}p0> ?b . }}",
+        ]
+        assert endpoint.ask_batch(texts) == [False, True, True]
+
+
 # -- compile-time behaviour -------------------------------------------------
 
 class TestPlanCompilation:
@@ -146,6 +208,28 @@ class TestPlanCompilation:
         graph.add(Triple(iri("n9"), iri("p0"), iri("n0")))
         evaluator.select(query)
         assert cache.plans.stats.misses > misses_before
+
+    def test_shared_cache_keeps_graphs_apart(self):
+        # Two graphs with *coinciding epochs* behind one shared cache:
+        # plans (and results) bake in one graph's term ids, so without a
+        # graph-identity key component, B would silently answer from A.
+        from repro.store import Endpoint
+
+        graph_a = Graph(triples=[Triple(iri("a-subj"), iri("p0"), iri("a-obj"))])
+        graph_b = Graph(triples=[Triple(iri("b-subj"), iri("p0"), iri("b-obj"))])
+        assert graph_a.epoch == graph_b.epoch
+        assert graph_a.uid != graph_b.uid
+        cache = QueryCache()
+        text = f"SELECT * WHERE {{ ?s <{EX}p0> ?o . }}"
+        first = Endpoint(graph_a, cache=cache).select(text)
+        second = Endpoint(graph_b, cache=cache).select(text)
+
+        def bindings(result):
+            return [dict(zip(result.variables, row)) for row in result.rows]
+
+        s, o = Variable("s"), Variable("o")
+        assert bindings(first) == [{s: iri("a-subj"), o: iri("a-obj")}]
+        assert bindings(second) == [{s: iri("b-subj"), o: iri("b-obj")}]
 
     def test_compiled_join_observes_deadline(self):
         graph = Graph()
@@ -256,6 +340,26 @@ class TestBatchedAsk:
         endpoint.ask_batch(texts)
         assert endpoint.stats.cache_hits == hits_before + 2
         assert endpoint.stats.batch_asks == 1  # nothing left to batch
+
+    def test_batch_timeout_degrades_to_individual_asks(self, monkeypatch):
+        # The trie walk shares one deadline across all candidates, so a
+        # batch-level timeout must not abort validation: each undecided
+        # candidate is re-asked with its own budget.
+        import repro.sparql.batch as batch_module
+        from repro.store import Endpoint
+
+        def _always_times_out(graph, bgps, timeout=None):
+            raise QueryTimeoutError("batch deadline exhausted")
+
+        monkeypatch.setattr(batch_module, "ask_bgp_batch", _always_times_out)
+        endpoint = Endpoint(self._graph())
+        texts = [
+            f"ASK {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c . }}",
+            f"ASK {{ ?a <{EX}p0> ?b . ?b <{EX}p2> ?c . }}",
+        ]
+        assert endpoint.ask_batch(texts, timeout=5.0) == [True, False]
+        assert endpoint.stats.timeouts == 1  # the batch attempt is recorded
+        assert endpoint.stats.ask_queries == 2  # answered individually
 
     def test_order_batch_builds_common_prefix(self):
         graph = self._graph()
