@@ -13,7 +13,9 @@ bottom-up:
   REOLAP synthesis, ExRef refinements, and the interactive session;
 * :mod:`repro.baselines` — the SPARQLByE comparator;
 * :mod:`repro.serving` — concurrent, cache-accelerated query service layer
-  (multi-tier result cache, bounded worker pool, session multiplexing).
+  (multi-tier result cache, bounded worker pool, session multiplexing);
+* :mod:`repro.resilience` — fault injection, retry policy, circuit
+  breaker, and graceful degradation for the whole query path.
 
 Quickstart::
 
@@ -47,19 +49,30 @@ from .core import (
 from .errors import (
     AdmissionError,
     BootstrapError,
+    CircuitOpenError,
+    EndpointUnavailableError,
     QueryEvaluationError,
     QueryTimeoutError,
     RDFSyntaxError,
     RefinementError,
     ReproError,
+    RequestShedError,
     SchemaError,
     ServiceShutdownError,
     ServingError,
     SPARQLSyntaxError,
     SynthesisError,
+    TransientError,
+)
+from .resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    ResilientEndpoint,
+    RetryPolicy,
 )
 from .serving import QueryCache, QueryService
-from .store import Endpoint, Graph
+from .store import DEFAULT_TIMEOUT, Endpoint, Graph
 
 __version__ = "1.0.0"
 
@@ -78,15 +91,25 @@ __all__ = [
     "insight_summary",
     "labeled_results",
     "profile",
+    "DEFAULT_TIMEOUT",
     "Endpoint",
     "Graph",
     "QueryCache",
     "QueryService",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResilientEndpoint",
+    "FaultInjector",
+    "FaultPlan",
     "ReproError",
     "RDFSyntaxError",
     "SPARQLSyntaxError",
     "QueryEvaluationError",
     "QueryTimeoutError",
+    "TransientError",
+    "EndpointUnavailableError",
+    "CircuitOpenError",
+    "RequestShedError",
     "SchemaError",
     "BootstrapError",
     "SynthesisError",

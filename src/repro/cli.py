@@ -59,7 +59,11 @@ def build_endpoint(args: argparse.Namespace) -> tuple[Endpoint, IRI]:
 
     When ``--cache-size`` is positive (the default) the endpoint gets a
     :class:`QueryCache`, so repeated REOLAP probes and re-executed
-    refinements are served from memory.
+    refinements are served from memory.  With ``--chaos-seed`` the
+    endpoint is wrapped in a deterministic
+    :class:`~repro.resilience.FaultInjector` — a demo (and test) mode
+    that makes the store misbehave like a remote endpoint under load, so
+    the ``--retries``/``--breaker`` machinery has something to absorb.
     """
     cache = QueryCache(max_results=args.cache_size) if getattr(
         args, "cache_size", 0) > 0 else None
@@ -67,12 +71,29 @@ def build_endpoint(args: argparse.Namespace) -> tuple[Endpoint, IRI]:
     if args.ntriples:
         with open(args.ntriples, encoding="utf-8") as handle:
             graph = Graph.from_ntriples(handle)
-        return Endpoint(graph, cache=cache, compile=compile_queries), IRI(args.observation_class)
-    generator = _GENERATORS[args.dataset]
-    kg = generator(n_observations=args.observations, scale=args.scale, seed=args.seed)
-    endpoint = kg.endpoint(compile=compile_queries)
-    endpoint.cache = cache
-    return endpoint, OBSERVATION_CLASS
+        endpoint = Endpoint(graph, cache=cache, compile=compile_queries)
+        observation_class = IRI(args.observation_class)
+    else:
+        generator = _GENERATORS[args.dataset]
+        kg = generator(n_observations=args.observations, scale=args.scale, seed=args.seed)
+        endpoint = kg.endpoint(compile=compile_queries)
+        endpoint.cache = cache
+        observation_class = OBSERVATION_CLASS
+    chaos_seed = getattr(args, "chaos_seed", None)
+    if chaos_seed is not None:
+        from .resilience import FaultInjector, FaultPlan
+
+        endpoint = FaultInjector(
+            endpoint,
+            FaultPlan.random(
+                chaos_seed,
+                timeout_rate=0.05,
+                transient_rate=0.10,
+                latency_rate=0.10,
+                max_latency=0.002,
+            ),
+        )
+    return endpoint, observation_class
 
 
 class ExplorerShell:
@@ -131,22 +152,43 @@ class ExplorerShell:
 
     # -- individual commands -----------------------------------------------------
 
+    def _degraded_notice(self, failures_before: int) -> str | None:
+        failures = self.session.failures
+        if len(failures) > failures_before:
+            last = failures[-1]
+            return (f"(degraded: {last.error_type} — {last.error}; "
+                    "the session stays usable, try again)")
+        return None
+
     def _cmd_find(self, rest: str) -> str:
         values = tuple(v.strip() for v in rest.split(",") if v.strip())
         if not values:
             return "usage: find <value>[, <value> ...]"
+        failures_before = len(self.session.failures)
         self._candidates = self.session.synthesize(*values)
         lines = [f"{len(self._candidates)} candidate queries:"]
         lines.extend(
             f"  [{index}] {candidate.description}"
             for index, candidate in enumerate(self._candidates)
         )
-        lines.append("pick one with: pick <n>")
+        report = self.session.last_report
+        if report is not None and report.degraded:
+            lines.append("(degraded: endpoint faults hid some candidates — "
+                         f"{report.probe_failures} probes lost)")
+        notice = self._degraded_notice(failures_before)
+        if notice:
+            lines.append(notice)
+        if self._candidates:
+            lines.append("pick one with: pick <n>")
         return "\n".join(lines)
 
     def _cmd_pick(self, rest: str) -> str:
         index = int(rest)
+        failures_before = len(self.session.failures)
         results = self.session.choose(index)
+        notice = self._degraded_notice(failures_before)
+        if notice:
+            return notice
         return (
             f"executed: {self.session.query.description}\n"
             f"{len(results)} result tuples; 'show' to display, "
@@ -183,7 +225,11 @@ class ExplorerShell:
             proposals = self.session.refinements(kind)
             self._last_proposals[kind] = proposals
         refinement = proposals[int(index_text)]
+        failures_before = len(self.session.failures)
         results = self.session.apply(refinement, options_offered=len(proposals))
+        notice = self._degraded_notice(failures_before)
+        if notice:
+            return notice
         self._last_proposals.clear()
         return (
             f"applied: {refinement.explanation}\n"
@@ -199,7 +245,7 @@ class ExplorerShell:
         return profile(self.vgraph).pretty()
 
     def _cmd_stats(self, rest: str) -> str:
-        stats = self.endpoint.stats
+        stats = self.endpoint.stats.snapshot()
         lines = [
             "endpoint:",
             f"  queries         {stats.total_queries} "
@@ -223,6 +269,24 @@ class ExplorerShell:
             lines.append("serving:")
             lines.extend("  " + line for line in
                          self.service.stats().pretty().splitlines())
+        resilience = getattr(self.endpoint, "resilience", None)
+        if resilience is not None:
+            snap = resilience.snapshot()
+            lines.append("resilience:")
+            lines.append(f"  guarded calls   {snap.calls} "
+                         f"(retries {snap.retries}, recovered {snap.recovered}, "
+                         f"giveups {snap.giveups})")
+            lines.append(f"  breaker sheds   {snap.breaker_rejections} "
+                         f"(stale served {snap.stale_served})")
+        events = getattr(self.endpoint, "events", None)
+        if events:
+            injected = [event for event in events if event.kind != "ok"]
+            lines.append(f"chaos: {len(injected)} faults injected over "
+                         f"{len(events)} endpoint calls")
+        failures = self.session.failures
+        if failures:
+            lines.append(f"session: {len(failures)} interactions degraded "
+                         "by endpoint faults")
         return "\n".join(lines)
 
     def _cmd_insights(self, rest: str) -> str:
@@ -299,6 +363,18 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-compile", action="store_true",
                         help="disable compiled id-space BGP execution "
                              "(fall back to the term-space interpreter)")
+    parser.add_argument("--retries", type=_nonnegative_int, default=0,
+                        help="retry budget for transient endpoint faults "
+                             "(exponential backoff; 0 disables retries)")
+    parser.add_argument("--breaker", action="store_true",
+                        help="enable the per-endpoint circuit breaker "
+                             "(shed calls while the store fails persistently)")
+    parser.add_argument("--serve-stale", action="store_true",
+                        help="answer from last-known-good results while the "
+                             "circuit breaker is open (implies --breaker)")
+    parser.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
+                        help="inject deterministic endpoint faults from this "
+                             "seed (demo/testing; see repro.resilience)")
     return parser
 
 
@@ -310,12 +386,30 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
     args = make_parser().parse_args(argv)
     print("loading data and bootstrapping (one-off)...", file=stdout)
     endpoint, observation_class = build_endpoint(args)
+    retry = breaker = None
+    if args.retries:
+        from .resilience import RetryPolicy
+
+        retry = RetryPolicy(max_retries=args.retries)
+    if args.breaker or args.serve_stale:
+        from .resilience import CircuitBreaker
+
+        breaker = CircuitBreaker()
     # cache_size is forwarded so --cache-size 0 stays off: the service
     # adopts the endpoint's cache and must not substitute a default one.
     service = QueryService(endpoint, workers=args.workers,
-                           cache_size=args.cache_size)
+                           cache_size=args.cache_size,
+                           retry=retry, breaker=breaker,
+                           serve_stale=args.serve_stale)
+    # Bootstrap (schema crawl, session setup) runs against the clean
+    # store; the fault schedule is armed for the interactive workload.
+    chaos = endpoint if hasattr(endpoint, "disarm") else None
+    if chaos is not None:
+        chaos.disarm()
     try:
         shell = ExplorerShell(endpoint, observation_class, service=service)
+        if chaos is not None:
+            chaos.arm()
         print(f"ready: {shell.vgraph.n_levels} levels, "
               f"{shell.vgraph.observation_count} observations "
               f"({args.workers} workers, cache "

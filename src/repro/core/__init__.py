@@ -46,7 +46,7 @@ from .refine import (
     TopK,
 )
 from .reolap import SynthesisReport, get_query, reolap, reolap_multi
-from .session import ExplorationSession, ExplorationStep
+from .session import ExplorationSession, ExplorationStep, FailedStep, StepOutcome
 from .suggest import Suggestion, suggest
 from .trace import export_history, to_json, to_markdown
 from .views import AnalyticalView, DimensionMapping, MeasureMapping, RollupStep
@@ -83,6 +83,8 @@ __all__ = [
     "SimilaritySearch",
     "ExplorationSession",
     "ExplorationStep",
+    "FailedStep",
+    "StepOutcome",
     "PathAccounting",
     "account_paths",
     "DatasetProfile",

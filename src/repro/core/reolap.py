@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-from ..errors import SynthesisError
+from ..errors import FAULT_ERRORS, SynthesisError
 from ..sparql.ast import AskQuery
 from ..store.endpoint import Endpoint
 from .describe import describe_query
@@ -42,12 +42,23 @@ MAX_COMBINATIONS = 10_000
 
 @dataclass
 class SynthesisReport:
-    """Diagnostics of one REOLAP run, used by the Fig. 7 benchmarks."""
+    """Diagnostics of one REOLAP run, used by the Fig. 7 benchmarks.
+
+    ``degraded`` is the explicit partial-answer marker of the resilience
+    contract: when endpoint faults struck mid-run under ``degrade=True``,
+    the returned candidates are a *subset* of the fault-free answer — the
+    affected candidates were dropped, never guessed.  ``probe_failures``
+    counts validation probes lost to faults and ``failed_keywords`` the
+    example components whose interpretation lookup failed outright.
+    """
 
     keyword_interpretations: dict[str, int] = field(default_factory=dict)
     combinations_considered: int = 0
     combinations_invalid: int = 0
     candidates_empty: int = 0
+    degraded: bool = False
+    probe_failures: int = 0
+    failed_keywords: list[str] = field(default_factory=list)
 
     @property
     def total_interpretations(self) -> int:
@@ -60,12 +71,19 @@ def reolap(
     example: tuple[str, ...],
     validate: bool = True,
     report: SynthesisReport | None = None,
+    degrade: bool = False,
 ) -> list[OLAPQuery]:
     """Reverse-engineer the candidate OLAP queries for an example tuple.
 
     Raises :class:`SynthesisError` when the example is empty or no
     component matches anything in the KG.  Returns an empty list when
     components match individually but no combination is consistent.
+
+    With ``degrade=True`` endpoint faults (transient errors, timeouts —
+    :data:`repro.errors.FAULT_ERRORS`) no longer abort the run: a failed
+    validation probe drops just that candidate, a failed keyword lookup
+    empties the synthesis, and ``report.degraded`` flags the partial
+    answer.  The degraded result is always a subset of the fault-free one.
     """
     if not example:
         raise SynthesisError("the example tuple must contain at least one value")
@@ -73,7 +91,19 @@ def reolap(
 
     per_component: list[list[Interpretation]] = []
     for keyword in example:
-        interpretations = find_interpretations(endpoint, vgraph, keyword, validate=validate)
+        try:
+            interpretations = find_interpretations(
+                endpoint, vgraph, keyword, validate=validate
+            )
+        except FAULT_ERRORS:
+            if not degrade:
+                raise
+            # Without this component's interpretations no combination can
+            # be enumerated; [] is the only sound partial answer.
+            report.degraded = True
+            report.failed_keywords.append(keyword)
+            report.keyword_interpretations[keyword] = 0
+            return []
         report.keyword_interpretations[keyword] = len(interpretations)
         if not interpretations:
             raise SynthesisError(
@@ -101,12 +131,13 @@ def reolap(
         seen_signatures.add(signature)
         queries.append(get_query(vgraph, combination))
     if validate:
-        queries = _validate_candidates(endpoint, queries, report)
+        queries = _validate_candidates(endpoint, queries, report, degrade=degrade)
     return queries
 
 
 def _validate_candidates(
-    endpoint, queries: list[OLAPQuery], report: SynthesisReport
+    endpoint, queries: list[OLAPQuery], report: SynthesisReport,
+    degrade: bool = False,
 ) -> list[OLAPQuery]:
     """Keep the candidates whose query is non-empty (Section 5.3).
 
@@ -116,21 +147,47 @@ def _validate_candidates(
     they are validated in one batched round-trip that evaluates the shared
     prefixes once.  Everything else (HAVING candidates, plain endpoints)
     keeps the per-candidate :meth:`is_non_empty` probe.
+
+    With ``degrade=True`` every probe is fault-tolerant: the batch falls
+    back to per-candidate ASKs on failure (:func:`repro.resilience.try_ask_batch`),
+    and a candidate whose probe cannot be decided is conservatively
+    dropped and counted in ``report.probe_failures`` — never kept on a
+    guess — so the surviving set is a subset of the fault-free one.
     """
     selects = [query.to_select() for query in queries]
-    verdicts = [False] * len(queries)
+    verdicts: list[bool] = [False] * len(queries)
     probes = [index for index, select in enumerate(selects) if not select.having]
-    ask_batch = getattr(endpoint, "ask_batch", None)
-    if ask_batch is not None and len(probes) > 1:
+    if degrade and probes:
+        from ..resilience.endpoint import try_ask_batch
+
         asks = [AskQuery(selects[index].where) for index in probes]
-        for index, verdict in zip(probes, ask_batch(asks)):
-            verdicts[index] = verdict
+        batch_verdicts, degraded = try_ask_batch(endpoint, asks)
+        if degraded:
+            report.degraded = True
+        for index, verdict in zip(probes, batch_verdicts):
+            if verdict is None:
+                report.probe_failures += 1
+            else:
+                verdicts[index] = verdict
     else:
-        for index in probes:
-            verdicts[index] = endpoint.is_non_empty(selects[index])
+        ask_batch = getattr(endpoint, "ask_batch", None)
+        if ask_batch is not None and len(probes) > 1:
+            asks = [AskQuery(selects[index].where) for index in probes]
+            for index, verdict in zip(probes, ask_batch(asks)):
+                verdicts[index] = verdict
+        else:
+            for index in probes:
+                verdicts[index] = endpoint.is_non_empty(selects[index])
     for index, select in enumerate(selects):
         if select.having:
-            verdicts[index] = endpoint.is_non_empty(select)
+            if degrade:
+                try:
+                    verdicts[index] = endpoint.is_non_empty(select)
+                except FAULT_ERRORS:
+                    report.degraded = True
+                    report.probe_failures += 1
+            else:
+                verdicts[index] = endpoint.is_non_empty(select)
     report.candidates_empty += sum(1 for verdict in verdicts if not verdict)
     return [query for query, verdict in zip(queries, verdicts) if verdict]
 

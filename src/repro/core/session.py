@@ -11,14 +11,26 @@ result sets, and refinement menus come back to the caller, which makes the
 class equally usable from a REPL, a UI, or the benchmark harness.  Each
 interaction is recorded with the number of options it offered and the size
 of its results, feeding the exploration-path accounting of Figure 8c.
+
+**Resilience contract** (``degrade=True``, the default): endpoint faults —
+transient errors, timeouts, an open circuit breaker
+(:data:`repro.errors.FAULT_ERRORS`) — never kill the session.  A faulted
+interaction is recorded as a :class:`FailedStep`, the current exploration
+state is preserved, and the caller gets an explicitly degraded answer (an
+empty candidate list, an empty result set, an empty refinement menu)
+instead of an exception.  Deterministic errors (bad index, unknown
+refinement kind, unmatched example values) still raise: they are caller
+bugs, not endpoint weather.  :meth:`step` packages the whole contract as
+a single never-raising entry point for drivers.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
-from ..errors import RefinementError, SynthesisError
+from ..errors import FAULT_ERRORS, RefinementError, SynthesisError
 from ..sparql.results import ResultSet
 from ..store.endpoint import Endpoint
 from .olap_query import OLAPQuery
@@ -31,10 +43,10 @@ from .refine import (
     Slice,
     TopK,
 )
-from .reolap import reolap
+from .reolap import SynthesisReport, reolap
 from .virtual_graph import VirtualSchemaGraph
 
-__all__ = ["ExplorationSession", "ExplorationStep"]
+__all__ = ["ExplorationSession", "ExplorationStep", "FailedStep", "StepOutcome"]
 
 
 @dataclass
@@ -52,6 +64,27 @@ class ExplorationStep:
         return len(self.results)
 
 
+@dataclass
+class FailedStep:
+    """One interaction lost to an endpoint fault; the session lives on."""
+
+    kind: str  # "synthesize" | "choose" | "refine:<kind>" | "apply:<kind>"
+    error: str
+    error_type: str  # exception class name, for fault accounting
+    elapsed: float = 0.0
+
+
+@dataclass
+class StepOutcome:
+    """What :meth:`ExplorationSession.step` reports for one interaction."""
+
+    action: str
+    ok: bool  # the interaction completed without absorbing a fault
+    value: Any = None  # the underlying method's return value (if any)
+    degraded: bool = False  # a partial answer was returned
+    error: str | None = None  # message of the absorbed fault / rejection
+
+
 class ExplorationSession:
     """Drives one example-to-insight exploration over an endpoint."""
 
@@ -61,9 +94,11 @@ class ExplorationSession:
         vgraph: VirtualSchemaGraph,
         similarity_k: int = 3,
         percentile_cuts: tuple[int, ...] = (25, 50, 75, 90),
+        degrade: bool = True,
     ):
         self.endpoint = endpoint
         self.vgraph = vgraph
+        self.degrade = degrade
         self.methods = {
             "disaggregate": Disaggregate(vgraph),
             "rollup": Rollup(vgraph, endpoint),
@@ -74,20 +109,65 @@ class ExplorationSession:
         }
         self._candidates: list[OLAPQuery] = []
         self._steps: list[ExplorationStep] = []
+        self._failures: list[FailedStep] = []
+        self.last_report: SynthesisReport | None = None
+
+    def _record_failure(self, kind: str, error: BaseException,
+                        elapsed: float = 0.0) -> FailedStep:
+        failed = FailedStep(kind, str(error), type(error).__name__, elapsed)
+        self._failures.append(failed)
+        return failed
 
     # -- synthesis phase --------------------------------------------------------
 
     def synthesize(self, *example: str) -> list[OLAPQuery]:
         """Run REOLAP on an example tuple; returns the candidate queries.
 
-        Starting a new synthesis resets any previous exploration.
+        Starting a new synthesis resets any previous exploration.  Under
+        the resilience contract a synthesis lost to endpoint faults is
+        recorded as a failed step and returns ``[]`` — the previous
+        exploration state is *kept* so the analyst can continue from it;
+        ``last_report.degraded`` flags partial candidate sets.
         """
-        self._candidates = reolap(self.endpoint, self.vgraph, tuple(example))
+        report = SynthesisReport()
+        self.last_report = report
+        start = time.monotonic()
+        try:
+            candidates = reolap(
+                self.endpoint, self.vgraph, tuple(example),
+                report=report, degrade=self.degrade,
+            )
+        except FAULT_ERRORS as error:
+            if not self.degrade:
+                raise
+            report.degraded = True
+            self._record_failure("synthesize", error, time.monotonic() - start)
+            self._candidates = []
+            return []
+        if report.degraded and not candidates:
+            # Faults ate the whole synthesis; keep the current exploration.
+            self._record_failure(
+                "synthesize",
+                SynthesisError(
+                    "synthesis degraded to no candidates "
+                    f"(failed keywords: {report.failed_keywords or 'none'}, "
+                    f"lost probes: {report.probe_failures})"
+                ),
+                time.monotonic() - start,
+            )
+            self._candidates = []
+            return []
+        self._candidates = candidates
         self._steps = []
-        return list(self._candidates)
+        return list(candidates)
 
     def choose(self, index: int) -> ResultSet:
-        """Pick a synthesized candidate and execute it."""
+        """Pick a synthesized candidate and execute it.
+
+        A faulted execution (under the resilience contract) records a
+        failed step and returns an empty result set; the step history —
+        and therefore :attr:`current` — is unchanged.
+        """
         if not self._candidates:
             raise SynthesisError("call synthesize() before choose()")
         if not 0 <= index < len(self._candidates):
@@ -96,7 +176,13 @@ class ExplorationSession:
             )
         query = self._candidates[index]
         start = time.monotonic()
-        results = self.endpoint.select(query.to_select())
+        try:
+            results = self.endpoint.select(query.to_select())
+        except FAULT_ERRORS as error:
+            if not self.degrade:
+                raise
+            self._record_failure("choose", error, time.monotonic() - start)
+            return ResultSet((), ())
         elapsed = time.monotonic() - start
         self._steps.append(
             ExplorationStep(query, results, "synthesis", len(self._candidates),
@@ -125,6 +211,11 @@ class ExplorationSession:
         return list(self._steps)
 
     @property
+    def failures(self) -> list[FailedStep]:
+        """Interactions lost to endpoint faults, in order of occurrence."""
+        return list(self._failures)
+
+    @property
     def total_query_time(self) -> float:
         """Endpoint time spent across all steps (serving-stats feed)."""
         return sum(step.elapsed for step in self._steps)
@@ -133,14 +224,25 @@ class ExplorationSession:
         return sorted(self.methods)
 
     def refinements(self, kind: str) -> list[Refinement]:
-        """Proposals of one ExRef method for the current query."""
+        """Proposals of one ExRef method for the current query.
+
+        Methods that consult the endpoint (e.g. rollup member counts) may
+        hit faults; under the resilience contract the menu degrades to
+        ``[]`` and the failure is recorded.
+        """
         try:
             method = self.methods[kind]
         except KeyError:
             raise RefinementError(
                 f"unknown refinement kind {kind!r}; expected one of {sorted(self.methods)}"
             ) from None
-        return method.propose(self.current.query, self.current.results)
+        try:
+            return method.propose(self.current.query, self.current.results)
+        except FAULT_ERRORS as error:
+            if not self.degrade:
+                raise
+            self._record_failure(f"refine:{kind}", error)
+            return []
 
     def all_refinements(self) -> dict[str, list[Refinement]]:
         """Proposals of every method, keyed by kind (the Show menu)."""
@@ -152,11 +254,20 @@ class ExplorationSession:
         ``options_offered`` defaults to the number of proposals the
         refinement's method currently offers (used by Figure 8c's path
         accounting); pass it explicitly when applying a stale proposal.
+        Like :meth:`choose`, a faulted execution records a failed step,
+        leaves the current step in place, and returns an empty result set.
         """
         if options_offered is None:
             options_offered = len(self.refinements(refinement.kind))
         start = time.monotonic()
-        results = self.endpoint.select(refinement.query.to_select())
+        try:
+            results = self.endpoint.select(refinement.query.to_select())
+        except FAULT_ERRORS as error:
+            if not self.degrade:
+                raise
+            self._record_failure(f"apply:{refinement.kind}", error,
+                                 time.monotonic() - start)
+            return ResultSet((), ())
         elapsed = time.monotonic() - start
         self._steps.append(
             ExplorationStep(refinement.query, results, refinement.kind,
@@ -170,3 +281,50 @@ class ExplorationSession:
             raise RefinementError("cannot backtrack past the initial query")
         self._steps.pop()
         return self._steps[-1]
+
+    # -- the resilient driver entry point ----------------------------------
+
+    def step(self, action: str, *args, **kwargs) -> StepOutcome:
+        """Run one interaction; never raises, whatever the endpoint does.
+
+        ``action`` is one of ``synthesize``, ``choose``, ``refinements``,
+        ``all_refinements``, ``apply``, ``back``; remaining arguments are
+        forwarded.  Endpoint faults are absorbed (recorded as failed
+        steps, per the resilience contract) and reported in the outcome;
+        deterministic rejections (bad index, nothing to backtrack, no
+        matching member) come back as ``ok=False`` outcomes too, so a
+        scripted driver — or a chaos schedule — can keep going
+        unconditionally.
+        """
+        handlers = {
+            "synthesize": self.synthesize,
+            "choose": self.choose,
+            "refinements": self.refinements,
+            "all_refinements": self.all_refinements,
+            "apply": self.apply,
+            "back": self.back,
+        }
+        handler = handlers.get(action)
+        if handler is None:
+            return StepOutcome(action, ok=False,
+                               error=f"unknown action {action!r}")
+        failures_before = len(self._failures)
+        try:
+            value = handler(*args, **kwargs)
+        except FAULT_ERRORS as error:
+            # Only reachable with degrade=False; absorb it here so step()
+            # honours the never-raise contract either way.
+            self._record_failure(action, error)
+            return StepOutcome(action, ok=False, degraded=True, error=str(error))
+        except (IndexError, KeyError, ValueError, SynthesisError,
+                RefinementError) as error:
+            return StepOutcome(action, ok=False, error=str(error))
+        absorbed = len(self._failures) > failures_before
+        degraded = absorbed or (
+            action == "synthesize"
+            and self.last_report is not None
+            and self.last_report.degraded
+        )
+        error = self._failures[-1].error if absorbed else None
+        return StepOutcome(action, ok=not absorbed, value=value,
+                           degraded=degraded, error=error)

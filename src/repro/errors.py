@@ -40,6 +40,33 @@ class QueryTimeoutError(QueryEvaluationError):
     """Raised when query evaluation exceeds the endpoint's deadline."""
 
 
+class TransientError(ReproError):
+    """A fault expected to clear on its own — safe to retry.
+
+    This is the error-hierarchy branch the resilience layer keys on:
+    :class:`~repro.resilience.RetryPolicy` retries only transient faults,
+    and degraded execution (REOLAP partial candidate sets, recorded failed
+    session steps) treats them as endpoint failures rather than caller
+    bugs.  Deterministic errors (syntax, bad refinement input) must never
+    derive from this class.
+    """
+
+
+class EndpointUnavailableError(TransientError, QueryEvaluationError):
+    """The endpoint dropped a query mid-flight (network blip, overload).
+
+    The in-process store never raises this on its own; it models the
+    transport-level failures of a remote SPARQL endpoint and is what the
+    fault injector raises for its ``transient`` fault kind.
+    """
+
+
+#: What the degradation layers treat as an *endpoint* fault: transient
+#: failures plus deadline expiry (the paper's Virtuoso-timeout scenario).
+#: Everything else propagates — it signals a caller bug, not a sick store.
+FAULT_ERRORS = (TransientError, QueryTimeoutError)
+
+
 class SchemaError(ReproError):
     """Raised for inconsistent cube schema definitions."""
 
@@ -62,6 +89,25 @@ class AdmissionError(ServingError):
 
 class ServiceShutdownError(ServingError):
     """Raised when work is submitted to a service that has shut down."""
+
+
+class CircuitOpenError(TransientError, ServingError):
+    """Raised when a circuit breaker rejects a call without trying it.
+
+    Transient by nature — the breaker re-probes after its recovery
+    timeout — but :class:`~repro.resilience.RetryPolicy` deliberately does
+    *not* retry it: failing fast while the breaker is open is the point.
+    Callers should back off or serve degraded answers.
+    """
+
+
+class RequestShedError(QueryTimeoutError, ServingError):
+    """Raised when a queued request is shed: its deadline expired before a
+    worker picked it up, so it fails fast without touching the store.
+
+    Subclasses :class:`QueryTimeoutError` so existing deadline handling
+    (serving stats, retry classification) sees it as a timeout.
+    """
 
 
 class SynthesisError(ReproError):

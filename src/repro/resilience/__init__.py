@@ -1,0 +1,51 @@
+"""Fault tolerance for the query path: injection, retries, breaking, degradation.
+
+The paper's evaluation already met endpoint failure (the Similarity
+experiment hit Virtuoso's 15-minute timeout on DBpedia, Section 7), and
+the ROADMAP's production north star serves millions of users — where
+transient faults are routine, not exceptional.  This subsystem supplies:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault injection
+  (:class:`FaultPlan` / :class:`FaultInjector`), the test substrate for
+  everything below;
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy`: exponential
+  backoff with deterministic jitter, retrying only the
+  :class:`~repro.errors.TransientError` branch;
+* :mod:`repro.resilience.breaker` — a closed/open/half-open
+  :class:`CircuitBreaker` over a sliding failure-rate window;
+* :mod:`repro.resilience.endpoint` — :class:`ResilientEndpoint`, the
+  decorator threading retry + breaker (+ optional serve-stale answers)
+  under any endpoint consumer, and :func:`try_ask_batch`, the
+  partial-verdict batch probe graceful degradation is built on.
+"""
+
+from .breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerEvent,
+    BreakerStats,
+    CircuitBreaker,
+)
+from .endpoint import ResilienceStats, ResilientEndpoint, try_ask_batch
+from .faults import FAULT_KINDS, OK, Fault, FaultEvent, FaultInjector, FaultPlan
+from .policy import RetryPolicy
+
+__all__ = [
+    "BreakerEvent",
+    "BreakerStats",
+    "CircuitBreaker",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "Fault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "OK",
+    "ResilienceStats",
+    "ResilientEndpoint",
+    "RetryPolicy",
+    "try_ask_batch",
+]

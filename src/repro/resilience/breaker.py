@@ -1,0 +1,208 @@
+"""Per-endpoint circuit breaker: closed / open / half-open.
+
+When an endpoint fails persistently, retrying every call just piles load
+onto a sick service and stalls every analyst behind the retry budget.
+The breaker watches the recent failure rate and, past a threshold, *opens*:
+calls are rejected immediately with
+:class:`~repro.errors.CircuitOpenError` (shed, not queued).  After a
+recovery timeout it admits a limited number of *probe* calls (half-open);
+one failed probe re-opens it, enough successful probes close it again.
+
+The clock is injectable, every transition is appended to an event log,
+and all state lives under one lock — so the chaos suite can drive the
+state machine deterministically and assert its exact trajectory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import CircuitOpenError
+
+__all__ = ["BreakerEvent", "BreakerStats", "CircuitBreaker", "CLOSED", "HALF_OPEN", "OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerEvent:
+    """One state transition (or shed decision) with its timestamp."""
+
+    at: float  # clock() when it happened
+    transition: str  # "trip" | "probe" | "close" | "reopen" | "reject"
+    state: str  # state after the event
+
+
+@dataclass
+class BreakerStats:
+    """Lifetime counters, updated under the breaker's lock."""
+
+    trips: int = 0  # closed/half-open -> open transitions
+    rejections: int = 0  # calls shed while open / probe slots exhausted
+    probes: int = 0  # calls admitted in half-open state
+    closes: int = 0  # half-open -> closed recoveries
+
+    def snapshot(self) -> "BreakerStats":
+        return BreakerStats(self.trips, self.rejections, self.probes, self.closes)
+
+
+class CircuitBreaker:
+    """Failure-rate breaker over a sliding window of call outcomes.
+
+    The window holds the last ``window`` outcomes; once it has at least
+    ``min_calls`` samples and the failure fraction reaches
+    ``failure_rate``, the breaker trips.  While open, :meth:`acquire`
+    raises; after ``recovery_timeout`` seconds it moves to half-open and
+    admits up to ``half_open_probes`` concurrent probes.  Any probe
+    failure re-opens the breaker (restarting the recovery clock); once
+    ``half_open_probes`` probes *succeed*, it closes and the window
+    resets.
+
+    Usage is a three-call protocol per guarded call::
+
+        breaker.acquire()        # raises CircuitOpenError when shedding
+        try:
+            result = call()
+        except fault:
+            breaker.record_failure()
+        else:
+            breaker.record_success()
+
+    A responsive endpoint returning a *deterministic* error (e.g. a
+    syntax error) is evidence of health, so callers should record it as a
+    success — the breaker tracks the service, not the queries.
+    """
+
+    def __init__(
+        self,
+        failure_rate: float = 0.5,
+        window: int = 16,
+        min_calls: int = 4,
+        recovery_timeout: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "endpoint",
+    ):
+        if not 0.0 < failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in (0, 1]")
+        if window < 1 or min_calls < 1 or half_open_probes < 1:
+            raise ValueError("window, min_calls and half_open_probes must be >= 1")
+        self.failure_rate = failure_rate
+        self.window = window
+        self.min_calls = min_calls
+        self.recovery_timeout = recovery_timeout
+        self.half_open_probes = half_open_probes
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = failure
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._stats = BreakerStats()
+        self._events: list[BreakerEvent] = []
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    @property
+    def stats(self) -> BreakerStats:
+        with self._lock:
+            return self._stats.snapshot()
+
+    @property
+    def events(self) -> list[BreakerEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def _effective_state(self) -> str:
+        # OPEN decays to HALF_OPEN lazily on observation; no timer thread.
+        if self._state == OPEN and self._clock() - self._opened_at >= self.recovery_timeout:
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        return self._state
+
+    def _log(self, transition: str) -> None:
+        self._events.append(BreakerEvent(self._clock(), transition, self._state))
+
+    # -- the call protocol -------------------------------------------------
+
+    def acquire(self) -> None:
+        """Admit one call, or raise :class:`CircuitOpenError` to shed it."""
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return
+            if state == HALF_OPEN and self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                self._stats.probes += 1
+                self._log("probe")
+                return
+            self._stats.rejections += 1
+            self._log("reject")
+            retry_in = max(0.0, self._opened_at + self.recovery_timeout - self._clock())
+            raise CircuitOpenError(
+                f"circuit breaker for {self.name!r} is {state}; "
+                f"call shed (retry in ~{retry_in:.2f}s)"
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            state = self._effective_state()
+            if state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._state = CLOSED
+                    self._outcomes.clear()
+                    self._stats.closes += 1
+                    self._log("close")
+                return
+            self._outcomes.append(False)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._effective_state()
+            if state == HALF_OPEN:
+                # One bad probe is enough: reopen and restart recovery.
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._stats.trips += 1
+                self._log("reopen")
+                return
+            if state == OPEN:
+                return
+            self._outcomes.append(True)
+            if len(self._outcomes) >= self.min_calls:
+                failures = sum(self._outcomes)
+                if failures / len(self._outcomes) >= self.failure_rate:
+                    self._state = OPEN
+                    self._opened_at = self._clock()
+                    self._stats.trips += 1
+                    self._log("trip")
+
+    def reset(self) -> None:
+        """Force-close the breaker and clear its window (ops override)."""
+        with self._lock:
+            self._state = CLOSED
+            self._outcomes.clear()
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        return (f"<CircuitBreaker {self.name!r} {self.state}: "
+                f"{stats.trips} trips, {stats.rejections} shed>")

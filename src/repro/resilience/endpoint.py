@@ -1,0 +1,246 @@
+"""The resilient endpoint decorator: retries, breaker, stale answers.
+
+:class:`ResilientEndpoint` wraps any endpoint-shaped object (a real
+:class:`~repro.store.Endpoint`, a :class:`~repro.resilience.FaultInjector`
+in chaos tests) and gives every call the failure-handling discipline the
+ROADMAP's production target demands:
+
+* transient faults are retried per a :class:`~repro.resilience.RetryPolicy`
+  (exponential backoff, deterministic jitter, bounded budget);
+* persistent faults trip a per-endpoint
+  :class:`~repro.resilience.CircuitBreaker`, shedding calls instead of
+  queueing them behind a sick store;
+* with ``serve_stale=True``, SELECT/ASK/CONSTRUCT answers recorded before
+  the breaker opened are served (marked in stats) while it is open — the
+  cache-epoch fallback the serving layer exposes as serve-stale mode.
+
+Every retry, trip, shed and stale answer is counted in
+:class:`ResilienceStats`, so the chaos suite can assert exact behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import CircuitOpenError, QueryTimeoutError, TransientError
+from ..serving.cache import LRUCache, MISS
+from ..sparql.results import ResultSet
+from ..store.endpoint import DEFAULT_TIMEOUT, Endpoint
+from .breaker import CircuitBreaker
+from .policy import RetryPolicy
+
+__all__ = ["ResilienceStats", "ResilientEndpoint", "try_ask_batch"]
+
+#: Errors that count against the breaker: the endpoint itself misbehaved.
+#: Deterministic errors (syntax, bad input) are evidence the endpoint is
+#: *reachable* and evaluating, so they count as breaker successes.
+_ENDPOINT_FAULTS = (TransientError, QueryTimeoutError)
+
+
+@dataclass
+class ResilienceStats:
+    """Counters for one resilient endpoint; shared-lock protected."""
+
+    calls: int = 0  # guarded calls entered
+    retries: int = 0  # sleep-then-retry transitions
+    recovered: int = 0  # calls that succeeded after >= 1 retry
+    giveups: int = 0  # transient faults re-raised with budget exhausted
+    breaker_rejections: int = 0  # calls shed by the open breaker
+    stale_served: int = 0  # shed calls answered from the stale tier
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, counter: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
+    def snapshot(self) -> "ResilienceStats":
+        with self._lock:
+            return ResilienceStats(
+                self.calls, self.retries, self.recovered, self.giveups,
+                self.breaker_rejections, self.stale_served,
+            )
+
+
+class ResilientEndpoint:
+    """Retry + circuit-breaker decorator over the endpoint surface.
+
+    ``sleep`` is injectable (chaos tests pass a no-op or virtual clock),
+    and the retry jitter comes from the policy's seed, so behaviour under
+    a given fault schedule is fully deterministic.
+    """
+
+    def __init__(
+        self,
+        inner: Endpoint,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        serve_stale: bool = False,
+        stale_size: int = 256,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self._inner = inner
+        # No policy means no retries: a breaker-only (or stale-only)
+        # configuration must not silently re-issue queries.
+        self.retry = retry if retry is not None else RetryPolicy(max_retries=0)
+        self.breaker = breaker
+        self.serve_stale = serve_stale
+        self._stale = LRUCache(stale_size) if serve_stale else None
+        self._sleep = sleep
+        self.resilience = ResilienceStats()
+
+    # -- passthrough attributes --------------------------------------------
+
+    @property
+    def graph(self):
+        return self._inner.graph
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    @property
+    def cache(self):
+        return self._inner.cache
+
+    @property
+    def default_timeout(self):
+        return self._inner.default_timeout
+
+    @property
+    def text_index(self):
+        return self._inner.text_index
+
+    def refresh_text_index(self) -> None:
+        self._inner.refresh_text_index()
+
+    @property
+    def events(self):
+        """The inner injector's fault log, when wrapping an injector."""
+        return getattr(self._inner, "events", [])
+
+    # -- the guarded call path ---------------------------------------------
+
+    def _stale_key(self, op: str, query) -> tuple | None:
+        if self._stale is None:
+            return None
+        try:
+            text = query if isinstance(query, str) else query.to_sparql()
+        except AttributeError:
+            return None
+        return (op, text)
+
+    def _serve_stale(self, key: tuple | None, shed: CircuitOpenError):
+        """Answer a shed call from the last-known-good tier, or re-raise."""
+        if key is not None:
+            value = self._stale.get(key)
+            if value is not MISS:
+                self.resilience.add("stale_served")
+                if isinstance(value, ResultSet):
+                    return ResultSet(value.variables, value.rows)
+                return value
+        raise shed
+
+    def _call(self, op: str, fn, query, *args, salt_extra: int = 0, **kwargs):
+        self.resilience.add("calls")
+        stale_key = self._stale_key(op, query)
+        attempt = 0
+        while True:
+            if self.breaker is not None:
+                try:
+                    self.breaker.acquire()
+                except CircuitOpenError as shed:
+                    self.resilience.add("breaker_rejections")
+                    return self._serve_stale(stale_key, shed)
+            try:
+                result = fn(query, *args, **kwargs)
+            except _ENDPOINT_FAULTS as error:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if self.retry.is_transient(error) and attempt < self.retry.max_retries:
+                    self.resilience.add("retries")
+                    self._sleep(self.retry.delay(attempt, salt=salt_extra))
+                    attempt += 1
+                    continue
+                self.resilience.add("giveups")
+                raise
+            except Exception:
+                # Deterministic failure: the endpoint answered, the query
+                # is at fault.  Health signal for the breaker; no retry.
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                raise
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                if attempt:
+                    self.resilience.add("recovered")
+                if stale_key is not None:
+                    value = result
+                    if isinstance(value, ResultSet):
+                        value = ResultSet(value.variables, value.rows)
+                    self._stale.put(stale_key, value)
+                return result
+
+    # -- the query surface -------------------------------------------------
+
+    def select(self, query, timeout=DEFAULT_TIMEOUT):
+        return self._call("select", self._inner.select, query, timeout=timeout)
+
+    def ask(self, query, timeout=DEFAULT_TIMEOUT):
+        return self._call("ask", self._inner.ask, query, timeout=timeout)
+
+    def construct(self, query, timeout=DEFAULT_TIMEOUT):
+        return self._call("construct", self._inner.construct, query, timeout=timeout)
+
+    def query(self, text: str, timeout=DEFAULT_TIMEOUT):
+        return self._call("query", self._inner.query, text, timeout=timeout)
+
+    def ask_batch(self, queries, timeout=DEFAULT_TIMEOUT):
+        # Retried as a unit; stale answers don't apply to batches (the
+        # per-candidate fallback in try_ask_batch handles degradation).
+        return self._call("ask_batch", self._inner.ask_batch, queries, timeout=timeout)
+
+    def resolve_keyword(self, keyword: str, exact: bool = True):
+        return self._call("keyword", self._inner.resolve_keyword, keyword, exact=exact)
+
+    is_non_empty = Endpoint.is_non_empty
+
+    def __repr__(self) -> str:
+        return f"<ResilientEndpoint over {self._inner!r}>"
+
+
+def try_ask_batch(
+    endpoint, queries, timeout=DEFAULT_TIMEOUT
+) -> tuple[list["bool | None"], bool]:
+    """Best-effort batched ASK: per-candidate fallback, never raises faults.
+
+    Tries ``endpoint.ask_batch`` first; if the endpoint lacks it or the
+    batched round-trip fails with an endpoint fault, every *undecided*
+    candidate is re-asked individually, each under its own fault budget.
+    Returns ``(verdicts, degraded)`` where ``verdicts`` aligns 1:1 with
+    ``queries`` (``None`` = could not be decided) and ``degraded`` is True
+    iff any fault was absorbed.  Deterministic errors still propagate.
+    """
+    verdicts: list[bool | None] = [None] * len(queries)
+    degraded = False
+    if not queries:
+        return verdicts, degraded
+    ask_batch = getattr(endpoint, "ask_batch", None)
+    if ask_batch is not None:
+        try:
+            batched = ask_batch(list(queries), timeout=timeout)
+        except _ENDPOINT_FAULTS:
+            degraded = True
+        else:
+            return list(batched), degraded
+    for index, query in enumerate(queries):
+        try:
+            verdicts[index] = endpoint.ask(query, timeout=timeout)
+        except _ENDPOINT_FAULTS:
+            degraded = True
+    return verdicts, degraded

@@ -1,0 +1,75 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+Only *transient* faults are retried (the :class:`~repro.errors.TransientError`
+branch of the hierarchy): a syntax error will fail identically on every
+attempt, and retrying a full query timeout doubles the very latency the
+deadline was bounding — so timeouts are retried only when the caller opts
+in.  Jitter is derived from ``(seed, attempt, salt)``, not from a global
+RNG, so a retry schedule is reproducible in tests and across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import CircuitOpenError, QueryTimeoutError, TransientError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) one endpoint call is retried.
+
+    ``max_retries`` is the per-call retry budget: a call makes at most
+    ``1 + max_retries`` attempts.  The delay before retry *n* (0-based) is
+    ``min(max_delay, base_delay * multiplier**n)`` stretched by a
+    deterministic jitter factor in ``[1 - jitter, 1 + jitter]``.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    retry_timeouts: bool = False
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def is_transient(self, error: BaseException) -> bool:
+        """Whether the policy classifies ``error`` as retryable."""
+        if isinstance(error, CircuitOpenError):
+            # Transient in the hierarchy, but retrying against an open
+            # breaker defeats the fail-fast the breaker exists to provide.
+            return False
+        if isinstance(error, QueryTimeoutError):
+            return self.retry_timeouts
+        return isinstance(error, TransientError)
+
+    def delay(self, attempt: int, salt: int = 0) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered but pure.
+
+        ``salt`` decorrelates concurrent callers (pass e.g. a per-call
+        counter) without sacrificing reproducibility.
+        """
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        if not self.jitter or not raw:
+            return raw
+        # Ints hash to themselves, so this seeding is stable across
+        # processes regardless of PYTHONHASHSEED.
+        stretch = random.Random(hash((self.seed, attempt, salt))).uniform(
+            1.0 - self.jitter, 1.0 + self.jitter
+        )
+        return raw * stretch
+
+    def delays(self, salt: int = 0) -> list[float]:
+        """The full backoff schedule for one call, for logs and tests."""
+        return [self.delay(attempt, salt) for attempt in range(self.max_retries)]

@@ -25,7 +25,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..errors import AdmissionError, QueryTimeoutError, ServiceShutdownError
+from ..errors import AdmissionError, RequestShedError, ServiceShutdownError
 
 __all__ = ["ExecutorStats", "RWLock", "ServingExecutor"]
 
@@ -152,14 +152,21 @@ class ServingExecutor:
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    # Load shedding: the request aged out in the queue, so
+                    # it fails fast without ever touching the store.
                     with self._lock:
                         self._stats.deadline_expired += 1
-                    raise QueryTimeoutError(
-                        "request deadline expired while queued"
+                    raise RequestShedError(
+                        "request deadline expired while queued; shed"
                     )
                 timeout = kwargs.get("timeout")
+                # A non-numeric timeout (None, or the endpoint's
+                # DEFAULT_TIMEOUT sentinel) defers to the endpoint; the
+                # request deadline still caps it from above.
                 kwargs["timeout"] = (
-                    remaining if timeout is None else min(timeout, remaining)
+                    min(timeout, remaining)
+                    if isinstance(timeout, (int, float))
+                    else remaining
                 )
             return fn(*args, **kwargs)
 

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 from ..errors import QueryTimeoutError, ServiceShutdownError, ServingError
 from ..store.dataset import GraphView
-from ..store.endpoint import Endpoint
+from ..store.endpoint import DEFAULT_TIMEOUT, Endpoint
 from ..store.graph import Graph
 from .cache import QueryCache
 from .executor import RWLock, ServingExecutor
@@ -53,6 +53,14 @@ class ServingStats:
     p50_latency: float  # seconds; 0.0 before any request completes
     p95_latency: float
     cache_hit_rate: float
+    # Resilience (zero / None when the service runs without a
+    # ResilientEndpoint): see repro.resilience.
+    shed_requests: int = 0  # queued requests dropped after deadline expiry
+    retries: int = 0  # transient faults retried by the resilient endpoint
+    breaker_state: str | None = None  # closed / open / half-open
+    breaker_trips: int = 0
+    breaker_rejections: int = 0  # calls shed by the open breaker
+    stale_served: int = 0  # shed calls answered from the stale tier
 
     def pretty(self) -> str:
         lines = [
@@ -64,7 +72,17 @@ class ServingStats:
             f"latency p50     {self.p50_latency * 1000:.2f}ms",
             f"latency p95     {self.p95_latency * 1000:.2f}ms",
             f"cache hit rate  {self.cache_hit_rate * 100:.1f}%",
+            f"shed (queue)    {self.shed_requests}",
         ]
+        if self.breaker_state is not None:
+            lines.append(
+                f"breaker         {self.breaker_state} "
+                f"({self.breaker_trips} trips, "
+                f"{self.breaker_rejections} shed, "
+                f"{self.stale_served} stale answers)"
+            )
+        if self.retries or self.breaker_state is not None:
+            lines.append(f"retries         {self.retries}")
         return "\n".join(lines)
 
 
@@ -112,6 +130,16 @@ class _GuardedEndpoint:
         with self._service._rwlock.read_locked():
             return self._inner.text_index
 
+    @property
+    def resilience(self):
+        """Resilience counters when the inner endpoint is resilient."""
+        return getattr(self._inner, "resilience", None)
+
+    @property
+    def events(self):
+        """Injected-fault log when the chain ends in a fault injector."""
+        return getattr(self._inner, "events", [])
+
     def _metered(self, fn, *args, **kwargs):
         start = time.monotonic()
         try:
@@ -126,20 +154,20 @@ class _GuardedEndpoint:
         self._service._record(time.monotonic() - start)
         return result
 
-    def select(self, query, timeout=None):
+    def select(self, query, timeout=DEFAULT_TIMEOUT):
         return self._metered(self._inner.select, query, timeout=timeout)
 
-    def ask(self, query, timeout=None):
+    def ask(self, query, timeout=DEFAULT_TIMEOUT):
         return self._metered(self._inner.ask, query, timeout=timeout)
 
-    def ask_batch(self, queries, timeout=None):
+    def ask_batch(self, queries, timeout=DEFAULT_TIMEOUT):
         # One metered call (and one read-lock hold) for the whole batch.
         return self._metered(self._inner.ask_batch, queries, timeout=timeout)
 
-    def construct(self, query, timeout=None):
+    def construct(self, query, timeout=DEFAULT_TIMEOUT):
         return self._metered(self._inner.construct, query, timeout=timeout)
 
-    def query(self, text, timeout=None):
+    def query(self, text, timeout=DEFAULT_TIMEOUT):
         return self._metered(self._inner.query, text, timeout=timeout)
 
     def resolve_keyword(self, keyword, exact=True):
@@ -185,24 +213,44 @@ class QueryService:
         cache_size: int = 4096,
         default_timeout: float | None = None,
         request_deadline: float | None = None,
+        retry: "RetryPolicy | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+        serve_stale: bool = False,
     ):
         if cache is None and cache_size > 0:
             cache = QueryCache(max_results=cache_size)
         self.cache = cache
-        if isinstance(target, Endpoint):
+        if isinstance(target, (Graph, GraphView)):
+            self._endpoint = Endpoint(
+                target, default_timeout=default_timeout, cache=cache
+            )
+        else:
+            # An Endpoint, or anything endpoint-shaped (a FaultInjector,
+            # an already-wrapped ResilientEndpoint, ...).
             self._endpoint = target
-            if cache is not None and target.cache is None:
+            if (cache is not None and target.cache is None
+                    and isinstance(target, Endpoint)):
                 target.cache = cache
             else:
                 self.cache = target.cache
-        else:
-            self._endpoint = Endpoint(
-                target, default_timeout=default_timeout, cache=cache
+        # Optional resilience decoration: retries for transient faults, a
+        # circuit breaker shedding calls to a persistently failing store,
+        # and (with serve_stale) answers from the last-known-good results
+        # while the breaker is open.
+        self._resilient = None
+        if retry is not None or breaker is not None or serve_stale:
+            from ..resilience import ResilientEndpoint
+
+            self._resilient = ResilientEndpoint(
+                self._endpoint, retry=retry, breaker=breaker,
+                serve_stale=serve_stale,
             )
         self.request_deadline = request_deadline
         self._rwlock = RWLock()
         self._executor = ServingExecutor(workers=workers, max_pending=max_pending)
-        self._guarded = _GuardedEndpoint(self, self._endpoint)
+        self._guarded = _GuardedEndpoint(
+            self, self._resilient if self._resilient is not None else self._endpoint
+        )
         self._stats_lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._requests = 0
@@ -222,12 +270,17 @@ class QueryService:
         """The metered, read-locked endpoint facade."""
         return self._guarded
 
-    def execute(self, text: str, timeout: float | None = None):
+    @property
+    def resilient(self):
+        """The ResilientEndpoint decorator, or None when not configured."""
+        return self._resilient
+
+    def execute(self, text: str, timeout=DEFAULT_TIMEOUT):
         """Run one query string synchronously on the caller's thread."""
         self._check_open()
         return self._guarded.query(text, timeout=timeout)
 
-    def submit(self, text: str, timeout: float | None = None):
+    def submit(self, text: str, timeout=DEFAULT_TIMEOUT):
         """Queue one query string on the worker pool; returns a Future.
 
         Raises :class:`~repro.errors.AdmissionError` when the bounded
@@ -326,6 +379,17 @@ class QueryService:
             timeouts = self._timeouts
             open_sessions = len(self._sessions)
         uptime = max(time.monotonic() - self._started_at, 1e-9)
+        shed = self._executor.stats.deadline_expired
+        breaker_state = None
+        retries = breaker_trips = breaker_rejections = stale_served = 0
+        if self._resilient is not None:
+            resilience = self._resilient.resilience.snapshot()
+            retries = resilience.retries
+            breaker_rejections = resilience.breaker_rejections
+            stale_served = resilience.stale_served
+            if self._resilient.breaker is not None:
+                breaker_state = self._resilient.breaker.state
+                breaker_trips = self._resilient.breaker.stats.trips
         return ServingStats(
             requests=requests,
             errors=errors,
@@ -336,6 +400,12 @@ class QueryService:
             p50_latency=_percentile(latencies, 0.50),
             p95_latency=_percentile(latencies, 0.95),
             cache_hit_rate=self.cache.hit_rate if self.cache else 0.0,
+            shed_requests=shed,
+            retries=retries,
+            breaker_state=breaker_state,
+            breaker_trips=breaker_trips,
+            breaker_rejections=breaker_rejections,
+            stale_served=stale_served,
         )
 
     @property

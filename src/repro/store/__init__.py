@@ -5,12 +5,13 @@ an in-process, dictionary-encoded store and a SPARQL endpoint facade.
 """
 
 from .dataset import Dataset, GraphView
-from .endpoint import Endpoint, EndpointStats
+from .endpoint import DEFAULT_TIMEOUT, Endpoint, EndpointStats
 from .graph import Graph
 from .index import PredicateStats, TermDictionary, TripleIndex
 from .text_index import TextIndex, tokenize
 
 __all__ = [
+    "DEFAULT_TIMEOUT",
     "Graph",
     "Dataset",
     "GraphView",

@@ -24,7 +24,7 @@ endpoint may be shared by the serving layer's worker threads.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..rdf.terms import IRI, Literal, Node
 from ..sparql.ast import AskQuery, ConstructQuery, Query, SelectQuery
@@ -36,12 +36,60 @@ from .dataset import GraphView
 from .graph import Graph
 from .text_index import TextIndex
 
-__all__ = ["Endpoint", "EndpointStats"]
+__all__ = ["DEFAULT_TIMEOUT", "Endpoint", "EndpointStats"]
+
+
+class _DefaultTimeout:
+    """Sentinel meaning "use the endpoint's default timeout".
+
+    Distinct from ``None`` (explicitly *no* timeout) and from ``0`` (an
+    already-expired deadline), both of which are legitimate overrides that
+    a truthiness test would silently swallow.
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "DEFAULT_TIMEOUT"
+
+    def __reduce__(self):
+        return (_DefaultTimeout, ())
+
+
+#: Default value of every ``timeout=`` parameter on the endpoint surface.
+DEFAULT_TIMEOUT = _DefaultTimeout()
+
+#: The union accepted by endpoint ``timeout=`` parameters.
+TimeoutArg = "float | None | _DefaultTimeout"
+
+_COUNTERS = (
+    "select_queries",
+    "ask_queries",
+    "construct_queries",
+    "keyword_lookups",
+    "timeouts",
+    "cache_hits",
+    "batch_asks",
+    "batch_shared_steps",
+)
 
 
 @dataclass
 class EndpointStats:
-    """Counters accumulated across an endpoint's lifetime."""
+    """Counters accumulated across an endpoint's lifetime.
+
+    The instance owns its lock: every mutation (:meth:`add`,
+    :meth:`reset`) and the consistent read path (:meth:`snapshot`) go
+    through it, so one stats object can be shared by all serving worker
+    threads.  Reading individual attributes without the lock is still
+    fine for monitoring — ints are atomic to read — but cross-counter
+    invariants should use :meth:`snapshot`.
+    """
 
     select_queries: int = 0
     ask_queries: int = 0
@@ -51,20 +99,29 @@ class EndpointStats:
     cache_hits: int = 0
     batch_asks: int = 0  #: ask_batch round-trips (each covers many ASKs)
     batch_shared_steps: int = 0  #: join steps deduplicated by prefix sharing
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def total_queries(self) -> int:
         return self.select_queries + self.ask_queries + self.construct_queries
 
+    def add(self, counter: str, n: int = 1) -> None:
+        """Atomically increment one counter."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
+    def snapshot(self) -> "EndpointStats":
+        """A consistent point-in-time copy (no torn multi-counter reads)."""
+        with self._lock:
+            return EndpointStats(**{name: getattr(self, name) for name in _COUNTERS})
+
     def reset(self) -> None:
-        self.select_queries = 0
-        self.ask_queries = 0
-        self.construct_queries = 0
-        self.keyword_lookups = 0
-        self.timeouts = 0
-        self.cache_hits = 0
-        self.batch_asks = 0
-        self.batch_shared_steps = 0
+        """Zero every counter atomically with respect to :meth:`add`."""
+        with self._lock:
+            for name in _COUNTERS:
+                setattr(self, name, 0)
 
 
 class Endpoint:
@@ -154,15 +211,24 @@ class Endpoint:
         return self.cache.result_key(text, version, timeout, kind)
 
     def _count(self, counter: str, n: int = 1) -> None:
-        with self._lock:
-            setattr(self.stats, counter, getattr(self.stats, counter) + n)
+        self.stats.add(counter, n)
+
+    def _resolve_timeout(self, timeout) -> float | None:
+        """Apply the default-timeout sentinel.
+
+        ``DEFAULT_TIMEOUT`` (the parameter default) means "use the
+        endpoint's configured default"; any other value — including
+        ``None`` (disable the default) and ``0`` (already expired) — is
+        taken literally.
+        """
+        return self.default_timeout if timeout is DEFAULT_TIMEOUT else timeout
 
     # -- querying -----------------------------------------------------------
 
-    def select(self, query: SelectQuery | str, timeout: float | None = None) -> ResultSet:
+    def select(self, query: SelectQuery | str, timeout=DEFAULT_TIMEOUT) -> ResultSet:
         """Run a SELECT query (AST or text)."""
         self._count("select_queries")
-        timeout = timeout or self.default_timeout
+        timeout = self._resolve_timeout(timeout)
         from ..serving.cache import MISS
 
         key = self._result_key(query, "select", timeout)
@@ -186,10 +252,10 @@ class Endpoint:
             self.cache.put_result(key, result)
         return result
 
-    def ask(self, query: AskQuery | str, timeout: float | None = None) -> bool:
+    def ask(self, query: AskQuery | str, timeout=DEFAULT_TIMEOUT) -> bool:
         """Run an ASK query (AST or text)."""
         self._count("ask_queries")
-        timeout = timeout or self.default_timeout
+        timeout = self._resolve_timeout(timeout)
         from ..serving.cache import MISS
 
         key = self._result_key(query, "ask", timeout)
@@ -211,10 +277,10 @@ class Endpoint:
             self.cache.put_result(key, result)
         return result
 
-    def construct(self, query: ConstructQuery | str, timeout: float | None = None):
+    def construct(self, query: ConstructQuery | str, timeout=DEFAULT_TIMEOUT):
         """Run a CONSTRUCT query; returns a new :class:`Graph`."""
         self._count("construct_queries")
-        timeout = timeout or self.default_timeout
+        timeout = self._resolve_timeout(timeout)
         from ..serving.cache import MISS
 
         key = self._result_key(query, "construct", timeout)
@@ -237,7 +303,7 @@ class Endpoint:
             self.cache.put_result(key, tuple(result.triples()))
         return result
 
-    def query(self, text: str, timeout: float | None = None):
+    def query(self, text: str, timeout=DEFAULT_TIMEOUT):
         """Parse and dispatch a query string.
 
         SELECT → ResultSet, ASK → bool, CONSTRUCT → Graph.
@@ -250,7 +316,7 @@ class Endpoint:
         return self.select(parsed, timeout=timeout)
 
     def ask_batch(
-        self, queries: list[AskQuery | str], timeout: float | None = None
+        self, queries: list[AskQuery | str], timeout=DEFAULT_TIMEOUT
     ) -> list[bool]:
         """Answer many ASK queries in one round-trip, sharing common work.
 
@@ -265,7 +331,7 @@ class Endpoint:
         """
         if not queries:
             return []
-        timeout = timeout or self.default_timeout
+        timeout = self._resolve_timeout(timeout)
         from ..serving.cache import MISS
 
         parsed = [self._parse(q) if isinstance(q, str) else q for q in queries]
@@ -323,7 +389,7 @@ class Endpoint:
             for index, verdict in enumerate(results)
         ]
 
-    def is_non_empty(self, query: SelectQuery, timeout: float | None = None) -> bool:
+    def is_non_empty(self, query: SelectQuery, timeout=DEFAULT_TIMEOUT) -> bool:
         """Whether a SELECT query has at least one result.
 
         This is REOLAP's per-candidate correctness check (Section 5.3):
