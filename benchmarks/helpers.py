@@ -8,6 +8,7 @@ record next to the pytest-benchmark timings.
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 
@@ -43,6 +44,21 @@ def emit(name: str, title: str, table: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(f"{title}\n\n{table}\n")
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist machine-readable benchmark results.
+
+    Writes ``benchmarks/results/BENCH_<name>.json`` so the perf trajectory
+    can be tracked across PRs (CI uploads these as artifacts).  The payload
+    should carry timings in seconds, speedups as plain ratios, and row /
+    observation counts — whatever a later run needs to compare against.
+    Returns the written path.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def fmt_ms(seconds: float) -> str:

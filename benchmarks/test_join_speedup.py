@@ -36,7 +36,7 @@ from repro.datasets import generate_eurostat
 from repro.qb import OBSERVATION_CLASS
 from repro.sparql import Evaluator, parse_query
 
-from .helpers import emit, fmt_ms, format_table
+from .helpers import emit, emit_json, fmt_ms, format_table
 
 N_OBSERVATIONS = int(os.environ.get("REPRO_BENCH_JOIN_OBS", "4000"))
 N_REPETITIONS = int(os.environ.get("REPRO_BENCH_JOIN_REPS", "5"))
@@ -104,6 +104,20 @@ def test_compiled_join_speedup(benchmark):
                 ["compiled id-space", fmt_ms(compiled_time), f"{speedup:.1f}x"],
             ],
         ),
+    )
+    emit_json(
+        "join_speedup",
+        {
+            "benchmark": "join_speedup",
+            "observations": N_OBSERVATIONS,
+            "repetitions": N_REPETITIONS,
+            "result_rows": len(compiled_result),
+            "compiled_best_s": compiled_time,
+            "legacy_best_s": legacy_time,
+            "speedup": speedup,
+            "advisory_target": MIN_SPEEDUP,
+            "hard_floor": HARD_MIN_SPEEDUP,
+        },
     )
     assert speedup >= HARD_MIN_SPEEDUP, (
         f"compiled execution only {speedup:.2f}x faster (hard floor: {HARD_MIN_SPEEDUP}x)"

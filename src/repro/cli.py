@@ -253,6 +253,8 @@ class ExplorerShell:
             f"construct {stats.construct_queries})",
             f"  batched asks    {stats.batch_asks} "
             f"(shared join steps {stats.batch_shared_steps})",
+            f"  aggregates      fused {stats.fused_aggregates}, "
+            f"fallback {stats.fallback_aggregates}",
             f"  keyword lookups {stats.keyword_lookups}",
             f"  timeouts        {stats.timeouts}",
             f"  cache hits      {stats.cache_hits}",

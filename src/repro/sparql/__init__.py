@@ -39,6 +39,7 @@ from .ast import (
     UnionPattern,
     ValuesClause,
 )
+from .aggregator import AggregatePlan, compile_aggregate
 from .batch import BatchStats, ask_bgp_batch, order_batch, simple_bgp
 from .builder import SelectBuilder, agg, path, var
 from .compiler import BGPPlan, compile_bgp
@@ -54,6 +55,8 @@ __all__ = [
     "evaluate_query",
     "BGPPlan",
     "compile_bgp",
+    "AggregatePlan",
+    "compile_aggregate",
     "BatchStats",
     "ask_bgp_batch",
     "order_batch",

@@ -1,0 +1,667 @@
+"""Fused id-space GROUP BY / aggregation over compiled BGP joins.
+
+Every query the paper's workloads actually run — REOLAP candidates,
+refinement probes, the figure benchmarks — is an aggregate ``SELECT …
+GROUP BY`` over observations.  The compiled join engine
+(:mod:`repro.sparql.compiler`) used to stop at the BGP boundary: every
+solution was decoded into a term-space ``Binding`` dict, and the
+evaluator's ``_aggregate`` re-hashed those dicts into groups, buffered the
+full member list per group, and re-evaluated aggregate expressions row by
+row.  This module extends the compiled pipeline past that boundary:
+
+* **hash-group on register tuples** — the group key is a tuple of integer
+  ids read straight out of the join's register file (``None`` for unbound
+  keys); the dictionary is bijective, so id-tuple grouping equals
+  term-tuple grouping with none of the decoding;
+* **streaming accumulators** — COUNT/SUM/AVG/MIN/MAX/SAMPLE/GROUP_CONCAT
+  fold each row into small per-group state as the final join step produces
+  it (DISTINCT variants keep a per-group id-set), so no solution list is
+  ever materialized;
+* **memoized decode** — SUM/AVG decode each *distinct* literal id to its
+  numeric value once per execution (MIN/MAX memoize sort keys,
+  GROUP_CONCAT lexical forms); group keys are decoded once per group, at
+  the projection boundary.
+
+:func:`compile_aggregate` lowers a qualifying query into an
+:class:`AggregatePlan` — join → pushed-down FILTERs → fused aggregation →
+HAVING — and returns ``None`` for everything else, which keeps the
+term-space ``_aggregate`` path as the semantics-preserving fallback.  A
+query qualifies when:
+
+* its WHERE clause holds only triple patterns and FILTERs (no OPTIONAL /
+  UNION / VALUES / BIND / MINUS / EXISTS / subqueries), and the BGP itself
+  compiles (no property paths, no ``?x <p> ?x`` repeated-variable
+  patterns, id backend present);
+* GROUP BY keys are plain variables (unbound keys are fine: they group
+  under a ``None`` component, exactly like the term-space path);
+* every aggregate in the projections and HAVING clauses takes either no
+  argument (``COUNT(*)``) or a bare variable — the shapes REOLAP and the
+  refinement operators generate.
+
+Error semantics mirror the term-space evaluator exactly: rows whose
+aggregate argument is unbound are skipped, a non-numeric value makes
+SUM/AVG error (projection → ``None``, HAVING → group dropped), GROUP_CONCAT
+errors on blank nodes, and empty groups error for MIN/MAX/SAMPLE.
+
+Plans depend on the graph's id assignment, so the serving cache's
+``plans`` tier stores them under the same ``(query, graph uid, epoch)``
+identity discipline as compiled BGP plans.
+"""
+
+from __future__ import annotations
+
+from ..rdf.terms import IRI, Literal, Node, Variable, XSD_INTEGER
+from .ast import (
+    Aggregate,
+    Arithmetic,
+    BoolOp,
+    Comparison,
+    Expression,
+    Filter,
+    FunctionCall,
+    InExpr,
+    NotExpr,
+    SelectQuery,
+    TermExpr,
+    TriplePattern,
+)
+from .compiler import compile_bgp
+from .expressions import ExpressionError, effective_boolean_value, evaluate
+from .optimizer import order_patterns
+
+__all__ = ["AggregatePlan", "compile_aggregate"]
+
+
+class _AggError:
+    """Sentinel carried by an accumulator whose aggregate errored.
+
+    Stored instead of a term so one errored aggregate does not abort the
+    whole group: projections render it as ``None``, HAVING drops the
+    group — SPARQL's expression-error semantics.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<aggregate error>"
+
+
+_ERROR = _AggError()
+
+
+def _number_literal(value: float) -> Literal:
+    from .eval import _number_literal as _impl
+
+    return _impl(value)
+
+
+# --------------------------------------------------------------------------
+# Streaming accumulators
+#
+# Each accumulator consumes the integer id bound to its argument variable
+# (None when unbound — the row is skipped, matching the term-space engine's
+# skip-on-argument-error rule) and produces an RDF term, or the _ERROR
+# sentinel, at group finalization.  Decoding is shared across groups
+# through the execution-wide memos owned by _ExecState.
+# --------------------------------------------------------------------------
+
+
+class _ExecState:
+    """Per-execution decode memos shared by every group's accumulators."""
+
+    __slots__ = ("decode", "terms", "numbers", "strings", "sort_keys")
+
+    def __init__(self, decode):
+        self.decode = decode  # TermDictionary.decode
+        self.terms: dict[int, Node] = {}
+        self.numbers: dict[int, object] = {}
+        self.strings: dict[int, object] = {}
+        self.sort_keys: dict[int, tuple] = {}
+
+    def term(self, term_id: int) -> Node:
+        term = self.terms.get(term_id)
+        if term is None:
+            term = self.decode(term_id)
+            self.terms[term_id] = term
+        return term
+
+    def number(self, term_id: int):
+        value = self.numbers.get(term_id)
+        if value is None:
+            term = self.term(term_id)
+            if isinstance(term, Literal) and term.is_numeric:
+                # A NaN literal raises ValueError here, exactly as the
+                # term-space path's numeric_value() call does.
+                value = term.numeric_value()
+            else:
+                value = _ERROR
+            self.numbers[term_id] = value
+        return value
+
+    def string(self, term_id: int):
+        value = self.strings.get(term_id)
+        if value is None:
+            term = self.term(term_id)
+            if isinstance(term, Literal):
+                value = term.lexical
+            elif isinstance(term, IRI):
+                value = term.value
+            else:
+                value = _ERROR  # GROUP_CONCAT over a blank node errors
+            self.strings[term_id] = value
+        return value
+
+    def sort_key(self, term_id: int) -> tuple:
+        key = self.sort_keys.get(term_id)
+        if key is None:
+            key = self.term(term_id).sort_key()
+            self.sort_keys[term_id] = key
+        return key
+
+
+class _CountAll:
+    """COUNT(*) — counts group members; DISTINCT is a no-op, exactly as in
+    the term-space path (COUNT(*) never sees per-row values to dedup)."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, state, distinct=False):
+        self.n = 0
+
+    def add(self, value_id) -> None:
+        self.n += 1
+
+    def finish(self, state):
+        return Literal(str(self.n), datatype=XSD_INTEGER)
+
+
+class _Count:
+    __slots__ = ("n", "seen")
+
+    def __init__(self, state, distinct=False):
+        self.n = 0
+        self.seen = set() if distinct else None
+
+    def add(self, value_id) -> None:
+        if value_id is None:
+            return
+        if self.seen is not None:
+            self.seen.add(value_id)
+        else:
+            self.n += 1
+
+    def finish(self, state):
+        n = len(self.seen) if self.seen is not None else self.n
+        return Literal(str(n), datatype=XSD_INTEGER)
+
+
+class _Sum:
+    """SUM / AVG.  Non-distinct folds in row order; DISTINCT keeps ids in
+    first-occurrence order (insertion-ordered dict) and folds at finish,
+    so float summation order matches the term-space engine's exactly."""
+
+    __slots__ = ("total", "n", "errored", "seen", "average", "state")
+
+    def __init__(self, state, distinct=False, average=False):
+        self.total = 0.0
+        self.n = 0
+        self.errored = False
+        self.seen = {} if distinct else None
+        self.average = average
+        self.state = state
+
+    def add(self, value_id) -> None:
+        if value_id is None or self.errored:
+            return
+        if self.seen is not None:
+            self.seen[value_id] = None
+            return
+        value = self.state.number(value_id)
+        if value is _ERROR:
+            self.errored = True
+            return
+        self.total += value
+        self.n += 1
+
+    def finish(self, state):
+        if self.seen is not None:
+            for value_id in self.seen:
+                value = state.number(value_id)
+                if value is _ERROR:
+                    return _ERROR
+                self.total += value
+                self.n += 1
+        elif self.errored:
+            return _ERROR
+        if self.average:
+            if not self.n:
+                return Literal("0", datatype=XSD_INTEGER)
+            return _number_literal(self.total / self.n)
+        return _number_literal(self.total)
+
+
+class _MinMax:
+    """Single-pass MIN/MAX over term sort keys.
+
+    Tie handling replicates the stable full sort the term-space engine
+    performs: MIN keeps the first minimal value, MAX the last maximal one.
+    With DISTINCT, "last" means the value whose *first occurrence* is
+    latest — repeats of an already-seen id are ignored, mirroring the
+    first-occurrence dedup that precedes the sort.
+    """
+
+    __slots__ = ("best", "best_key", "is_max", "seen", "state")
+
+    def __init__(self, state, distinct=False, is_max=False):
+        self.best = None
+        self.best_key = None
+        self.is_max = is_max
+        self.seen = set() if distinct else None
+        self.state = state
+
+    def add(self, value_id) -> None:
+        if value_id is None:
+            return
+        if self.seen is not None:
+            if value_id in self.seen:
+                return
+            self.seen.add(value_id)
+        key = self.state.sort_key(value_id)
+        if self.best is None:
+            self.best, self.best_key = value_id, key
+        elif self.is_max:
+            if key >= self.best_key:
+                self.best, self.best_key = value_id, key
+        elif key < self.best_key:
+            self.best, self.best_key = value_id, key
+
+    def finish(self, state):
+        if self.best is None:
+            return _ERROR  # MIN/MAX over an empty group
+        return state.term(self.best)
+
+
+class _Sample:
+    __slots__ = ("first",)
+
+    def __init__(self, state, distinct=False):
+        self.first = None
+
+    def add(self, value_id) -> None:
+        if self.first is None and value_id is not None:
+            self.first = value_id
+
+    def finish(self, state):
+        if self.first is None:
+            return _ERROR  # SAMPLE over an empty group
+        return state.term(self.first)
+
+
+class _GroupConcat:
+    __slots__ = ("parts", "errored", "seen", "state")
+
+    def __init__(self, state, distinct=False):
+        self.parts: list[str] = []
+        self.errored = False
+        self.seen = set() if distinct else None
+        self.state = state
+
+    def add(self, value_id) -> None:
+        if value_id is None or self.errored:
+            return
+        if self.seen is not None:
+            if value_id in self.seen:
+                return
+            self.seen.add(value_id)
+        part = self.state.string(value_id)
+        if part is _ERROR:
+            self.errored = True
+            return
+        self.parts.append(part)
+
+    def finish(self, state):
+        if self.errored:
+            return _ERROR
+        return Literal(" ".join(self.parts))
+
+
+#: func → (accumulator class, extra kwargs)
+_ACCUMULATORS = {
+    "COUNT": (_Count, {}),
+    "SUM": (_Sum, {}),
+    "AVG": (_Sum, {"average": True}),
+    "MIN": (_MinMax, {}),
+    "MAX": (_MinMax, {"is_max": True}),
+    "SAMPLE": (_Sample, {}),
+    "GROUP_CONCAT": (_GroupConcat, {}),
+}
+
+
+# --------------------------------------------------------------------------
+# Output programs: projections / HAVING over finished accumulators
+# --------------------------------------------------------------------------
+
+
+class _Program:
+    """One projection or HAVING expression, pre-analyzed at compile time.
+
+    ``kind`` picks the per-group fast path: ``"agg"`` reads one finished
+    aggregate, ``"key"`` reads one group-key term, ``"general"`` rewrites
+    the expression (aggregates → their computed literals) and evaluates the
+    residual against the group-key binding — the same residual evaluation
+    the term-space engine performs, over precomputed aggregate values.
+    """
+
+    __slots__ = ("kind", "index", "variable", "expression", "agg_index")
+
+    def __init__(self, kind, index=None, variable=None, expression=None,
+                 agg_index=None):
+        self.kind = kind
+        self.index = index
+        self.variable = variable
+        self.expression = expression
+        self.agg_index = agg_index
+
+    def run(self, agg_values: list, key_binding: dict) -> Node:
+        if self.kind == "agg":
+            value = agg_values[self.index]
+            if value is _ERROR:
+                raise ExpressionError("aggregate evaluation errored")
+            return value
+        if self.kind == "key":
+            value = key_binding.get(self.variable)
+            if value is None:
+                raise ExpressionError(f"unbound variable {self.variable.n3()}")
+            return value
+        rewritten = _substitute(self.expression, agg_values, self.agg_index)
+        return evaluate(rewritten, key_binding)
+
+
+def _substitute(expression: Expression, agg_values: list,
+                agg_index: dict) -> Expression:
+    """Replace every Aggregate node with its computed value.
+
+    Aggregate nodes are frozen dataclasses, so the compile-time
+    ``agg_index`` maps each one to its accumulator position by equality —
+    the same ``SUM(?v)`` appearing twice shares one accumulator.
+    """
+    if isinstance(expression, Aggregate):
+        value = agg_values[agg_index[expression]]
+        if value is _ERROR:
+            raise ExpressionError("aggregate evaluation errored")
+        return TermExpr(value)
+    if isinstance(expression, Comparison):
+        return Comparison(
+            expression.op,
+            _substitute(expression.left, agg_values, agg_index),
+            _substitute(expression.right, agg_values, agg_index),
+        )
+    if isinstance(expression, Arithmetic):
+        return Arithmetic(
+            expression.op,
+            _substitute(expression.left, agg_values, agg_index),
+            _substitute(expression.right, agg_values, agg_index),
+        )
+    if isinstance(expression, BoolOp):
+        return BoolOp(
+            expression.op,
+            tuple(_substitute(o, agg_values, agg_index) for o in expression.operands),
+        )
+    if isinstance(expression, NotExpr):
+        return NotExpr(_substitute(expression.operand, agg_values, agg_index))
+    if isinstance(expression, FunctionCall):
+        return FunctionCall(
+            expression.name,
+            tuple(_substitute(a, agg_values, agg_index) for a in expression.args),
+        )
+    if isinstance(expression, InExpr):
+        return InExpr(
+            _substitute(expression.operand, agg_values, agg_index),
+            tuple(_substitute(o, agg_values, agg_index) for o in expression.options),
+            expression.negated,
+        )
+    return expression
+
+
+def _collect_aggregates(
+    expression: Expression, specs: list[Aggregate], index: dict
+) -> bool:
+    """Register the aggregates inside ``expression``; False if unsupported.
+
+    Supported aggregate shapes: no argument (``COUNT(*)``) or a bare
+    variable.  Anything else — computed arguments like ``SUM(?a * ?b)`` —
+    declines the whole query to the term-space path.
+    """
+    if isinstance(expression, Aggregate):
+        if expression.arg is not None and not (
+            isinstance(expression.arg, TermExpr)
+            and isinstance(expression.arg.term, Variable)
+        ):
+            return False
+        if expression not in index:
+            index[expression] = len(specs)
+            specs.append(expression)
+        return True
+    if isinstance(expression, (Comparison, Arithmetic)):
+        return _collect_aggregates(expression.left, specs, index) and \
+            _collect_aggregates(expression.right, specs, index)
+    if isinstance(expression, BoolOp):
+        return all(_collect_aggregates(o, specs, index) for o in expression.operands)
+    if isinstance(expression, NotExpr):
+        return _collect_aggregates(expression.operand, specs, index)
+    if isinstance(expression, FunctionCall):
+        return all(_collect_aggregates(a, specs, index) for a in expression.args)
+    if isinstance(expression, InExpr):
+        return _collect_aggregates(expression.operand, specs, index) and all(
+            _collect_aggregates(o, specs, index) for o in expression.options
+        )
+    return True
+
+
+def _program_for(expression: Expression, index: dict,
+                 group_vars: tuple[Variable, ...]) -> _Program:
+    if isinstance(expression, Aggregate):
+        return _Program("agg", index=index[expression])
+    if isinstance(expression, TermExpr) and isinstance(expression.term, Variable) \
+            and expression.term in group_vars:
+        return _Program("key", variable=expression.term)
+    return _Program("general", expression=expression, agg_index=index)
+
+
+# --------------------------------------------------------------------------
+# Plan compilation
+# --------------------------------------------------------------------------
+
+
+def compile_aggregate(graph, query: SelectQuery, optimize: bool = True):
+    """Lower a qualifying aggregate SELECT into an :class:`AggregatePlan`.
+
+    Returns ``None`` whenever any qualifying rule (see the module
+    docstring) fails; callers fall back to the term-space aggregation
+    path, which handles the full language.
+    """
+    if not isinstance(query, SelectQuery) or not query.is_aggregate_query:
+        return None
+    if query.select_all:
+        return None
+    patterns: list[TriplePattern] = []
+    filters: list[Filter] = []
+    for element in query.where.elements:
+        if isinstance(element, TriplePattern):
+            patterns.append(element)
+        elif isinstance(element, Filter):
+            filters.append(element)
+        else:
+            return None  # OPTIONAL / UNION / VALUES / BIND / ... fall back
+    if not patterns:
+        return None
+    for variable in query.group_by:
+        if not isinstance(variable, Variable):
+            return None
+
+    specs: list[Aggregate] = []
+    index: dict[Aggregate, int] = {}
+    for projection in query.projections:
+        if not _collect_aggregates(projection.expression, specs, index):
+            return None
+    for having in query.having:
+        if not _collect_aggregates(having, specs, index):
+            return None
+    try:
+        variables = [p.variable for p in query.projections]
+    except ValueError:
+        return None  # aliasing error: let the term-space path raise it
+
+    if optimize and len(patterns) > 1:
+        ordered = order_patterns(graph, patterns, bound=set())
+    else:
+        ordered = list(patterns)
+    bgp = compile_bgp(graph, ordered)
+    if bgp is None:
+        return None
+
+    projection_programs = tuple(
+        _program_for(p.expression, index, query.group_by) for p in query.projections
+    )
+    having_programs = tuple(
+        _program_for(h, index, query.group_by) for h in query.having
+    )
+    return AggregatePlan(
+        bgp=bgp,
+        filters=tuple(filters),
+        group_vars=tuple(query.group_by),
+        specs=tuple(specs),
+        projection_programs=projection_programs,
+        having_programs=having_programs,
+        variables=variables,
+    )
+
+
+class AggregatePlan:
+    """An executable fused join + group-by + aggregate pipeline.
+
+    Plans are immutable after construction and hold no per-execution
+    state, so they are safe to cache and share across threads; each
+    :meth:`execute` builds its own accumulators and decode memos.
+    """
+
+    __slots__ = (
+        "bgp", "filters", "group_vars", "key_slots", "specs", "builders",
+        "projection_programs", "having_programs", "variables",
+    )
+
+    def __init__(self, bgp, filters, group_vars, specs,
+                 projection_programs, having_programs, variables):
+        self.bgp = bgp
+        self.filters = filters
+        self.group_vars = group_vars
+        # Group-key registers; None = variable never bound by the BGP, so
+        # its key component is always None (SPARQL keeps such groups).
+        self.key_slots = tuple(bgp.slots.get(v) for v in group_vars)
+        self.specs = specs
+        # (class, value slot or None, kwargs) per accumulator.  A variable
+        # the BGP never binds behaves as always-unbound: every row's
+        # argument errors and is skipped (slot None).
+        self.builders = tuple(self._builder(spec, bgp) for spec in specs)
+        self.projection_programs = projection_programs
+        self.having_programs = having_programs
+        self.variables = variables
+
+    @staticmethod
+    def _builder(spec: Aggregate, bgp):
+        if spec.arg is None:
+            return (_CountAll, None, {})
+        cls, extra = _ACCUMULATORS[spec.func]
+        kwargs = dict(extra)
+        if spec.distinct:
+            kwargs["distinct"] = True
+        return (cls, bgp.slots.get(spec.arg.term), kwargs)
+
+    def _new_group(self, state):
+        """Fresh accumulators for one group, paired with their feeders.
+
+        Returns ``(accumulators, feeders)`` where feeders are prebound
+        ``(add_method, slot)`` pairs — the accumulation loop then costs one
+        method call per aggregate per row with no per-row introspection.
+        """
+        accumulators = [
+            cls(state, **kwargs) for cls, _slot, kwargs in self.builders
+        ]
+        feeders = [
+            (acc.add, slot)
+            for acc, (_cls, slot, _kwargs) in zip(accumulators, self.builders)
+        ]
+        return accumulators, feeders
+
+    def execute(self, deadline) -> tuple[list[tuple], list[Variable]]:
+        """Run the fused pipeline; returns ``(rows, variables)``.
+
+        The caller (``Evaluator.select``) applies DISTINCT, ORDER BY with
+        the bounded top-k heap, and OFFSET/LIMIT — identically for fused
+        and term-space results.
+        """
+        state = _ExecState(self.bgp.dictionary.decode)
+        rows_iter, leftover = self.bgp.stream(
+            [{}], list(self.filters), set(), deadline
+        )
+        if leftover:
+            # A filter over variables the BGP never binds errors on every
+            # row (SPARQL: an erroring filter removes the row).
+            rows_iter = iter(())
+
+        key_slots = self.key_slots
+        groups: dict[tuple, tuple[list, list]] = {}
+        get_group = groups.get
+        check = deadline.check
+        for row in rows_iter:
+            check()
+            key = tuple(
+                None if slot is None else row[slot] for slot in key_slots
+            )
+            entry = get_group(key)
+            if entry is None:
+                entry = self._new_group(state)
+                groups[key] = entry
+            for add, slot in entry[1]:
+                add(None if slot is None else row[slot])
+
+        if not groups and not self.group_vars:
+            # SPARQL: with no GROUP BY there is exactly one group, even
+            # over zero solutions (COUNT(*) = 0, SUM = 0, MIN errors, ...).
+            groups[()] = self._new_group(state)
+
+        out_rows: list[tuple] = []
+        term = state.term
+        for key, (accumulators, _feeders) in groups.items():
+            check()
+            agg_values = [acc.finish(state) for acc in accumulators]
+            key_binding = {
+                variable: (None if term_id is None else term(term_id))
+                for variable, term_id in zip(self.group_vars, key)
+            }
+            keep = True
+            for program in self.having_programs:
+                try:
+                    value = program.run(agg_values, key_binding)
+                    if not effective_boolean_value(value):
+                        keep = False
+                        break
+                except ExpressionError:
+                    keep = False
+                    break
+            if not keep:
+                continue
+            row_out = []
+            for program in self.projection_programs:
+                try:
+                    row_out.append(program.run(agg_values, key_binding))
+                except ExpressionError:
+                    row_out.append(None)
+            out_rows.append(tuple(row_out))
+        return out_rows, list(self.variables)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AggregatePlan {len(self.bgp.steps)} join steps, "
+            f"{len(self.group_vars)} keys, {len(self.specs)} aggregates>"
+        )

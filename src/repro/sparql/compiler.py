@@ -142,83 +142,200 @@ class BGPPlan:
         schedule, leftover = self._schedule(filters, available)
         memo: dict[int, Node] = {}
         rows = self._seed_rows(solutions)
-        spo = self.index.spo
-        pos = self.index.pos
-        osp = self.index.osp
-        match = self.index.match
-        check = deadline.check
         for step_index, step in enumerate(self.steps):
-            sc, ss, pc, ps, oc, os_ = step
-            out: list[list] = []
-            append = out.append
-            for row in rows:
-                s = sc if ss is None else row[ss]
-                p = pc if ps is None else row[ps]
-                o = oc if os_ is None else row[os_]
-                # The three ≥2-bound shapes probe the nested index maps
-                # directly and bind at most one register, so the hot loop
-                # allocates one row copy per match and nothing else.
-                if s is not None and p is not None:
-                    objects = spo.get(s)
-                    if objects is not None:
-                        objects = objects.get(p)
-                    if objects is None:
-                        continue
-                    if o is not None:
-                        check()
-                        if o in objects:
-                            append(row)  # fully bound: row is unchanged
-                        continue
-                    for oid in objects:
-                        check()
-                        new = row.copy()
-                        new[os_] = oid
-                        append(new)
-                    continue
-                if p is not None and o is not None:
-                    subjects = pos.get(p)
-                    if subjects is not None:
-                        subjects = subjects.get(o)
-                    if subjects is None:
-                        continue
-                    for sid in subjects:
-                        check()
-                        new = row.copy()
-                        new[ss] = sid
-                        append(new)
-                    continue
-                if s is not None and o is not None:
-                    predicates = osp.get(o)
-                    if predicates is not None:
-                        predicates = predicates.get(s)
-                    if predicates is None:
-                        continue
-                    for pid in predicates:
-                        check()
-                        new = row.copy()
-                        new[ps] = pid
-                        append(new)
-                    continue
-                # ≤1 position bound: fall back to the generic matcher.  A
-                # wildcard position always has a register (constants are
-                # never None), so every yielded id is simply written.
-                for sid, pid, oid in match(s, p, o):
-                    check()
-                    new = row.copy()
-                    if s is None:
-                        new[ss] = sid
-                    if p is None:
-                        new[ps] = pid
-                    if o is None:
-                        new[os_] = oid
-                    append(new)
-            rows = out
+            rows = self._run_step(rows, step, deadline)
             ready = schedule.get(step_index)
             if ready and rows:
                 rows = self._filter_rows(rows, ready, solutions, memo)
             if not rows:
                 return [], leftover
         return self._materialize(rows, solutions, memo), leftover
+
+    def stream(
+        self,
+        solutions: list[Binding],
+        filters: list[Filter],
+        available: set[Variable],
+        deadline,
+    ):
+        """Like :meth:`run`, but yield raw register rows instead of bindings.
+
+        Returns ``(row_iterator, leftover)``.  All steps but the last run
+        eagerly (with the same filter scheduling as :meth:`run`); the final
+        step — the one producing the full result fanout — is generated row
+        by row, so a fused consumer (the aggregation pipeline) never holds
+        the complete solution set, and no ``Binding`` dicts are built at
+        all.  Rows carry a trailing source-binding index like
+        :meth:`_seed_rows` documents.
+        """
+        if self.empty or not solutions:
+            return iter(()), list(filters)
+        schedule, leftover = self._schedule(filters, available)
+        memo: dict[int, Node] = {}
+        rows = self._seed_rows(solutions)
+        last = len(self.steps) - 1
+        for step_index in range(last):
+            rows = self._run_step(rows, self.steps[step_index], deadline)
+            ready = schedule.get(step_index)
+            if ready and rows:
+                rows = self._filter_rows(rows, ready, solutions, memo)
+            if not rows:
+                return iter(()), leftover
+        stream = self._stream_step(
+            rows, self.steps[last], schedule.get(last), solutions, memo, deadline
+        )
+        return stream, leftover
+
+    def _run_step(self, rows: list[list], step: Step, deadline) -> list[list]:
+        """Extend every row through one join step (breadth-first)."""
+        sc, ss, pc, ps, oc, os_ = step
+        spo = self.index.spo
+        pos = self.index.pos
+        osp = self.index.osp
+        match = self.index.match
+        check = deadline.check
+        out: list[list] = []
+        append = out.append
+        for row in rows:
+            s = sc if ss is None else row[ss]
+            p = pc if ps is None else row[ps]
+            o = oc if os_ is None else row[os_]
+            # The three ≥2-bound shapes probe the nested index maps
+            # directly and bind at most one register, so the hot loop
+            # allocates one row copy per match and nothing else.
+            if s is not None and p is not None:
+                objects = spo.get(s)
+                if objects is not None:
+                    objects = objects.get(p)
+                if objects is None:
+                    continue
+                if o is not None:
+                    check()
+                    if o in objects:
+                        append(row)  # fully bound: row is unchanged
+                    continue
+                for oid in objects:
+                    check()
+                    new = row.copy()
+                    new[os_] = oid
+                    append(new)
+                continue
+            if p is not None and o is not None:
+                subjects = pos.get(p)
+                if subjects is not None:
+                    subjects = subjects.get(o)
+                if subjects is None:
+                    continue
+                for sid in subjects:
+                    check()
+                    new = row.copy()
+                    new[ss] = sid
+                    append(new)
+                continue
+            if s is not None and o is not None:
+                predicates = osp.get(o)
+                if predicates is not None:
+                    predicates = predicates.get(s)
+                if predicates is None:
+                    continue
+                for pid in predicates:
+                    check()
+                    new = row.copy()
+                    new[ps] = pid
+                    append(new)
+                continue
+            # ≤1 position bound: fall back to the generic matcher.  A
+            # wildcard position always has a register (constants are
+            # never None), so every yielded id is simply written.
+            for sid, pid, oid in match(s, p, o):
+                check()
+                new = row.copy()
+                if s is None:
+                    new[ss] = sid
+                if p is None:
+                    new[ps] = pid
+                if o is None:
+                    new[os_] = oid
+                append(new)
+        return out
+
+    def _stream_step(
+        self, rows: list[list], step: Step, ready, solutions, memo, deadline
+    ):
+        """Generator twin of :meth:`_run_step` for the final join step.
+
+        ``ready`` filters (the ones scheduled on this step) are applied per
+        row before it is yielded, so consumers only ever see rows that
+        survive the full plan.
+        """
+        sc, ss, pc, ps, oc, os_ = step
+        spo = self.index.spo
+        pos = self.index.pos
+        osp = self.index.osp
+        match = self.index.match
+        check = deadline.check
+        passes = self._row_passes
+        for row in rows:
+            s = sc if ss is None else row[ss]
+            p = pc if ps is None else row[ps]
+            o = oc if os_ is None else row[os_]
+            if s is not None and p is not None:
+                objects = spo.get(s)
+                if objects is not None:
+                    objects = objects.get(p)
+                if objects is None:
+                    continue
+                if o is not None:
+                    check()
+                    if o in objects and (
+                        not ready or passes(row, ready, solutions[row[-1]], memo)
+                    ):
+                        yield row
+                    continue
+                for oid in objects:
+                    check()
+                    new = row.copy()
+                    new[os_] = oid
+                    if not ready or passes(new, ready, solutions[new[-1]], memo):
+                        yield new
+                continue
+            if p is not None and o is not None:
+                subjects = pos.get(p)
+                if subjects is not None:
+                    subjects = subjects.get(o)
+                if subjects is None:
+                    continue
+                for sid in subjects:
+                    check()
+                    new = row.copy()
+                    new[ss] = sid
+                    if not ready or passes(new, ready, solutions[new[-1]], memo):
+                        yield new
+                continue
+            if s is not None and o is not None:
+                predicates = osp.get(o)
+                if predicates is not None:
+                    predicates = predicates.get(s)
+                if predicates is None:
+                    continue
+                for pid in predicates:
+                    check()
+                    new = row.copy()
+                    new[ps] = pid
+                    if not ready or passes(new, ready, solutions[new[-1]], memo):
+                        yield new
+                continue
+            for sid, pid, oid in match(s, p, o):
+                check()
+                new = row.copy()
+                if s is None:
+                    new[ss] = sid
+                if p is None:
+                    new[ps] = pid
+                if o is None:
+                    new[os_] = oid
+                if not ready or passes(new, ready, solutions[new[-1]], memo):
+                    yield new
 
     def exists(
         self,

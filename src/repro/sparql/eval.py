@@ -19,6 +19,7 @@ Similarity-Search experiment (Section 7.1).
 
 from __future__ import annotations
 
+import heapq
 import time
 from typing import Iterable
 
@@ -91,20 +92,25 @@ class Evaluator:
     """Evaluates SPARQL queries against a graph or graph view.
 
     ``compile=True`` (the default) lowers basic graph patterns into the
-    id-space join engine (:mod:`repro.sparql.compiler`); ``compile=False``
-    keeps the legacy term-space interpreter, which remains the fallback
-    for property paths and multi-graph union views.  ``plan_cache`` is an
-    optional LRU (the serving cache's plan tier) reusing compiled plans
-    across queries, keyed by pattern sequence, bound variables, and the
-    graph's identity and epoch.
+    id-space join engine (:mod:`repro.sparql.compiler`), and qualifying
+    aggregate SELECTs all the way into the fused grouping pipeline
+    (:mod:`repro.sparql.aggregator`); ``compile=False`` keeps the legacy
+    term-space interpreter, which remains the fallback for property paths,
+    multi-graph union views, and aggregate shapes the fused path declines.
+    ``plan_cache`` is an optional LRU (the serving cache's plan tier)
+    reusing compiled plans across queries, keyed by pattern sequence,
+    bound variables, and the graph's identity and epoch.
     """
 
     def __init__(self, graph, optimize: bool = True, compile: bool = True,
-                 plan_cache=None):
+                 plan_cache=None, aggregate_counter=None):
         self.graph = graph
         self.optimize = optimize
         self.compile = compile
         self.plan_cache = plan_cache
+        # Optional callable(fused: bool) invoked once per aggregate SELECT,
+        # letting the endpoint count fused vs. fallback executions.
+        self.aggregate_counter = aggregate_counter
 
     def _plan_or_order(self, patterns, available):
         """Order a BGP and (when possible) compile it, through the plan cache.
@@ -146,6 +152,31 @@ class Evaluator:
             self.plan_cache.put(key, (ordered, plan))
         return ordered, plan
 
+    def _aggregate_plan(self, query: SelectQuery):
+        """Compile (or fetch) a fused aggregation plan; None = fall back.
+
+        Declined compilations are cached too: a query shape the fused
+        engine cannot take keeps falling back without re-walking its AST
+        on every execution.
+        """
+        from .aggregator import compile_aggregate
+
+        key = None
+        if self.plan_cache is not None:
+            epoch = getattr(self.graph, "epoch", None)
+            uid = getattr(self.graph, "uid", None)
+            if epoch is not None and uid is not None:
+                key = ("aggregate", query, self.optimize, uid, epoch)
+                from ..serving.cache import MISS
+
+                cached = self.plan_cache.get(key)
+                if cached is not MISS:
+                    return cached
+        plan = compile_aggregate(self.graph, query, optimize=self.optimize)
+        if key is not None:
+            self.plan_cache.put(key, plan)
+        return plan
+
     # -- public API ----------------------------------------------------------
 
     def select(self, query: SelectQuery | str, timeout: float | None = None) -> ResultSet:
@@ -155,18 +186,40 @@ class Evaluator:
         if not isinstance(query, SelectQuery):
             raise QueryEvaluationError("select() requires a SELECT query")
         deadline = _Deadline(timeout)
-        solutions = self._eval_group(query.where, [dict()], deadline)
+        # ORDER BY + LIMIT only ever needs the first limit+offset rows, so
+        # the sort can run as a bounded heap selection instead of a full
+        # O(n log n) sort (heapq.nsmallest is stable, like sorted()).
+        top_k = None
+        if query.limit is not None:
+            top_k = query.limit + (query.offset or 0)
         if query.is_aggregate_query:
-            rows, variables = self._aggregate(query, solutions, deadline)
+            plan = self._aggregate_plan(query) if self.compile else None
+            if plan is not None:
+                # Fused path: the compiled join streams id rows straight
+                # into per-group accumulators, never materializing
+                # solutions or term-space bindings.
+                rows, variables = plan.execute(deadline)
+            else:
+                solutions = self._eval_group(query.where, [dict()], deadline)
+                rows, variables = self._aggregate(query, solutions, deadline)
+            if self.aggregate_counter is not None:
+                self.aggregate_counter(plan is not None)
             if query.distinct:
                 rows = _distinct(rows)
             if query.order_by:
-                rows = self._order(rows, variables, query.order_by)
+                rows = self._order(rows, variables, query.order_by, limit=top_k)
         else:
+            solutions = self._eval_group(query.where, [dict()], deadline)
             # SPARQL orders the *solutions* before projection, so ORDER BY
-            # may reference variables that are not projected.
+            # may reference variables that are not projected.  The top-k
+            # bound only applies when no DISTINCT runs afterwards —
+            # DISTINCT collapses projected rows, so it may need solutions
+            # beyond the first limit+offset.
             if query.order_by:
-                solutions = self._order_solutions(solutions, query.order_by)
+                solution_k = None if query.distinct else top_k
+                solutions = self._order_solutions(
+                    solutions, query.order_by, limit=solution_k
+                )
             rows, variables = self._project(query, solutions)
             if query.distinct:
                 rows = _distinct(rows)
@@ -440,8 +493,10 @@ class Evaluator:
         rows: list[tuple] = []
         for key, members in groups.items():
             key_binding: Binding = dict(zip(group_vars, key))
-            # Drop groups where a grouping variable is unbound only if every
-            # member lacks it; SPARQL keeps None keys, and so do we.
+            # SPARQL keeps groups whose key has unbound components: the key
+            # tuple carries None there, and projecting such a variable
+            # yields an unbound (None) cell — groups are never dropped for
+            # missing keys, only by HAVING.
             keep = True
             for having in query.having:
                 try:
@@ -464,7 +519,10 @@ class Evaluator:
         return rows, variables
 
     def _order_solutions(
-        self, solutions: list[Binding], conditions: tuple[OrderCondition, ...]
+        self,
+        solutions: list[Binding],
+        conditions: tuple[OrderCondition, ...],
+        limit: int | None = None,
     ) -> list[Binding]:
         def sort_key(binding: Binding):
             keys = []
@@ -477,13 +535,14 @@ class Evaluator:
                 keys.append(_Directed(key, condition.ascending))
             return keys
 
-        return sorted(solutions, key=sort_key)
+        return _sorted_top(solutions, sort_key, limit)
 
     def _order(
         self,
         rows: list[tuple],
         variables: list[Variable],
         conditions: tuple[OrderCondition, ...],
+        limit: int | None = None,
     ) -> list[tuple]:
         def sort_key(row: tuple):
             binding = {v: t for v, t in zip(variables, row) if t is not None}
@@ -497,7 +556,20 @@ class Evaluator:
                 keys.append(_Directed(key, condition.ascending))
             return keys
 
-        return sorted(rows, key=sort_key)
+        return _sorted_top(rows, sort_key, limit)
+
+
+def _sorted_top(items: list, sort_key, limit: int | None) -> list:
+    """Full sort, or a bounded heap selection when only ``limit`` rows
+    survive the subsequent LIMIT slice.
+
+    ``heapq.nsmallest(k, ...)`` is documented equivalent to
+    ``sorted(...)[:k]`` — stable, so ties resolve exactly as the full
+    sort would.
+    """
+    if limit is not None and limit < len(items):
+        return heapq.nsmallest(limit, items, key=sort_key)
+    return sorted(items, key=sort_key)
 
 
 class _Directed:
@@ -705,8 +777,22 @@ def _compute_aggregate(aggregate: Aggregate, members: list[Binding]) -> Node:
     if func in ("MIN", "MAX"):
         if not values:
             raise ExpressionError(f"{func} over an empty group")
-        ordered = sorted(values, key=lambda t: t.sort_key())
-        return ordered[0] if func == "MIN" else ordered[-1]
+        # Single pass instead of a full sort.  Replacement rules replicate
+        # the stable sort this used to be: MIN keeps the first minimal
+        # value (strict <), MAX the last maximal one (>=).
+        best = values[0]
+        best_key = best.sort_key()
+        if func == "MIN":
+            for value in values[1:]:
+                key = value.sort_key()
+                if key < best_key:
+                    best, best_key = value, key
+        else:
+            for value in values[1:]:
+                key = value.sort_key()
+                if key >= best_key:
+                    best, best_key = value, key
+        return best
     # SUM / AVG over numeric literals.
     numbers: list[float] = []
     for value in values:

@@ -76,6 +76,8 @@ _COUNTERS = (
     "cache_hits",
     "batch_asks",
     "batch_shared_steps",
+    "fused_aggregates",
+    "fallback_aggregates",
 )
 
 
@@ -99,6 +101,8 @@ class EndpointStats:
     cache_hits: int = 0
     batch_asks: int = 0  #: ask_batch round-trips (each covers many ASKs)
     batch_shared_steps: int = 0  #: join steps deduplicated by prefix sharing
+    fused_aggregates: int = 0  #: aggregate SELECTs run on the fused id-space path
+    fallback_aggregates: int = 0  #: aggregate SELECTs run on the term-space path
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -148,12 +152,21 @@ class Endpoint:
     ):
         self.graph = graph
         self.default_timeout = default_timeout
-        self._evaluator = Evaluator(graph, optimize=optimize, compile=compile)
+        self._evaluator = Evaluator(
+            graph,
+            optimize=optimize,
+            compile=compile,
+            aggregate_counter=self._count_aggregate,
+        )
         self._text_index = text_index
         self._cache = None
         self.cache = cache
         self.stats = EndpointStats()
         self._lock = threading.Lock()
+
+    def _count_aggregate(self, fused: bool) -> None:
+        """Evaluator callback: tally fused vs. fallback aggregate runs."""
+        self.stats.add("fused_aggregates" if fused else "fallback_aggregates")
 
     @property
     def cache(self) -> "QueryCache | None":
