@@ -255,10 +255,18 @@ class ExplorerShell:
             f"(shared join steps {stats.batch_shared_steps})",
             f"  aggregates      fused {stats.fused_aggregates}, "
             f"fallback {stats.fallback_aggregates}",
+            f"  selects         compiled {stats.compiled_selects}, "
+            f"fallback {stats.fallback_selects}",
             f"  keyword lookups {stats.keyword_lookups}",
             f"  timeouts        {stats.timeouts}",
             f"  cache hits      {stats.cache_hits}",
         ]
+        if stats.decline_reasons:
+            ranked = sorted(
+                stats.decline_reasons.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            rendered = ", ".join(f"{reason} {count}" for reason, count in ranked)
+            lines.append(f"  declines        {rendered}")
         cache = getattr(self.endpoint, "cache", None)
         if cache is not None:
             lines.append("cache tiers (hits/misses/evictions):")

@@ -11,13 +11,14 @@ the same dataset.  The cache exploits that repetition at three tiers:
   ``(query text, graph epoch, timeout class)``;
 * **keywords** — full-text keyword resolutions keyed by
   ``(keyword, exact, graph epoch)``;
-* **plans** — compiled id-space BGP plans keyed by
-  ``(patterns, bound variables, flags, graph epoch)``, so a hot pattern
-  sequence is ordered and lowered to id steps once, plus fused aggregation
+* **plans** — compiled physical plans for the unified operator pipeline
+  (:mod:`repro.sparql.operators`) keyed by
+  ``("where", where, flags, graph uid, epoch)``, plus fused aggregation
   plans (:mod:`repro.sparql.aggregator`) keyed by
-  ``("aggregate", query, flags, graph uid, epoch)`` — including cached
-  *declines* (None), so non-qualifying shapes skip re-analysis too (the
-  evaluator reads this tier directly through :attr:`Evaluator.plan_cache`).
+  ``("aggregate", query, flags, graph uid, epoch)`` — each entry a
+  ``(plan, decline_reason)`` pair, so non-qualifying shapes cache their
+  *decline* and skip re-analysis too (the evaluator reads this tier
+  directly through :attr:`Evaluator.plan_cache`).
 
 Correctness hinges on the graph **epoch** (:attr:`repro.store.Graph.epoch`):
 every mutation bumps it, the epoch is part of every result/keyword key, so

@@ -39,11 +39,12 @@ from .ast import (
     UnionPattern,
     ValuesClause,
 )
-from .aggregator import AggregatePlan, compile_aggregate
+from .aggregator import AggregatePlan, compile_aggregate, compile_aggregate_ex
 from .batch import BatchStats, ask_bgp_batch, order_batch, simple_bgp
 from .builder import SelectBuilder, agg, path, var
 from .compiler import BGPPlan, compile_bgp
 from .eval import Evaluator, evaluate_query
+from .operators import WherePlan, compile_where
 from .explain import PlanStep, QueryPlan, explain
 from .expressions import ExpressionError, effective_boolean_value, evaluate
 from .parser import parse_query
@@ -55,8 +56,11 @@ __all__ = [
     "evaluate_query",
     "BGPPlan",
     "compile_bgp",
+    "WherePlan",
+    "compile_where",
     "AggregatePlan",
     "compile_aggregate",
+    "compile_aggregate_ex",
     "BatchStats",
     "ask_bgp_batch",
     "order_batch",

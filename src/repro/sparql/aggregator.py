@@ -1,37 +1,37 @@
-"""Fused id-space GROUP BY / aggregation over compiled BGP joins.
+"""Fused id-space GROUP BY / aggregation over the unified operator pipeline.
 
 Every query the paper's workloads actually run — REOLAP candidates,
 refinement probes, the figure benchmarks — is an aggregate ``SELECT …
-GROUP BY`` over observations.  The compiled join engine
-(:mod:`repro.sparql.compiler`) used to stop at the BGP boundary: every
-solution was decoded into a term-space ``Binding`` dict, and the
-evaluator's ``_aggregate`` re-hashed those dicts into groups, buffered the
-full member list per group, and re-evaluated aggregate expressions row by
-row.  This module extends the compiled pipeline past that boundary:
+GROUP BY`` over observations.  The physical-operator layer
+(:mod:`repro.sparql.operators`) streams id-space register rows for *any*
+supported WHERE body — plain BGPs, OPTIONAL drill-downs, UNION'd
+interpretation candidates, VALUES-bound member lists, property-path
+closures — and this module folds those rows into groups without ever
+materializing a solution list:
 
 * **hash-group on register tuples** — the group key is a tuple of integer
-  ids read straight out of the join's register file (``None`` for unbound
-  keys); the dictionary is bijective, so id-tuple grouping equals
+  ids read straight out of the pipeline's register file (``None`` for
+  unbound keys); the dictionary is bijective, so id-tuple grouping equals
   term-tuple grouping with none of the decoding;
 * **streaming accumulators** — COUNT/SUM/AVG/MIN/MAX/SAMPLE/GROUP_CONCAT
-  fold each row into small per-group state as the final join step produces
-  it (DISTINCT variants keep a per-group id-set), so no solution list is
+  fold each row into small per-group state as the pipeline produces it
+  (DISTINCT variants keep a per-group id-set), so no solution list is
   ever materialized;
 * **memoized decode** — SUM/AVG decode each *distinct* literal id to its
   numeric value once per execution (MIN/MAX memoize sort keys,
   GROUP_CONCAT lexical forms); group keys are decoded once per group, at
   the projection boundary.
 
-:func:`compile_aggregate` lowers a qualifying query into an
-:class:`AggregatePlan` — join → pushed-down FILTERs → fused aggregation →
-HAVING — and returns ``None`` for everything else, which keeps the
+:func:`compile_aggregate_ex` lowers a qualifying query into an
+:class:`AggregatePlan` — operator pipeline → fused aggregation → HAVING —
+and returns ``(None, reason)`` for everything else, which keeps the
 term-space ``_aggregate`` path as the semantics-preserving fallback.  A
 query qualifies when:
 
-* its WHERE clause holds only triple patterns and FILTERs (no OPTIONAL /
-  UNION / VALUES / BIND / MINUS / EXISTS / subqueries), and the BGP itself
-  compiles (no property paths, no ``?x <p> ?x`` repeated-variable
-  patterns, id backend present);
+* its WHERE clause compiles under :func:`repro.sparql.operators
+  .compile_where` (declines — with their reason strings — are BIND,
+  EXISTS/MINUS, subqueries, ``?x <p> ?x`` repeated-variable patterns,
+  exotic path shapes, and graphs without an id backend);
 * GROUP BY keys are plain variables (unbound keys are fine: they group
   under a ``None`` component, exactly like the term-space path);
 * every aggregate in the projections and HAVING clauses takes either no
@@ -39,13 +39,14 @@ query qualifies when:
   refinement operators generate.
 
 Error semantics mirror the term-space evaluator exactly: rows whose
-aggregate argument is unbound are skipped, a non-numeric value makes
-SUM/AVG error (projection → ``None``, HAVING → group dropped), GROUP_CONCAT
-errors on blank nodes, and empty groups error for MIN/MAX/SAMPLE.
+aggregate argument is unbound are skipped (which also covers OPTIONAL- and
+UNION-introduced unbound registers), a non-numeric value makes SUM/AVG
+error (projection → ``None``, HAVING → group dropped), GROUP_CONCAT errors
+on blank nodes, and empty groups error for MIN/MAX/SAMPLE.
 
 Plans depend on the graph's id assignment, so the serving cache's
 ``plans`` tier stores them under the same ``(query, graph uid, epoch)``
-identity discipline as compiled BGP plans.
+identity discipline as compiled WHERE plans.
 """
 
 from __future__ import annotations
@@ -57,19 +58,16 @@ from .ast import (
     BoolOp,
     Comparison,
     Expression,
-    Filter,
     FunctionCall,
     InExpr,
     NotExpr,
     SelectQuery,
     TermExpr,
-    TriplePattern,
 )
-from .compiler import compile_bgp
 from .expressions import ExpressionError, effective_boolean_value, evaluate
-from .optimizer import order_patterns
+from .operators import compile_where
 
-__all__ = ["AggregatePlan", "compile_aggregate"]
+__all__ = ["AggregatePlan", "compile_aggregate", "compile_aggregate_ex"]
 
 
 class _AggError:
@@ -473,52 +471,40 @@ def _program_for(expression: Expression, index: dict,
 # --------------------------------------------------------------------------
 
 
-def compile_aggregate(graph, query: SelectQuery, optimize: bool = True):
+def compile_aggregate_ex(graph, query: SelectQuery, optimize: bool = True):
     """Lower a qualifying aggregate SELECT into an :class:`AggregatePlan`.
 
-    Returns ``None`` whenever any qualifying rule (see the module
-    docstring) fails; callers fall back to the term-space aggregation
-    path, which handles the full language.
+    Returns ``(plan, None)`` on success and ``(None, reason)`` whenever
+    any qualifying rule (see the module docstring) fails; callers fall
+    back to the term-space aggregation path, which handles the full
+    language, and can feed the reason string into the endpoint's
+    per-decline tally.
     """
     if not isinstance(query, SelectQuery) or not query.is_aggregate_query:
-        return None
+        return None, "not-aggregate"
     if query.select_all:
-        return None
-    patterns: list[TriplePattern] = []
-    filters: list[Filter] = []
-    for element in query.where.elements:
-        if isinstance(element, TriplePattern):
-            patterns.append(element)
-        elif isinstance(element, Filter):
-            filters.append(element)
-        else:
-            return None  # OPTIONAL / UNION / VALUES / BIND / ... fall back
-    if not patterns:
-        return None
+        return None, "select-all"
     for variable in query.group_by:
         if not isinstance(variable, Variable):
-            return None
+            return None, "group-key-expression"
 
     specs: list[Aggregate] = []
     index: dict[Aggregate, int] = {}
     for projection in query.projections:
         if not _collect_aggregates(projection.expression, specs, index):
-            return None
+            return None, "aggregate-argument"
     for having in query.having:
         if not _collect_aggregates(having, specs, index):
-            return None
+            return None, "aggregate-argument"
     try:
         variables = [p.variable for p in query.projections]
     except ValueError:
-        return None  # aliasing error: let the term-space path raise it
+        # Aliasing error: let the term-space path raise it.
+        return None, "projection-alias"
 
-    if optimize and len(patterns) > 1:
-        ordered = order_patterns(graph, patterns, bound=set())
-    else:
-        ordered = list(patterns)
-    bgp = compile_bgp(graph, ordered)
-    if bgp is None:
-        return None
+    body, reason = compile_where(graph, query.where, optimize=optimize)
+    if body is None:
+        return None, reason
 
     projection_programs = tuple(
         _program_for(p.expression, index, query.group_by) for p in query.projections
@@ -526,56 +512,65 @@ def compile_aggregate(graph, query: SelectQuery, optimize: bool = True):
     having_programs = tuple(
         _program_for(h, index, query.group_by) for h in query.having
     )
-    return AggregatePlan(
-        bgp=bgp,
-        filters=tuple(filters),
+    plan = AggregatePlan(
+        body=body,
         group_vars=tuple(query.group_by),
         specs=tuple(specs),
         projection_programs=projection_programs,
         having_programs=having_programs,
         variables=variables,
     )
+    return plan, None
+
+
+def compile_aggregate(graph, query: SelectQuery, optimize: bool = True):
+    """Plan-or-``None`` wrapper over :func:`compile_aggregate_ex`."""
+    plan, _reason = compile_aggregate_ex(graph, query, optimize=optimize)
+    return plan
 
 
 class AggregatePlan:
-    """An executable fused join + group-by + aggregate pipeline.
+    """An executable fused pipeline + group-by + aggregate plan.
 
-    Plans are immutable after construction and hold no per-execution
-    state, so they are safe to cache and share across threads; each
-    :meth:`execute` builds its own accumulators and decode memos.
+    ``body`` is the compiled :class:`repro.sparql.operators.WherePlan` for
+    the query's WHERE clause — FILTER placement, OPTIONAL/UNION/VALUES and
+    property-path closure all live inside it; this class only folds its
+    register rows.  Plans are immutable after construction and hold no
+    per-execution state, so they are safe to cache and share across
+    threads; each :meth:`execute` builds its own accumulators and decode
+    memos.
     """
 
     __slots__ = (
-        "bgp", "filters", "group_vars", "key_slots", "specs", "builders",
+        "body", "group_vars", "key_slots", "specs", "builders",
         "projection_programs", "having_programs", "variables",
     )
 
-    def __init__(self, bgp, filters, group_vars, specs,
+    def __init__(self, body, group_vars, specs,
                  projection_programs, having_programs, variables):
-        self.bgp = bgp
-        self.filters = filters
+        self.body = body
         self.group_vars = group_vars
-        # Group-key registers; None = variable never bound by the BGP, so
+        # Group-key registers; None = variable never bound by the body, so
         # its key component is always None (SPARQL keeps such groups).
-        self.key_slots = tuple(bgp.slots.get(v) for v in group_vars)
+        self.key_slots = tuple(body.slots.get(v) for v in group_vars)
         self.specs = specs
         # (class, value slot or None, kwargs) per accumulator.  A variable
-        # the BGP never binds behaves as always-unbound: every row's
+        # the body never binds behaves as always-unbound: every row's
         # argument errors and is skipped (slot None).
-        self.builders = tuple(self._builder(spec, bgp) for spec in specs)
+        self.builders = tuple(self._builder(spec, body) for spec in specs)
         self.projection_programs = projection_programs
         self.having_programs = having_programs
         self.variables = variables
 
     @staticmethod
-    def _builder(spec: Aggregate, bgp):
+    def _builder(spec: Aggregate, body):
         if spec.arg is None:
             return (_CountAll, None, {})
         cls, extra = _ACCUMULATORS[spec.func]
         kwargs = dict(extra)
         if spec.distinct:
             kwargs["distinct"] = True
-        return (cls, bgp.slots.get(spec.arg.term), kwargs)
+        return (cls, body.slots.get(spec.arg.term), kwargs)
 
     def _new_group(self, state):
         """Fresh accumulators for one group, paired with their feeders.
@@ -600,14 +595,11 @@ class AggregatePlan:
         the bounded top-k heap, and OFFSET/LIMIT — identically for fused
         and term-space results.
         """
-        state = _ExecState(self.bgp.dictionary.decode)
-        rows_iter, leftover = self.bgp.stream(
-            [{}], list(self.filters), set(), deadline
-        )
-        if leftover:
-            # A filter over variables the BGP never binds errors on every
-            # row (SPARQL: an erroring filter removes the row).
-            rows_iter = iter(())
+        # body.decode intercepts plan-local pseudo-ids (negative) before
+        # they can reach the dictionary, so VALUES/path constants never
+        # seen by the graph still decode correctly.
+        state = _ExecState(self.body.decode)
+        rows_iter, _ctx = self.body.rows_stream(deadline)
 
         key_slots = self.key_slots
         groups: dict[tuple, tuple[list, list]] = {}
@@ -662,6 +654,6 @@ class AggregatePlan:
 
     def __repr__(self) -> str:
         return (
-            f"<AggregatePlan {len(self.bgp.steps)} join steps, "
+            f"<AggregatePlan {self.body.num_slots} registers, "
             f"{len(self.group_vars)} keys, {len(self.specs)} aggregates>"
         )

@@ -4,7 +4,10 @@ The store dictionary-encodes every term into a dense integer id, but the
 naive evaluator joins in *term space*: each pattern extension re-encodes
 constants, decodes every matched id-triple back into RDF terms, and copies
 ``dict[Variable, Node]`` bindings.  This module lowers an ordered BGP into
-a plan that stays in id space end to end:
+a plan that stays in id space end to end.  (SELECT bodies are now served
+by the richer operator pipeline in :mod:`repro.sparql.operators`; this
+flat-step lowering remains the substrate of the batched ASK trie in
+:mod:`repro.sparql.batch`.)
 
 * **compile once** — constants are encoded into ids at compile time; a
   constant the dictionary has never seen short-circuits the whole BGP to

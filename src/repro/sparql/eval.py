@@ -19,7 +19,6 @@ Similarity-Search experiment (Section 7.1).
 
 from __future__ import annotations
 
-import heapq
 import time
 from typing import Iterable
 
@@ -54,6 +53,7 @@ from .ast import (
 )
 from .compiler import compile_bgp
 from .expressions import ExpressionError, effective_boolean_value, evaluate
+from .operators import OrderLimit, _Directed, _sorted_top, compile_where
 from .optimizer import order_patterns
 from .parser import parse_query
 from .paths import eval_path
@@ -91,26 +91,34 @@ class _Deadline:
 class Evaluator:
     """Evaluates SPARQL queries against a graph or graph view.
 
-    ``compile=True`` (the default) lowers basic graph patterns into the
-    id-space join engine (:mod:`repro.sparql.compiler`), and qualifying
-    aggregate SELECTs all the way into the fused grouping pipeline
-    (:mod:`repro.sparql.aggregator`); ``compile=False`` keeps the legacy
-    term-space interpreter, which remains the fallback for property paths,
-    multi-graph union views, and aggregate shapes the fused path declines.
+    ``compile=True`` (the default) lowers whole WHERE bodies — BGPs,
+    OPTIONAL, UNION, VALUES, and property paths included — onto the
+    unified id-space physical-operator pipeline
+    (:mod:`repro.sparql.operators`), and qualifying aggregate SELECTs all
+    the way into the fused grouping pipeline
+    (:mod:`repro.sparql.aggregator`).  ``compile=False`` keeps the
+    term-space interpreter, retained as the differential oracle and the
+    fallback for the shapes lowering still declines (BIND, EXISTS,
+    MINUS, subqueries, multi-graph union views).
     ``plan_cache`` is an optional LRU (the serving cache's plan tier)
-    reusing compiled plans across queries, keyed by pattern sequence,
-    bound variables, and the graph's identity and epoch.
+    reusing compiled plans — including cached declines — across queries,
+    keyed by the WHERE group plus the graph's identity and epoch.
     """
 
     def __init__(self, graph, optimize: bool = True, compile: bool = True,
-                 plan_cache=None, aggregate_counter=None):
+                 plan_cache=None, aggregate_counter=None,
+                 select_counter=None):
         self.graph = graph
         self.optimize = optimize
         self.compile = compile
         self.plan_cache = plan_cache
-        # Optional callable(fused: bool) invoked once per aggregate SELECT,
-        # letting the endpoint count fused vs. fallback executions.
+        # Optional callable(fused: bool, reason: str | None) invoked once
+        # per aggregate SELECT, letting the endpoint count fused vs.
+        # fallback executions and tally why a shape fell back.
         self.aggregate_counter = aggregate_counter
+        # Same contract for non-aggregate SELECTs:
+        # callable(compiled: bool, reason: str | None).
+        self.select_counter = select_counter
 
     def _plan_or_order(self, patterns, available):
         """Order a BGP and (when possible) compile it, through the plan cache.
@@ -153,13 +161,15 @@ class Evaluator:
         return ordered, plan
 
     def _aggregate_plan(self, query: SelectQuery):
-        """Compile (or fetch) a fused aggregation plan; None = fall back.
+        """Compile (or fetch) a fused aggregation plan.
 
+        Returns ``(plan, reason)`` where ``plan`` is None — with a stable
+        decline reason — when the query must fall back to term space.
         Declined compilations are cached too: a query shape the fused
         engine cannot take keeps falling back without re-walking its AST
         on every execution.
         """
-        from .aggregator import compile_aggregate
+        from .aggregator import compile_aggregate_ex
 
         key = None
         if self.plan_cache is not None:
@@ -172,15 +182,50 @@ class Evaluator:
                 cached = self.plan_cache.get(key)
                 if cached is not MISS:
                     return cached
-        plan = compile_aggregate(self.graph, query, optimize=self.optimize)
+        plan, reason = compile_aggregate_ex(self.graph, query, optimize=self.optimize)
         if key is not None:
-            self.plan_cache.put(key, plan)
-        return plan
+            self.plan_cache.put(key, (plan, reason))
+        return plan, reason
+
+    def _where_plan(self, where: GroupGraphPattern):
+        """Compile (or fetch) a physical plan for a whole WHERE group.
+
+        Returns ``(plan, reason)``; ``plan`` is None — with a stable
+        decline reason — when the group must run on the term-space
+        interpreter.  Declines are cached alongside plans so unsupported
+        shapes pay lowering once per (graph, epoch).
+        """
+        if not self.compile:
+            return None, "compile-disabled"
+        key = None
+        if self.plan_cache is not None:
+            epoch = getattr(self.graph, "epoch", None)
+            # Plans embed one graph's term-id assignment, so the key needs
+            # the graph's *identity* as well as its version (see
+            # _plan_or_order).
+            uid = getattr(self.graph, "uid", None)
+            if epoch is not None and uid is not None:
+                key = ("where", where, self.optimize, uid, epoch)
+                from ..serving.cache import MISS
+
+                cached = self.plan_cache.get(key)
+                if cached is not MISS:
+                    return cached
+        plan, reason = compile_where(self.graph, where, optimize=self.optimize)
+        if key is not None:
+            self.plan_cache.put(key, (plan, reason))
+        return plan, reason
 
     # -- public API ----------------------------------------------------------
 
-    def select(self, query: SelectQuery | str, timeout: float | None = None) -> ResultSet:
-        """Evaluate a SELECT query; returns a :class:`ResultSet`."""
+    def select(self, query: SelectQuery | str, timeout: float | None = None,
+               counted: bool = True) -> ResultSet:
+        """Evaluate a SELECT query; returns a :class:`ResultSet`.
+
+        ``counted=False`` suppresses the engine counters — used for the
+        nested evaluation of subqueries, which would otherwise double-count
+        one endpoint-visible query.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         if not isinstance(query, SelectQuery):
@@ -193,7 +238,10 @@ class Evaluator:
         if query.limit is not None:
             top_k = query.limit + (query.offset or 0)
         if query.is_aggregate_query:
-            plan = self._aggregate_plan(query) if self.compile else None
+            if self.compile:
+                plan, reason = self._aggregate_plan(query)
+            else:
+                plan, reason = None, "compile-disabled"
             if plan is not None:
                 # Fused path: the compiled join streams id rows straight
                 # into per-group accumulators, never materializing
@@ -202,14 +250,20 @@ class Evaluator:
             else:
                 solutions = self._eval_group(query.where, [dict()], deadline)
                 rows, variables = self._aggregate(query, solutions, deadline)
-            if self.aggregate_counter is not None:
-                self.aggregate_counter(plan is not None)
+            if counted and self.aggregate_counter is not None:
+                self.aggregate_counter(plan is not None, reason)
             if query.distinct:
                 rows = _distinct(rows)
             if query.order_by:
                 rows = self._order(rows, variables, query.order_by, limit=top_k)
         else:
-            solutions = self._eval_group(query.where, [dict()], deadline)
+            plan, reason = self._where_plan(query.where)
+            if counted and self.select_counter is not None:
+                self.select_counter(plan is not None, reason)
+            if plan is not None:
+                solutions = plan.solutions(deadline)
+            else:
+                solutions = self._eval_group(query.where, [dict()], deadline)
             # SPARQL orders the *solutions* before projection, so ORDER BY
             # may reference variables that are not projected.  The top-k
             # bound only applies when no DISTINCT runs afterwards —
@@ -244,6 +298,10 @@ class Evaluator:
         deadline = _Deadline(timeout)
         if all(isinstance(e, (TriplePattern, Filter)) for e in query.where.elements):
             return self._ask_exists(query.where, deadline)
+        plan, _reason = self._where_plan(query.where)
+        if plan is not None:
+            # Lazy pipeline: stops at the first complete row.
+            return plan.any(deadline)
         return bool(self._eval_group(query.where, [dict()], deadline, stop_at=1))
 
     def construct(self, query: "ConstructQuery | str", timeout: float | None = None):
@@ -261,7 +319,11 @@ class Evaluator:
         if not isinstance(query, ConstructQuery):
             raise QueryEvaluationError("construct() requires a CONSTRUCT query")
         deadline = _Deadline(timeout)
-        solutions = self._eval_group(query.where, [dict()], deadline)
+        plan, _reason = self._where_plan(query.where)
+        if plan is not None:
+            solutions = plan.solutions(deadline)
+        else:
+            solutions = self._eval_group(query.where, [dict()], deadline)
         result = _Graph()
         from ..rdf.triple import Triple as _Triple
 
@@ -359,7 +421,7 @@ class Evaluator:
         for subselect in subselects:
             # Bottom-up: evaluate the subquery independently, then join its
             # solutions with the group's on shared variables.
-            inner = self.select(subselect.query)
+            inner = self.select(subselect.query, counted=False)
             rows = tuple(tuple(row) for row in inner.rows)
             clause = ValuesClause(tuple(inner.variables), rows)
             solutions = _join_values(solutions, clause)
@@ -524,18 +586,10 @@ class Evaluator:
         conditions: tuple[OrderCondition, ...],
         limit: int | None = None,
     ) -> list[Binding]:
-        def sort_key(binding: Binding):
-            keys = []
-            for condition in conditions:
-                try:
-                    value = evaluate(condition.expression, binding)
-                    key = (1,) + value.sort_key()
-                except ExpressionError:
-                    key = (0,)
-                keys.append(_Directed(key, condition.ascending))
-            return keys
-
-        return _sorted_top(solutions, sort_key, limit)
+        # Both engines share the OrderLimit physical operator, so sort-key
+        # construction, error ordering, and top-k tie-breaking are
+        # identical by construction.
+        return OrderLimit(conditions, limit).apply(solutions)
 
     def _order(
         self,
@@ -559,35 +613,8 @@ class Evaluator:
         return _sorted_top(rows, sort_key, limit)
 
 
-def _sorted_top(items: list, sort_key, limit: int | None) -> list:
-    """Full sort, or a bounded heap selection when only ``limit`` rows
-    survive the subsequent LIMIT slice.
-
-    ``heapq.nsmallest(k, ...)`` is documented equivalent to
-    ``sorted(...)[:k]`` — stable, so ties resolve exactly as the full
-    sort would.
-    """
-    if limit is not None and limit < len(items):
-        return heapq.nsmallest(limit, items, key=sort_key)
-    return sorted(items, key=sort_key)
-
-
-class _Directed:
-    """Comparison wrapper flipping the order for DESC sort keys."""
-
-    __slots__ = ("key", "ascending")
-
-    def __init__(self, key: tuple, ascending: bool):
-        self.key = key
-        self.ascending = ascending
-
-    def __lt__(self, other: "_Directed") -> bool:
-        if self.ascending:
-            return self.key < other.key
-        return self.key > other.key
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Directed) and self.key == other.key
+# _sorted_top and _Directed moved to repro.sparql.operators (shared with
+# the OrderLimit physical operator); re-imported above for local use.
 
 
 # --------------------------------------------------------------------------

@@ -1,15 +1,27 @@
 """Query plan explanation.
 
-``explain`` reports how the evaluator would execute a SELECT query's basic
-graph pattern: the join order the optimizer chose and the per-pattern
-cardinality estimates that drove it.  This is a diagnostic surface — the
-runtime behaviour is unchanged — used when investigating slow generated
-queries and by the optimizer ablation write-up.
+``explain`` reports how the evaluator would execute a SELECT query.  Two
+layers are rendered:
+
+* an ``engine:`` header saying which engine :class:`~repro.sparql.eval.
+  Evaluator` would *really* use — ``compiled`` when the unified id-space
+  operator pipeline accepts the query, ``term-space`` (with the decline
+  reason) when it falls back — decided by running the actual compiler,
+  not by re-implementing its rules;
+* for compiled queries, the full physical plan tree: every operator
+  (IndexScan/NestedProbe, Filter, ValuesBind, LeftJoin, Union,
+  PathClosure) with its cardinality estimate where one exists, nested
+  OPTIONAL/UNION sub-pipelines indented beneath their parent, plus the
+  AggregateFold and OrderLimit stages when the query has them.
+
+The flat ``steps`` list (join order + per-pattern estimates over the
+top-level group) is kept as the stable diagnostic surface used by the
+optimizer ablation write-up.  This module never executes the query.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .ast import SelectQuery, TriplePattern
 from .optimizer import estimate_cardinality, order_patterns
@@ -37,27 +49,114 @@ class PlanStep:
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """The ordered join plan of one query's basic graph pattern."""
+    """The execution plan of one query: engine, operator tree, join order."""
 
     steps: tuple[PlanStep, ...]
     optimized: bool
+    #: ``"compiled"`` or ``"term-space"`` — what the Evaluator would use.
+    engine: str = "term-space"
+    #: why compilation declined (None when ``engine == "compiled"``).
+    decline_reason: str | None = None
+    #: rendered physical-operator tree lines (empty for term-space plans).
+    tree: tuple[str, ...] = field(default=())
 
     def render(self) -> str:
+        if self.engine == "compiled":
+            lines = ["engine: compiled"]
+        else:
+            reason = f" ({self.decline_reason})" if self.decline_reason else ""
+            lines = [f"engine: term-space{reason}"]
+        if self.tree:
+            lines.append("physical plan:")
+            lines.extend("  " + line for line in self.tree)
         header = "join order (optimizer %s):" % ("on" if self.optimized else "off")
-        return "\n".join([header] + ["  " + step.render() for step in self.steps])
+        lines.append(header)
+        lines.extend("  " + step.render() for step in self.steps)
+        return "\n".join(lines)
 
 
-def explain(graph, query: SelectQuery | str, optimize: bool = True) -> QueryPlan:
-    """The BGP execution plan ``Evaluator`` would use for ``query``.
+def _pipeline_lines(pipeline, indent: str = "") -> list[str]:
+    """Render one GroupPipeline's operators, recursing into sub-plans.
 
-    Only the top-level group's triple patterns are planned (OPTIONAL /
-    UNION sub-groups are planned independently at evaluation time).
+    Uses the pipeline's representative schedule (empty entry mask), so
+    filter placement shown here is the top-level one; nested groups may
+    re-interleave filters per entry row at run time.
+    """
+    if pipeline.empty:
+        return [f"{indent}EmptyGroup {pipeline.empty_pattern.to_sparql()}"
+                "  [constant absent from graph]"]
+    lines: list[str] = []
+    for op in pipeline.display_ops():
+        detail = op.describe()
+        line = f"{indent}{op.kind}"
+        if detail:
+            line += f" {detail}"
+        if op.estimate is not None:
+            line += f"  [est. {op.estimate}]"
+        lines.append(line)
+        for label, child in op.children():
+            lines.append(f"{indent}  {label}:")
+            lines.extend(_pipeline_lines(child, indent + "    "))
+    return lines
+
+
+def _compiled_tree(graph, query: SelectQuery, optimize: bool):
+    """(engine, reason, tree lines) by invoking the real compilers."""
+    from .aggregator import compile_aggregate_ex
+    from .operators import OrderLimit, compile_where
+
+    if query.is_aggregate_query:
+        plan, reason = compile_aggregate_ex(graph, query, optimize=optimize)
+        if plan is None:
+            return "term-space", reason, ()
+        lines = _pipeline_lines(plan.body.root)
+        keys = ", ".join(v.n3() for v in plan.group_vars) or "(single group)"
+        lines.append(
+            f"AggregateFold {len(plan.specs)} aggregates; keys {keys}"
+        )
+    else:
+        plan, reason = compile_where(graph, query.where, optimize=optimize)
+        if plan is None:
+            return "term-space", reason, ()
+        lines = _pipeline_lines(plan.root)
+    if query.order_by:
+        top_k = None
+        if query.limit is not None:
+            top_k = query.limit + (query.offset or 0)
+        if not query.is_aggregate_query and query.distinct:
+            # Solution-space top-k would truncate rows DISTINCT still needs.
+            top_k = None
+        order = OrderLimit(tuple(query.order_by), top_k)
+        lines.append(f"OrderLimit {order.describe()}")
+    return "compiled", None, tuple(lines)
+
+
+def explain(
+    graph,
+    query: SelectQuery | str,
+    optimize: bool = True,
+    compile: bool = True,
+) -> QueryPlan:
+    """The execution plan ``Evaluator`` would use for ``query``.
+
+    ``optimize``/``compile`` mirror the Evaluator's flags, so the
+    ``engine:`` header reflects what an identically configured evaluator
+    does.  The flat join-order steps cover the top-level group's triple
+    patterns; the physical plan tree covers the whole WHERE clause.
     """
     if isinstance(query, str):
         parsed = parse_query(query)
         if not isinstance(parsed, SelectQuery):
             raise TypeError("explain() requires a SELECT query")
         query = parsed
+    if not isinstance(query, SelectQuery):
+        raise TypeError("explain() requires a SELECT query")
+
+    if compile:
+        engine, reason, tree = _compiled_tree(graph, query, optimize)
+    else:
+        engine, reason, tree = "term-space", "compile-disabled", ()
+
     patterns = query.where.triple_patterns()
     ordered = order_patterns(graph, list(patterns)) if optimize and len(patterns) > 1 else list(patterns)
     steps = []
@@ -75,4 +174,10 @@ def explain(graph, query: SelectQuery | str, optimize: bool = True) -> QueryPlan
                 binds=fresh,
             )
         )
-    return QueryPlan(steps=tuple(steps), optimized=optimize)
+    return QueryPlan(
+        steps=tuple(steps),
+        optimized=optimize,
+        engine=engine,
+        decline_reason=reason,
+        tree=tree,
+    )

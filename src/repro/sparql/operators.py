@@ -1,0 +1,1118 @@
+"""Unified id-space physical operators for SPARQL query bodies.
+
+:mod:`repro.sparql.compiler` lowers *flat* basic graph patterns into
+id-space join plans; everything else a WHERE clause can hold — OPTIONAL
+decorations, UNION'd interpretation combinations, VALUES member lists,
+``skos:broader``-style property paths — used to fall back to the
+term-space interpreter, leaving the codebase with two engines.  This
+module is the single physical plan layer that closes the gap: a small
+set of streaming operators in the classic Volcano/iterator style, all
+working over one register file of integer term ids.
+
+Operator taxonomy (one class per physical operator):
+
+* :class:`IndexScan` / :class:`NestedProbe` — one triple-pattern join
+  step probing the SPO/POS/OSP permutation indexes; *scan* when the
+  pattern shares no variable with what is already bound, *probe* when it
+  extends bound registers (the id-space analogue of an index nested-loop
+  join);
+* :class:`FilterOp` — evaluates FILTER constraints over a partial decode
+  of exactly the registers the expressions mention (errors remove the
+  row, per SPARQL);
+* :class:`ValuesBind` — joins compile-time-encoded VALUES rows against
+  the register file (UNDEF leaves a register untouched);
+* :class:`LeftJoin` — OPTIONAL: runs an inner pipeline per row and
+  passes the row through unchanged when the inner produces nothing;
+* :class:`UnionOp` — runs each branch pipeline per row, concatenating
+  branch outputs in branch order;
+* :class:`PathClosure` — property-path evaluation entirely in id space:
+  BFS over the POS/OSP integer indexes with per-execution memoized
+  reachability frontiers (see :func:`_reachable_ids`);
+* :class:`OrderLimit` — ORDER BY with the bounded top-k heap; shared
+  verbatim by the compiled and term-space engines so tie-breaking can
+  never diverge between them;
+* ``AggregateFold`` — the terminal grouping/accumulator stage lives in
+  :mod:`repro.sparql.aggregator` (``AggregatePlan``) and consumes this
+  module's row stream.
+
+Groups compile to :class:`GroupPipeline` objects rather than flat
+operator lists because the term-space interpreter — which stays behind
+``compile=False`` as the differential oracle — schedules FILTERs
+against the set of variables *actually bound in the incoming binding*:
+for a nested group (an OPTIONAL body, a UNION branch) that set is a
+per-row property.  The pipeline therefore keeps its filters unplaced at
+compile time and interleaves them at execution, memoized per
+(group, entry-mask), reproducing ``Evaluator._eval_group``'s attachment
+points exactly: ready filters attach after pattern join steps only, and
+whatever is left runs at the end of the group.
+
+Constants the dictionary has never seen get *pseudo ids* (negative,
+plan-local): they can never equal a real id, so joins against them fail
+exactly as term comparison would, while zero-length path semantics and
+decode-at-the-boundary still work.  A never-seen constant in a plain
+triple pattern short-circuits its *group* to the empty pipeline — only
+its group, so an OPTIONAL over it still passes rows through and a UNION
+branch over it merely contributes nothing.
+
+:func:`compile_where` returns ``(plan, None)`` or ``(None, reason)``;
+the decline reason strings feed the endpoint's per-reason fallback
+tally.  Shapes that still decline — and why:
+
+* ``bind`` / ``exists-filter`` / ``minus`` / ``subquery`` — each needs
+  either expression evaluation writing registers (BIND) or a correlated
+  re-entry into full query evaluation; the term-space interpreter
+  remains their semantics reference;
+* ``repeated-variable`` — ``?x <p> ?x`` binds one register from two
+  positions; a join step writes positions independently, so the
+  intra-pattern equality constraint would be dropped;
+* ``no-id-backend`` — multi-graph union views have no shared id space.
+
+Plans are immutable after compilation and hold no per-execution state
+(each execution builds a private :class:`_ExecContext`), so the serving
+cache's plans tier may share them across threads, keyed by
+``(where-group, optimize, graph uid, epoch)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from ..rdf.terms import IRI, Node, Variable
+from .ast import (
+    AlternativePath,
+    BindClause,
+    ExistsFilter,
+    Filter,
+    GroupGraphPattern,
+    InversePath,
+    MinusPattern,
+    OneOrMorePath,
+    OptionalPattern,
+    OrderCondition,
+    PropertyPath,
+    SequencePath,
+    SubSelect,
+    TriplePattern,
+    UnionPattern,
+    ValuesClause,
+    ZeroOrMorePath,
+)
+from .compiler import id_backend
+from .expressions import ExpressionError, effective_boolean_value, evaluate
+from .optimizer import estimate_cardinality, order_patterns
+
+__all__ = [
+    "WherePlan",
+    "compile_where",
+    "OrderLimit",
+    "GroupPipeline",
+    "IndexScan",
+    "NestedProbe",
+    "FilterOp",
+    "ValuesBind",
+    "LeftJoin",
+    "UnionOp",
+    "PathClosure",
+]
+
+Binding = dict[Variable, Node]
+
+_EMPTY_MASK: frozenset = frozenset()
+
+
+class _Decline(Exception):
+    """Raised during lowering for a shape the operator set cannot take."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class _ExecContext:
+    """Per-execution state: deadline, decode memo, schedule and path memos."""
+
+    __slots__ = ("index", "check", "decode_raw", "memo", "path_memo", "schedules")
+
+    def __init__(self, plan: "WherePlan", deadline):
+        self.index = plan.index
+        self.check = deadline.check
+        self.decode_raw = plan.decode
+        self.memo: dict[int, Node] = {}
+        self.path_memo: dict[tuple, list[int]] = {}
+        self.schedules: dict[tuple, tuple] = {}
+
+    def decode(self, term_id: int) -> Node:
+        term = self.memo.get(term_id)
+        if term is None:
+            term = self.decode_raw(term_id)
+            self.memo[term_id] = term
+        return term
+
+    def schedule(self, pipeline: "GroupPipeline", mask: frozenset) -> tuple:
+        key = (pipeline.gid, mask)
+        ops = self.schedules.get(key)
+        if ops is None:
+            ops = pipeline.build_schedule(mask)
+            self.schedules[key] = ops
+        return ops
+
+
+def _run_pipeline(ops, rows, ctx) -> Iterator[list]:
+    """Chain a sub-pipeline lazily over ``rows``."""
+    for op in ops:
+        rows = op.run(rows, ctx)
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Operators
+# --------------------------------------------------------------------------
+
+
+class PhysicalOp:
+    """Base class: a streaming transformer of register-file rows."""
+
+    kind = "Op"
+    estimate: int | None = None
+    __slots__ = ()
+
+    def run(self, rows: Iterable[list], ctx: _ExecContext) -> Iterator[list]:
+        raise NotImplementedError
+
+    def children(self) -> tuple[tuple[str, "GroupPipeline"], ...]:
+        """Sub-pipelines, as (label, pipeline) pairs — for explain."""
+        return ()
+
+    def describe(self) -> str:
+        return ""
+
+
+class _StepOp(PhysicalOp):
+    """One triple-pattern join step over the integer indexes.
+
+    ``step`` is ``(s_const, s_slot, p_const, p_slot, o_const, o_slot)``:
+    for each position exactly one of (encoded constant, register slot)
+    is set.  A slot whose register is still ``None`` acts as a wildcard.
+    """
+
+    __slots__ = ("pattern", "step", "estimate")
+
+    def __init__(self, pattern: TriplePattern, step: tuple, estimate: int | None):
+        self.pattern = pattern
+        self.step = step
+        self.estimate = estimate
+
+    def describe(self) -> str:
+        return self.pattern.to_sparql()
+
+    def run(self, rows, ctx):
+        sc, ss, pc, ps, oc, os_ = self.step
+        index = ctx.index
+        spo = index.spo
+        pos = index.pos
+        osp = index.osp
+        match = index.match
+        check = ctx.check
+        for row in rows:
+            s = sc if ss is None else row[ss]
+            p = pc if ps is None else row[ps]
+            o = oc if os_ is None else row[os_]
+            # The three ≥2-bound shapes probe the nested index maps
+            # directly and bind at most one register.
+            if s is not None and p is not None:
+                objects = spo.get(s)
+                if objects is not None:
+                    objects = objects.get(p)
+                if objects is None:
+                    continue
+                if o is not None:
+                    check()
+                    if o in objects:
+                        yield row  # fully bound: the row is unchanged
+                    continue
+                for oid in objects:
+                    check()
+                    new = row.copy()
+                    new[os_] = oid
+                    yield new
+                continue
+            if p is not None and o is not None:
+                subjects = pos.get(p)
+                if subjects is not None:
+                    subjects = subjects.get(o)
+                if subjects is None:
+                    continue
+                for sid in subjects:
+                    check()
+                    new = row.copy()
+                    new[ss] = sid
+                    yield new
+                continue
+            if s is not None and o is not None:
+                predicates = osp.get(o)
+                if predicates is not None:
+                    predicates = predicates.get(s)
+                if predicates is None:
+                    continue
+                for pid in predicates:
+                    check()
+                    new = row.copy()
+                    new[ps] = pid
+                    yield new
+                continue
+            for sid, pid, oid in match(s, p, o):
+                check()
+                new = row.copy()
+                if ss is not None:
+                    new[ss] = sid
+                if ps is not None:
+                    new[ps] = pid
+                if os_ is not None:
+                    new[os_] = oid
+                yield new
+
+
+class IndexScan(_StepOp):
+    """A step sharing no variable with anything possibly bound before it."""
+
+    kind = "IndexScan"
+    __slots__ = ()
+
+
+class NestedProbe(_StepOp):
+    """A step extending already-bound registers (index nested-loop join)."""
+
+    kind = "NestedProbe"
+    __slots__ = ()
+
+
+class _FilterUnit:
+    """One FILTER constraint with its variable set and register slots."""
+
+    __slots__ = ("constraint", "variables", "slot_items")
+
+    def __init__(self, constraint: Filter, variables: frozenset, slot_items: tuple):
+        self.constraint = constraint
+        self.variables = variables
+        self.slot_items = slot_items
+
+
+class FilterOp(PhysicalOp):
+    """FILTER constraints over a partial decode of the register file.
+
+    Only the registers the expressions mention are decoded; a variable
+    with no register (never bound anywhere in the plan) is simply absent
+    from the binding, so evaluation errors and removes the row — the
+    term-space engine's behaviour for filters over unbound variables.
+    """
+
+    kind = "Filter"
+    __slots__ = ("slot_items", "filters")
+
+    def __init__(self, units: tuple[_FilterUnit, ...]):
+        merged: dict[Variable, int] = {}
+        for unit in units:
+            for variable, slot in unit.slot_items:
+                merged[variable] = slot
+        self.slot_items = tuple(merged.items())
+        self.filters = tuple(unit.constraint for unit in units)
+
+    def describe(self) -> str:
+        return ", ".join(f.expression.to_sparql() for f in self.filters)
+
+    def run(self, rows, ctx):
+        decode = ctx.decode
+        slot_items = self.slot_items
+        filters = self.filters
+        check = ctx.check
+        for row in rows:
+            check()
+            binding: Binding = {}
+            for variable, slot in slot_items:
+                term_id = row[slot]
+                if term_id is not None:
+                    binding[variable] = decode(term_id)
+            keep = True
+            for constraint in filters:
+                try:
+                    if not effective_boolean_value(
+                        evaluate(constraint.expression, binding)
+                    ):
+                        keep = False
+                        break
+                except ExpressionError:
+                    keep = False  # SPARQL: an erroring filter removes the row.
+                    break
+            if keep:
+                yield row
+
+
+class ValuesBind(PhysicalOp):
+    """Join compile-time-encoded VALUES rows against the register file."""
+
+    kind = "ValuesBind"
+    __slots__ = ("clause", "cell_slots", "encoded_rows")
+
+    def __init__(self, clause: ValuesClause, cell_slots: tuple[int, ...],
+                 encoded_rows: tuple[tuple, ...]):
+        self.clause = clause
+        self.cell_slots = cell_slots
+        self.encoded_rows = encoded_rows
+
+    def describe(self) -> str:
+        names = " ".join(v.n3() for v in self.clause.variables_)
+        return f"{names}: {len(self.encoded_rows)} rows"
+
+    def run(self, rows, ctx):
+        cell_slots = self.cell_slots
+        encoded_rows = self.encoded_rows
+        check = ctx.check
+        for row in rows:
+            for value_row in encoded_rows:
+                check()
+                new = None
+                compatible = True
+                for slot, value_id in zip(cell_slots, value_row):
+                    if value_id is None:  # UNDEF leaves the register as-is.
+                        continue
+                    current = row[slot] if new is None else new[slot]
+                    if current is None:
+                        if new is None:
+                            new = row.copy()
+                        new[slot] = value_id
+                    elif current != value_id:
+                        compatible = False
+                        break
+                if compatible:
+                    yield row if new is None else new
+
+
+class LeftJoin(PhysicalOp):
+    """OPTIONAL: per-row left join against an inner group pipeline."""
+
+    kind = "LeftJoin"
+    __slots__ = ("optional", "inner")
+
+    def __init__(self, optional: OptionalPattern, inner: "GroupPipeline"):
+        self.optional = optional
+        self.inner = inner
+
+    def children(self):
+        return (("optional", self.inner),)
+
+    def run(self, rows, ctx):
+        inner = self.inner
+        for row in rows:
+            matched = False
+            for out in inner.run_row(row, ctx):
+                matched = True
+                yield out
+            if not matched:
+                yield row
+
+
+class UnionOp(PhysicalOp):
+    """UNION: per-row evaluation of every branch pipeline, concatenated."""
+
+    kind = "Union"
+    __slots__ = ("union", "branches")
+
+    def __init__(self, union: UnionPattern, branches: tuple["GroupPipeline", ...]):
+        self.union = union
+        self.branches = branches
+
+    def children(self):
+        return tuple(
+            (f"branch {i + 1}", branch) for i, branch in enumerate(self.branches)
+        )
+
+    def run(self, rows, ctx):
+        branches = self.branches
+        for row in rows:
+            for branch in branches:
+                yield from branch.run_row(row, ctx)
+
+
+class PathClosure(PhysicalOp):
+    """Property-path evaluation entirely in id space.
+
+    The path AST is compiled to a nested-tuple program over predicate
+    ids; closure steps (``+`` / ``*``) run BFS over the POS/OSP integer
+    maps with reachability frontiers memoized per execution, so repeated
+    expansions from the same node — the common case when a closure sits
+    mid-join — are O(1) after the first.  Pair semantics (per-pattern
+    deduplication, zero-length closure restricted to path-incident nodes
+    when both ends are free, cycle-back-to-start for ``+``) mirror
+    :mod:`repro.sparql.paths` exactly.
+    """
+
+    kind = "PathClosure"
+    __slots__ = ("pattern", "path", "s_const", "s_slot", "o_const", "o_slot",
+                 "estimate")
+
+    def __init__(self, pattern: TriplePattern, path: tuple,
+                 s_const, s_slot, o_const, o_slot, estimate: int | None):
+        self.pattern = pattern
+        self.path = path
+        self.s_const = s_const
+        self.s_slot = s_slot
+        self.o_const = o_const
+        self.o_slot = o_slot
+        self.estimate = estimate
+
+    def describe(self) -> str:
+        return self.pattern.to_sparql()
+
+    def run(self, rows, ctx):
+        s_const, s_slot = self.s_const, self.s_slot
+        o_const, o_slot = self.o_const, self.o_slot
+        same_slot = s_slot is not None and s_slot == o_slot
+        path = self.path
+        check = ctx.check
+        for row in rows:
+            s = s_const if s_slot is None else row[s_slot]
+            o = o_const if o_slot is None else row[o_slot]
+            if same_slot and s is None:
+                # ``?x path ?x``: enumerate free pairs, keep the diagonal.
+                for sid, oid in _path_pairs(ctx, path, None, None):
+                    check()
+                    if sid == oid:
+                        new = row.copy()
+                        new[s_slot] = sid
+                        yield new
+                continue
+            bind_s = s_slot is not None and s is None
+            bind_o = o_slot is not None and o is None
+            for sid, oid in _path_pairs(ctx, path, s, o):
+                check()
+                if bind_s or bind_o:
+                    new = row.copy()
+                    if bind_s:
+                        new[s_slot] = sid
+                    if bind_o:
+                        new[o_slot] = oid
+                    yield new
+                else:
+                    yield row
+
+
+# --------------------------------------------------------------------------
+# Id-space path programs
+#
+# Compiled form: ("iri", pid) | ("inv", sub) | ("alt", (subs...)) |
+# ("seq", (subs...)) | ("closure", sub, include_zero, key).  ``key`` is a
+# plan-unique integer identifying the closure node in the frontier memo.
+# --------------------------------------------------------------------------
+
+
+def _path_pairs(ctx, path, s, o):
+    """Deduplicated (subject id, object id) pairs, like ``eval_path``."""
+    seen: set[tuple] = set()
+    for pair in _path_eval(ctx, path, s, o):
+        if pair not in seen:
+            seen.add(pair)
+            yield pair
+
+
+def _path_eval(ctx, node, s, o):
+    kind = node[0]
+    if kind == "iri":
+        pid = node[1]
+        index = ctx.index
+        if s is not None:
+            objects = index.spo.get(s)
+            if objects is not None:
+                objects = objects.get(pid)
+            if objects is None:
+                return
+            if o is not None:
+                if o in objects:
+                    yield (s, o)
+                return
+            for oid in objects:
+                yield (s, oid)
+            return
+        if o is not None:
+            subjects = index.pos.get(pid)
+            if subjects is not None:
+                subjects = subjects.get(o)
+            if subjects is None:
+                return
+            for sid in subjects:
+                yield (sid, o)
+            return
+        object_map = index.pos.get(pid)
+        if object_map is None:
+            return
+        for oid, subjects in object_map.items():
+            for sid in subjects:
+                yield (sid, oid)
+        return
+    if kind == "inv":
+        for sid, oid in _path_eval(ctx, node[1], o, s):
+            yield (oid, sid)
+        return
+    if kind == "alt":
+        for option in node[1]:
+            yield from _path_eval(ctx, option, s, o)
+        return
+    if kind == "seq":
+        yield from _path_sequence(ctx, node[1], s, o)
+        return
+    # closure
+    _tag, step, include_zero, key = node
+    if s is not None:
+        for target in _reachable_ids(ctx, step, key, s, include_zero, True):
+            if o is None or target == o:
+                yield (s, target)
+        return
+    if o is not None:
+        for source in _reachable_ids(ctx, step, key, o, include_zero, False):
+            yield (source, o)
+        return
+    # Both ends free: forward BFS from every inner-path subject (and, for
+    # zero-length closures, every inner-path object).
+    starts: set[int] = set()
+    for sid, oid in _path_eval(ctx, step, None, None):
+        starts.add(sid)
+        if include_zero:
+            starts.add(oid)
+    for start in starts:
+        for target in _reachable_ids(ctx, step, key, start, include_zero, True):
+            yield (start, target)
+
+
+def _reachable_ids(ctx, step, key, start, include_zero, forward):
+    """BFS closure over ids, memoized per execution.
+
+    The deadline is checked once per *edge* scanned (not just per
+    frontier hop), so an adversarially deep or bushy hierarchy cannot
+    run far past its budget between checks.
+    """
+    memo_key = (key, start, include_zero, forward)
+    cached = ctx.path_memo.get(memo_key)
+    if cached is not None:
+        return cached
+    check = ctx.check
+    found: list[int] = [start] if include_zero else []
+    seen: set[int] = {start}
+    frontier = [start]
+    while frontier:
+        check()
+        node = frontier.pop()
+        pairs = (
+            _path_eval(ctx, step, node, None)
+            if forward else _path_eval(ctx, step, None, node)
+        )
+        for sid, oid in pairs:
+            check()
+            neighbor = oid if forward else sid
+            if neighbor not in seen:
+                seen.add(neighbor)
+                found.append(neighbor)
+                frontier.append(neighbor)
+            elif neighbor == start and not include_zero and start not in found:
+                found.append(start)  # cycle back to the start counts for '+'
+    ctx.path_memo[memo_key] = found
+    return found
+
+
+def _path_sequence(ctx, steps, s, o):
+    if len(steps) == 1:
+        yield from _path_eval(ctx, steps[0], s, o)
+        return
+    check = ctx.check
+    if s is not None or o is None:
+        head, rest = steps[0], steps[1:]
+        for sid, middle in _path_eval(ctx, head, s, None):
+            check()
+            for _mid, oid in _path_sequence(ctx, rest, middle, o):
+                yield (sid, oid)
+        return
+    # Only the object is bound: traverse backwards to avoid a full scan.
+    front, tail = steps[:-1], steps[-1]
+    for middle, oid in _path_eval(ctx, tail, None, o):
+        check()
+        for sid, _mid in _path_sequence(ctx, front, None, middle):
+            yield (sid, oid)
+
+
+# --------------------------------------------------------------------------
+# Group pipelines
+# --------------------------------------------------------------------------
+
+
+class GroupPipeline:
+    """One WHERE group, lowered: ordered operators + unplaced filters.
+
+    Filter placement replicates the term-space interpreter exactly, and
+    there it depends on which variables the *incoming binding* already
+    holds — a per-row property for nested groups.  So the pipeline keeps
+    its filters aside and :meth:`build_schedule` interleaves them for a
+    given entry mask (the set of filter-relevant variables bound on
+    entry): ready filters attach after pattern join steps only, and the
+    remainder runs at the end of the group.  Schedules are memoized per
+    execution, keyed by ``(group id, mask)``.
+    """
+
+    __slots__ = ("gid", "values_ops", "pattern_ops", "tail_ops", "filter_units",
+                 "relevant_items", "values_vars", "empty_pattern")
+
+    def __init__(self, gid: int, values_ops: tuple, pattern_ops: tuple,
+                 tail_ops: tuple, filter_units: tuple,
+                 relevant_items: tuple, empty_pattern: TriplePattern | None):
+        self.gid = gid
+        self.values_ops = values_ops
+        self.pattern_ops = pattern_ops
+        self.tail_ops = tail_ops
+        self.filter_units = filter_units
+        self.relevant_items = relevant_items
+        self.values_vars = frozenset(
+            v for op in values_ops for v in op.clause.variables_
+        )
+        self.empty_pattern = empty_pattern
+
+    @property
+    def empty(self) -> bool:
+        return self.empty_pattern is not None
+
+    def entry_mask(self, row: list) -> frozenset:
+        """Which filter-relevant variables the row already binds."""
+        if not self.relevant_items:
+            return _EMPTY_MASK
+        return frozenset(
+            variable for variable, slot in self.relevant_items
+            if row[slot] is not None
+        )
+
+    def build_schedule(self, mask: frozenset) -> tuple:
+        """Interleave filters with the operator sequence for one mask.
+
+        Mirrors ``Evaluator._eval_group``: VALUES first (no readiness
+        checks), then pattern steps with ready filters attached after
+        each, then UNION/OPTIONAL operators (no checks — the interpreter
+        only tests readiness inside its pattern loop), then every filter
+        still pending at the end of the group.
+        """
+        ops: list[PhysicalOp] = list(self.values_ops)
+        available = set(mask) | self.values_vars
+        pending = list(self.filter_units)
+        for op, pattern_vars in self.pattern_ops:
+            ops.append(op)
+            available |= pattern_vars
+            if pending:
+                ready = [u for u in pending if u.variables <= available]
+                if ready:
+                    pending = [u for u in pending if u not in ready]
+                    ops.append(FilterOp(tuple(ready)))
+        ops.extend(self.tail_ops)
+        if pending:
+            ops.append(FilterOp(tuple(pending)))
+        return tuple(ops)
+
+    def run_row(self, row: list, ctx: _ExecContext) -> Iterator[list]:
+        """Run the group for one seed row (nested-group entry point)."""
+        if self.empty_pattern is not None:
+            return iter(())
+        ops = ctx.schedule(self, self.entry_mask(row))
+        return _run_pipeline(ops, iter((row,)), ctx)
+
+    def display_ops(self) -> tuple:
+        """A representative schedule (empty entry mask) — for explain."""
+        return self.build_schedule(_EMPTY_MASK)
+
+
+# --------------------------------------------------------------------------
+# ORDER BY / LIMIT
+# --------------------------------------------------------------------------
+
+
+class OrderLimit:
+    """ORDER BY over solutions, with a bounded top-k heap under LIMIT.
+
+    Operates at the decoded-binding boundary (sort keys are term sort
+    keys) and is shared verbatim by the compiled and term-space engines,
+    so tie-breaking and error ordering can never diverge between them.
+    """
+
+    kind = "OrderLimit"
+    __slots__ = ("conditions", "limit")
+
+    def __init__(self, conditions: tuple[OrderCondition, ...],
+                 limit: int | None = None):
+        self.conditions = conditions
+        self.limit = limit
+
+    def describe(self) -> str:
+        parts = [
+            c.expression.to_sparql() if c.ascending
+            else f"DESC({c.expression.to_sparql()})"
+            for c in self.conditions
+        ]
+        detail = ", ".join(parts)
+        if self.limit is not None:
+            detail += f" (top-{self.limit} heap)"
+        return detail
+
+    def apply(self, solutions: list[Binding]) -> list[Binding]:
+        conditions = self.conditions
+
+        def sort_key(binding: Binding):
+            keys = []
+            for condition in conditions:
+                try:
+                    value = evaluate(condition.expression, binding)
+                    key = (1,) + value.sort_key()
+                except ExpressionError:
+                    key = (0,)
+                keys.append(_Directed(key, condition.ascending))
+            return keys
+
+        return _sorted_top(solutions, sort_key, self.limit)
+
+
+def _sorted_top(items: list, sort_key, limit: int | None) -> list:
+    """Full sort, or a bounded heap selection when only ``limit`` rows
+    survive the subsequent LIMIT slice.
+
+    ``heapq.nsmallest(k, ...)`` is documented equivalent to
+    ``sorted(...)[:k]`` — stable, so ties resolve exactly as the full
+    sort would.
+    """
+    if limit is not None and limit < len(items):
+        return heapq.nsmallest(limit, items, key=sort_key)
+    return sorted(items, key=sort_key)
+
+
+class _Directed:
+    """Comparison wrapper flipping the order for DESC sort keys."""
+
+    __slots__ = ("key", "ascending")
+
+    def __init__(self, key: tuple, ascending: bool):
+        self.key = key
+        self.ascending = ascending
+
+    def __lt__(self, other: "_Directed") -> bool:
+        if self.ascending:
+            return self.key < other.key
+        return self.key > other.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Directed) and self.key == other.key
+
+
+# --------------------------------------------------------------------------
+# Lowering
+# --------------------------------------------------------------------------
+
+
+class _Lowering:
+    """Compile-time state: the global slot map and pseudo-id table."""
+
+    def __init__(self, graph, dictionary, index, optimize: bool):
+        self.graph = graph
+        self.dictionary = dictionary
+        self.index = index
+        self.optimize = optimize
+        self.slots: dict[Variable, int] = {}
+        self.extra_terms: list[Node] = []
+        self._pseudo: dict[Node, int] = {}
+        self._closure_count = 0
+        self._group_count = 0
+
+    def slot(self, variable: Variable) -> int:
+        slot = self.slots.get(variable)
+        if slot is None:
+            slot = len(self.slots)
+            self.slots[variable] = slot
+        return slot
+
+    def encode(self, term: Node) -> int:
+        """The term's dictionary id, or a plan-local negative pseudo id.
+
+        Pseudo ids are consistent within the plan (the same unseen term
+        always maps to the same id), never collide with real ids, and
+        decode through the plan's ``extra_terms`` table — so equality on
+        ids remains equality on terms even for constants the store has
+        never stored.
+        """
+        term_id = self.dictionary.lookup(term)
+        if term_id is not None:
+            return term_id
+        pseudo = self._pseudo.get(term)
+        if pseudo is None:
+            pseudo = -1 - len(self.extra_terms)
+            self.extra_terms.append(term)
+            self._pseudo[term] = pseudo
+        return pseudo
+
+    # -- group lowering ----------------------------------------------------
+
+    def lower_group(self, group: GroupGraphPattern, outer_may: set,
+                    outer_definite: set) -> GroupPipeline:
+        """Lower one group; raises :class:`_Decline` for unsupported shapes.
+
+        ``outer_may`` is every variable that *could* be bound when rows
+        enter this group (used to classify scan vs probe and to seed
+        nested lowerings); ``outer_definite`` is the subset bound in
+        every row (used for join ordering, matching the interpreter's
+        per-row ordering on the straight-line path).  Filter placement
+        uses neither — it is resolved per entry mask at execution time.
+        """
+        for element in group.elements:
+            if isinstance(element, BindClause):
+                raise _Decline("bind")
+            if isinstance(element, ExistsFilter):
+                raise _Decline("exists-filter")
+            if isinstance(element, MinusPattern):
+                raise _Decline("minus")
+            if isinstance(element, SubSelect):
+                raise _Decline("subquery")
+        values_clauses = [e for e in group.elements if isinstance(e, ValuesClause)]
+        patterns = [e for e in group.elements if isinstance(e, TriplePattern)]
+        filters = [e for e in group.elements if isinstance(e, Filter)]
+        unions = [e for e in group.elements if isinstance(e, UnionPattern)]
+        optionals = [e for e in group.elements if isinstance(e, OptionalPattern)]
+
+        self._group_count += 1
+        gid = self._group_count
+        may = set(outer_may)
+        definite = set(outer_definite)
+        empty_pattern: TriplePattern | None = None
+
+        values_ops = []
+        for clause in values_clauses:
+            cell_slots = tuple(self.slot(v) for v in clause.variables_)
+            encoded = tuple(
+                tuple(None if value is None else self.encode(value) for value in row)
+                for row in clause.rows
+            )
+            values_ops.append(ValuesBind(clause, cell_slots, encoded))
+            may |= set(clause.variables_)
+            # A VALUES variable is definitely bound only when no row
+            # leaves it UNDEF (and there is at least one row).
+            for position, variable in enumerate(clause.variables_):
+                if clause.rows and all(
+                    row[position] is not None for row in clause.rows
+                ):
+                    definite.add(variable)
+
+        pattern_ops = []
+        if patterns:
+            if self.optimize and len(patterns) > 1:
+                ordered = order_patterns(self.graph, patterns, bound=definite)
+            else:
+                ordered = list(patterns)
+            for pattern in ordered:
+                estimate = estimate_cardinality(self.graph, pattern)
+                if isinstance(pattern.p, PropertyPath):
+                    op = self._lower_path(pattern, estimate)
+                else:
+                    op = self._lower_step(pattern, may, estimate)
+                    if op is None:
+                        # A never-seen constant: this (and only this)
+                        # group can produce no rows.
+                        empty_pattern = pattern
+                pattern_vars = frozenset(pattern.variables())
+                if empty_pattern is None:
+                    pattern_ops.append((op, pattern_vars))
+                may |= pattern_vars
+                definite |= pattern_vars
+
+        tail_ops = []
+        for union in unions:
+            branches = tuple(
+                self.lower_group(branch, may, definite)
+                for branch in union.branches
+            )
+            tail_ops.append(UnionOp(union, branches))
+            for branch in union.branches:
+                may |= branch.variables()
+            # A UNION variable joins `definite` only when every branch
+            # definitely binds it — conservatively skipped.
+
+        for optional in optionals:
+            inner = self.lower_group(optional.pattern, may, definite)
+            tail_ops.append(LeftJoin(optional, inner))
+            may |= optional.pattern.variables()
+            # OPTIONAL never extends `definite`: unmatched rows pass
+            # through with the inner registers unbound.
+
+        filter_units = tuple(self._filter_unit(c) for c in filters)
+        relevant: dict[Variable, int] = {}
+        for unit in filter_units:
+            for variable, slot in unit.slot_items:
+                relevant[variable] = slot
+        return GroupPipeline(
+            gid,
+            tuple(values_ops),
+            tuple(pattern_ops),
+            tuple(tail_ops),
+            filter_units,
+            tuple(relevant.items()),
+            empty_pattern,
+        )
+
+    def _filter_unit(self, constraint: Filter) -> _FilterUnit:
+        variables = frozenset(constraint.expression.variables())
+        slot_items = tuple(
+            (variable, self.slots[variable])
+            for variable in variables if variable in self.slots
+        )
+        return _FilterUnit(constraint, variables, slot_items)
+
+    def _lower_step(self, pattern: TriplePattern, may: set, estimate: int | None):
+        positions = []
+        pattern_vars: set[Variable] = set()
+        for term in (pattern.s, pattern.p, pattern.o):
+            if isinstance(term, Variable):
+                if term in pattern_vars:
+                    raise _Decline("repeated-variable")
+                pattern_vars.add(term)
+                positions.extend((None, self.slot(term)))
+            else:
+                term_id = self.dictionary.lookup(term)
+                if term_id is None:
+                    return None  # never-seen constant: the group is empty
+                positions.extend((term_id, None))
+        step = tuple(positions)
+        cls = NestedProbe if pattern_vars & may else IndexScan
+        return cls(pattern, step, estimate)
+
+    def _lower_path(self, pattern: TriplePattern, estimate: int | None) -> PathClosure:
+        if isinstance(pattern.s, Variable):
+            s_const, s_slot = None, self.slot(pattern.s)
+        else:
+            s_const, s_slot = self.encode(pattern.s), None
+        if isinstance(pattern.o, Variable):
+            o_const, o_slot = None, self.slot(pattern.o)
+        else:
+            o_const, o_slot = self.encode(pattern.o), None
+        path = self._compile_path(pattern.p)
+        return PathClosure(pattern, path, s_const, s_slot, o_const, o_slot, estimate)
+
+    def _compile_path(self, path) -> tuple:
+        if isinstance(path, IRI):
+            return ("iri", self.encode(path))
+        if isinstance(path, InversePath):
+            return ("inv", self._compile_path(path.step))
+        if isinstance(path, AlternativePath):
+            return ("alt", tuple(self._compile_path(o) for o in path.options))
+        if isinstance(path, SequencePath):
+            return ("seq", tuple(self._compile_path(s) for s in path.steps))
+        if isinstance(path, (OneOrMorePath, ZeroOrMorePath)):
+            self._closure_count += 1
+            return (
+                "closure",
+                self._compile_path(path.step),
+                isinstance(path, ZeroOrMorePath),
+                self._closure_count,
+            )
+        raise _Decline("path-shape")
+
+
+def compile_where(graph, where: GroupGraphPattern, optimize: bool = True):
+    """Lower a WHERE group onto the physical-operator pipeline.
+
+    Returns ``(plan, None)`` on success or ``(None, reason)`` when the
+    group holds a shape the operator set does not take (see the module
+    docstring for the decline list).  The reason string is stable: the
+    endpoint tallies fallbacks per reason.
+    """
+    backend = id_backend(graph)
+    if backend is None:
+        return None, "no-id-backend"
+    dictionary, index = backend
+    lowering = _Lowering(graph, dictionary, index, optimize)
+    try:
+        root = lowering.lower_group(where, set(), set())
+    except _Decline as decline:
+        return None, decline.reason
+    plan = WherePlan(
+        dictionary, index, lowering.slots, root, tuple(lowering.extra_terms)
+    )
+    return plan, None
+
+
+class WherePlan:
+    """An executable operator pipeline for one WHERE group.
+
+    Immutable after compilation; every execution owns its context
+    (decode memo, path-frontier memo, filter schedules), so cached plans
+    are thread-safe.
+    """
+
+    __slots__ = ("dictionary", "index", "slots", "root", "extra_terms",
+                 "slot_items", "empty")
+
+    def __init__(self, dictionary, index, slots, root: GroupPipeline, extra_terms):
+        self.dictionary = dictionary
+        self.index = index
+        self.slots = slots
+        self.root = root
+        self.extra_terms = extra_terms
+        self.slot_items = tuple(slots.items())
+        self.empty = root.empty
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slots)
+
+    def decode(self, term_id: int) -> Node:
+        if term_id < 0:
+            return self.extra_terms[-1 - term_id]
+        return self.dictionary.decode(term_id)
+
+    def _seed(self) -> list:
+        return [None] * len(self.slots)
+
+    def solutions(self, deadline) -> list[Binding]:
+        """Run the pipeline eagerly, stage by stage; decoded bindings out."""
+        if self.empty:
+            return []
+        ctx = _ExecContext(self, deadline)
+        rows: Iterable[list] = [self._seed()]
+        for op in ctx.schedule(self.root, _EMPTY_MASK):
+            rows = list(op.run(rows, ctx))
+            if not rows:
+                return []
+        decode = ctx.decode
+        slot_items = self.slot_items
+        out: list[Binding] = []
+        append = out.append
+        for row in rows:
+            binding: Binding = {}
+            for variable, slot in slot_items:
+                term_id = row[slot]
+                if term_id is not None:
+                    binding[variable] = decode(term_id)
+            append(binding)
+        return out
+
+    def rows_stream(self, deadline):
+        """Lazily chained raw-row iterator plus its execution context.
+
+        Used by consumers that fold rows without materializing solutions
+        (aggregation) or that stop at the first row (ASK).
+        """
+        ctx = _ExecContext(self, deadline)
+        if self.empty:
+            return iter(()), ctx
+        ops = ctx.schedule(self.root, _EMPTY_MASK)
+        return _run_pipeline(ops, iter((self._seed(),)), ctx), ctx
+
+    def any(self, deadline) -> bool:
+        """Whether the pipeline produces at least one row (lazy)."""
+        rows, _ctx = self.rows_stream(deadline)
+        for _row in rows:
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        state = (
+            "empty" if self.empty
+            else f"group of {len(self.root.pattern_ops)} steps"
+        )
+        return f"<WherePlan {state}, {len(self.slots)} registers>"

@@ -88,6 +88,8 @@ def _eval_closure(
     # Both ends free: start a forward BFS from every inner-path subject.
     starts: set[Node] = set()
     for subj, obj in _eval(graph, step, None, None, deadline):
+        if deadline is not None:
+            deadline.check()
         starts.add(subj)
         if include_zero:
             starts.add(obj)
@@ -112,6 +114,12 @@ def _reachable(
             if forward else _eval(graph, step, None, node, deadline)
         )
         for subj, obj in pairs:
+            # Per-edge, not just per-hop: one node with adversarial
+            # fan-out must not blow past the request deadline while its
+            # frontier entry is being expanded.  The checker is
+            # stride-based, so this stays cheap on the hot path.
+            if deadline is not None:
+                deadline.check()
             neighbor = obj if forward else subj
             if neighbor not in seen:
                 seen.add(neighbor)

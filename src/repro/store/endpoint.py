@@ -78,6 +78,8 @@ _COUNTERS = (
     "batch_shared_steps",
     "fused_aggregates",
     "fallback_aggregates",
+    "compiled_selects",
+    "fallback_selects",
 )
 
 
@@ -103,6 +105,11 @@ class EndpointStats:
     batch_shared_steps: int = 0  #: join steps deduplicated by prefix sharing
     fused_aggregates: int = 0  #: aggregate SELECTs run on the fused id-space path
     fallback_aggregates: int = 0  #: aggregate SELECTs run on the term-space path
+    compiled_selects: int = 0  #: non-aggregate SELECTs run on the compiled engine
+    fallback_selects: int = 0  #: non-aggregate SELECTs run on the term-space path
+    #: why the compiler declined, tallied by the first decline reason string
+    #: (covers both plain-SELECT and aggregate fallbacks)
+    decline_reasons: dict = field(default_factory=dict, compare=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -116,16 +123,24 @@ class EndpointStats:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + n)
 
+    def add_decline(self, reason: str) -> None:
+        """Atomically tally one compilation decline under its reason."""
+        with self._lock:
+            self.decline_reasons[reason] = self.decline_reasons.get(reason, 0) + 1
+
     def snapshot(self) -> "EndpointStats":
         """A consistent point-in-time copy (no torn multi-counter reads)."""
         with self._lock:
-            return EndpointStats(**{name: getattr(self, name) for name in _COUNTERS})
+            copy = EndpointStats(**{name: getattr(self, name) for name in _COUNTERS})
+            copy.decline_reasons = dict(self.decline_reasons)
+            return copy
 
     def reset(self) -> None:
         """Zero every counter atomically with respect to :meth:`add`."""
         with self._lock:
             for name in _COUNTERS:
                 setattr(self, name, 0)
+            self.decline_reasons = {}
 
 
 class Endpoint:
@@ -157,6 +172,7 @@ class Endpoint:
             optimize=optimize,
             compile=compile,
             aggregate_counter=self._count_aggregate,
+            select_counter=self._count_select,
         )
         self._text_index = text_index
         self._cache = None
@@ -164,9 +180,17 @@ class Endpoint:
         self.stats = EndpointStats()
         self._lock = threading.Lock()
 
-    def _count_aggregate(self, fused: bool) -> None:
+    def _count_aggregate(self, fused: bool, reason: str | None = None) -> None:
         """Evaluator callback: tally fused vs. fallback aggregate runs."""
         self.stats.add("fused_aggregates" if fused else "fallback_aggregates")
+        if not fused and reason is not None:
+            self.stats.add_decline(reason)
+
+    def _count_select(self, compiled: bool, reason: str | None = None) -> None:
+        """Evaluator callback: tally compiled vs. fallback plain SELECTs."""
+        self.stats.add("compiled_selects" if compiled else "fallback_selects")
+        if not compiled and reason is not None:
+            self.stats.add_decline(reason)
 
     @property
     def cache(self) -> "QueryCache | None":

@@ -115,6 +115,129 @@ class TestCompiledEquivalence:
             )
 
 
+# -- unified operator pipeline (OPTIONAL / UNION / VALUES / paths) ----------
+
+OPERATOR_SHAPES = [
+    "optional", "optional-filter", "union", "union-partial", "values",
+    "values-undef", "path-plus", "path-star", "path-seq", "path-alt",
+    "path-inv", "path-anchored", "path-self", "mixed",
+]
+
+operator_shapes = st.sampled_from(OPERATOR_SHAPES)
+
+
+def operator_query(p1, p2, shape):
+    P1, P2 = f"<{EX}p{p1}>", f"<{EX}p{p2}>"
+    if shape == "optional":
+        body = f"?a {P1} ?b . OPTIONAL {{ ?b {P2} ?c . }}"
+    elif shape == "optional-filter":
+        body = f"?a {P1} ?b . OPTIONAL {{ ?b {P2} ?c . FILTER(?c != ?a) }}"
+    elif shape == "union":
+        body = f"{{ ?a {P1} ?b . }} UNION {{ ?a {P2} ?b . }}"
+    elif shape == "union-partial":
+        # Branches bind disjoint variables: rows carry unbound registers.
+        body = f"?a {P1} ?b . {{ ?b {P1} ?c . }} UNION {{ ?b {P2} ?d . }}"
+    elif shape == "values":
+        body = f"VALUES ?a {{ <{EX}n0> <{EX}n3> <{EX}unseen> }} ?a {P1} ?b ."
+    elif shape == "values-undef":
+        body = (
+            f"VALUES (?a ?b) {{ (<{EX}n1> UNDEF) (UNDEF <{EX}n2>) }} "
+            f"?a {P1} ?b ."
+        )
+    elif shape == "path-plus":
+        body = f"?a {P1}+ ?b ."
+    elif shape == "path-star":
+        body = f"?a {P1}* ?b ."
+    elif shape == "path-seq":
+        body = f"?a {P1}/{P2} ?b ."
+    elif shape == "path-alt":
+        body = f"?a ({P1}|{P2}) ?b ."
+    elif shape == "path-inv":
+        body = f"?a ^{P1} ?b ."
+    elif shape == "path-anchored":
+        body = f"<{EX}n2> {P1}+ ?b . ?b {P2} ?c ."
+    elif shape == "path-self":
+        # Same variable at both path ends: only cycle members survive.
+        body = f"?x {P1}+ ?x ."
+    else:  # mixed: every new operator in one body
+        body = (
+            f"?a {P1} ?b . OPTIONAL {{ ?b {P2} ?c . }} "
+            f"{{ ?b {P1} ?d . }} UNION {{ ?b {P2} ?d . }} "
+            f"FILTER(?a != ?b)"
+        )
+    return f"SELECT * WHERE {{ {body} }}"
+
+
+class TestOperatorEquivalence:
+    """Hypothesis parity for the operator layer: every OPTIONAL / UNION /
+    VALUES / property-path shape must answer exactly like the term-space
+    interpreter, with and without the join-order optimizer."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(graph_triples, predicate_ids, predicate_ids, operator_shapes)
+    def test_compiled_matches_term_space(self, encoded, p1, p2, shape):
+        graph = build_graph(encoded)
+        query = parse_query(operator_query(p1, p2, shape))
+        compiled = Evaluator(graph, compile=True).select(query)
+        legacy = Evaluator(graph, compile=False).select(query)
+        assert compiled == legacy
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_triples, predicate_ids, predicate_ids, operator_shapes)
+    def test_compiled_matches_without_optimizer(self, encoded, p1, p2, shape):
+        graph = build_graph(encoded)
+        query = parse_query(operator_query(p1, p2, shape))
+        compiled = Evaluator(graph, optimize=False, compile=True).select(query)
+        legacy = Evaluator(graph, optimize=False, compile=False).select(query)
+        assert compiled == legacy
+
+    def test_shapes_actually_compile(self):
+        """Every shape the parity property runs must take the compiled
+        engine — otherwise the property compares legacy to legacy."""
+        from repro.sparql.operators import compile_where
+
+        graph = build_graph([(0, 0, 1), (1, 1, 2), (2, 0, 3)])
+        for shape in OPERATOR_SHAPES:
+            query = parse_query(operator_query(0, 1, shape))
+            plan, reason = compile_where(graph, query.where)
+            assert plan is not None, (shape, reason)
+
+    def test_ask_agreement_on_operator_shapes(self):
+        graph = build_graph([(0, 0, 1), (1, 1, 2)])
+        for shape in ("optional", "union", "values", "path-plus", "mixed"):
+            query = parse_query(operator_query(0, 1, shape).replace(
+                "SELECT * WHERE", "ASK", 1))
+            assert (
+                Evaluator(graph, compile=True).ask(query)
+                == Evaluator(graph, compile=False).ask(query)
+            )
+
+
+class TestPathClosureDeadline:
+    """Satellite regression: a long ``broader+`` chain must hit the
+    cooperative deadline *between frontier hops* in both engines."""
+
+    def _chain_graph(self, length=5000):
+        graph = Graph()
+        broader = iri("broader")
+        for i in range(length):
+            graph.add(Triple(iri(f"c{i}"), broader, iri(f"c{i + 1}")))
+        return graph
+
+    @pytest.mark.parametrize("compile_flag", [True, False])
+    def test_closure_observes_deadline(self, compile_flag):
+        graph = self._chain_graph()
+        query = parse_query(
+            f"SELECT * WHERE {{ <{EX}c0> <{EX}broader>+ ?t . }}"
+        )
+        evaluator = Evaluator(graph, compile=compile_flag)
+        with pytest.raises(QueryTimeoutError):
+            evaluator.select(query, timeout=1e-6)
+        # A sane budget still answers, and both engines agree on it.
+        full = evaluator.select(query)
+        assert len(full) == 5000
+
+
 # -- repeated variables within one pattern ----------------------------------
 
 class TestRepeatedVariablePatterns:

@@ -19,7 +19,7 @@ from repro.rdf import IRI, Literal, Triple, literal_from_python
 from repro.rdf.terms import XSD_DOUBLE, XSD_INTEGER
 from repro.serving import QueryCache
 from repro.sparql import Evaluator, compile_aggregate, parse_query
-from repro.sparql.aggregator import AggregatePlan
+from repro.sparql.aggregator import AggregatePlan, compile_aggregate_ex
 from repro.store import Endpoint, Graph
 
 EX = "http://example.org/"
@@ -122,18 +122,13 @@ class TestFusedEquivalence:
         assert fused == legacy
 
     def test_qualifying_queries_actually_fuse(self):
-        """The shapes the equivalence property runs must take the fused
-        path (except the OPTIONAL one, which is a deliberate fallback) —
-        otherwise the property would vacuously compare legacy to legacy."""
+        """Every shape the equivalence property runs must take the fused
+        path — otherwise the property would vacuously compare legacy to
+        legacy.  Since the unified operator layer, that includes the
+        OPTIONAL COUNT(?v) shape that used to decline."""
         graph = build_cube([(0, 0, 1, True), (1, 1, 2, True)])
-        fused = declined = 0
         for text in AGG_QUERIES:
-            if compile_aggregate(graph, parse_query(text)) is not None:
-                fused += 1
-            else:
-                declined += 1
-        assert fused == len(AGG_QUERIES) - 1
-        assert declined == 1  # the OPTIONAL COUNT(?v) shape
+            assert compile_aggregate(graph, parse_query(text)) is not None, text
 
     def test_sum_error_semantics_match(self):
         """A non-numeric value makes SUM error → projected as None."""
@@ -177,13 +172,60 @@ class TestFusedEquivalence:
         assert len(fused) == 0
 
 
-class TestFallbackShapes:
-    """Non-qualifying queries must decline compilation and still answer
-    correctly through the term-space path."""
+class TestNewlyFusedShapes:
+    """Shapes the old BGP-only fuser declined now ride the unified
+    operator pipeline: they must compile AND match the term-space path."""
 
-    def _check_declines(self, graph, text):
+    def _check_fuses(self, graph, text):
         query = parse_query(text)
-        assert compile_aggregate(graph, query) is None
+        assert compile_aggregate(graph, query) is not None
+        fused = Evaluator(graph, compile=True).select(query)
+        legacy = Evaluator(graph, compile=False).select(query)
+        assert fused == legacy
+
+    def test_optional_group(self):
+        graph = build_cube([(0, 0, 2, True), (1, 1, 3, False)])
+        self._check_fuses(
+            graph,
+            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ ?o <{EX}dim> ?d . "
+            f"OPTIONAL {{ ?o <{EX}val> ?v . }} }} GROUP BY ?d",
+        )
+
+    def test_property_path(self):
+        graph = build_cube([(0, 0, 2, True), (1, 2, 3, True)])
+        self._check_fuses(
+            graph,
+            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ ?o <{EX}dim>/<{EX}nothing>* ?d . }} "
+            f"GROUP BY ?d",
+        )
+
+    def test_union_group(self):
+        graph = build_cube([(0, 0, 2, True), (1, 1, 3, True)])
+        self._check_fuses(
+            graph,
+            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ "
+            f"{{ ?o <{EX}dim> ?d . }} UNION {{ ?o <{EX}val> ?d . }} }} GROUP BY ?d",
+        )
+
+    def test_values_group(self):
+        graph = build_cube([(0, 0, 2, True), (1, 1, 3, True)])
+        self._check_fuses(
+            graph,
+            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ "
+            f"VALUES (?d) {{ (<{EX}d0>) (<{EX}d1>) }} ?o <{EX}dim> ?d . }} "
+            f"GROUP BY ?d",
+        )
+
+
+class TestFallbackShapes:
+    """Non-qualifying queries must decline compilation — with a stable
+    reason string — and still answer correctly via the term-space path."""
+
+    def _check_declines(self, graph, text, reason):
+        query = parse_query(text)
+        plan, got_reason = compile_aggregate_ex(graph, query)
+        assert plan is None
+        assert got_reason == reason
         fused_engine = Evaluator(graph, compile=True).select(query)
         legacy = Evaluator(graph, compile=False).select(query)
         assert fused_engine == legacy
@@ -193,39 +235,7 @@ class TestFallbackShapes:
         self._check_declines(
             graph,
             f"SELECT ?d (SUM(?v + ?v) AS ?s) WHERE {{ {BODY} }} GROUP BY ?d",
-        )
-
-    def test_optional_group(self):
-        graph = build_cube([(0, 0, 2, True), (1, 1, 3, False)])
-        self._check_declines(
-            graph,
-            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ ?o <{EX}dim> ?d . "
-            f"OPTIONAL {{ ?o <{EX}val> ?v . }} }} GROUP BY ?d",
-        )
-
-    def test_property_path(self):
-        graph = build_cube([(0, 0, 2, True), (1, 2, 3, True)])
-        self._check_declines(
-            graph,
-            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ ?o <{EX}dim>/<{EX}nothing>* ?d . }} "
-            f"GROUP BY ?d",
-        )
-
-    def test_union_group(self):
-        graph = build_cube([(0, 0, 2, True), (1, 1, 3, True)])
-        self._check_declines(
-            graph,
-            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ "
-            f"{{ ?o <{EX}dim> ?d . }} UNION {{ ?o <{EX}val> ?d . }} }} GROUP BY ?d",
-        )
-
-    def test_values_group(self):
-        graph = build_cube([(0, 0, 2, True), (1, 1, 3, True)])
-        self._check_declines(
-            graph,
-            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ "
-            f"VALUES (?d) {{ (<{EX}d0>) (<{EX}d1>) }} ?o <{EX}dim> ?d . }} "
-            f"GROUP BY ?d",
+            "aggregate-argument",
         )
 
     def test_repeated_variable_pattern(self):
@@ -235,12 +245,24 @@ class TestFallbackShapes:
         self._check_declines(
             graph,
             f"SELECT (COUNT(*) AS ?c) WHERE {{ ?x <{EX}p> ?x . }}",
+            "repeated-variable",
+        )
+
+    def test_bind_group(self):
+        graph = build_cube([(0, 0, 2, True), (1, 1, 3, True)])
+        self._check_declines(
+            graph,
+            f"SELECT ?w (COUNT(*) AS ?c) WHERE {{ ?o <{EX}dim> ?d . "
+            f"BIND(?d AS ?w) }} GROUP BY ?w",
+            "bind",
         )
 
     def test_non_aggregate_query_declines(self):
         graph = build_cube([(0, 0, 2, True)])
         query = parse_query(f"SELECT ?d WHERE {{ ?o <{EX}dim> ?d . }}")
-        assert compile_aggregate(graph, query) is None
+        plan, reason = compile_aggregate_ex(graph, query)
+        assert plan is None
+        assert reason == "not-aggregate"
 
 
 class TestPlanCacheAndCounters:
@@ -275,8 +297,7 @@ class TestPlanCacheAndCounters:
         cache = QueryCache()
         evaluator = Evaluator(graph, plan_cache=cache.plans)
         text = (
-            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ ?o <{EX}dim> ?d . "
-            f"OPTIONAL {{ ?o <{EX}val> ?v . }} }} GROUP BY ?d"
+            f"SELECT ?d (SUM(?v + ?v) AS ?s) WHERE {{ {BODY} }} GROUP BY ?d"
         )
         query = parse_query(text)
         evaluator.select(query)
@@ -290,13 +311,16 @@ class TestPlanCacheAndCounters:
         endpoint = Endpoint(graph)
         endpoint.select(f"SELECT ?d (SUM(?v) AS ?s) WHERE {{ {BODY} }} GROUP BY ?d")
         endpoint.select(
-            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ ?o <{EX}dim> ?d . "
-            f"OPTIONAL {{ ?o <{EX}val> ?v . }} }} GROUP BY ?d"
+            f"SELECT ?d (SUM(?v + ?v) AS ?s) WHERE {{ {BODY} }} GROUP BY ?d"
         )
         endpoint.select(f"SELECT ?d WHERE {{ ?o <{EX}dim> ?d . }}")  # not aggregate
         stats = endpoint.stats.snapshot()
         assert stats.fused_aggregates == 1
         assert stats.fallback_aggregates == 1
+        # The plain SELECT rides the compiled engine and is counted apart.
+        assert stats.compiled_selects == 1
+        assert stats.fallback_selects == 0
+        assert stats.decline_reasons == {"aggregate-argument": 1}
 
     def test_no_compile_endpoint_counts_fallback(self):
         graph = self._cube()

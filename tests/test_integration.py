@@ -131,6 +131,27 @@ class TestFullPipeline:
         reolap(endpoint, vgraph, (_first_label(_kg),))
         assert endpoint.stats.total_queries > before
 
+    def test_reolap_workload_runs_fully_compiled(self, stack):
+        """The whole REOLAP workload — synthesize, execute, refine — must
+        ride the unified id-space engine: zero term-space fallbacks."""
+        _name, kg, _shared_endpoint, vgraph = stack
+        endpoint = kg.endpoint()  # fresh counters, same graph
+        member = _observed_member(kg, vgraph, 0)
+        for query in reolap(endpoint, vgraph, (member.label,)):
+            endpoint.select(query.to_select())
+        session = ExplorationSession(endpoint, vgraph, similarity_k=2)
+        session.synthesize(member.label)
+        session.choose(0)
+        for kind in ("disaggregate", "similarity", "percentile", "topk"):
+            proposals = session.refinements(kind)
+            if proposals:
+                session.apply(proposals[0])
+                session.back()
+        stats = endpoint.stats.snapshot()
+        assert stats.fallback_selects == 0, stats.decline_reasons
+        assert stats.fallback_aggregates == 0, stats.decline_reasons
+        assert stats.compiled_selects + stats.fused_aggregates > 0
+
 
 def _first_label(kg) -> str:
     dimension = kg.schema.dimensions[0]
