@@ -1,0 +1,214 @@
+"""HTTP serving under multi-tenant load: latency percentiles, zero wrong answers.
+
+Drives the :mod:`repro.server` front-end the way the paper's "many
+analysts, one store" deployment would be driven: ``N_TENANTS`` (≥ 8)
+concurrent tenants, each with its own keep-alive HTTP connection, issuing
+a mixed SELECT/ASK workload whose correct bodies are precomputed from a
+clean endpoint.  The acceptance bar is *correct-or-error*: a response is
+either byte-identical to the precomputed truth or a mapped error status —
+a 200 carrying a wrong body fails the run immediately, under clean serving
+and under seeded chaos alike.
+
+Emits ``benchmarks/results/BENCH_server.json`` with per-tenant and overall
+p50/p95 latency, throughput, and the error breakdown, so the serving
+trajectory is tracked across PRs.
+
+Sizes are environment-tunable so CI can smoke the benchmark quickly::
+
+    REPRO_BENCH_SERVER_TENANTS=8 REPRO_BENCH_SERVER_REQS=20 \
+        pytest benchmarks/test_server_load.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+import urllib.parse
+
+import pytest
+
+from repro.datasets import generate_eurostat
+from repro.resilience import FaultInjector, FaultPlan
+from repro.server import serve_in_thread
+from repro.serving import QueryService
+from repro.sparql.results import to_sparql_json
+
+from .helpers import emit, emit_json, fmt_ms, format_table
+
+N_TENANTS = max(8, int(os.environ.get("REPRO_BENCH_SERVER_TENANTS", "8")))
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVER_REQS", "60"))
+N_OBSERVATIONS = int(os.environ.get("REPRO_BENCH_SERVER_OBS", "800"))
+N_WORKERS = int(os.environ.get("REPRO_BENCH_SERVER_WORKERS", "4"))
+CHAOS_SEED = int(os.environ.get("REPRO_BENCH_SERVER_SEED", "13"))
+
+QUERY_SHAPES = (
+    "SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY ?p",
+    "SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p",
+    "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s "
+    "ORDER BY DESC(?n) ?s LIMIT 10",
+    "ASK { ?s ?p ?o }",
+)
+
+#: statuses the error-mapping table allows under load/chaos
+ERROR_STATUSES = (400, 429, 503, 504)
+
+
+@pytest.fixture(scope="module")
+def kg():
+    return generate_eurostat(n_observations=N_OBSERVATIONS, scale=0.3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def truth(kg):
+    """Precomputed correct body per query, from a clean endpoint."""
+    endpoint = kg.endpoint()
+    return {
+        query: to_sparql_json(endpoint.query(query)).encode()
+        for query in QUERY_SHAPES
+    }
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def drive(handle, truth, label: str) -> dict:
+    """Run the tenant fleet; returns the stats payload, fails on wrong 200s."""
+    results: dict[str, dict] = {}
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def tenant_worker(tenant: str) -> None:
+        connection = http.client.HTTPConnection(
+            handle.server.host, handle.server.port, timeout=60)
+        latencies: list[float] = []
+        answered = errored = 0
+        try:
+            for i in range(N_REQUESTS):
+                query = QUERY_SHAPES[(hash(tenant) + i) % len(QUERY_SHAPES)]
+                target = "/sparql?" + urllib.parse.urlencode({"query": query})
+                start = time.perf_counter()
+                try:
+                    connection.request("GET", target,
+                                       headers={"X-Repro-Tenant": tenant})
+                    response = connection.getresponse()
+                    body = response.read()
+                except (http.client.HTTPException, OSError):
+                    # keep-alive connection dropped; reconnect and retry once
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        handle.server.host, handle.server.port, timeout=60)
+                    connection.request("GET", target,
+                                       headers={"X-Repro-Tenant": tenant})
+                    response = connection.getresponse()
+                    body = response.read()
+                latencies.append(time.perf_counter() - start)
+                if response.status == 200:
+                    if body != truth[query]:
+                        with lock:
+                            errors.append(
+                                f"{tenant}: wrong 200 body for {query!r}")
+                    answered += 1
+                elif response.status in ERROR_STATUSES:
+                    errored += 1
+                else:
+                    with lock:
+                        errors.append(
+                            f"{tenant}: unexpected status {response.status}")
+        finally:
+            connection.close()
+        with lock:
+            results[tenant] = {
+                "answered": answered,
+                "errored": errored,
+                "p50": percentile(latencies, 0.50),
+                "p95": percentile(latencies, 0.95),
+            }
+
+    tenants = [f"tenant-{i:02d}" for i in range(N_TENANTS)]
+    threads = [threading.Thread(target=tenant_worker, args=(t,))
+               for t in tenants]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    assert not errors, errors[:5]
+    all_latencies = [entry[key] for entry in results.values()
+                     for key in ("p50", "p95")]
+    total = N_TENANTS * N_REQUESTS
+    answered = sum(entry["answered"] for entry in results.values())
+    errored = sum(entry["errored"] for entry in results.values())
+    assert answered + errored == total
+    return {
+        "label": label,
+        "tenants": N_TENANTS,
+        "requests_per_tenant": N_REQUESTS,
+        "workers": N_WORKERS,
+        "observations": N_OBSERVATIONS,
+        "answered": answered,
+        "errored": errored,
+        "incorrect": 0,  # a wrong body would have failed the assert above
+        "elapsed": elapsed,
+        "throughput": total / elapsed,
+        "p50": percentile([e["p50"] for e in results.values()], 0.50),
+        "p95": max(e["p95"] for e in results.values()),
+        "per_tenant": results,
+    }
+
+
+def test_multi_tenant_load(kg, truth):
+    """Clean serving: every tenant gets every answer, zero errors allowed."""
+    service = QueryService(kg.endpoint(), workers=N_WORKERS)
+    handle = serve_in_thread(service, own_service=True)
+    try:
+        payload = drive(handle, truth, "clean")
+    finally:
+        handle.close()
+    # The clean run has a hard zero-error floor: nothing is shed, nothing
+    # times out, nothing is quota-denied (tenants are unmetered here).
+    assert payload["errored"] == 0
+    rows = [[t, e["answered"], e["errored"], fmt_ms(e["p50"]),
+             fmt_ms(e["p95"])] for t, e in sorted(payload["per_tenant"].items())]
+    table = format_table(["tenant", "answered", "errors", "p50", "p95"], rows)
+    emit("server_load", f"{N_TENANTS} tenants x {N_REQUESTS} reqs over HTTP "
+         f"({payload['throughput']:.0f} req/s)", table)
+
+    chaos_payload = _chaos_run(kg, truth)
+    emit_json("server", {
+        "clean": payload,
+        "chaos": chaos_payload,
+        "config": {
+            "tenants": N_TENANTS,
+            "requests_per_tenant": N_REQUESTS,
+            "observations": N_OBSERVATIONS,
+            "workers": N_WORKERS,
+            "chaos_seed": CHAOS_SEED,
+        },
+    })
+
+
+def _chaos_run(kg, truth) -> dict:
+    """Chaos variant: seeded faults; correct-or-error, some answers survive."""
+    injector = FaultInjector(
+        kg.endpoint(),
+        FaultPlan.random(CHAOS_SEED, timeout_rate=0.05, transient_rate=0.08,
+                         latency_rate=0.10, max_latency=0.002),
+    )
+    service = QueryService(injector, workers=N_WORKERS, cache_size=0)
+    handle = serve_in_thread(service, own_service=True, retries=1)
+    try:
+        payload = drive(handle, truth, f"chaos(seed={CHAOS_SEED})")
+    finally:
+        handle.close()
+    assert payload["answered"] > 0  # retries must pull some answers through
+    return payload

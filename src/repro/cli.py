@@ -1,9 +1,19 @@
-"""Command-line interface: interactive example-driven exploration.
+"""Command-line interface: exploration shell, one-shot queries, serving.
 
-A terminal front end for the exploration session, mirroring the paper's
-server + UI deployment at REPL scale::
+Three entry points share one data-loading pipeline:
 
-    python -m repro --dataset eurostat --observations 2000 --scale 0.4
+* the interactive exploration shell (the default, mirroring the paper's
+  server + UI deployment at REPL scale)::
+
+      python -m repro --dataset eurostat --observations 2000 --scale 0.4
+
+* one-shot query execution with a wire-format flag::
+
+      python -m repro query "SELECT ..." --format csv
+
+* the SPARQL-protocol HTTP server (see :mod:`repro.server`)::
+
+      python -m repro serve --port 8080 --workers 8 --quota-rate 50
 
 Commands inside the shell::
 
@@ -351,41 +361,158 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _add_common_args(parser: argparse.ArgumentParser,
+                     suppress: bool = False) -> None:
+    """Dataset/engine/serving flags shared by every entry point.
+
+    The main parser gets real defaults; subparsers get ``SUPPRESS``
+    versions of the same flags, so ``repro serve --dataset production``
+    works without the subparser's defaults clobbering flags given before
+    the subcommand.
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
+    parser.add_argument("--dataset", choices=sorted(_GENERATORS),
+                        default=default("eurostat"),
+                        help="built-in synthetic dataset to explore")
+    parser.add_argument("--observations", type=int, default=default(2000))
+    parser.add_argument("--scale", type=float, default=default(0.4),
+                        help="member-pool scale factor (1.0 = paper scale)")
+    parser.add_argument("--seed", type=int, default=default(0))
+    parser.add_argument("--ntriples", metavar="FILE", default=default(None),
+                        help="explore an N-Triples file instead of a generator")
+    parser.add_argument("--observation-class",
+                        default=default(str(OBSERVATION_CLASS)),
+                        help="observation class IRI (with --ntriples)")
+    parser.add_argument("--workers", type=_positive_int, default=default(4),
+                        help="serving worker threads (see repro.serving)")
+    parser.add_argument("--cache-size", type=_nonnegative_int,
+                        default=default(4096),
+                        help="query result cache entries; 0 disables caching")
+    parser.add_argument("--no-compile", action="store_true",
+                        default=default(False),
+                        help="disable compiled id-space BGP execution "
+                             "(fall back to the term-space interpreter)")
+    parser.add_argument("--retries", type=_nonnegative_int, default=default(0),
+                        help="retry budget for transient endpoint faults "
+                             "(exponential backoff; 0 disables retries)")
+    parser.add_argument("--breaker", action="store_true", default=default(False),
+                        help="enable the per-endpoint circuit breaker "
+                             "(shed calls while the store fails persistently)")
+    parser.add_argument("--serve-stale", action="store_true",
+                        default=default(False),
+                        help="answer from last-known-good results while the "
+                             "circuit breaker is open (implies --breaker)")
+    parser.add_argument("--chaos-seed", type=int, default=default(None),
+                        metavar="SEED",
+                        help="inject deterministic endpoint faults from this "
+                             "seed (demo/testing; see repro.resilience)")
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="RE2xOLAP: example-driven exploratory analytics over KGs",
     )
-    parser.add_argument("--dataset", choices=sorted(_GENERATORS), default="eurostat",
-                        help="built-in synthetic dataset to explore")
-    parser.add_argument("--observations", type=int, default=2000)
-    parser.add_argument("--scale", type=float, default=0.4,
-                        help="member-pool scale factor (1.0 = paper scale)")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--ntriples", metavar="FILE", default=None,
-                        help="explore an N-Triples file instead of a generator")
-    parser.add_argument("--observation-class", default=str(OBSERVATION_CLASS),
-                        help="observation class IRI (with --ntriples)")
-    parser.add_argument("--workers", type=_positive_int, default=4,
-                        help="serving worker threads (see repro.serving)")
-    parser.add_argument("--cache-size", type=_nonnegative_int, default=4096,
-                        help="query result cache entries; 0 disables caching")
-    parser.add_argument("--no-compile", action="store_true",
-                        help="disable compiled id-space BGP execution "
-                             "(fall back to the term-space interpreter)")
-    parser.add_argument("--retries", type=_nonnegative_int, default=0,
-                        help="retry budget for transient endpoint faults "
-                             "(exponential backoff; 0 disables retries)")
-    parser.add_argument("--breaker", action="store_true",
-                        help="enable the per-endpoint circuit breaker "
-                             "(shed calls while the store fails persistently)")
-    parser.add_argument("--serve-stale", action="store_true",
-                        help="answer from last-known-good results while the "
-                             "circuit breaker is open (implies --breaker)")
-    parser.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
-                        help="inject deterministic endpoint faults from this "
-                             "seed (demo/testing; see repro.resilience)")
+    _add_common_args(parser)
+    subparsers = parser.add_subparsers(dest="command", metavar="command")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the SPARQL-protocol HTTP server (see repro.server)")
+    _add_common_args(serve, suppress=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=_nonnegative_int, default=8080,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--quota-rate", type=float, default=None,
+                       metavar="REQ_PER_S",
+                       help="per-tenant token-bucket refill rate "
+                            "(default: unlimited)")
+    serve.add_argument("--quota-burst", type=float, default=20.0,
+                       help="per-tenant token-bucket burst capacity")
+    serve.add_argument("--max-queue", type=_positive_int, default=64,
+                       help="per-tenant pending-request lane depth")
+    serve.add_argument("--request-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="total budget per request incl. queueing; "
+                            "aged-out requests are shed with 503")
+
+    query = subparsers.add_parser(
+        "query", help="run one SPARQL query and print the results")
+    _add_common_args(query, suppress=True)
+    query.add_argument("sparql", help="the query text")
+    query.add_argument("--format", choices=("json", "csv", "tsv", "table"),
+                       default="table",
+                       help="output serialization (SPARQL JSON / CSV / TSV "
+                            "or a fixed-width table)")
+    query.add_argument("--timeout", default=None, metavar="SECONDS",
+                       help="evaluation timeout; 'none' disables it, 0 is an "
+                            "already-expired budget (both honored literally)")
     return parser
+
+
+def _query_main(args: argparse.Namespace, stdout: IO[str]) -> int:
+    """``repro query``: run one query, print in the requested format."""
+    from .sparql.results import ResultSet, to_csv, to_sparql_json, to_tsv
+    from .store.endpoint import DEFAULT_TIMEOUT
+    from .store.graph import Graph as _Graph
+
+    endpoint, _ = build_endpoint(args)
+    timeout = DEFAULT_TIMEOUT
+    if args.timeout is not None:
+        raw = args.timeout.strip().lower()
+        # Explicit "none" and explicit 0 are honored literally; only an
+        # absent flag defers to the endpoint default.
+        timeout = None if raw in ("none", "off") else float(raw)
+    result = endpoint.query(args.sparql, timeout=timeout)
+    if isinstance(result, _Graph):
+        print(result.to_ntriples(), end="", file=stdout)
+        return 0
+    writers = {"json": to_sparql_json, "csv": to_csv, "tsv": to_tsv}
+    if args.format in writers:
+        print(writers[args.format](result), end="", file=stdout)
+    elif isinstance(result, ResultSet):
+        print(result.pretty(max_rows=None), file=stdout)
+    else:
+        print("true" if result else "false", file=stdout)
+    return 0
+
+
+def _serve_main(args: argparse.Namespace, stdin: IO[str],
+                stdout: IO[str]) -> int:
+    """``repro serve``: boot the HTTP front-end, run until EOF/interrupt."""
+    from .server import ReproServer, ServerHandle
+
+    print("loading data and bootstrapping (one-off)...", file=stdout)
+    endpoint, observation_class = build_endpoint(args)
+    # Resilience is wired per tenant by the server itself, so the service
+    # runs undecorated here (cache_size forwarded: --cache-size 0 stays off).
+    service = QueryService(endpoint, workers=args.workers,
+                           cache_size=args.cache_size)
+    server = ReproServer(
+        service, args.host, args.port,
+        observation_class=IRI(args.observation_class),
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+        max_queue=args.max_queue, retries=args.retries,
+        breaker=args.breaker, serve_stale=args.serve_stale,
+        request_deadline=args.request_deadline, own_service=True,
+    )
+    handle = ServerHandle(server).start()
+    print(f"serving SPARQL at {handle.url}/sparql "
+          f"({args.workers} workers, quota "
+          f"{args.quota_rate if args.quota_rate else 'unlimited'}); "
+          "Ctrl-C or EOF to stop", file=stdout, flush=True)
+    try:
+        for _line in stdin:
+            pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        handle.close()
+    print("bye", file=stdout)
+    return 0
 
 
 def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
@@ -394,6 +521,11 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     args = make_parser().parse_args(argv)
+    command = getattr(args, "command", None)
+    if command == "query":
+        return _query_main(args, stdout)
+    if command == "serve":
+        return _serve_main(args, stdin, stdout)
     print("loading data and bootstrapping (one-off)...", file=stdout)
     endpoint, observation_class = build_endpoint(args)
     retry = breaker = None

@@ -91,6 +91,21 @@ class ServiceShutdownError(ServingError):
     """Raised when work is submitted to a service that has shut down."""
 
 
+class QuotaExceededError(ServingError):
+    """Raised when a tenant's token-bucket quota denies admission.
+
+    Distinct from :class:`AdmissionError` (the shared executor queue is
+    full — everybody's problem): a quota denial is *this* tenant spending
+    faster than its refill rate, so the HTTP layer maps it to 429 rather
+    than 503.  ``retry_after`` says how long until the bucket holds a
+    token again.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 class CircuitOpenError(TransientError, ServingError):
     """Raised when a circuit breaker rejects a call without trying it.
 

@@ -1,0 +1,277 @@
+"""Minimal asyncio HTTP/1.1 layer for the SPARQL front-end.
+
+Stdlib only: connections are ``asyncio`` streams, requests are parsed by
+hand (request line, headers, ``Content-Length`` bodies — the subset the
+SPARQL protocol and the session API need), and every response carries an
+explicit ``Content-Length`` so keep-alive works without chunking.
+
+The piece that matters for serving is the lifecycle: :class:`HTTPServer`
+counts in-flight requests, and :meth:`HTTPServer.stop` *drains* — it stops
+accepting new connections, lets every request already being handled finish
+and flush its response, then closes the remaining idle connections.  No
+accepted request is ever dropped with a half-written response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+from urllib.parse import parse_qs, unquote, urlsplit
+
+__all__ = ["HTTPError", "HTTPServer", "Request", "Response"]
+
+#: Request-size guard rails (the session API and SPARQL queries are small).
+MAX_REQUEST_LINE = 64 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    406: "Not Acceptable",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HTTPError(Exception):
+    """Raised by request parsing; turns into a 400-family response."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(message)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str  # raw request target, e.g. ``/sparql?query=...``
+    path: str  # decoded path component
+    params: dict[str, list[str]]  # decoded query-string parameters
+    headers: dict[str, str]  # keys lower-cased
+    body: bytes = b""
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """First value of a query-string parameter."""
+        values = self.params.get(name)
+        return values[0] if values else default
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    def form(self) -> dict[str, list[str]]:
+        """The body parsed as ``application/x-www-form-urlencoded``."""
+        try:
+            return parse_qs(self.body.decode("utf-8"),
+                            keep_blank_values=True)
+        except UnicodeDecodeError as exc:
+            raise HTTPError(400, f"undecodable form body: {exc}") from exc
+
+
+@dataclass
+class Response:
+    """One HTTP response; the server adds framing headers on the wire."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: list[tuple[str, str]] = field(default_factory=list)
+
+    def encode(self, *, close: bool) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        lines.append(f"Content-Type: {self.content_type}")
+        lines.append(f"Content-Length: {len(self.body)}")
+        lines.extend(f"{name}: {value}" for name, value in self.headers)
+        lines.append("Connection: close" if close else "Connection: keep-alive")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # connection closed between requests
+        raise HTTPError(400, "truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HTTPError(400, "request line too long") from exc
+    if len(line) > MAX_REQUEST_LINE:
+        raise HTTPError(400, "request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HTTPError(400, f"malformed request line: {line!r}")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            raw = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            raise HTTPError(400, "truncated headers") from exc
+        total += len(raw)
+        if total > MAX_HEADER_BYTES:
+            raise HTTPError(400, "headers too large")
+        text = raw.decode("latin-1").rstrip("\r\n")
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise HTTPError(400, f"malformed header line: {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise HTTPError(400, f"bad Content-Length: {length_text!r}") from exc
+        if length < 0:
+            raise HTTPError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HTTPError(413, f"body of {length} bytes exceeds the limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HTTPError(400, "truncated body") from exc
+    elif headers.get("transfer-encoding"):
+        raise HTTPError(400, "chunked request bodies are not supported")
+
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        params=parse_qs(split.query, keep_blank_values=True),
+        headers=headers,
+        body=body,
+    )
+
+
+class HTTPServer:
+    """An asyncio TCP server dispatching requests to one async handler."""
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1",
+                 port: int = 0):
+        self._handler = handler
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+        self._closing = False
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port,
+            limit=MAX_REQUEST_LINE,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight, close idle."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Every request currently inside the handler finishes and flushes.
+        await self._idle.wait()
+        for writer in list(self._connections):
+            writer.close()
+
+    async def _respond(self, writer: asyncio.StreamWriter,
+                       response: Response, *, close: bool) -> None:
+        writer.write(response.encode(close=close))
+        await writer.drain()
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HTTPError as error:
+                    body = f'{{"error": {{"type": "http", "message": "{error}"}}}}'
+                    await self._respond(
+                        writer,
+                        Response(error.status, body.encode("utf-8")),
+                        close=True,
+                    )
+                    return
+                if request is None:
+                    return
+                if self._closing:
+                    # The listener is closed but this keep-alive connection
+                    # raced a new request in; refuse it cleanly.
+                    await self._respond(
+                        writer,
+                        Response(
+                            503,
+                            b'{"error": {"type": "shutdown", '
+                            b'"message": "server is shutting down"}}',
+                            headers=[("Retry-After", "1")],
+                        ),
+                        close=True,
+                    )
+                    return
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    try:
+                        response = await self._handler(request)
+                    except Exception as error:  # handler bug: keep serving
+                        message = f"{type(error).__name__}: {error}"
+                        response = Response(
+                            500,
+                            ('{"error": {"type": "internal", "message": '
+                             + _json_quote(message) + "}}").encode("utf-8"),
+                        )
+                    close = (self._closing
+                             or request.header("connection").lower() == "close")
+                    await self._respond(writer, response, close=close)
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                if close:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing to flush
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+
+def _json_quote(text: str) -> str:
+    import json
+
+    return json.dumps(text)

@@ -1,0 +1,119 @@
+"""SPARQL 1.1 protocol plumbing: query extraction and content negotiation.
+
+Implements the protocol surface of the endpoint:
+
+* ``GET /sparql?query=...`` — query in the URL;
+* ``POST /sparql`` with ``application/x-www-form-urlencoded`` — query (and
+  optional ``timeout``) as form fields;
+* ``POST /sparql`` with ``application/sparql-query`` — the query text as
+  the raw request body ("direct POST").
+
+Result formats are negotiated from the ``Accept`` header against
+:data:`repro.sparql.results.SERIALIZERS` (SPARQL JSON is the default and
+the ``*/*`` answer); CONSTRUCT results are returned as N-Triples.
+
+``timeout`` is this server's one protocol extension: seconds as a float,
+``0`` meaning an already-expired budget (the request is admitted and
+immediately times out — useful for probing) and ``none`` meaning no
+evaluation timeout at all.  Both are passed through literally; only an
+*absent* parameter falls back to the service's default timeout.
+"""
+
+from __future__ import annotations
+
+from ..sparql.results import SERIALIZERS
+from ..store.endpoint import DEFAULT_TIMEOUT
+from .http import HTTPError, Request
+
+__all__ = ["extract_query", "negotiate", "parse_timeout"]
+
+#: Accept values treated as "no preference".
+_WILDCARDS = ("*/*", "application/*", "text/*")
+
+
+def parse_timeout(raw: str | None):
+    """Map the ``timeout`` parameter to an endpoint timeout argument.
+
+    ``None`` (parameter absent) → the :data:`DEFAULT_TIMEOUT` sentinel, so
+    the endpoint's configured default applies.  ``"none"`` → ``None``
+    (explicitly unlimited).  Anything else must be a non-negative float —
+    including ``"0"``, which is honored literally as an already-expired
+    deadline rather than being swallowed by a truthiness check.
+    """
+    if raw is None:
+        return DEFAULT_TIMEOUT
+    if raw.strip().lower() in ("none", "off"):
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise HTTPError(400, f"malformed timeout parameter: {raw!r}") from None
+    if value < 0:
+        raise HTTPError(400, f"timeout must be >= 0, got {raw!r}")
+    return value
+
+
+def extract_query(request: Request) -> tuple[str, object]:
+    """The query text and timeout argument of one SPARQL-protocol request."""
+    if request.method == "GET":
+        text = request.param("query")
+        if text is None:
+            raise HTTPError(400, "missing query parameter")
+        return text, parse_timeout(request.param("timeout"))
+    if request.method != "POST":
+        raise HTTPError(405, f"method {request.method} not allowed on /sparql")
+    content_type = request.header("content-type").split(";")[0].strip().lower()
+    if content_type == "application/sparql-query":
+        try:
+            text = request.body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise HTTPError(400, f"undecodable query body: {exc}") from exc
+        return text, parse_timeout(request.param("timeout"))
+    if content_type in ("application/x-www-form-urlencoded", ""):
+        form = request.form()
+        values = form.get("query")
+        if not values:
+            raise HTTPError(400, "missing query form field")
+        timeout_values = form.get("timeout") or [None]
+        return values[0], parse_timeout(timeout_values[0])
+    raise HTTPError(
+        415,
+        f"unsupported content type {content_type!r}; use "
+        "application/sparql-query or application/x-www-form-urlencoded",
+    )
+
+
+def negotiate(accept: str):
+    """Pick a SELECT/ASK serializer for an ``Accept`` header.
+
+    Returns ``(writer, content_type)``.  Absent/wildcard Accept headers
+    get SPARQL JSON; an Accept listing only unsupported types is a 406.
+    q-values are honored in listing order (ties keep client order).
+    """
+    if not accept or not accept.strip():
+        return SERIALIZERS["application/sparql-results+json"]
+    candidates = []
+    for position, part in enumerate(accept.split(",")):
+        fields = part.strip().split(";")
+        media = fields[0].strip().lower()
+        if not media:
+            continue
+        quality = 1.0
+        for field in fields[1:]:
+            name, _, value = field.strip().partition("=")
+            if name.strip() == "q":
+                try:
+                    quality = float(value)
+                except ValueError:
+                    quality = 0.0
+        candidates.append((-quality, position, media))
+    for _quality, _position, media in sorted(candidates):
+        if media in _WILDCARDS:
+            return SERIALIZERS["application/sparql-results+json"]
+        if media in SERIALIZERS:
+            return SERIALIZERS[media]
+    raise HTTPError(
+        406,
+        f"no supported result format in Accept: {accept!r}; offered: "
+        + ", ".join(sorted(set(SERIALIZERS) - {"application/json"})),
+    )

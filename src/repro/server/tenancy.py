@@ -1,0 +1,327 @@
+"""Multi-tenant admission: token-bucket quotas and fair dispatch.
+
+Two mechanisms keep one tenant from eating the whole serving layer:
+
+* :class:`TokenBucket` — the per-tenant *rate* quota.  A tenant spending
+  faster than its refill rate is denied admission immediately with
+  :class:`~repro.errors.QuotaExceededError` (HTTP 429 + Retry-After at
+  the protocol layer), before its request touches any shared resource.
+
+* :class:`FairDispatcher` — the per-tenant *ordering* guarantee.  Each
+  tenant gets its own bounded FIFO lane; a dispatcher thread hands work
+  to the shared :class:`~repro.serving.executor.ServingExecutor` in
+  round-robin order over the lanes **and only when a worker is free**, so
+  the executor's internal queue stays empty and a hot tenant with a deep
+  backlog cannot push another tenant's single request behind it.  The
+  wait a slow tenant observes is bounded by (number of active tenants ×
+  one request's service time), not by the hot tenant's queue depth.
+
+Both are plain threading constructs: the asyncio front-end awaits the
+returned futures via ``asyncio.wrap_future``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from ..errors import (
+    AdmissionError,
+    QuotaExceededError,
+    RequestShedError,
+    ServiceShutdownError,
+)
+from ..serving.executor import ServingExecutor
+
+__all__ = ["FairDispatcher", "TenantStats", "TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity refilled at ``rate``/s.
+
+    ``rate=None`` (or ``<= 0``) builds an unlimited bucket that always
+    grants — the default for trusted/internal tenants.  Thread-safe.
+    """
+
+    def __init__(self, rate: float | None, burst: float = 1.0,
+                 clock=time.monotonic):
+        if rate is not None and rate > 0 and burst < 1:
+            raise ValueError("burst must allow at least one request")
+        self.rate = None if rate is None or rate <= 0 else float(rate)
+        self.burst = float(burst)
+        self._tokens = self.burst
+        self._clock = clock
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def try_take(self, cost: float = 1.0) -> float:
+        """Spend ``cost`` tokens if available.
+
+        Returns ``0.0`` on success, otherwise the seconds until the bucket
+        will hold enough tokens (the Retry-After hint).  Never blocks.
+        """
+        if self.rate is None:
+            return 0.0
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._updated) * self.rate)
+            self._updated = now
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return 0.0
+            return (cost - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (refreshed); monitoring only."""
+        if self.rate is None:
+            return float("inf")
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._updated) * self.rate)
+            self._updated = now
+            return self._tokens
+
+
+@dataclass
+class TenantStats:
+    """Lifetime counters for one tenant's lane."""
+
+    submitted: int = 0
+    completed: int = 0
+    errors: int = 0  # dispatched requests that raised (timeouts included)
+    quota_denied: int = 0  # token-bucket rejections (HTTP 429)
+    rejected: int = 0  # lane-full rejections (HTTP 503)
+    shed: int = 0  # dispatched but deadline-expired in queue (HTTP 503)
+
+    def snapshot(self) -> "TenantStats":
+        return TenantStats(self.submitted, self.completed, self.errors,
+                           self.quota_denied, self.rejected, self.shed)
+
+
+@dataclass
+class _Item:
+    future: Future
+    fn: object
+    args: tuple
+    kwargs: dict
+    deadline: float | None
+    started: bool = False  # future already moved to RUNNING (requeue path)
+
+
+@dataclass
+class _Lane:
+    """One tenant's FIFO queue plus its quota bucket and counters."""
+
+    name: str
+    bucket: TokenBucket
+    queue: deque = field(default_factory=deque)
+    stats: TenantStats = field(default_factory=TenantStats)
+
+
+class FairDispatcher:
+    """Round-robin, quota-checked admission in front of a ServingExecutor.
+
+    ``max_queue`` bounds each tenant's lane (overflow is backpressure,
+    :class:`~repro.errors.AdmissionError`); ``quota_rate``/``quota_burst``
+    are the defaults for lanes created on first sight of a tenant —
+    :meth:`configure_tenant` overrides per tenant.
+    """
+
+    def __init__(
+        self,
+        executor: ServingExecutor,
+        max_queue: int = 64,
+        quota_rate: float | None = None,
+        quota_burst: float = 1.0,
+    ):
+        self._executor = executor
+        self.max_queue = max_queue
+        self._default_quota = (quota_rate, quota_burst)
+        self._cond = threading.Condition()
+        self._lanes: dict[str, _Lane] = {}
+        self._order: list[str] = []
+        self._rr = 0
+        self._dispatched = 0  # items handed to the executor, not yet done
+        self._closing = False
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-fair-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    # -- tenant management -------------------------------------------------
+
+    def _lane(self, tenant: str) -> _Lane:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            rate, burst = self._default_quota
+            lane = _Lane(tenant, TokenBucket(rate, burst))
+            self._lanes[tenant] = lane
+            self._order.append(tenant)
+        return lane
+
+    def configure_tenant(self, tenant: str, quota_rate: float | None,
+                         quota_burst: float = 1.0) -> None:
+        """Install a tenant-specific quota (replacing the default bucket)."""
+        with self._cond:
+            self._lane(tenant).bucket = TokenBucket(quota_rate, quota_burst)
+
+    def tenant_stats(self) -> dict[str, TenantStats]:
+        with self._cond:
+            return {name: lane.stats.snapshot()
+                    for name, lane in self._lanes.items()}
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return sum(len(lane.queue) for lane in self._lanes.values())
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, tenant: str, fn, /, *args,
+               deadline: float | None = None, **kwargs) -> Future:
+        """Admit one request for ``tenant``; returns a Future.
+
+        Raises :class:`QuotaExceededError` when the tenant's bucket is
+        empty, :class:`AdmissionError` when its lane is full, and
+        :class:`ServiceShutdownError` after :meth:`shutdown`.
+        """
+        with self._cond:
+            if self._closing:
+                raise ServiceShutdownError("dispatcher has been shut down")
+            lane = self._lane(tenant)
+            wait = lane.bucket.try_take()
+            if wait > 0.0:
+                lane.stats.quota_denied += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} exceeded its request quota; "
+                    f"retry in {wait:.3f}s",
+                    retry_after=wait,
+                )
+            if len(lane.queue) >= self.max_queue:
+                lane.stats.rejected += 1
+                raise AdmissionError(
+                    f"tenant {tenant!r} lane full "
+                    f"({self.max_queue} queued); retry later"
+                )
+            future: Future = Future()
+            lane.queue.append(_Item(future, fn, args, kwargs, deadline))
+            lane.stats.submitted += 1
+            self._cond.notify_all()
+            return future
+
+    # -- the dispatch loop -------------------------------------------------
+
+    def _free_worker(self) -> bool:
+        """Only hand out work while a pool worker is idle.
+
+        Keeping the executor's internal queue empty is what makes the
+        round-robin order *the* execution order — otherwise a burst would
+        FIFO-queue inside the pool and starve later lanes anyway.
+        """
+        return self._executor.stats.in_flight < self._executor.workers
+
+    def _next_item(self) -> tuple[_Lane, _Item] | None:
+        n = len(self._order)
+        for offset in range(n):
+            index = (self._rr + offset) % n
+            lane = self._lanes[self._order[index]]
+            if lane.queue:
+                self._rr = (index + 1) % n
+                return lane, lane.queue.popleft()
+        return None
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    has_work = any(lane.queue for lane in self._lanes.values())
+                    if has_work and self._free_worker():
+                        break
+                    if self._closing and not has_work and self._dispatched == 0:
+                        return
+                    # Timed wait: worker-free transitions are signalled by
+                    # done-callbacks, but a small timeout also rides over
+                    # executor churn without a lost-wakeup hazard.
+                    self._cond.wait(0.02)
+                picked = self._next_item()
+                if picked is None:
+                    continue
+                lane, item = picked
+                self._dispatched += 1
+            if not item.started:
+                if not item.future.set_running_or_notify_cancel():
+                    with self._cond:
+                        self._dispatched -= 1
+                        self._cond.notify_all()
+                    continue
+                item.started = True
+            try:
+                inner = self._executor.submit(
+                    item.fn, *item.args, deadline=item.deadline, **item.kwargs
+                )
+            except AdmissionError:
+                # Lost a race for the last slot; put the item back at the
+                # head of its lane and try again.
+                with self._cond:
+                    lane.queue.appendleft(item)
+                    self._dispatched -= 1
+                continue
+            except BaseException as error:
+                with self._cond:
+                    lane.stats.errors += 1
+                    self._dispatched -= 1
+                    self._cond.notify_all()
+                item.future.set_exception(error)
+                continue
+            inner.add_done_callback(
+                lambda f, lane=lane, outer=item.future: self._finish(lane, f, outer)
+            )
+
+    def _finish(self, lane: _Lane, inner: Future, outer: Future) -> None:
+        error = None if inner.cancelled() else inner.exception()
+        with self._cond:
+            self._dispatched -= 1
+            if inner.cancelled() or error is not None:
+                if isinstance(error, RequestShedError):
+                    lane.stats.shed += 1
+                else:
+                    lane.stats.errors += 1
+            else:
+                lane.stats.completed += 1
+            self._cond.notify_all()
+        if inner.cancelled():
+            outer.cancel()
+        elif error is not None:
+            outer.set_exception(error)
+        else:
+            outer.set_result(inner.result())
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admitting; drain every queued request, then stop the loop.
+
+        Draining (rather than cancelling) is what lets the HTTP layer
+        promise that accepted requests always get a real response.
+        """
+        with self._cond:
+            if self._closing:
+                if wait:
+                    pass  # fall through to join below
+                else:
+                    return
+            self._closing = True
+            self._cond.notify_all()
+        if wait:
+            self._thread.join()
+
+    def __repr__(self) -> str:
+        state = "closing" if self._closing else "running"
+        return (f"<FairDispatcher {state}: {len(self._lanes)} tenants, "
+                f"{self.pending} pending>")

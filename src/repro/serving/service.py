@@ -275,6 +275,11 @@ class QueryService:
         """The ResilientEndpoint decorator, or None when not configured."""
         return self._resilient
 
+    @property
+    def executor(self) -> ServingExecutor:
+        """The shared worker pool (the HTTP front-end dispatches onto it)."""
+        return self._executor
+
     def execute(self, text: str, timeout=DEFAULT_TIMEOUT):
         """Run one query string synchronously on the caller's thread."""
         self._check_open()
@@ -286,6 +291,17 @@ class QueryService:
         Raises :class:`~repro.errors.AdmissionError` when the bounded
         queue is full.  With a ``request_deadline`` configured, time spent
         queued counts against the request's evaluation budget.
+
+        The ``DEFAULT_TIMEOUT`` sentinel is resolved to the endpoint's
+        configured default *before* submission: the executor's deadline
+        composition takes the minimum of the evaluation timeout and the
+        remaining queue budget, and that minimum is only meaningful over
+        the resolved value.  (Previously the sentinel was replaced by the
+        remaining deadline outright, silently extending a request past
+        the endpoint's default.)  Explicit ``timeout=0`` and
+        ``timeout=None`` pass through literally — ``0`` is an
+        already-expired budget, ``None`` disables the evaluation timeout
+        and leaves only the request deadline.
         """
         self._check_open()
         deadline = (
@@ -293,6 +309,8 @@ class QueryService:
             if self.request_deadline is None
             else time.monotonic() + self.request_deadline
         )
+        if timeout is DEFAULT_TIMEOUT:
+            timeout = self._guarded.default_timeout
         return self._executor.submit(
             self._guarded.query, text, timeout=timeout, deadline=deadline
         )
@@ -327,13 +345,21 @@ class QueryService:
             return vgraph
 
     def open_session(self, observation_class, session_id: str | None = None,
-                     **session_kwargs) -> str:
-        """Create a managed exploration session; returns its id."""
+                     endpoint=None, **session_kwargs) -> str:
+        """Create a managed exploration session; returns its id.
+
+        ``endpoint`` overrides the session's query interface — the HTTP
+        front-end passes a per-tenant resilient decorator *over* the
+        guarded endpoint here, so tenant isolation (own breaker, own
+        retry budget) composes with the shared metering and read lock.
+        """
         self._check_open()
         from ..core.session import ExplorationSession
 
         vgraph = self.vgraph(observation_class)
-        session = ExplorationSession(self._guarded, vgraph, **session_kwargs)
+        session = ExplorationSession(
+            endpoint if endpoint is not None else self._guarded,
+            vgraph, **session_kwargs)
         with self._stats_lock:
             if session_id is None:
                 self._session_seq += 1

@@ -48,7 +48,7 @@ from .operators import WherePlan, compile_where
 from .explain import PlanStep, QueryPlan, explain
 from .expressions import ExpressionError, effective_boolean_value, evaluate
 from .parser import parse_query
-from .results import ResultSet
+from .results import SERIALIZERS, ResultSet, to_csv, to_sparql_json, to_tsv
 
 __all__ = [
     "parse_query",
@@ -69,6 +69,10 @@ __all__ = [
     "QueryPlan",
     "PlanStep",
     "ResultSet",
+    "SERIALIZERS",
+    "to_csv",
+    "to_sparql_json",
+    "to_tsv",
     "SelectBuilder",
     "var",
     "path",

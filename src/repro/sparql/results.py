@@ -1,4 +1,4 @@
-"""Query result containers.
+"""Query result containers and wire-format serializers.
 
 A :class:`ResultSet` is what ``SELECT`` evaluation returns: an ordered list
 of output variables and one row per solution, each row a tuple of terms (or
@@ -6,15 +6,38 @@ of output variables and one row per solution, each row a tuple of terms (or
 column access, conversion to dictionaries, and pretty-printing — the pieces
 the exploration session and the benchmark harness need to present results
 the way the paper's Tables do.
+
+The module also hosts the standard SPARQL result serializations shared by
+the HTTP front-end (:mod:`repro.server`) and the CLI ``--format`` flag:
+
+* :func:`to_sparql_json` — SPARQL 1.1 Query Results JSON
+  (``application/sparql-results+json``), for SELECT result sets and ASK
+  booleans alike;
+* :func:`to_csv` — SPARQL 1.1 Query Results CSV (``text/csv``): plain
+  lexical values, RFC 4180 quoting, CRLF row terminators;
+* :func:`to_tsv` — SPARQL 1.1 Query Results TSV
+  (``text/tab-separated-values``): terms in SPARQL surface syntax.
+
+:data:`SERIALIZERS` maps each format's media type to its writer so content
+negotiation is a dictionary lookup.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence
+import json
+from typing import Any, Callable, Iterator, Sequence
 
-from ..rdf.terms import Literal, Node, Variable
+from ..rdf.terms import BNode, IRI, Literal, Node, Variable
 
-__all__ = ["ResultSet", "Row"]
+__all__ = [
+    "ResultSet",
+    "Row",
+    "SERIALIZERS",
+    "binding_json",
+    "to_csv",
+    "to_sparql_json",
+    "to_tsv",
+]
 
 Row = tuple  # tuple[Node | None, ...]
 
@@ -117,3 +140,100 @@ def _row_key(row: Row) -> tuple:
     return tuple(
         ((0,) if value is None else (1,) + value.sort_key()) for value in row
     )
+
+
+# -- wire-format serializers -------------------------------------------------
+
+
+def binding_json(term: Node) -> dict[str, str]:
+    """One term in SPARQL 1.1 JSON results encoding."""
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        encoded: dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.language is not None:
+            encoded["xml:lang"] = term.language
+        elif term.datatype is not None:
+            encoded["datatype"] = term.datatype.value
+        return encoded
+    raise TypeError(f"cannot serialize {type(term).__name__} as a binding")
+
+
+def to_sparql_json(result: "ResultSet | bool") -> str:
+    """SPARQL 1.1 Query Results JSON for a SELECT result set or ASK verdict.
+
+    Unbound cells are omitted from their binding object, per the spec.
+    """
+    if isinstance(result, bool):
+        return json.dumps({"head": {}, "boolean": result})
+    bindings = []
+    names = [variable.name for variable in result.variables]
+    for row in result.rows:
+        bindings.append(
+            {
+                name: binding_json(value)
+                for name, value in zip(names, row)
+                if value is not None
+            }
+        )
+    document = {"head": {"vars": names}, "results": {"bindings": bindings}}
+    return json.dumps(document)
+
+
+def _csv_field(value: Node | None) -> str:
+    """CSV cell per the SPARQL 1.1 CSV rules: plain values, RFC 4180 quoting."""
+    if value is None:
+        return ""
+    if isinstance(value, IRI):
+        text = value.value
+    elif isinstance(value, BNode):
+        text = f"_:{value.label}"
+    else:
+        text = value.lexical
+    if any(ch in text for ch in (",", '"', "\n", "\r")):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def to_csv(result: "ResultSet | bool") -> str:
+    """SPARQL 1.1 Query Results CSV: lexical values, CRLF-terminated rows.
+
+    ASK verdicts (which the CSV spec leaves undefined) are written as a
+    one-column ``boolean`` table holding ``true`` or ``false``.
+    """
+    if isinstance(result, bool):
+        return f"boolean\r\n{'true' if result else 'false'}\r\n"
+    lines = [",".join(variable.name for variable in result.variables)]
+    lines.extend(
+        ",".join(_csv_field(value) for value in row) for row in result.rows
+    )
+    return "\r\n".join(lines) + "\r\n"
+
+
+def to_tsv(result: "ResultSet | bool") -> str:
+    """SPARQL 1.1 Query Results TSV: terms in SPARQL surface syntax.
+
+    ASK verdicts are written the same way as in :func:`to_csv`.
+    """
+    if isinstance(result, bool):
+        return f"?boolean\n{'true' if result else 'false'}\n"
+    lines = ["\t".join(variable.n3() for variable in result.variables)]
+    lines.extend(
+        "\t".join("" if value is None else value.n3() for value in row)
+        for row in result.rows
+    )
+    return "\n".join(lines) + "\n"
+
+
+#: media type → (writer, charset-qualified Content-Type) for SELECT/ASK
+#: results; the content-negotiation table shared by the server and the CLI.
+SERIALIZERS: dict[str, tuple[Callable[["ResultSet | bool"], str], str]] = {
+    "application/sparql-results+json": (
+        to_sparql_json, "application/sparql-results+json"),
+    "application/json": (to_sparql_json, "application/sparql-results+json"),
+    "text/csv": (to_csv, "text/csv; charset=utf-8"),
+    "text/tab-separated-values": (
+        to_tsv, "text/tab-separated-values; charset=utf-8"),
+}

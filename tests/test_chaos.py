@@ -305,3 +305,76 @@ class TestServingUnderChaos:
             assert stats.breaker_trips >= 1
             assert stats.stale_served >= 1
             assert outcomes[-1] == "answered"  # the steady state is stale-serve
+
+
+class TestServerUnderFaults:
+    """The HTTP front-end under seeded chaos: correct or a mapped error,
+    never a 200 with a wrong body, and a graceful drain at the end."""
+
+    QUERY = TestServingUnderChaos.QUERY
+    #: statuses the error-mapping table allows for injected faults
+    #: (evaluation errors map to 400, shed/transient to 503, timeouts 504).
+    FAULT_STATUSES = (400, 503, 504)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_correct_or_error_over_http(self, mini_kg, seed):
+        import http.client
+        import json as jsonlib
+
+        from repro.serving import QueryService
+        from repro.server import serve_in_thread
+
+        endpoint = mini_kg.endpoint()
+        truth = {row[0].value for row in endpoint.select(self.QUERY)}
+        injector = chaotic(endpoint, seed, timeout_rate=0.15,
+                           transient_rate=0.2)
+        service = QueryService(injector, workers=2, cache_size=0)
+        handle = serve_in_thread(service, own_service=True, retries=1)
+        import threading
+        import urllib.parse
+
+        target = "/sparql?" + urllib.parse.urlencode({"query": self.QUERY})
+        counts = {"answered": 0, "errored": 0}
+        lock = threading.Lock()
+
+        def tenant_worker(tenant):
+            for _ in range(10):
+                conn = http.client.HTTPConnection(
+                    handle.server.host, handle.server.port, timeout=30)
+                try:
+                    conn.request("GET", target,
+                                 headers={"X-Repro-Tenant": tenant})
+                    response = conn.getresponse()
+                    body = response.read()
+                finally:
+                    conn.close()
+                if response.status == 200:
+                    document = jsonlib.loads(body)
+                    got = {b["s"]["value"]
+                           for b in document["results"]["bindings"]}
+                    assert got == truth, "wrong 200 body under chaos"
+                    with lock:
+                        counts["answered"] += 1
+                else:
+                    assert response.status in self.FAULT_STATUSES, body
+                    assert jsonlib.loads(body)["error"]["status"] == \
+                        response.status
+                    with lock:
+                        counts["errored"] += 1
+
+        threads = [threading.Thread(target=tenant_worker, args=(f"t{i}",))
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        handle.close()
+
+        assert counts["answered"] + counts["errored"] == 30
+        assert counts["answered"] > 0  # per-tenant retry must recover some
+        # The dispatcher's books must balance after the drain.
+        stats = handle.server.stats_document()
+        assert stats["http"]["pending"] == 0
+        for tenant, entry in stats["tenants"].items():
+            assert entry["submitted"] == (entry["completed"]
+                                          + entry["errors"] + entry["shed"])

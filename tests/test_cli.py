@@ -116,3 +116,97 @@ class TestEntryPoint:
         assert "ready:" in transcript
         assert "candidate queries" in transcript
         assert "bye" in transcript
+
+
+class TestSubcommands:
+    """The `query` and `serve` entry points (see repro.server)."""
+
+    COMMON = ["--dataset", "eurostat", "--observations", "80", "--scale", "0.1"]
+
+    def _query(self, *extra):
+        stdout = io.StringIO()
+        code = main(["query", *self.COMMON, *extra], stdout=stdout)
+        return code, stdout.getvalue()
+
+    def test_flags_compose_after_subcommand(self):
+        args = make_parser().parse_args(
+            ["serve", "--dataset", "production", "--port", "0"])
+        assert args.command == "serve"
+        assert args.dataset == "production"
+        assert args.port == 0
+        # main-parser defaults still land when the subcommand omits them
+        assert args.workers == 4 and args.cache_size == 4096
+
+    def test_query_formats(self):
+        query = "SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p LIMIT 3"
+        import json as jsonlib
+
+        code, out = self._query(query, "--format", "json")
+        assert code == 0
+        document = jsonlib.loads(out)
+        assert document["head"]["vars"] == ["p"]
+        assert len(document["results"]["bindings"]) == 3
+
+        code, out = self._query(query, "--format", "csv")
+        assert code == 0
+        assert out.startswith("p\r\n") and out.endswith("\r\n")
+
+        code, out = self._query(query, "--format", "tsv")
+        assert code == 0
+        assert out.startswith("?p\n")
+
+        code, out = self._query(query)  # default: pretty table
+        assert code == 0
+        assert "?p" in out
+
+    def test_query_ask_and_timeout_literals(self):
+        code, out = self._query("ASK { ?s ?p ?o }", "--format", "json")
+        assert code == 0 and '"boolean": true' in out
+        code, out = self._query("ASK { ?s ?p ?o }")
+        assert code == 0 and out.strip() == "true"
+        # timeout 'none' is explicit-unlimited; 0 must raise, not fall
+        # back to the default.
+        code, _ = self._query("ASK { ?s ?p ?o }", "--timeout", "none")
+        assert code == 0
+        from repro.errors import QueryTimeoutError
+
+        with pytest.raises(QueryTimeoutError):
+            self._query("SELECT ?s WHERE { ?s ?p ?o }", "--timeout", "0")
+
+    def test_serve_end_to_end(self):
+        import json as jsonlib
+        import re
+        import threading
+        import time
+        import urllib.request
+
+        class BlockingStdin:
+            def __init__(self):
+                self.release = threading.Event()
+
+            def __iter__(self):
+                self.release.wait(60)
+                return iter(())
+
+        stdin, stdout = BlockingStdin(), io.StringIO()
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(main(
+                ["serve", "--port", "0", *self.COMMON],
+                stdin=stdin, stdout=stdout)),
+            daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 60
+        url = None
+        while url is None and time.monotonic() < deadline:
+            match = re.search(r"serving SPARQL at (http://\S+)/sparql",
+                              stdout.getvalue())
+            url = match.group(1) if match else None
+            time.sleep(0.01)
+        assert url, stdout.getvalue()
+        with urllib.request.urlopen(f"{url}/healthz", timeout=10) as response:
+            assert jsonlib.load(response) == {"status": "ok"}
+        stdin.release.set()
+        thread.join(timeout=60)
+        assert codes == [0]
+        assert "bye" in stdout.getvalue()

@@ -71,3 +71,91 @@ class TestResultSet:
 
     def test_pretty_unlimited(self, rs):
         assert "more rows" not in rs.pretty(max_rows=None)
+
+
+# ---------------------------------------------------------------------------
+# Wire-format serializers (golden files under tests/golden/)
+# ---------------------------------------------------------------------------
+
+import json
+from pathlib import Path
+
+from repro.rdf import BNode
+from repro.sparql.results import (
+    SERIALIZERS,
+    binding_json,
+    to_csv,
+    to_sparql_json,
+    to_tsv,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+@pytest.fixture
+def wire_rs():
+    """One of each term shape: IRI, langtag, typed, quoted, bnode, unbound."""
+    return ResultSet(
+        [Variable("entity"), Variable("label"), Variable("count")],
+        [
+            (
+                IRI("http://example.org/kg/Germany"),
+                Literal("Germany", language="en"),
+                Literal("42", datatype=IRI(XSD + "integer")),
+            ),
+            (
+                IRI("http://example.org/kg/France"),
+                Literal('say "hi", twice\nplease'),
+                Literal("3.14", datatype=IRI(XSD + "decimal")),
+            ),
+            (BNode("b0"), None, Literal("plain")),
+        ],
+    )
+
+
+class TestSerializers:
+    def test_sparql_json_matches_golden(self, wire_rs):
+        golden = json.loads((GOLDEN / "results.srj").read_text())
+        assert json.loads(to_sparql_json(wire_rs)) == golden
+
+    def test_json_unbound_cells_are_omitted(self, wire_rs):
+        bindings = json.loads(to_sparql_json(wire_rs))["results"]["bindings"]
+        assert "label" not in bindings[2]
+        assert set(bindings[0]) == {"entity", "label", "count"}
+
+    def test_csv_matches_golden(self, wire_rs):
+        assert to_csv(wire_rs).encode() == (GOLDEN / "results.csv").read_bytes()
+
+    def test_tsv_matches_golden(self, wire_rs):
+        assert to_tsv(wire_rs).encode() == (GOLDEN / "results.tsv").read_bytes()
+
+    def test_csv_quotes_per_rfc4180(self):
+        rs = ResultSet([Variable("v")], [(Literal('a,"b"\nc'),)])
+        assert to_csv(rs) == 'v\r\n"a,""b""\nc"\r\n'
+
+    def test_ask_forms(self):
+        assert json.loads(to_sparql_json(True)) == {"head": {}, "boolean": True}
+        assert json.loads(to_sparql_json(False))["boolean"] is False
+        assert to_csv(True) == "boolean\r\ntrue\r\n"
+        assert to_csv(False) == "boolean\r\nfalse\r\n"
+        assert to_tsv(True) == "?boolean\ntrue\n"
+
+    def test_binding_json_term_shapes(self):
+        assert binding_json(IRI("urn:x")) == {"type": "uri", "value": "urn:x"}
+        assert binding_json(BNode("n1")) == {"type": "bnode", "value": "n1"}
+        assert binding_json(Literal("hi", language="en")) == {
+            "type": "literal", "value": "hi", "xml:lang": "en"}
+        assert binding_json(num(7)) == {
+            "type": "literal", "value": "7", "datatype": XSD + "integer"}
+        with pytest.raises(TypeError):
+            binding_json(Variable("v"))
+
+    def test_serializer_table_is_consistent(self):
+        # Every negotiable media type maps to a writer plus the concrete
+        # Content-Type the response will carry.
+        for media, (writer, content_type) in SERIALIZERS.items():
+            assert callable(writer)
+            assert content_type.split(";")[0] in SERIALIZERS
+        assert SERIALIZERS["application/json"][0] is to_sparql_json

@@ -248,6 +248,50 @@ class TestQueryService:
         finally:
             service.shutdown()
 
+    def test_default_timeout_survives_request_deadline(self):
+        """The DEFAULT_TIMEOUT sentinel must resolve to the endpoint's
+        configured default, not to the remaining request deadline.
+
+        Regression test: the executor's deadline composition used to
+        replace any non-numeric timeout — the sentinel included — with the
+        remaining queue budget, silently extending a request far past the
+        endpoint default.  With a zero default and a generous deadline the
+        query must still time out immediately.
+        """
+        service = QueryService(small_graph(200), workers=1,
+                               default_timeout=0.0, request_deadline=30.0)
+        try:
+            with pytest.raises(QueryTimeoutError):
+                service.submit(SELECT_ALL).result(timeout=10)
+        finally:
+            service.shutdown()
+
+    def test_explicit_timeout_zero_is_honored(self):
+        """timeout=0 is an already-expired budget, not falsy noise."""
+        service = QueryService(small_graph(200), workers=1)
+        try:
+            with pytest.raises(QueryTimeoutError):
+                service.submit(SELECT_ALL, timeout=0).result(timeout=10)
+            with pytest.raises(QueryTimeoutError):
+                service.execute(SELECT_ALL, timeout=0)
+        finally:
+            service.shutdown()
+
+    def test_explicit_timeout_none_disables_default(self):
+        """timeout=None means unlimited even under a tiny default."""
+        service = QueryService(small_graph(), workers=1,
+                               default_timeout=1e-9)
+        try:
+            # The default alone must fire...
+            with pytest.raises(QueryTimeoutError):
+                service.execute(SELECT_ALL)
+            # ...and an explicit None must override it, both paths.
+            assert len(service.execute(SELECT_ALL, timeout=None)) == 30
+            future = service.submit(SELECT_ALL, timeout=None)
+            assert len(future.result(timeout=10)) == 30
+        finally:
+            service.shutdown()
+
     def test_concurrent_mixed_sessions_match_serial(self, mini_kg):
         """≥8 threads of mixed sessions; results identical to serial."""
         n_threads = 8
