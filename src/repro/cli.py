@@ -78,6 +78,12 @@ def build_endpoint(args: argparse.Namespace) -> tuple[Endpoint, IRI]:
     cache = QueryCache(max_results=args.cache_size) if getattr(
         args, "cache_size", 0) > 0 else None
     compile_queries = not getattr(args, "no_compile", False)
+    if getattr(args, "snapshot", None):
+        # O(file open) bootstrap: the columns are mmap'd, terms decode
+        # lazily, and several processes given the same file share pages.
+        graph = Graph.load_snapshot(args.snapshot)
+        endpoint = Endpoint(graph, cache=cache, compile=compile_queries)
+        return endpoint, IRI(args.observation_class)
     if args.ntriples:
         with open(args.ntriples, encoding="utf-8") as handle:
             graph = Graph.from_ntriples(handle)
@@ -383,6 +389,9 @@ def _add_common_args(parser: argparse.ArgumentParser,
     parser.add_argument("--seed", type=int, default=default(0))
     parser.add_argument("--ntriples", metavar="FILE", default=default(None),
                         help="explore an N-Triples file instead of a generator")
+    parser.add_argument("--snapshot", metavar="FILE", default=default(None),
+                        help="boot from a columnar snapshot file instead of "
+                             "re-ingesting (see 'repro snapshot save')")
     parser.add_argument("--observation-class",
                         default=default(str(OBSERVATION_CLASS)),
                         help="observation class IRI (with --ntriples)")
@@ -439,6 +448,17 @@ def make_parser() -> argparse.ArgumentParser:
                        help="total budget per request incl. queueing; "
                             "aged-out requests are shed with 503")
 
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="save the store to (or verify loading from) a columnar "
+             "snapshot file")
+    _add_common_args(snapshot, suppress=True)
+    snapshot.add_argument("action", choices=("save", "load"),
+                          help="'save' ingests the dataset and writes FILE; "
+                               "'load' opens FILE and prints its stats")
+    snapshot.add_argument("path", metavar="FILE",
+                          help="snapshot file to write or read")
+
     query = subparsers.add_parser(
         "query", help="run one SPARQL query and print the results")
     _add_common_args(query, suppress=True)
@@ -477,6 +497,33 @@ def _query_main(args: argparse.Namespace, stdout: IO[str]) -> int:
         print(result.pretty(max_rows=None), file=stdout)
     else:
         print("true" if result else "false", file=stdout)
+    return 0
+
+
+def _snapshot_main(args: argparse.Namespace, stdout: IO[str]) -> int:
+    """``repro snapshot save|load``: persist or verify a columnar dump."""
+    import os
+    import time
+
+    if args.action == "save":
+        print("loading data and bootstrapping (one-off)...", file=stdout)
+        endpoint, _ = build_endpoint(args)
+        graph = endpoint.graph
+        started = time.perf_counter()
+        size = graph.save_snapshot(args.path)
+        elapsed = time.perf_counter() - started
+        print(f"saved {len(graph)} triples "
+              f"({len(graph.term_dictionary)} terms) to {args.path}: "
+              f"{size / 1e6:.1f} MB in {elapsed:.2f}s", file=stdout)
+        return 0
+    started = time.perf_counter()
+    graph = Graph.load_snapshot(args.path)
+    elapsed = time.perf_counter() - started
+    size = os.path.getsize(args.path)
+    print(f"loaded {len(graph)} triples "
+          f"({len(graph.term_dictionary)} terms, epoch {graph.epoch}) "
+          f"from {args.path} ({size / 1e6:.1f} MB) in {elapsed * 1000:.1f}ms",
+          file=stdout)
     return 0
 
 
@@ -526,6 +573,8 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
         return _query_main(args, stdout)
     if command == "serve":
         return _serve_main(args, stdin, stdout)
+    if command == "snapshot":
+        return _snapshot_main(args, stdout)
     print("loading data and bootstrapping (one-off)...", file=stdout)
     endpoint, observation_class = build_endpoint(args)
     retry = breaker = None

@@ -67,6 +67,19 @@ class EndpointUnavailableError(TransientError, QueryEvaluationError):
 FAULT_ERRORS = (TransientError, QueryTimeoutError)
 
 
+class SnapshotError(ReproError):
+    """Raised when a snapshot file cannot be written, read, or validated.
+
+    Covers bad magic/version, truncated sections, and checks failing at
+    load time — anything that means the file is not a snapshot this
+    build can serve queries from.
+    """
+
+
+class ReadOnlySnapshotError(SnapshotError):
+    """Raised on any mutation attempt against a read-only SnapshotView."""
+
+
 class SchemaError(ReproError):
     """Raised for inconsistent cube schema definitions."""
 

@@ -192,10 +192,12 @@ class BGPPlan:
     def _run_step(self, rows: list[list], step: Step, deadline) -> list[list]:
         """Extend every row through one join step (breadth-first)."""
         sc, ss, pc, ps, oc, os_ = step
-        spo = self.index.spo
-        pos = self.index.pos
-        osp = self.index.osp
-        match = self.index.match
+        index = self.index
+        scan_objects = index.scan_objects
+        scan_subjects = index.scan_subjects
+        scan_predicates = index.scan_predicates
+        contains = index.contains
+        match = index.match
         check = deadline.check
         out: list[list] = []
         append = out.append
@@ -203,45 +205,32 @@ class BGPPlan:
             s = sc if ss is None else row[ss]
             p = pc if ps is None else row[ps]
             o = oc if os_ is None else row[os_]
-            # The three ≥2-bound shapes probe the nested index maps
-            # directly and bind at most one register, so the hot loop
-            # allocates one row copy per match and nothing else.
+            # The three ≥2-bound shapes go through the layout-agnostic
+            # scan API (contiguous run slices on the columnar layout,
+            # nested-map hops on the dict layout) and bind at most one
+            # register, so the hot loop allocates one row copy per match
+            # and nothing else.
             if s is not None and p is not None:
-                objects = spo.get(s)
-                if objects is not None:
-                    objects = objects.get(p)
-                if objects is None:
-                    continue
                 if o is not None:
                     check()
-                    if o in objects:
+                    if contains(s, p, o):
                         append(row)  # fully bound: row is unchanged
                     continue
-                for oid in objects:
+                for oid in scan_objects(s, p):
                     check()
                     new = row.copy()
                     new[os_] = oid
                     append(new)
                 continue
             if p is not None and o is not None:
-                subjects = pos.get(p)
-                if subjects is not None:
-                    subjects = subjects.get(o)
-                if subjects is None:
-                    continue
-                for sid in subjects:
+                for sid in scan_subjects(p, o):
                     check()
                     new = row.copy()
                     new[ss] = sid
                     append(new)
                 continue
             if s is not None and o is not None:
-                predicates = osp.get(o)
-                if predicates is not None:
-                    predicates = predicates.get(s)
-                if predicates is None:
-                    continue
-                for pid in predicates:
+                for pid in scan_predicates(s, o):
                     check()
                     new = row.copy()
                     new[ps] = pid
@@ -272,10 +261,12 @@ class BGPPlan:
         survive the full plan.
         """
         sc, ss, pc, ps, oc, os_ = step
-        spo = self.index.spo
-        pos = self.index.pos
-        osp = self.index.osp
-        match = self.index.match
+        index = self.index
+        scan_objects = index.scan_objects
+        scan_subjects = index.scan_subjects
+        scan_predicates = index.scan_predicates
+        contains = index.contains
+        match = index.match
         check = deadline.check
         passes = self._row_passes
         for row in rows:
@@ -283,19 +274,14 @@ class BGPPlan:
             p = pc if ps is None else row[ps]
             o = oc if os_ is None else row[os_]
             if s is not None and p is not None:
-                objects = spo.get(s)
-                if objects is not None:
-                    objects = objects.get(p)
-                if objects is None:
-                    continue
                 if o is not None:
                     check()
-                    if o in objects and (
+                    if contains(s, p, o) and (
                         not ready or passes(row, ready, solutions[row[-1]], memo)
                     ):
                         yield row
                     continue
-                for oid in objects:
+                for oid in scan_objects(s, p):
                     check()
                     new = row.copy()
                     new[os_] = oid
@@ -303,12 +289,7 @@ class BGPPlan:
                         yield new
                 continue
             if p is not None and o is not None:
-                subjects = pos.get(p)
-                if subjects is not None:
-                    subjects = subjects.get(o)
-                if subjects is None:
-                    continue
-                for sid in subjects:
+                for sid in scan_subjects(p, o):
                     check()
                     new = row.copy()
                     new[ss] = sid
@@ -316,12 +297,7 @@ class BGPPlan:
                         yield new
                 continue
             if s is not None and o is not None:
-                predicates = osp.get(o)
-                if predicates is not None:
-                    predicates = predicates.get(s)
-                if predicates is None:
-                    continue
-                for pid in predicates:
+                for pid in scan_predicates(s, o):
                     check()
                     new = row.copy()
                     new[ps] = pid

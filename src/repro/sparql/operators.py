@@ -209,56 +209,56 @@ class _StepOp(PhysicalOp):
     def run(self, rows, ctx):
         sc, ss, pc, ps, oc, os_ = self.step
         index = ctx.index
-        spo = index.spo
-        pos = index.pos
-        osp = index.osp
+        scan_objects = index.scan_objects
+        scan_subjects = index.scan_subjects
+        scan_predicates = index.scan_predicates
+        predicate_pairs = index.predicate_pairs
+        contains = index.contains
         match = index.match
         check = ctx.check
         for row in rows:
             s = sc if ss is None else row[ss]
             p = pc if ps is None else row[ps]
             o = oc if os_ is None else row[os_]
-            # The three ≥2-bound shapes probe the nested index maps
-            # directly and bind at most one register.
+            # The three ≥2-bound shapes go through the layout-agnostic
+            # scan API (contiguous run slices on the columnar layout)
+            # and bind at most one register.
             if s is not None and p is not None:
-                objects = spo.get(s)
-                if objects is not None:
-                    objects = objects.get(p)
-                if objects is None:
-                    continue
                 if o is not None:
                     check()
-                    if o in objects:
+                    if contains(s, p, o):
                         yield row  # fully bound: the row is unchanged
                     continue
-                for oid in objects:
+                for oid in scan_objects(s, p):
                     check()
                     new = row.copy()
                     new[os_] = oid
                     yield new
                 continue
             if p is not None and o is not None:
-                subjects = pos.get(p)
-                if subjects is not None:
-                    subjects = subjects.get(o)
-                if subjects is None:
-                    continue
-                for sid in subjects:
+                for sid in scan_subjects(p, o):
                     check()
                     new = row.copy()
                     new[ss] = sid
                     yield new
                 continue
             if s is not None and o is not None:
-                predicates = osp.get(o)
-                if predicates is not None:
-                    predicates = predicates.get(s)
-                if predicates is None:
-                    continue
-                for pid in predicates:
+                for pid in scan_predicates(s, o):
                     check()
                     new = row.copy()
                     new[ps] = pid
+                    yield new
+                continue
+            if p is not None:
+                # ?s <p> ?o — the IndexScan workhorse.  The pair stream
+                # is two zipped column slices on the columnar layout, so
+                # the loop body is one row copy + two register writes
+                # per triple of the predicate's contiguous range.
+                for sid, oid in predicate_pairs(p):
+                    check()
+                    new = row.copy()
+                    new[ss] = sid
+                    new[os_] = oid
                     yield new
                 continue
             for sid, pid, oid in match(s, p, o):
@@ -521,33 +521,18 @@ def _path_eval(ctx, node, s, o):
         pid = node[1]
         index = ctx.index
         if s is not None:
-            objects = index.spo.get(s)
-            if objects is not None:
-                objects = objects.get(pid)
-            if objects is None:
-                return
             if o is not None:
-                if o in objects:
+                if index.contains(s, pid, o):
                     yield (s, o)
                 return
-            for oid in objects:
+            for oid in index.scan_objects(s, pid):
                 yield (s, oid)
             return
         if o is not None:
-            subjects = index.pos.get(pid)
-            if subjects is not None:
-                subjects = subjects.get(o)
-            if subjects is None:
-                return
-            for sid in subjects:
+            for sid in index.scan_subjects(pid, o):
                 yield (sid, o)
             return
-        object_map = index.pos.get(pid)
-        if object_map is None:
-            return
-        for oid, subjects in object_map.items():
-            for sid in subjects:
-                yield (sid, oid)
+        yield from index.predicate_pairs(pid)
         return
     if kind == "inv":
         for sid, oid in _path_eval(ctx, node[1], o, s):

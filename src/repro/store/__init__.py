@@ -7,7 +7,14 @@ an in-process, dictionary-encoded store and a SPARQL endpoint facade.
 from .dataset import Dataset, GraphView
 from .endpoint import DEFAULT_TIMEOUT, Endpoint, EndpointStats
 from .graph import Graph
-from .index import PredicateStats, TermDictionary, TripleIndex
+from .index import (
+    DictTripleIndex,
+    PredicateStats,
+    TermDictionary,
+    TripleIndex,
+    make_triple_index,
+)
+from .snapshot import SnapshotTermDictionary, SnapshotView, load_snapshot, save_snapshot
 from .text_index import TextIndex, tokenize
 
 __all__ = [
@@ -21,5 +28,11 @@ __all__ = [
     "tokenize",
     "TermDictionary",
     "TripleIndex",
+    "DictTripleIndex",
     "PredicateStats",
+    "make_triple_index",
+    "save_snapshot",
+    "load_snapshot",
+    "SnapshotView",
+    "SnapshotTermDictionary",
 ]

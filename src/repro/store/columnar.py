@@ -1,0 +1,217 @@
+"""Sorted-run column machinery for the columnar triple index.
+
+A :class:`Run` is one permutation of the triple table held as three
+parallel int64 columns sorted lexicographically by ``(a, b, c)``, plus a
+CSR-style offset array over the first key: ``starts[x] .. starts[x + 1]``
+is the contiguous row range whose first column equals ``x``.  Term ids are
+dense, so the offset array turns the outer dict hop of the old
+nested-hash layout into one O(1) array read; the remaining keys resolve
+with binary searches bounded to that range.  Scans come back as zero-copy
+``memoryview`` slices over the columns — contiguous id ranges the
+execution layer can iterate (and, later, batch) without per-key hops.
+
+Columns are exposed as memoryviews so they can be backed either by heap
+``array('q')`` buffers (in-memory graphs) or by an ``mmap`` of a snapshot
+file (see :mod:`repro.store.snapshot`) — the scan code cannot tell the
+difference.  Sorting and offset building go through numpy when it is
+importable (``lexsort``/``bincount`` on millions of rows) with a pure
+stdlib fallback.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Sequence
+
+try:  # numpy accelerates merges ~30x; the stdlib path is the safety net.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+__all__ = ["Run", "EMPTY_RUN", "build_run", "merge_run"]
+
+#: int64 in little-endian byte order — the only on-disk representation.
+ITEM_SIZE = 8
+
+_EMPTY_MV = memoryview(array("q"))
+_ZERO_STARTS = memoryview(array("q", [0]))
+
+
+class Run:
+    """One sorted permutation: three columns + first-key offsets.
+
+    ``a``/``b``/``c`` are memoryviews of int64 in permutation order (for
+    SPO: a=subject, b=predicate, c=object).  ``starts`` has
+    ``max(a) + 2`` entries; ids beyond it simply have no rows.
+    ``owner`` keeps the backing buffers (arrays, numpy arrays, or an open
+    mmap) alive for as long as the run is referenced.
+    """
+
+    __slots__ = ("a", "b", "c", "starts", "n", "owner")
+
+    def __init__(self, a, b, c, starts, owner=None):
+        self.a = a
+        self.b = b
+        self.c = c
+        self.starts = starts
+        self.n = len(a)
+        self.owner = owner
+
+    def range1(self, x: int) -> tuple[int, int]:
+        """Row range ``[lo, hi)`` whose first column equals ``x``."""
+        starts = self.starts
+        if 0 <= x < len(starts) - 1:
+            return starts[x], starts[x + 1]
+        return 0, 0
+
+    def range2(self, x: int, y: int) -> tuple[int, int]:
+        """Row range whose first two columns equal ``(x, y)``."""
+        starts = self.starts
+        if not 0 <= x < len(starts) - 1:
+            return 0, 0
+        lo = starts[x]
+        hi = starts[x + 1]
+        if lo == hi:
+            return 0, 0
+        b = self.b
+        lo = bisect_left(b, y, lo, hi)
+        hi = bisect_right(b, y, lo, hi)
+        return lo, hi
+
+    def find(self, x: int, y: int, z: int) -> int:
+        """Row index of ``(x, y, z)``, or -1 when absent."""
+        lo, hi = self.range2(x, y)
+        if lo == hi:
+            return -1
+        i = bisect_left(self.c, z, lo, hi)
+        if i < hi and self.c[i] == z:
+            return i
+        return -1
+
+    def rows(self) -> Iterable[tuple[int, int, int]]:
+        """All rows in sorted order, as tuples."""
+        return zip(self.a, self.b, self.c)
+
+    def __len__(self) -> int:
+        return self.n
+
+
+#: The shared empty run (no rows, no keys).
+EMPTY_RUN = Run(_EMPTY_MV, _EMPTY_MV, _EMPTY_MV, _ZERO_STARTS)
+
+
+def _build_starts_py(a: Sequence[int], n: int) -> memoryview:
+    """Stdlib offset build over a sorted first-key column."""
+    max_id = a[n - 1] if n else -1
+    starts = array("q", bytes(ITEM_SIZE * (max_id + 2)))
+    # a is sorted, so each key's range ends where the next begins; fill
+    # the cumulative boundaries in one pass.
+    prev = 0
+    for row in range(n):
+        key = a[row]
+        if key != prev or row == 0:
+            for k in range(prev + 1, key + 1):
+                starts[k] = row
+            prev = key
+    for k in range(prev + 1, max_id + 2):
+        starts[k] = n
+    return memoryview(starts)
+
+
+def _finish_np(a, b, c) -> Run:
+    """Sort numpy columns lexicographically and attach offsets."""
+    order = _np.lexsort((c, b, a))
+    a = _np.ascontiguousarray(a[order])
+    b = _np.ascontiguousarray(b[order])
+    c = _np.ascontiguousarray(c[order])
+    n = len(a)
+    max_id = int(a[-1]) if n else -1
+    counts = _np.bincount(a, minlength=max_id + 1)
+    starts = _np.zeros(max_id + 2, dtype=_np.int64)
+    _np.cumsum(counts, out=starts[1 : max_id + 2])
+    owner = (a, b, c, starts)
+    return Run(memoryview(a), memoryview(b), memoryview(c), memoryview(starts), owner)
+
+
+def _finish_py(rows: list[tuple[int, int, int]]) -> Run:
+    rows.sort()
+    a = array("q", (r[0] for r in rows))
+    b = array("q", (r[1] for r in rows))
+    c = array("q", (r[2] for r in rows))
+    starts = _build_starts_py(a, len(a))
+    owner = (a, b, c)
+    return Run(memoryview(a), memoryview(b), memoryview(c), starts, owner)
+
+
+def build_run(rows: list[tuple[int, int, int]]) -> Run:
+    """A fresh run from unsorted ``(a, b, c)`` rows."""
+    if not rows:
+        return EMPTY_RUN
+    if _np is not None:
+        n = len(rows)
+        a = _np.fromiter((r[0] for r in rows), _np.int64, n)
+        b = _np.fromiter((r[1] for r in rows), _np.int64, n)
+        c = _np.fromiter((r[2] for r in rows), _np.int64, n)
+        return _finish_np(a, b, c)
+    return _finish_py(list(rows))
+
+
+def build_run_from_columns(a, b, c) -> Run:
+    """A run over already-sorted int64 memoryviews (snapshot load path).
+
+    Only the offset array is (re)built; the columns are used as-is, so a
+    caller holding mmap-backed views gets an O(columns-of-one-key) load.
+    """
+    n = len(a)
+    if not n:
+        return EMPTY_RUN
+    if _np is not None:
+        arr = _np.frombuffer(a, dtype=_np.int64)
+        max_id = int(arr[-1])
+        counts = _np.bincount(arr, minlength=max_id + 1)
+        starts = _np.zeros(max_id + 2, dtype=_np.int64)
+        _np.cumsum(counts, out=starts[1 : max_id + 2])
+        return Run(a, b, c, memoryview(starts), owner=starts)
+    return Run(a, b, c, _build_starts_py(a, n))
+
+
+def merge_run(
+    run: Run,
+    added: list[tuple[int, int, int]],
+    dead_rows: list[int],
+) -> Run:
+    """Merge delta rows into a run, dropping tombstoned row indices.
+
+    ``added`` rows are in arbitrary order; ``dead_rows`` are row indices
+    *within this run* (each dead triple's position found via
+    :meth:`Run.find` by the caller).
+    """
+    n = run.n
+    if not n and not added:
+        return EMPTY_RUN
+    if _np is not None:
+        if n:
+            a = _np.frombuffer(run.a, dtype=_np.int64)
+            b = _np.frombuffer(run.b, dtype=_np.int64)
+            c = _np.frombuffer(run.c, dtype=_np.int64)
+            if dead_rows:
+                keep = _np.ones(n, dtype=bool)
+                keep[dead_rows] = False
+                a, b, c = a[keep], b[keep], c[keep]
+        else:
+            a = b = c = _np.empty(0, dtype=_np.int64)
+        if added:
+            m = len(added)
+            a = _np.concatenate([a, _np.fromiter((r[0] for r in added), _np.int64, m)])
+            b = _np.concatenate([b, _np.fromiter((r[1] for r in added), _np.int64, m)])
+            c = _np.concatenate([c, _np.fromiter((r[2] for r in added), _np.int64, m)])
+        if not len(a):
+            return EMPTY_RUN
+        return _finish_np(a, b, c)
+    dead = set(dead_rows)
+    rows = [row for i, row in enumerate(run.rows()) if i not in dead]
+    rows.extend(added)
+    if not rows:
+        return EMPTY_RUN
+    return _finish_py(rows)

@@ -15,7 +15,7 @@ from ..rdf.ntriples import parse_ntriples, serialize_ntriples
 from ..rdf.terms import IRI, Literal, Node
 from ..rdf.triple import Triple
 from ..rdf.turtle import parse_turtle
-from .index import PredicateStats, TermDictionary, TripleIndex
+from .index import PredicateStats, TermDictionary, make_triple_index
 
 __all__ = ["Graph"]
 
@@ -38,10 +38,17 @@ class Graph:
     #: Process-wide instance counter backing :attr:`uid`.
     _uids = count()
 
-    def __init__(self, name: IRI | None = None, triples: Iterable[Triple] | None = None):
+    def __init__(
+        self,
+        name: IRI | None = None,
+        triples: Iterable[Triple] | None = None,
+        *,
+        layout: str = "columnar",
+        flush_threshold: int | None = None,
+    ):
         self.name = name
         self._terms = TermDictionary()
-        self._index = TripleIndex()
+        self._index = make_triple_index(layout, flush_threshold)
         self._epoch = 0
         self._uid = next(Graph._uids)
         if triples is not None:
@@ -80,9 +87,14 @@ class Graph:
         return self._terms
 
     @property
-    def triple_index(self) -> TripleIndex:
+    def triple_index(self):
         """The id-level permutation indexes, for id-space query execution."""
         return self._index
+
+    @property
+    def layout(self) -> str:
+        """The physical storage layout (``columnar`` or ``dict``)."""
+        return self._index.layout
 
     # -- mutation ---------------------------------------------------------
 
@@ -211,6 +223,32 @@ class Graph:
                 yield term
 
     # -- I/O ----------------------------------------------------------------
+
+    def save_snapshot(self, path: str) -> int:
+        """Dump the graph to a columnar snapshot file; returns its size.
+
+        The file loads back in O(file open) via :meth:`load_snapshot` —
+        see :mod:`repro.store.snapshot` for the format.
+        """
+        from .snapshot import save_snapshot
+
+        return save_snapshot(self, path)
+
+    @classmethod
+    def load_snapshot(
+        cls, path: str, *, name: IRI | None = None, readonly: bool = False
+    ) -> "Graph":
+        """Open a snapshot as a graph backed by the mmap'd file.
+
+        The returned graph is writable (new triples land in the delta
+        buffer; the mapped runs are never modified) unless
+        ``readonly=True``, which gives an epoch-pinned
+        :class:`~repro.store.snapshot.SnapshotView` shareable across
+        threads and processes.
+        """
+        from .snapshot import load_snapshot
+
+        return load_snapshot(path, name=name, readonly=readonly)
 
     @classmethod
     def from_ntriples(cls, source: str | IO[str], name: IRI | None = None) -> "Graph":

@@ -1,0 +1,415 @@
+"""Persistent graph snapshots: mmap-loadable columnar dumps.
+
+A snapshot file is a versioned binary dump of one graph's columnar state:
+
+* a fixed header (magic, version, epoch, triple/term counts),
+* a section table of ``(offset, length)`` pairs,
+* the nine raw little-endian int64 column blocks (SPO/POS/OSP runs),
+* the three CSR first-key offset arrays belonging to those runs,
+* the term-dictionary segment: an offsets array, a byte-order permutation
+  (term ids sorted by their encoded bytes, for binary-search lookup), and
+  the concatenated term blob,
+* a small JSON predicate-statistics table.
+
+``load_snapshot`` maps the file with :mod:`mmap` and builds the index
+directly over memoryview slices of the mapping — no column is copied and
+no term is decoded, so bootstrap cost is O(file open) regardless of graph
+size (the page cache faults data in as queries touch it).  Loading the
+same file from several threads or processes shares the underlying pages
+read-only.
+
+Terms are serialized in a tagged binary format (not N-Triples) so that
+round-tripping is exact: ``Literal("x", datatype=xsd:string)`` and the
+plain ``Literal("x")`` are distinct terms and must stay distinct.
+
+Epoch semantics: the writer's epoch is stored in the header and becomes
+the loaded graph's starting epoch, so cache keys derived from
+``(uid, epoch)`` stay meaningful across the dump — a writable loaded
+graph bumps it on mutation as usual, while a read-only
+:class:`SnapshotView` can never change it.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+import sys
+from array import array
+from typing import IO, Iterator
+
+from ..errors import ReadOnlySnapshotError, SnapshotError
+from ..rdf.terms import BNode, IRI, Literal, Node
+from .columnar import Run, build_run, build_run_from_columns
+from .graph import Graph
+from .index import DEFAULT_FLUSH_THRESHOLD, TripleIndex
+
+__all__ = [
+    "save_snapshot",
+    "load_snapshot",
+    "SnapshotView",
+    "SnapshotTermDictionary",
+]
+
+MAGIC = b"REPROSNAP\x00"
+VERSION = 1
+
+#: Section order in the file.  0-8: run columns (SPO a,b,c / POS / OSP);
+#: 9-11: CSR offset arrays; 12: term offsets; 13: term sort order;
+#: 14: term blob; 15: predicate stats JSON.
+_N_SECTIONS = 16
+_HEADER = struct.Struct("<10sHIQQQ")  # magic, version, flags, epoch, triples, terms
+_SECTION = struct.Struct("<QQ")
+_U32 = struct.Struct("<I")
+
+_FLAG_NONE = 0
+
+
+# --------------------------------------------------------------------------
+# Term codec: tag byte + (length-prefixed annex for literals) + UTF-8 body.
+# Byte equality === term equality, which is all the binary-search lookup
+# needs; the sort order of the encoded bytes is arbitrary but consistent.
+# --------------------------------------------------------------------------
+
+
+def encode_term(term: Node) -> bytes:
+    if isinstance(term, IRI):
+        return b"I" + term.value.encode("utf-8")
+    if isinstance(term, BNode):
+        return b"B" + term.label.encode("utf-8")
+    if isinstance(term, Literal):
+        if term.language is not None:
+            annex = term.language.encode("utf-8")
+            return b"L\x01" + _U32.pack(len(annex)) + annex + term.lexical.encode("utf-8")
+        if term.datatype is not None:
+            annex = term.datatype.value.encode("utf-8")
+            return b"L\x02" + _U32.pack(len(annex)) + annex + term.lexical.encode("utf-8")
+        return b"L\x00" + term.lexical.encode("utf-8")
+    raise SnapshotError(f"cannot serialize term of type {type(term).__name__}")
+
+
+def decode_term(data: bytes) -> Node:
+    tag = data[:1]
+    if tag == b"I":
+        return IRI(data[1:].decode("utf-8"))
+    if tag == b"B":
+        return BNode(data[1:].decode("utf-8"))
+    if tag == b"L":
+        kind = data[1]
+        if kind == 0:
+            return Literal(data[2:].decode("utf-8"))
+        (annex_len,) = _U32.unpack_from(data, 2)
+        annex = data[6 : 6 + annex_len].decode("utf-8")
+        lexical = data[6 + annex_len :].decode("utf-8")
+        if kind == 1:
+            return Literal(lexical, language=annex)
+        if kind == 2:
+            return Literal(lexical, datatype=IRI(annex))
+    raise SnapshotError(f"unknown term tag {data[:2]!r} in snapshot")
+
+
+class SnapshotTermDictionary:
+    """A term dictionary decoding lazily from a snapshot's term segment.
+
+    Implements the :class:`~repro.store.index.TermDictionary` API.  Ids
+    below the snapshot's term count resolve against the mmap'd blob:
+    ``decode`` parses a term the first time that id is touched (memoized),
+    and ``lookup`` binary-searches the byte-sorted order without
+    materializing any :class:`Node`.  Terms encoded *after* load live in
+    a small overlay, so a loaded graph stays writable.
+    """
+
+    __slots__ = ("_offsets", "_order", "_blob", "_base",
+                 "_cache", "_extra_ids", "_extra_terms")
+
+    def __init__(self, offsets, order, blob) -> None:
+        self._offsets = offsets  # int64 view, base+1 entries into blob
+        self._order = order      # int64 view: term ids sorted by bytes
+        self._blob = blob        # bytes-like view of concatenated terms
+        self._base = len(order)
+        self._cache: dict[int, Node] = {}
+        self._extra_ids: dict[Node, int] = {}
+        self._extra_terms: list[Node] = []
+
+    def __len__(self) -> int:
+        return self._base + len(self._extra_terms)
+
+    def _term_bytes(self, term_id: int) -> bytes:
+        offsets = self._offsets
+        return bytes(self._blob[offsets[term_id] : offsets[term_id + 1]])
+
+    def decode(self, term_id: int) -> Node:
+        if term_id >= self._base:
+            return self._extra_terms[term_id - self._base]
+        term = self._cache.get(term_id)
+        if term is None:
+            term = decode_term(self._term_bytes(term_id))
+            self._cache[term_id] = term
+        return term
+
+    def lookup(self, term: Node) -> int | None:
+        existing = self._extra_ids.get(term)
+        if existing is not None:
+            return existing
+        key = encode_term(term)
+        order = self._order
+        lo, hi = 0, self._base
+        while lo < hi:
+            mid = (lo + hi) // 2
+            tid = order[mid]
+            candidate = self._term_bytes(tid)
+            if candidate < key:
+                lo = mid + 1
+            elif candidate > key:
+                hi = mid
+            else:
+                return tid
+        return None
+
+    def encode(self, term: Node) -> int:
+        """Return the id for ``term``, assigning an overlay id if unseen."""
+        term_id = self.lookup(term)
+        if term_id is None:
+            term_id = self._base + len(self._extra_terms)
+            self._extra_terms.append(term)
+            self._extra_ids[term] = term_id
+        return term_id
+
+    def terms(self) -> Iterator[Node]:
+        """All terms in id order (materializes lazily as it goes)."""
+        for term_id in range(len(self)):
+            yield self.decode(term_id)
+
+    @property
+    def materialized_terms(self) -> int:
+        """How many ids currently have a live :class:`Node` object."""
+        return len(self._cache) + len(self._extra_terms)
+
+
+# --------------------------------------------------------------------------
+# Writing
+# --------------------------------------------------------------------------
+
+
+def _graph_runs(graph: Graph) -> tuple[tuple[Run, Run, Run], list[tuple[int, int, int, int]]]:
+    """The three sorted runs + catalog rows for any index layout."""
+    index = graph.triple_index
+    if isinstance(index, TripleIndex):
+        index.flush()
+        return index.runs, list(index.predicate_stat_rows())
+    # Dict layout (or any façade-compatible index): sort a row dump per
+    # permutation and rebuild the catalog through the public stats API.
+    triples = list(index.match(None, None, None))
+    runs = (
+        build_run(triples),
+        build_run([(p, o, s) for (s, p, o) in triples]),
+        build_run([(o, s, p) for (s, p, o) in triples]),
+    )
+    stats = []
+    for pid in index.predicates():
+        entry = index.predicate_stats(pid)
+        stats.append((pid, entry.triples, entry.distinct_subjects, entry.distinct_objects))
+    return runs, stats
+
+
+def _column_bytes(view) -> bytes:
+    """Raw little-endian bytes of an int64 memoryview."""
+    if sys.byteorder == "little":
+        return bytes(view)
+    swapped = array("q", view)
+    swapped.byteswap()  # pragma: no cover - big-endian hosts only
+    return swapped.tobytes()  # pragma: no cover
+
+
+def save_snapshot(graph: Graph, path: str) -> int:
+    """Write ``graph`` to ``path``; returns the file size in bytes.
+
+    Works for both layouts: a columnar graph flushes its delta and dumps
+    its runs; a dict-layout graph is sorted into runs on the way out.
+    Either way the file loads back as a columnar graph.
+    """
+    runs, stat_rows = _graph_runs(graph)
+    terms = graph.term_dictionary
+    n_terms = len(terms)
+
+    encoded = [encode_term(term) for term in terms.terms()]
+    offsets = array("q", bytes(8 * (n_terms + 1)))
+    position = 0
+    for i, blob in enumerate(encoded):
+        offsets[i] = position
+        position += len(blob)
+    offsets[n_terms] = position
+    order = array("q", sorted(range(n_terms), key=encoded.__getitem__))
+
+    sections: list[bytes] = []
+    for run in runs:
+        sections.extend(
+            (_column_bytes(run.a), _column_bytes(run.b), _column_bytes(run.c))
+        )
+    for run in runs:
+        sections.append(_column_bytes(run.starts))
+    sections.append(_column_bytes(memoryview(offsets)))
+    sections.append(_column_bytes(memoryview(order)))
+    sections.append(b"".join(encoded))
+    sections.append(json.dumps({"predicates": stat_rows}).encode("utf-8"))
+
+    header = _HEADER.pack(MAGIC, VERSION, _FLAG_NONE, graph.epoch, len(graph), n_terms)
+    table_size = _N_SECTIONS * _SECTION.size
+    cursor = len(header) + table_size
+    table = bytearray()
+    starts = []
+    for section in sections:
+        cursor += (-cursor) % 8  # 8-byte alignment for zero-copy casts
+        starts.append(cursor)
+        table += _SECTION.pack(cursor, len(section))
+        cursor += len(section)
+
+    with open(path, "wb") as out:
+        out.write(header)
+        out.write(table)
+        position = len(header) + table_size
+        for start, section in zip(starts, sections):
+            out.write(b"\x00" * (start - position))
+            out.write(section)
+            position = start + len(section)
+        return out.tell()
+
+
+# --------------------------------------------------------------------------
+# Loading
+# --------------------------------------------------------------------------
+
+
+def _int64_view(buffer: memoryview, offset: int, length: int):
+    """A zero-copy int64 view of one section (copies on big-endian hosts)."""
+    raw = buffer[offset : offset + length]
+    if length % 8:
+        raise SnapshotError("int64 section length is not a multiple of 8")
+    if sys.byteorder == "little":
+        return raw.cast("q")
+    swapped = array("q", raw)  # pragma: no cover - big-endian hosts only
+    swapped.byteswap()  # pragma: no cover
+    return memoryview(swapped)  # pragma: no cover
+
+
+def load_snapshot(
+    path: str,
+    *,
+    name: IRI | None = None,
+    readonly: bool = False,
+    flush_threshold: int = DEFAULT_FLUSH_THRESHOLD,
+) -> Graph:
+    """Load a snapshot as a :class:`Graph` backed by the mmap'd file.
+
+    With ``readonly=True`` the result is a :class:`SnapshotView` — an
+    epoch-pinned graph that raises :class:`ReadOnlySnapshotError` on any
+    mutation and is safe to share across threads (and, since the pages
+    are mapped read-only from the same file, across processes).
+    """
+    try:
+        handle: IO[bytes] = open(path, "rb")
+    except OSError as exc:
+        raise SnapshotError(f"cannot open snapshot {path!r}: {exc}") from exc
+    with handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError) as exc:
+            raise SnapshotError(f"cannot map snapshot {path!r}: {exc}") from exc
+    buffer = memoryview(mapped)
+    try:
+        magic, version, _flags, epoch, n_triples, n_terms = _HEADER.unpack_from(buffer, 0)
+    except struct.error as exc:
+        raise SnapshotError(f"snapshot {path!r} is truncated") from exc
+    if magic != MAGIC:
+        raise SnapshotError(f"{path!r} is not a repro snapshot (bad magic)")
+    if version != VERSION:
+        raise SnapshotError(
+            f"snapshot {path!r} has format version {version}; this build reads {VERSION}"
+        )
+    table = []
+    position = _HEADER.size
+    for _ in range(_N_SECTIONS):
+        try:
+            entry = _SECTION.unpack_from(buffer, position)
+        except struct.error as exc:
+            raise SnapshotError(f"snapshot {path!r} is truncated") from exc
+        if entry[0] + entry[1] > len(buffer):
+            raise SnapshotError(f"snapshot {path!r} section table exceeds file size")
+        table.append(entry)
+        position += _SECTION.size
+
+    columns = [_int64_view(buffer, off, length) for off, length in table[:9]]
+    starts = [_int64_view(buffer, off, length) for off, length in table[9:12]]
+    for column in columns:
+        if len(column) != n_triples:
+            raise SnapshotError(f"snapshot {path!r}: column length != triple count")
+    runs = []
+    for i in range(3):
+        a, b, c = columns[3 * i : 3 * i + 3]
+        if n_triples and len(starts[i]) >= 2:
+            run = Run(a, b, c, starts[i], owner=mapped)
+        else:
+            run = build_run_from_columns(a, b, c)
+        runs.append(run)
+
+    offsets = _int64_view(buffer, *table[12])
+    order = _int64_view(buffer, *table[13])
+    if len(offsets) != n_terms + 1 or len(order) != n_terms:
+        raise SnapshotError(f"snapshot {path!r}: term table lengths are inconsistent")
+    blob_off, blob_len = table[14]
+    blob = buffer[blob_off : blob_off + blob_len]
+    dictionary = SnapshotTermDictionary(offsets, order, blob)
+
+    stats_off, stats_len = table[15]
+    try:
+        stats = json.loads(bytes(buffer[stats_off : stats_off + stats_len]))
+        stat_rows = [tuple(row) for row in stats["predicates"]]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SnapshotError(f"snapshot {path!r}: bad statistics section") from exc
+
+    index = TripleIndex.from_runs(
+        runs, n_triples, stat_rows, flush_threshold=flush_threshold
+    )
+    cls = SnapshotView if readonly else Graph
+    graph = cls.__new__(cls)
+    graph.name = name
+    graph._terms = dictionary
+    graph._index = index
+    graph._epoch = epoch
+    graph._uid = next(Graph._uids)
+    return graph
+
+
+class SnapshotView(Graph):
+    """A read-only graph over a snapshot file.
+
+    Shares the full query API with :class:`Graph` but rejects every
+    mutation, so one mmap'd snapshot can safely back many concurrent
+    readers — worker threads, or separate server processes pointing at
+    the same file (the OS shares the read-only pages between them).  Its
+    epoch is pinned to the value stored at save time, so compiled plans
+    and cached results keyed by ``(uid, epoch)`` stay valid forever.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def open(cls, path: str, *, name: IRI | None = None) -> "SnapshotView":
+        view = load_snapshot(path, name=name, readonly=True)
+        assert isinstance(view, SnapshotView)
+        return view
+
+    def _readonly(self) -> ReadOnlySnapshotError:
+        return ReadOnlySnapshotError(
+            "this graph is a read-only SnapshotView; load the snapshot with "
+            "Graph.load_snapshot(path) to get a writable copy-on-write graph"
+        )
+
+    def add(self, triple) -> bool:
+        raise self._readonly()
+
+    def add_all(self, triples) -> int:
+        raise self._readonly()
+
+    def remove(self, triple) -> bool:
+        raise self._readonly()

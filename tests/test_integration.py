@@ -152,6 +152,34 @@ class TestFullPipeline:
         assert stats.fallback_aggregates == 0, stats.decline_reasons
         assert stats.compiled_selects + stats.fused_aggregates > 0
 
+    def test_reolap_workload_over_reloaded_snapshot(self, stack, tmp_path):
+        """Save → load → run the same REOLAP workload over the mmap-backed
+        graph: identical results, still zero term-space fallbacks."""
+        from repro.qb import OBSERVATION_CLASS
+        from repro.store import Endpoint, Graph
+
+        _name, kg, reference_endpoint, vgraph = stack
+        path = str(tmp_path / f"{_name}.snap")
+        kg.graph.save_snapshot(path)
+        endpoint = Endpoint(Graph.load_snapshot(path, readonly=True))
+        member = _observed_member(kg, vgraph, 0)
+        snap_vgraph = VirtualSchemaGraph.bootstrap(endpoint, OBSERVATION_CLASS)
+        assert snap_vgraph.n_levels == vgraph.n_levels
+        assert snap_vgraph.observation_count == vgraph.observation_count
+        for query in reolap(endpoint, snap_vgraph, (member.label,)):
+            got = endpoint.select(query.to_select())
+            expected = reference_endpoint.select(query.to_select())
+            assert got == expected
+        session = ExplorationSession(endpoint, snap_vgraph, similarity_k=2)
+        session.synthesize(member.label)
+        session.choose(0)
+        proposals = session.refinements("disaggregate")
+        if proposals:
+            session.apply(proposals[0])
+        stats = endpoint.stats.snapshot()
+        assert stats.fallback_selects == 0, stats.decline_reasons
+        assert stats.fallback_aggregates == 0, stats.decline_reasons
+
 
 def _first_label(kg) -> str:
     dimension = kg.schema.dimensions[0]
