@@ -70,9 +70,22 @@ FAULT_ERRORS = (TransientError, QueryTimeoutError)
 class SnapshotError(ReproError):
     """Raised when a snapshot file cannot be written, read, or validated.
 
-    Covers bad magic/version, truncated sections, and checks failing at
-    load time — anything that means the file is not a snapshot this
-    build can serve queries from.
+    Covers bad magic/version, truncated sections, and per-section CRC
+    checks failing at load time — anything that means the file is not a
+    snapshot this build can serve queries from.  The message names the
+    failing section so a corrupt byte is diagnosable without a hexdump.
+    """
+
+
+class WALError(ReproError):
+    """Raised when the write-ahead log cannot be appended to or replayed.
+
+    A torn tail in the *final* segment is not an error — that is the
+    expected shape of a crash mid-append, and replay repairs it by
+    truncation.  This class covers genuinely broken states: corruption
+    inside a sealed segment, an unwritable log directory, or appends
+    attempted after an I/O failure poisoned the writer (the log refuses
+    further records rather than risk interleaving a partial one).
     """
 
 

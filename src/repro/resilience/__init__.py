@@ -8,6 +8,9 @@ transient faults are routine, not exceptional.  This subsystem supplies:
 * :mod:`repro.resilience.faults` — deterministic, seeded fault injection
   (:class:`FaultPlan` / :class:`FaultInjector`), the test substrate for
   everything below;
+* :mod:`repro.resilience.diskfaults` — the same idea one layer down:
+  :class:`FaultyFS` injects disk failures, short writes, and simulated
+  power loss (:class:`SimulatedCrash`) into the durable store's file I/O;
 * :mod:`repro.resilience.policy` — :class:`RetryPolicy`: exponential
   backoff with deterministic jitter, retrying only the
   :class:`~repro.errors.TransientError` branch;
@@ -27,6 +30,7 @@ from .breaker import (
     BreakerStats,
     CircuitBreaker,
 )
+from .diskfaults import DiskFaultPlan, FaultyFS, SimulatedCrash
 from .endpoint import ResilienceStats, ResilientEndpoint, try_ask_batch
 from .faults import FAULT_KINDS, OK, Fault, FaultEvent, FaultInjector, FaultPlan
 from .policy import RetryPolicy
@@ -38,8 +42,11 @@ __all__ = [
     "CLOSED",
     "HALF_OPEN",
     "OPEN",
+    "DiskFaultPlan",
     "Fault",
     "FaultEvent",
+    "FaultyFS",
+    "SimulatedCrash",
     "FaultInjector",
     "FaultPlan",
     "FAULT_KINDS",

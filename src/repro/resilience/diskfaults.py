@@ -1,0 +1,184 @@
+"""Disk-level fault injection: the crash harness under the durability layer.
+
+Where :mod:`repro.resilience.faults` injects failures into the *query*
+path, this module injects them into the *persistence* path.  The durable
+store takes an ``opener`` callable everywhere it touches a file
+(:class:`~repro.store.wal.WalWriter`,
+:func:`~repro.store.snapshot.save_snapshot`,
+:meth:`~repro.store.durable.DurableGraph.open`), and :class:`FaultyFS` is
+a drop-in ``open`` that wraps every returned file object in a shim which
+counts written bytes and fsyncs globally and, per a :class:`DiskFaultPlan`,
+either
+
+* **fails** — raises ``OSError`` at a scheduled byte offset or fsync
+  ordinal, modelling a full disk or a dying device the process survives;
+* **short-writes** — persists only a prefix of one ``write()`` call, then
+  fails, modelling the torn buffers real kernels leave behind; or
+* **crashes** — raises :class:`SimulatedCrash` at the scheduled point,
+  modelling ``kill -9`` / power loss at byte granularity.
+
+:class:`SimulatedCrash` derives from ``BaseException`` deliberately: the
+durability code catches ``OSError`` to clean up after *survivable*
+failures (unlink the temp file, poison the WAL writer), and a simulated
+power loss must skip exactly that cleanup — a machine losing power does
+not unlink its temp files.  Whatever debris the "crash" leaves on disk is
+what recovery is then proven against.
+
+Counters are cumulative across every file the injector opens, so a plan
+schedules its fault at a point in the *workload*, not in one file — e.g.
+"the 3rd fsync of this checkpoint" lands inside ``save_snapshot``
+regardless of how the bytes are split across temp files and WAL segments.
+
+>>> plan = DiskFaultPlan(crash_at_byte=1000)
+>>> fs = FaultyFS(plan)
+>>> # DurableGraph.open(dir, opener=fs) now dies mid-write at byte 1000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO
+
+__all__ = ["SimulatedCrash", "DiskFaultPlan", "FaultyFS"]
+
+
+class SimulatedCrash(BaseException):
+    """Power loss at a scheduled I/O point.
+
+    A ``BaseException`` so library ``except OSError`` / ``except
+    Exception`` cleanup cannot intercept it: everything below the crash
+    point stays exactly as a real kill would leave it.
+    """
+
+
+@dataclass
+class DiskFaultPlan:
+    """When and how the filesystem betrays the writer.
+
+    Byte triggers fire when cumulative bytes written (across all files
+    opened through the injector) reach the threshold; fsync triggers fire
+    on the Nth fsync (1-based).  ``None`` disables a trigger.  Exactly
+    one fault fires per plan — after it, the injector is inert, so a test
+    can assert clean behaviour *after* the fault too.
+    """
+
+    #: Raise OSError once this many bytes have been written.
+    fail_at_byte: int | None = None
+    #: Persist only the bytes up to this offset for the triggering
+    #: write(), then raise OSError — a torn write.
+    short_write_at_byte: int | None = None
+    #: Raise SimulatedCrash once this many bytes have been written
+    #: (bytes before the threshold in the triggering write DO land,
+    #: like a power cut mid-stream).
+    crash_at_byte: int | None = None
+    #: Raise OSError on the Nth fsync (1-based).
+    fail_at_fsync: int | None = None
+    #: Raise SimulatedCrash on the Nth fsync, before it persists.
+    crash_at_fsync: int | None = None
+
+
+class FaultyFS:
+    """An ``open``-compatible callable whose files fail to plan.
+
+    Tracks cumulative ``bytes_written`` and ``fsyncs`` across every file
+    it has opened, and ``fired`` — the name of the trigger that went off,
+    or ``None``.  Reads are never faulted: recovery code must be able to
+    examine whatever the fault left behind.
+    """
+
+    def __init__(self, plan: DiskFaultPlan):
+        self.plan = plan
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self.fired: str | None = None
+
+    def __call__(self, path, mode="r", *args, **kwargs):
+        handle = open(path, mode, *args, **kwargs)
+        if "r" in mode and "+" not in mode:
+            return handle  # plain read: never faulted
+        return _FaultyFile(handle, self)
+
+    # -- trigger checks, called by the file shim ----------------------------
+
+    def _on_write(self, handle: IO, data) -> int:
+        plan = self.plan
+        view = memoryview(data) if not isinstance(data, (bytes, bytearray)) else data
+        length = len(view)
+        if self.fired is None and plan.crash_at_byte is not None:
+            if self.bytes_written + length >= plan.crash_at_byte:
+                keep = max(0, plan.crash_at_byte - self.bytes_written)
+                if keep:
+                    handle.write(view[:keep])
+                    handle.flush()
+                self.bytes_written += keep
+                self.fired = "crash_at_byte"
+                raise SimulatedCrash(
+                    f"simulated power loss at byte {plan.crash_at_byte}"
+                )
+        if self.fired is None and plan.short_write_at_byte is not None:
+            if self.bytes_written + length >= plan.short_write_at_byte:
+                keep = max(0, plan.short_write_at_byte - self.bytes_written)
+                if keep:
+                    handle.write(view[:keep])
+                    handle.flush()
+                self.bytes_written += keep
+                self.fired = "short_write_at_byte"
+                raise OSError(28, "No space left on device (injected short write)")
+        if self.fired is None and plan.fail_at_byte is not None:
+            if self.bytes_written + length >= plan.fail_at_byte:
+                self.fired = "fail_at_byte"
+                raise OSError(5, "Input/output error (injected)")
+        written = handle.write(view)
+        self.bytes_written += length if written is None else written
+        return length if written is None else written
+
+    def _on_fsync(self) -> None:
+        plan = self.plan
+        self.fsyncs += 1
+        if self.fired is None and plan.crash_at_fsync is not None:
+            if self.fsyncs >= plan.crash_at_fsync:
+                self.fired = "crash_at_fsync"
+                raise SimulatedCrash(
+                    f"simulated power loss at fsync #{self.fsyncs}"
+                )
+        if self.fired is None and plan.fail_at_fsync is not None:
+            if self.fsyncs >= plan.fail_at_fsync:
+                self.fired = "fail_at_fsync"
+                raise OSError(5, "Input/output error (injected fsync)")
+
+
+class _FaultyFile:
+    """File-object proxy routing writes/fsyncs through the injector.
+
+    The store never calls a ``fsync`` method on the handle — its idiom is
+    ``handle.flush(); os.fsync(handle.fileno())`` — so the shim checks
+    the fsync triggers inside :meth:`fileno`, the one call that uniquely
+    precedes every real barrier.  Everything else proxies through.
+    """
+
+    def __init__(self, handle: IO, fs: FaultyFS):
+        self._handle = handle
+        self._fs = fs
+
+    def write(self, data) -> int:
+        return self._fs._on_write(self._handle, data)
+
+    def fileno(self) -> int:
+        # The store's fsync idiom is os.fsync(handle.fileno()); firing
+        # the fsync triggers here means the injected fault lands exactly
+        # where the real barrier would.
+        self._fs._on_fsync()
+        return self._handle.fileno()
+
+    def __getattr__(self, name):
+        return getattr(self._handle, name)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self._handle.close()
+        return False
+
+    def __iter__(self):
+        return iter(self._handle)

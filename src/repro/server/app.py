@@ -385,7 +385,9 @@ class ReproServer:
                        "evictions": s.evictions}
                 for tier, s in cache.stats.items()
             }
-        return {
+        graph = getattr(self.service.endpoint, "graph", None)
+        durability = getattr(graph, "durability_stats", None)
+        document = {
             "serving": serving,
             "endpoint": {
                 "select_queries": endpoint_stats.select_queries,
@@ -416,6 +418,9 @@ class ReproServer:
             "http": {"inflight": self._http.inflight,
                      "pending": self._dispatcher.pending},
         }
+        if callable(durability):
+            document["durability"] = durability()
+        return document
 
 
 class ServerHandle:

@@ -5,6 +5,7 @@ an in-process, dictionary-encoded store and a SPARQL endpoint facade.
 """
 
 from .dataset import Dataset, GraphView
+from .durable import DurableGraph, RecoveryReport
 from .endpoint import DEFAULT_TIMEOUT, Endpoint, EndpointStats
 from .graph import Graph
 from .index import (
@@ -14,8 +15,15 @@ from .index import (
     TripleIndex,
     make_triple_index,
 )
-from .snapshot import SnapshotTermDictionary, SnapshotView, load_snapshot, save_snapshot
+from .snapshot import (
+    SnapshotTermDictionary,
+    SnapshotView,
+    load_snapshot,
+    save_snapshot,
+    verify_snapshot,
+)
 from .text_index import TextIndex, tokenize
+from .wal import WalWriter, replay_wal
 
 __all__ = [
     "DEFAULT_TIMEOUT",
@@ -33,6 +41,11 @@ __all__ = [
     "make_triple_index",
     "save_snapshot",
     "load_snapshot",
+    "verify_snapshot",
     "SnapshotView",
     "SnapshotTermDictionary",
+    "DurableGraph",
+    "RecoveryReport",
+    "WalWriter",
+    "replay_wal",
 ]

@@ -54,6 +54,24 @@ class Graph:
         if triples is not None:
             self.add_all(triples)
 
+    # -- durability --------------------------------------------------------
+
+    @classmethod
+    def open_durable(cls, directory: str, **kwargs) -> "Graph":
+        """Open (or create) a crash-safe graph rooted at ``directory``.
+
+        Returns a :class:`~repro.store.durable.DurableGraph`: every
+        ``add``/``remove`` is written to a checksummed write-ahead log
+        before touching the index, and ``checkpoint()`` dumps atomic
+        snapshot generations.  After a crash, reopening the same
+        directory recovers every acknowledged write.  See
+        :mod:`repro.store.durable` for options (``fsync``, ``retain``,
+        ``auto_checkpoint``, ...).
+        """
+        from .durable import DurableGraph
+
+        return DurableGraph.open(directory, **kwargs)
+
     # -- versioning -------------------------------------------------------
 
     @property

@@ -657,6 +657,16 @@ class TripleIndex:
         """Buffered (unmerged) run deletions."""
         return len(self._dead)
 
+    @property
+    def pending_mutations(self) -> int:
+        """Mutations not yet merged into sorted runs (delta + tombstones).
+
+        This is the in-memory state a crash would lose on a non-durable
+        graph — the durability layer reports it so operators can see how
+        much a recovery replay would have to redo since the last
+        checkpoint."""
+        return self._delta_size + len(self._dead)
+
     def predicate_stat_rows(self) -> Iterator[tuple[int, int, int, int]]:
         """Catalog rows for persistence, matching :meth:`from_runs`."""
         for pid, triples in self._p_counts.items():

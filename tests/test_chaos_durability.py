@@ -1,0 +1,194 @@
+"""Chaos suite for the durability layer: real kills, concurrent readers.
+
+Two storms, both seeded and matrix-driven like ``test_chaos.py``:
+
+* **kill-at-random-point** — a child process ingests deterministic
+  triples into a durable store, fsync-acknowledging each write into a
+  side file, checkpointing periodically; the parent SIGKILLs it at a
+  seeded random moment (override the matrix with ``REPRO_CRASH_SEEDS``).
+  Recovery must yield a *contiguous prefix* of the deterministic stream
+  containing every acknowledged write — the ISSUE's acceptance
+  invariant, proven against a genuine ``kill -9``, not a simulation.
+
+* **writer/reader storm** — one writer appends batches and checkpoints
+  while reader threads continuously open the newest snapshot generation
+  (CRC-verified, the serving layer's boot path).  Readers must never see
+  a torn state: every snapshot they manage to open verifies clean and
+  holds a whole number of batches.
+
+Marked ``chaos`` and excluded from tier-1 (see pyproject.toml).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.rdf import IRI, Literal
+from repro.rdf.triple import Triple
+from repro.store import DurableGraph, load_snapshot
+from repro.store.durable import list_generations
+
+pytestmark = pytest.mark.chaos
+
+
+def _matrix(var: str, default: str) -> list[int]:
+    raw = os.environ.get(var, default)
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+CRASH_SEEDS = _matrix("REPRO_CRASH_SEEDS", "0,1,2,7,13")
+STORM_SEEDS = _matrix("REPRO_CHAOS_SEEDS", "0,1,2")
+
+
+def t(i: int) -> Triple:
+    return Triple(IRI(f"urn:s{i}"), IRI("urn:p"), Literal(str(i)))
+
+
+# -- kill -9 at a random point ----------------------------------------------
+
+#: The child: deterministic ingest, fsynced ack file, periodic checkpoints.
+#: Run with ``python -c CHILD <store-dir> <ack-file>``; killed, never exits.
+CHILD = """
+import os, sys
+from repro.rdf import IRI, Literal
+from repro.rdf.triple import Triple
+from repro.store import DurableGraph
+
+directory, ack_path = sys.argv[1], sys.argv[2]
+graph = DurableGraph.open(directory)
+ack = open(ack_path, "a")
+i = 0
+while True:
+    graph.add(Triple(IRI(f"urn:s{i}"), IRI("urn:p"), Literal(str(i))))
+    # The write is durable (WAL fsynced) before we acknowledge it.
+    ack.write(f"{i}\\n")
+    ack.flush()
+    os.fsync(ack.fileno())
+    if i % 40 == 39:
+        graph.checkpoint()
+    i += 1
+"""
+
+
+@pytest.mark.parametrize("seed", CRASH_SEEDS)
+def test_kill9_recovers_every_acknowledged_write(tmp_path, seed):
+    store = str(tmp_path / "store")
+    ack_path = str(tmp_path / "acks")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD, store, ack_path],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+    )
+    try:
+        rng = random.Random(seed)
+        # Let the child boot and ingest, then pull the plug mid-flight.
+        deadline = time.monotonic() + 30
+        while not os.path.exists(ack_path) and time.monotonic() < deadline:
+            if child.poll() is not None:
+                pytest.fail(
+                    f"child died before first ack: {child.stderr.read().decode()}"
+                )
+            time.sleep(0.01)
+        assert os.path.exists(ack_path), "child never acknowledged a write"
+        time.sleep(0.02 + rng.random() * 0.5)
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+
+    # Acknowledged = complete lines of the fsynced ack file.
+    with open(ack_path, "rb") as handle:
+        raw = handle.read()
+    complete = raw.rsplit(b"\n", 1)[0] if b"\n" in raw else b""
+    acked = [int(line) for line in complete.split(b"\n") if line]
+    assert acked == list(range(len(acked)))  # the stream is deterministic
+
+    recovered = DurableGraph.open(store)
+    try:
+        present = len(recovered)
+        # Zero losses: every acknowledged write survived the kill.
+        assert present >= len(acked), (
+            f"lost writes: {len(acked)} acked, {present} recovered (seed {seed})"
+        )
+        # Exact-prefix shape: what survived is the contiguous head of the
+        # deterministic stream — never interleaved or corrupt. At most
+        # one in-flight write past the last ack may have reached the WAL.
+        assert present <= len(acked) + 1
+        assert all(t(i) in recovered for i in range(present))
+        assert t(present) not in recovered
+    finally:
+        recovered.close()
+
+
+# -- concurrent writer/reader storm -----------------------------------------
+
+
+@pytest.mark.parametrize("seed", STORM_SEEDS)
+def test_writer_reader_storm_never_sees_torn_state(tmp_path, seed):
+    directory = str(tmp_path / "store")
+    batch = 7
+    rounds = 40
+    rng = random.Random(seed)
+    writer_graph = DurableGraph.open(directory, fsync=False)
+    stop = threading.Event()
+    failures: list[str] = []
+    snapshots_read = [0]
+
+    def reader() -> None:
+        while not stop.is_set():
+            generations = list_generations(directory)
+            if not generations:
+                continue
+            path = generations[0][2]
+            try:
+                # The serving layer's boot path: CRC-verified mmap load,
+                # pinned to the snapshot's epoch (readonly SnapshotView).
+                view = load_snapshot(path, readonly=True, verify=True)
+            except SnapshotError as error:
+                if "cannot open" in str(error) or "cannot map" in str(error):
+                    continue  # generation pruned between listing and open
+                failures.append(f"corrupt snapshot surfaced: {error}")
+                return
+            count = len(view)
+            if count % batch:
+                failures.append(f"torn state: {count} not a multiple of {batch}")
+                return
+            snapshots_read[0] += 1
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    try:
+        for round_no in range(rounds):
+            writer_graph.add_all(
+                [t(round_no * batch + k) for k in range(batch)]
+            )
+            if rng.random() < 0.4:
+                writer_graph.checkpoint()
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        writer_graph.close()
+    assert not failures, failures
+    assert snapshots_read[0] > 0, "readers never managed to open a snapshot"
+
+    # And the final reopen agrees with everything the writer submitted.
+    recovered = DurableGraph.open(directory, fsync=False)
+    try:
+        assert len(recovered) == rounds * batch
+    finally:
+        recovered.close()
