@@ -9,10 +9,32 @@ record next to the pytest-benchmark timings.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def env_metadata() -> dict:
+    """The execution environment facts a perf number is meaningless without.
+
+    Recorded into every ``emit_json`` payload: cpu count (morsel scaling
+    depends on it), numpy presence/version (the vectorized backend), and
+    PYTHONHASHSEED (hash randomization perturbs dict-heavy paths).
+    """
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    if os.environ.get("REPRO_NO_NUMPY"):
+        numpy_version = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+        "pythonhashseed": os.environ.get("PYTHONHASHSEED"),
+    }
 
 
 def timed(fn, *args, **kwargs):
@@ -53,9 +75,12 @@ def emit_json(name: str, payload: dict) -> Path:
     can be tracked across PRs (CI uploads these as artifacts).  The payload
     should carry timings in seconds, speedups as plain ratios, and row /
     observation counts — whatever a later run needs to compare against.
-    Returns the written path.
+    Returns the written path.  An ``env`` block (cpu count, numpy
+    version, PYTHONHASHSEED) is added automatically unless the payload
+    already carries one.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"env": env_metadata(), **payload}
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

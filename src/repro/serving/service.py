@@ -216,13 +216,17 @@ class QueryService:
         retry: "RetryPolicy | None" = None,
         breaker: "CircuitBreaker | None" = None,
         serve_stale: bool = False,
+        vectorize: bool = True,
+        batch_size: int | None = None,
+        parallel: int | None = None,
     ):
         if cache is None and cache_size > 0:
             cache = QueryCache(max_results=cache_size)
         self.cache = cache
         if isinstance(target, (Graph, GraphView)):
             self._endpoint = Endpoint(
-                target, default_timeout=default_timeout, cache=cache
+                target, default_timeout=default_timeout, cache=cache,
+                vectorize=vectorize, batch_size=batch_size, parallel=parallel,
             )
         else:
             # An Endpoint, or anything endpoint-shaped (a FaultInjector,

@@ -30,8 +30,8 @@ query qualifies when:
 
 * its WHERE clause compiles under :func:`repro.sparql.operators
   .compile_where` (declines — with their reason strings — are BIND,
-  EXISTS/MINUS, subqueries, ``?x <p> ?x`` repeated-variable patterns,
-  exotic path shapes, and graphs without an id backend);
+  EXISTS/MINUS, subqueries, exotic path shapes, and graphs without an
+  id backend);
 * GROUP BY keys are plain variables (unbound keys are fine: they group
   under a ``None`` component, exactly like the term-space path);
 * every aggregate in the projections and HAVING clauses takes either no
@@ -169,6 +169,10 @@ class _CountAll:
     def add(self, value_id) -> None:
         self.n += 1
 
+    def add_batch(self, ids, total, state) -> bool:
+        self.n += total
+        return True
+
     def finish(self, state):
         return Literal(str(self.n), datatype=XSD_INTEGER)
 
@@ -187,6 +191,15 @@ class _Count:
             self.seen.add(value_id)
         else:
             self.n += 1
+
+    def add_batch(self, ids, total, state) -> bool:
+        if ids is None or not len(ids):
+            return True
+        if self.seen is not None:
+            self.seen.update(ids.tolist())
+        else:
+            self.n += int(len(ids))
+        return True
 
     def finish(self, state):
         n = len(self.seen) if self.seen is not None else self.n
@@ -220,6 +233,41 @@ class _Sum:
             return
         self.total += value
         self.n += 1
+
+    def add_batch(self, ids, total, state) -> bool:
+        """Bulk fold, exact only: distinct ids accumulate by first
+        occurrence; non-distinct sums vectorize as value × multiplicity
+        when every distinct value is an exact integer below 2**53 (then
+        addition is order-free), otherwise the caller replays the rows
+        in order — mid-stream switching is sound because everything
+        already folded was exact."""
+        import numpy as _np  # only reached from the numpy batch path
+
+        if self.errored or ids is None or not len(ids):
+            return True
+        if self.seen is not None:
+            uniq, first = _np.unique(ids, return_index=True)
+            for j in _np.argsort(first, kind="stable").tolist():
+                self.seen[int(uniq[j])] = None
+            return True
+        number = self.state.number
+        uniq, counts = _np.unique(ids, return_counts=True)
+        values = []
+        for term_id in uniq.tolist():
+            value = number(term_id)
+            if value is _ERROR:
+                self.errored = True
+                return True
+            values.append(value)
+        try:
+            for value in values:
+                if abs(value) >= 2 ** 53 or not float(value).is_integer():
+                    return False
+        except (OverflowError, TypeError):
+            return False
+        self.total += sum(v * c for v, c in zip(values, counts.tolist()))
+        self.n += int(len(ids))
+        return True
 
     def finish(self, state):
         if self.seen is not None:
@@ -273,6 +321,45 @@ class _MinMax:
         elif key < self.best_key:
             self.best, self.best_key = value_id, key
 
+    def add_batch(self, ids, total, state) -> bool:
+        """Bulk min/max over per-distinct sort keys, replicating the
+        sequential tie rules: MIN keeps the earliest minimal value, MAX
+        the latest maximal one.  DISTINCT ties depend on global first
+        occurrences, so that mode replays rows instead."""
+        import numpy as _np
+
+        if ids is None or not len(ids):
+            return True
+        if self.seen is not None:
+            return False
+        sort_key = self.state.sort_key
+        if self.is_max:
+            # last occurrence = len - 1 - first occurrence in the reverse
+            uniq, rev_first = _np.unique(ids[::-1], return_index=True)
+            best = best_key = None
+            best_pos = -1
+            for j, term_id in enumerate(uniq.tolist()):
+                key = sort_key(term_id)
+                pos = int(len(ids)) - 1 - int(rev_first[j])
+                if best is None or key > best_key or (
+                        key == best_key and pos > best_pos):
+                    best, best_key, best_pos = term_id, key, pos
+            if self.best is None or best_key >= self.best_key:
+                self.best, self.best_key = best, best_key
+        else:
+            uniq, first = _np.unique(ids, return_index=True)
+            best = best_key = None
+            best_pos = -1
+            for j, term_id in enumerate(uniq.tolist()):
+                key = sort_key(term_id)
+                pos = int(first[j])
+                if best is None or key < best_key or (
+                        key == best_key and pos < best_pos):
+                    best, best_key, best_pos = term_id, key, pos
+            if self.best is None or best_key < self.best_key:
+                self.best, self.best_key = best, best_key
+        return True
+
     def finish(self, state):
         if self.best is None:
             return _ERROR  # MIN/MAX over an empty group
@@ -288,6 +375,11 @@ class _Sample:
     def add(self, value_id) -> None:
         if self.first is None and value_id is not None:
             self.first = value_id
+
+    def add_batch(self, ids, total, state) -> bool:
+        if self.first is None and ids is not None and len(ids):
+            self.first = int(ids[0])
+        return True
 
     def finish(self, state):
         if self.first is None:
@@ -316,6 +408,31 @@ class _GroupConcat:
             self.errored = True
             return
         self.parts.append(part)
+
+    def add_batch(self, ids, total, state) -> bool:
+        """String concatenation stays a row loop, but over a per-batch
+        decoded string table (one decode per distinct id)."""
+        import numpy as _np
+
+        if self.errored or ids is None or not len(ids):
+            return True
+        string = self.state.string
+        table = {
+            term_id: string(term_id) for term_id in _np.unique(ids).tolist()
+        }
+        seen = self.seen
+        parts = self.parts
+        for term_id in ids.tolist():
+            if seen is not None:
+                if term_id in seen:
+                    continue
+                seen.add(term_id)
+            part = table[term_id]
+            if part is _ERROR:
+                self.errored = True
+                return True
+            parts.append(part)
+        return True
 
     def finish(self, state):
         if self.errored:
@@ -588,10 +705,13 @@ class AggregatePlan:
         ]
         return accumulators, feeders
 
-    def execute(self, deadline) -> tuple[list[tuple], list[Variable]]:
+    def execute(self, deadline, vec=None) -> tuple[list[tuple], list[Variable]]:
         """Run the fused pipeline; returns ``(rows, variables)``.
 
-        The caller (``Evaluator.select``) applies DISTINCT, ORDER BY with
+        With ``vec`` (a :class:`repro.sparql.vectorized.VecConfig`) the
+        body executes batched and groups fold through the accumulators'
+        bulk entry points; otherwise rows stream tuple-at-a-time.  The
+        caller (``Evaluator.select``) applies DISTINCT, ORDER BY with
         the bounded top-k heap, and OFFSET/LIMIT — identically for fused
         and term-space results.
         """
@@ -599,23 +719,26 @@ class AggregatePlan:
         # they can reach the dictionary, so VALUES/path constants never
         # seen by the graph still decode correctly.
         state = _ExecState(self.body.decode)
-        rows_iter, _ctx = self.body.rows_stream(deadline)
-
-        key_slots = self.key_slots
         groups: dict[tuple, tuple[list, list]] = {}
-        get_group = groups.get
         check = deadline.check
-        for row in rows_iter:
-            check()
-            key = tuple(
-                None if slot is None else row[slot] for slot in key_slots
-            )
-            entry = get_group(key)
-            if entry is None:
-                entry = self._new_group(state)
-                groups[key] = entry
-            for add, slot in entry[1]:
-                add(None if slot is None else row[slot])
+
+        if vec is not None:
+            self._fold_batched(deadline, vec, state, groups)
+        else:
+            rows_iter, _ctx = self.body.rows_stream(deadline)
+            key_slots = self.key_slots
+            get_group = groups.get
+            for row in rows_iter:
+                check()
+                key = tuple(
+                    None if slot is None else row[slot] for slot in key_slots
+                )
+                entry = get_group(key)
+                if entry is None:
+                    entry = self._new_group(state)
+                    groups[key] = entry
+                for add, slot in entry[1]:
+                    add(None if slot is None else row[slot])
 
         if not groups and not self.group_vars:
             # SPARQL: with no GROUP BY there is exactly one group, even
@@ -651,6 +774,114 @@ class AggregatePlan:
                     row_out.append(None)
             out_rows.append(tuple(row_out))
         return out_rows, list(self.variables)
+
+    def _fold_batched(self, deadline, vec, state, groups) -> None:
+        """Consume batched body execution, folding whole column segments.
+
+        Single-key (or keyless) grouping with numpy partitions each
+        batch by key id — groups are created in first-occurrence order,
+        matching the streaming dict — and feeds each accumulator its
+        bound-id segment in row order.  Multi-key grouping, list-backed
+        columns and the no-numpy backend fold row-wise straight from the
+        batch columns instead (still batch-produced upstream).
+        """
+        from .vectorized import UNBOUND, _np, collect_batches
+
+        check = deadline.check
+        key_slots = self.key_slots
+        for batch in collect_batches(self.body, deadline, vec):
+            check()
+            fast = _np is not None and len(key_slots) <= 1
+            if fast:
+                for col in batch.cols:
+                    if isinstance(col, list):
+                        fast = False
+                        break
+            if not fast:
+                self._fold_batch_rows(batch, state, groups, check)
+                continue
+            col = None
+            if key_slots and key_slots[0] is not None:
+                col = batch.cols[key_slots[0]]
+            if col is None:
+                key = (None,) if key_slots else ()
+                segments = [(key, None)]
+            else:
+                uniq, first, inverse = _np.unique(
+                    col, return_index=True, return_inverse=True
+                )
+                if len(uniq) == 1:
+                    kid = int(uniq[0])
+                    segments = [((None if kid == UNBOUND else kid,), None)]
+                else:
+                    order = _np.argsort(inverse, kind="stable")
+                    bounds = _np.searchsorted(
+                        inverse[order], _np.arange(len(uniq) + 1)
+                    )
+                    segments = []
+                    for j in _np.argsort(first, kind="stable").tolist():
+                        kid = int(uniq[j])
+                        segments.append((
+                            (None if kid == UNBOUND else kid,),
+                            order[bounds[j]:bounds[j + 1]],
+                        ))
+            for key, rows_idx in segments:
+                entry = groups.get(key)
+                if entry is None:
+                    entry = self._new_group(state)
+                    groups[key] = entry
+                accumulators, feeders = entry
+                total = batch.n if rows_idx is None else int(len(rows_idx))
+                for acc, (add, slot) in zip(accumulators, feeders):
+                    ids = None
+                    if slot is not None:
+                        vcol = batch.cols[slot]
+                        if vcol is not None:
+                            sub = vcol if rows_idx is None else vcol[rows_idx]
+                            ids = sub[sub != UNBOUND]
+                    if not acc.add_batch(ids, total, state):
+                        # exact ordered fold for this accumulator only
+                        for term_id in ids.tolist():
+                            add(term_id)
+
+    def _fold_batch_rows(self, batch, state, groups, check) -> None:
+        """Row-wise fold directly from batch columns (slow-group path)."""
+        from .vectorized import UNBOUND
+
+        key_slots = self.key_slots
+        needed = {slot for slot in key_slots if slot is not None}
+        needed.update(
+            slot for _cls, slot, _kwargs in self.builders if slot is not None
+        )
+        lists = {}
+        for slot in needed:
+            col = batch.cols[slot]
+            if col is None:
+                lists[slot] = None
+            elif isinstance(col, list):
+                lists[slot] = col
+            else:
+                lists[slot] = col.tolist()
+
+        def cell(slot, i):
+            vals = lists[slot]
+            if vals is None:
+                return None
+            value = vals[i]
+            return None if value == UNBOUND else value
+
+        get_group = groups.get
+        for i in range(batch.n):
+            check()
+            key = tuple(
+                None if slot is None else cell(slot, i) for slot in key_slots
+            )
+            entry = get_group(key)
+            if entry is None:
+                entry = self._new_group(state)
+                groups[key] = entry
+            for add, slot in entry[1]:
+                add(None if slot is None else cell(slot, i))
 
     def __repr__(self) -> str:
         return (

@@ -131,14 +131,18 @@ def ask_bgp_batch(
         results[index] = False  # pending; flipped by the walk
         stats.candidates += 1
         stats.total_steps += len(plan.steps)
-        width = max(width, plan.num_slots)
+        width = max(width, plan.num_registers)
         node = root
         node.subtree.append(index)
-        for step in plan.steps:
-            child = node.children.get(step)
+        # Keyed on (step, eqs): a repeated-variable step (?x <p> ?x) has
+        # the same positional tuple as a plain two-variable step, so the
+        # equality pairs must be part of the node identity.
+        for step, eqs in zip(plan.steps, plan.step_eqs):
+            key = (step, eqs)
+            child = node.children.get(key)
             if child is None:
                 child = _TrieNode()
-                node.children[step] = child
+                node.children[key] = child
                 stats.unique_steps += 1
             child.subtree.append(index)
             node = child
@@ -164,7 +168,7 @@ def _walk(graph, root: _TrieNode, row: list, results: list, deadline) -> None:
     def visit(node: _TrieNode, row: list) -> None:
         for leaf in node.leaves:
             results[leaf] = True  # a surviving row reached this candidate's end
-        for step, child in node.children.items():
+        for (step, eqs), child in node.children.items():
             if all(results[i] for i in child.subtree):
                 continue  # everything below is already proven
             child.probes += 1
@@ -181,6 +185,8 @@ def _walk(graph, root: _TrieNode, row: list, results: list, deadline) -> None:
                     new[ps] = pid
                 if o is None:
                     new[os_] = oid
+                if eqs and not all(new[a] == new[b] for a, b in eqs):
+                    continue  # repeated-variable step: registers must agree
                 visit(child, new)
                 if all(results[i] for i in child.subtree):
                     break  # early exit: no open question below this child

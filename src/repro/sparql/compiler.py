@@ -65,12 +65,11 @@ def compile_bgp(graph, patterns: list[TriplePattern]) -> "BGPPlan | None":
     """Lower an *ordered* BGP into a :class:`BGPPlan`.
 
     Returns None when the BGP cannot be compiled — the graph lacks an id
-    backend, a predicate is a property path, or a pattern repeats a
-    variable (e.g. ``?x <p> ?x``): a step binds each position into its
-    register independently, so the intra-pattern equality constraint
-    would be silently dropped.  All three cases stay on the term-space
-    interpreter.  Pattern order is preserved: run the join optimizer
-    first.
+    backend or a predicate is a property path; both stay on the
+    term-space interpreter.  A pattern repeating a variable
+    (``?x <p> ?x``) compiles: the repeated occurrence binds a scratch
+    register and the step's equality pair enforces the intra-pattern
+    join.  Pattern order is preserved: run the join optimizer first.
     """
     backend = id_backend(graph)
     if backend is None or not patterns:
@@ -81,19 +80,28 @@ def compile_bgp(graph, patterns: list[TriplePattern]) -> "BGPPlan | None":
 
     lookup = dictionary.lookup
     slots: dict[Variable, int] = {}
+    num_registers = 0
     steps: list[Step] = []
+    step_eqs: list[tuple] = []
     step_vars: list[frozenset[Variable]] = []
     for pattern in patterns:
         positions = []
         pattern_vars: set[Variable] = set()
+        eqs = []
         for term in (pattern.s, pattern.p, pattern.o):
             if isinstance(term, Variable):
                 if term in pattern_vars:
-                    return None
+                    # Repeated occurrence: scratch register + eq check.
+                    scratch = num_registers
+                    num_registers += 1
+                    eqs.append((slots[term], scratch))
+                    positions.extend((None, scratch))
+                    continue
                 pattern_vars.add(term)
                 slot = slots.get(term)
                 if slot is None:
-                    slot = len(slots)
+                    slot = num_registers
+                    num_registers += 1
                     slots[term] = slot
                 positions.extend((None, slot))
             else:
@@ -103,22 +111,36 @@ def compile_bgp(graph, patterns: list[TriplePattern]) -> "BGPPlan | None":
                     return BGPPlan(dictionary, index, {}, (), (), empty=True)
                 positions.extend((term_id, None))
         steps.append(tuple(positions))
+        step_eqs.append(tuple(eqs))
         step_vars.append(frozenset(pattern.variables()))
-    return BGPPlan(dictionary, index, slots, tuple(steps), tuple(step_vars))
+    return BGPPlan(
+        dictionary, index, slots, tuple(steps), tuple(step_vars),
+        step_eqs=tuple(step_eqs), num_registers=num_registers,
+    )
 
 
 class BGPPlan:
-    """An executable id-space join plan for one ordered BGP."""
+    """An executable id-space join plan for one ordered BGP.
 
-    __slots__ = ("dictionary", "index", "slots", "steps", "step_vars", "empty")
+    ``step_eqs`` parallels ``steps``: per step, the (canonical, scratch)
+    register pairs that must agree after it runs — non-empty only for
+    patterns repeating a variable.  Both registers are always bound once
+    the step has run, so plain integer equality suffices.
+    """
 
-    def __init__(self, dictionary, index, slots, steps, step_vars, empty=False):
+    __slots__ = ("dictionary", "index", "slots", "steps", "step_vars", "empty",
+                 "step_eqs", "num_registers")
+
+    def __init__(self, dictionary, index, slots, steps, step_vars, empty=False,
+                 step_eqs=None, num_registers=None):
         self.dictionary = dictionary
         self.index = index
         self.slots = slots
         self.steps = steps
         self.step_vars = step_vars
         self.empty = empty
+        self.step_eqs = (() if empty else ((),) * len(steps)) if step_eqs is None else step_eqs
+        self.num_registers = len(slots) if num_registers is None else num_registers
 
     @property
     def num_slots(self) -> int:
@@ -147,6 +169,9 @@ class BGPPlan:
         rows = self._seed_rows(solutions)
         for step_index, step in enumerate(self.steps):
             rows = self._run_step(rows, step, deadline)
+            eqs = self.step_eqs[step_index]
+            if eqs and rows:
+                rows = [r for r in rows if all(r[a] == r[b] for a, b in eqs)]
             ready = schedule.get(step_index)
             if ready and rows:
                 rows = self._filter_rows(rows, ready, solutions, memo)
@@ -179,6 +204,9 @@ class BGPPlan:
         last = len(self.steps) - 1
         for step_index in range(last):
             rows = self._run_step(rows, self.steps[step_index], deadline)
+            eqs = self.step_eqs[step_index]
+            if eqs and rows:
+                rows = [r for r in rows if all(r[a] == r[b] for a, b in eqs)]
             ready = schedule.get(step_index)
             if ready and rows:
                 rows = self._filter_rows(rows, ready, solutions, memo)
@@ -187,6 +215,11 @@ class BGPPlan:
         stream = self._stream_step(
             rows, self.steps[last], schedule.get(last), solutions, memo, deadline
         )
+        eqs = self.step_eqs[last]
+        if eqs:
+            stream = (
+                r for r in stream if all(r[a] == r[b] for a, b in eqs)
+            )
         return stream, leftover
 
     def _run_step(self, rows: list[list], step: Step, deadline) -> list[list]:
@@ -334,6 +367,7 @@ class BGPPlan:
             schedule[last] = schedule.get(last, []) + leftover
         memo: dict[int, Node] = {}
         steps = self.steps
+        step_eqs = self.step_eqs
         match = self.index.match
         check = deadline.check
         depth_filters = [schedule.get(i) for i in range(len(steps))]
@@ -346,6 +380,7 @@ class BGPPlan:
             p = pc if ps is None else row[ps]
             o = oc if os_ is None else row[os_]
             ready = depth_filters[depth]
+            eqs = step_eqs[depth]
             for sid, pid, oid in match(s, p, o):
                 check()
                 new = row.copy()
@@ -355,6 +390,8 @@ class BGPPlan:
                     new[ps] = pid
                 if o is None:
                     new[os_] = oid
+                if eqs and not all(new[a] == new[b] for a, b in eqs):
+                    continue
                 if ready and not self._row_passes(new, ready, source, memo):
                     continue
                 if search(depth + 1, new, source):
@@ -396,7 +433,7 @@ class BGPPlan:
         dropped (returns None).  Unbound registers hold None and act as
         wildcards until a step writes them.
         """
-        row = [None] * len(self.slots)
+        row = [None] * self.num_registers
         lookup = self.dictionary.lookup
         if binding:
             for variable, slot in self.slots.items():

@@ -107,7 +107,9 @@ class Evaluator:
 
     def __init__(self, graph, optimize: bool = True, compile: bool = True,
                  plan_cache=None, aggregate_counter=None,
-                 select_counter=None):
+                 select_counter=None, vectorize: bool = True,
+                 batch_size: int | None = None, parallel: int | None = None,
+                 exec_counter=None):
         self.graph = graph
         self.optimize = optimize
         self.compile = compile
@@ -119,6 +121,20 @@ class Evaluator:
         # Same contract for non-aggregate SELECTs:
         # callable(compiled: bool, reason: str | None).
         self.select_counter = select_counter
+        # Batched execution of compiled plans (repro.sparql.vectorized):
+        # block-at-a-time operators over columnar batches, with optional
+        # morsel parallelism.  vectorize=False pins the tuple-at-a-time
+        # operator loop — the differential oracle.
+        if vectorize:
+            from .vectorized import VecConfig
+
+            self.vec_config = VecConfig(batch_size=batch_size,
+                                        parallel=parallel)
+        else:
+            self.vec_config = None
+        # Optional callable(batched: bool) invoked once per compiled-plan
+        # execution, letting the endpoint count batched vs. tuple runs.
+        self.exec_counter = exec_counter
 
     def _plan_or_order(self, patterns, available):
         """Order a BGP and (when possible) compile it, through the plan cache.
@@ -245,8 +261,11 @@ class Evaluator:
             if plan is not None:
                 # Fused path: the compiled join streams id rows straight
                 # into per-group accumulators, never materializing
-                # solutions or term-space bindings.
-                rows, variables = plan.execute(deadline)
+                # solutions or term-space bindings.  With a vec config the
+                # body runs batched and accumulators fold whole segments.
+                rows, variables = plan.execute(deadline, vec=self.vec_config)
+                if counted and self.exec_counter is not None:
+                    self.exec_counter(self.vec_config is not None)
             else:
                 solutions = self._eval_group(query.where, [dict()], deadline)
                 rows, variables = self._aggregate(query, solutions, deadline)
@@ -260,21 +279,40 @@ class Evaluator:
             plan, reason = self._where_plan(query.where)
             if counted and self.select_counter is not None:
                 self.select_counter(plan is not None, reason)
+            rows = None
             if plan is not None:
-                solutions = plan.solutions(deadline)
+                if self.vec_config is not None:
+                    from .vectorized import vec_rows, vec_solutions
+
+                    fast_vars = self._bare_projection(query)
+                    if fast_vars is not None:
+                        # All projections are bare variables and no ORDER
+                        # BY runs: result rows assemble straight from the
+                        # decoded batch columns, skipping binding dicts.
+                        rows = vec_rows(plan, fast_vars, deadline,
+                                        self.vec_config)
+                        variables = query.output_variables()
+                    else:
+                        solutions = vec_solutions(plan, deadline,
+                                                  self.vec_config)
+                else:
+                    solutions = plan.solutions(deadline)
+                if counted and self.exec_counter is not None:
+                    self.exec_counter(self.vec_config is not None)
             else:
                 solutions = self._eval_group(query.where, [dict()], deadline)
-            # SPARQL orders the *solutions* before projection, so ORDER BY
-            # may reference variables that are not projected.  The top-k
-            # bound only applies when no DISTINCT runs afterwards —
-            # DISTINCT collapses projected rows, so it may need solutions
-            # beyond the first limit+offset.
-            if query.order_by:
-                solution_k = None if query.distinct else top_k
-                solutions = self._order_solutions(
-                    solutions, query.order_by, limit=solution_k
-                )
-            rows, variables = self._project(query, solutions)
+            if rows is None:
+                # SPARQL orders the *solutions* before projection, so ORDER
+                # BY may reference variables that are not projected.  The
+                # top-k bound only applies when no DISTINCT runs afterwards
+                # — DISTINCT collapses projected rows, so it may need
+                # solutions beyond the first limit+offset.
+                if query.order_by:
+                    solution_k = None if query.distinct else top_k
+                    solutions = self._order_solutions(
+                        solutions, query.order_by, limit=solution_k
+                    )
+                rows, variables = self._project(query, solutions)
             if query.distinct:
                 rows = _distinct(rows)
         if query.offset:
@@ -300,7 +338,9 @@ class Evaluator:
             return self._ask_exists(query.where, deadline)
         plan, _reason = self._where_plan(query.where)
         if plan is not None:
-            # Lazy pipeline: stops at the first complete row.
+            # Lazy pipeline: stops at the first complete row.  ASK stays
+            # tuple-at-a-time even with vectorize on — first-row latency
+            # beats batch throughput when one row settles the answer.
             return plan.any(deadline)
         return bool(self._eval_group(query.where, [dict()], deadline, stop_at=1))
 
@@ -321,7 +361,12 @@ class Evaluator:
         deadline = _Deadline(timeout)
         plan, _reason = self._where_plan(query.where)
         if plan is not None:
-            solutions = plan.solutions(deadline)
+            if self.vec_config is not None:
+                from .vectorized import vec_solutions
+
+                solutions = vec_solutions(plan, deadline, self.vec_config)
+            else:
+                solutions = plan.solutions(deadline)
         else:
             solutions = self._eval_group(query.where, [dict()], deadline)
         result = _Graph()
@@ -518,6 +563,29 @@ class Evaluator:
         return result
 
     # -- projection and aggregation -------------------------------------------
+
+    @staticmethod
+    def _bare_projection(query: SelectQuery):
+        """Source variables for the batched direct-projection fast path.
+
+        Returns the per-column source variable list when every projection
+        is a bare variable (``SELECT *`` or ``SELECT ?x (?y AS ?z)``) and
+        no ORDER BY needs full solutions first; None otherwise.  Matches
+        ``_project`` exactly: a bare-variable expression evaluates to the
+        binding's term or None when unbound.
+        """
+        if query.order_by:
+            return None
+        if query.select_all:
+            return query.output_variables()
+        sources = []
+        for projection in query.projections:
+            expr = projection.expression
+            if isinstance(expr, TermExpr) and isinstance(expr.term, Variable):
+                sources.append(expr.term)
+            else:
+                return None
+        return sources
 
     def _project(
         self, query: SelectQuery, solutions: list[Binding]

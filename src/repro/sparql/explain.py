@@ -59,6 +59,8 @@ class QueryPlan:
     decline_reason: str | None = None
     #: rendered physical-operator tree lines (empty for term-space plans).
     tree: tuple[str, ...] = field(default=())
+    #: rendered batched-execution lines (empty for term-space plans).
+    vectorized: tuple[str, ...] = field(default=())
 
     def render(self) -> str:
         if self.engine == "compiled":
@@ -69,6 +71,9 @@ class QueryPlan:
         if self.tree:
             lines.append("physical plan:")
             lines.extend("  " + line for line in self.tree)
+        if self.vectorized:
+            lines.append("vectorized:")
+            lines.extend("  " + line for line in self.vectorized)
         header = "join order (optimizer %s):" % ("on" if self.optimized else "off")
         lines.append(header)
         lines.extend("  " + step.render() for step in self.steps)
@@ -100,25 +105,52 @@ def _pipeline_lines(pipeline, indent: str = "") -> list[str]:
     return lines
 
 
-def _compiled_tree(graph, query: SelectQuery, optimize: bool):
-    """(engine, reason, tree lines) by invoking the real compilers."""
+def _vectorized_lines(where_plan, batch_size, parallel) -> tuple[str, ...]:
+    """Render what batched execution would do over ``where_plan``.
+
+    Delegates to the vectorized engine's own static analyzer so explain
+    never drifts from the real driver-selection and pushdown rules.
+    """
+    from .vectorized import analyze_plan
+
+    info = analyze_plan(where_plan, batch_size=batch_size, parallel=parallel)
+    lines = [
+        f"backend {info['backend']}; batch size {info['batch_size']}; "
+        f"parallel {info['parallel']}"
+    ]
+    if info["driver"] is None:
+        lines.append("driver: (none — batches fall back per-row)")
+    else:
+        lines.append(f"driver: {info['driver']}  "
+                     f"[~{info['morsels']} morsel(s)]")
+    for pattern in info["pushed"]:
+        lines.append(f"semi-join pushdown: {pattern}")
+    return tuple(lines)
+
+
+def _compiled_tree(graph, query: SelectQuery, optimize: bool,
+                   batch_size=None, parallel=None):
+    """(engine, reason, tree, vectorized lines) via the real compilers."""
     from .aggregator import compile_aggregate_ex
     from .operators import OrderLimit, compile_where
 
     if query.is_aggregate_query:
         plan, reason = compile_aggregate_ex(graph, query, optimize=optimize)
         if plan is None:
-            return "term-space", reason, ()
+            return "term-space", reason, (), ()
         lines = _pipeline_lines(plan.body.root)
         keys = ", ".join(v.n3() for v in plan.group_vars) or "(single group)"
         lines.append(
             f"AggregateFold {len(plan.specs)} aggregates; keys {keys}"
         )
+        where_plan = plan.body
     else:
         plan, reason = compile_where(graph, query.where, optimize=optimize)
         if plan is None:
-            return "term-space", reason, ()
+            return "term-space", reason, (), ()
         lines = _pipeline_lines(plan.root)
+        where_plan = plan
+    vec = _vectorized_lines(where_plan, batch_size, parallel)
     if query.order_by:
         top_k = None
         if query.limit is not None:
@@ -128,7 +160,7 @@ def _compiled_tree(graph, query: SelectQuery, optimize: bool):
             top_k = None
         order = OrderLimit(tuple(query.order_by), top_k)
         lines.append(f"OrderLimit {order.describe()}")
-    return "compiled", None, tuple(lines)
+    return "compiled", None, tuple(lines), vec
 
 
 def explain(
@@ -136,6 +168,8 @@ def explain(
     query: SelectQuery | str,
     optimize: bool = True,
     compile: bool = True,
+    batch_size: int | None = None,
+    parallel: int | None = None,
 ) -> QueryPlan:
     """The execution plan ``Evaluator`` would use for ``query``.
 
@@ -143,6 +177,9 @@ def explain(
     ``engine:`` header reflects what an identically configured evaluator
     does.  The flat join-order steps cover the top-level group's triple
     patterns; the physical plan tree covers the whole WHERE clause.
+    ``batch_size``/``parallel`` feed the vectorized section: which scan
+    drives morsels, how many morsels the store would split into, and
+    which probes were pushed down as semi-join filters.
     """
     if isinstance(query, str):
         parsed = parse_query(query)
@@ -153,9 +190,10 @@ def explain(
         raise TypeError("explain() requires a SELECT query")
 
     if compile:
-        engine, reason, tree = _compiled_tree(graph, query, optimize)
+        engine, reason, tree, vec = _compiled_tree(
+            graph, query, optimize, batch_size=batch_size, parallel=parallel)
     else:
-        engine, reason, tree = "term-space", "compile-disabled", ()
+        engine, reason, tree, vec = "term-space", "compile-disabled", (), ()
 
     patterns = query.where.triple_patterns()
     ordered = order_patterns(graph, list(patterns)) if optimize and len(patterns) > 1 else list(patterns)
@@ -180,4 +218,5 @@ def explain(
         engine=engine,
         decline_reason=reason,
         tree=tree,
+        vectorized=vec,
     )

@@ -62,10 +62,12 @@ tally.  Shapes that still decline — and why:
   either expression evaluation writing registers (BIND) or a correlated
   re-entry into full query evaluation; the term-space interpreter
   remains their semantics reference;
-* ``repeated-variable`` — ``?x <p> ?x`` binds one register from two
-  positions; a join step writes positions independently, so the
-  intra-pattern equality constraint would be dropped;
 * ``no-id-backend`` — multi-graph union views have no shared id space.
+
+A repeated variable within one pattern (``?x <p> ?x``) used to decline
+too; it now compiles by binding the second occurrence into a scratch
+register and enforcing the intra-pattern join with a register-equality
+check fused into the step (see :meth:`_Lowering._lower_step`).
 
 Plans are immutable after compilation and hold no per-execution state
 (each execution builds a private :class:`_ExecContext`), so the serving
@@ -194,19 +196,34 @@ class _StepOp(PhysicalOp):
     ``step`` is ``(s_const, s_slot, p_const, p_slot, o_const, o_slot)``:
     for each position exactly one of (encoded constant, register slot)
     is set.  A slot whose register is still ``None`` acts as a wildcard.
+
+    ``eqs`` holds register-equality pairs for patterns that repeat a
+    variable (``?x <p> ?x``): the repeated occurrence binds a scratch
+    register and each ``(canonical, scratch)`` pair must agree after the
+    step — the id-space analogue of the interpreter's bind-consistency
+    check.  Both registers are always bound once the step has run, so
+    plain integer equality suffices.
     """
 
-    __slots__ = ("pattern", "step", "estimate")
+    __slots__ = ("pattern", "step", "estimate", "eqs")
 
-    def __init__(self, pattern: TriplePattern, step: tuple, estimate: int | None):
+    def __init__(self, pattern: TriplePattern, step: tuple, estimate: int | None,
+                 eqs: tuple = ()):
         self.pattern = pattern
         self.step = step
         self.estimate = estimate
+        self.eqs = eqs
 
     def describe(self) -> str:
         return self.pattern.to_sparql()
 
     def run(self, rows, ctx):
+        out = self._run_plain(rows, ctx)
+        if not self.eqs:
+            return out
+        return _eq_filter(out, self.eqs)
+
+    def _run_plain(self, rows, ctx):
         sc, ss, pc, ps, oc, os_ = self.step
         index = ctx.index
         scan_objects = index.scan_objects
@@ -271,6 +288,16 @@ class _StepOp(PhysicalOp):
                 if os_ is not None:
                     new[os_] = oid
                 yield new
+
+
+def _eq_filter(rows, eqs):
+    """Keep only rows whose paired registers agree (repeated variables)."""
+    for row in rows:
+        for a, b in eqs:
+            if row[a] != row[b]:
+                break
+        else:
+            yield row
 
 
 class IndexScan(_StepOp):
@@ -802,6 +829,7 @@ class _Lowering:
         self.index = index
         self.optimize = optimize
         self.slots: dict[Variable, int] = {}
+        self.num_registers = 0
         self.extra_terms: list[Node] = []
         self._pseudo: dict[Node, int] = {}
         self._closure_count = 0
@@ -810,8 +838,19 @@ class _Lowering:
     def slot(self, variable: Variable) -> int:
         slot = self.slots.get(variable)
         if slot is None:
-            slot = len(self.slots)
+            slot = self.num_registers
+            self.num_registers += 1
             self.slots[variable] = slot
+        return slot
+
+    def temp_slot(self) -> int:
+        """A scratch register no variable maps to (repeated occurrences).
+
+        Scratch registers share the one register file but stay out of
+        ``slots``, so decode-at-the-boundary never sees them.
+        """
+        slot = self.num_registers
+        self.num_registers += 1
         return slot
 
     def encode(self, term: Node) -> int:
@@ -951,12 +990,19 @@ class _Lowering:
     def _lower_step(self, pattern: TriplePattern, may: set, estimate: int | None):
         positions = []
         pattern_vars: set[Variable] = set()
+        eqs = []
         for term in (pattern.s, pattern.p, pattern.o):
             if isinstance(term, Variable):
                 if term in pattern_vars:
-                    raise _Decline("repeated-variable")
-                pattern_vars.add(term)
-                positions.extend((None, self.slot(term)))
+                    # Repeated occurrence (?x <p> ?x): bind it into a
+                    # scratch register; the step's eq check enforces the
+                    # intra-pattern join against the canonical slot.
+                    scratch = self.temp_slot()
+                    eqs.append((self.slots[term], scratch))
+                    positions.extend((None, scratch))
+                else:
+                    pattern_vars.add(term)
+                    positions.extend((None, self.slot(term)))
             else:
                 term_id = self.dictionary.lookup(term)
                 if term_id is None:
@@ -964,7 +1010,7 @@ class _Lowering:
                 positions.extend((term_id, None))
         step = tuple(positions)
         cls = NestedProbe if pattern_vars & may else IndexScan
-        return cls(pattern, step, estimate)
+        return cls(pattern, step, estimate, tuple(eqs))
 
     def _lower_path(self, pattern: TriplePattern, estimate: int | None) -> PathClosure:
         if isinstance(pattern.s, Variable):
@@ -1016,7 +1062,8 @@ def compile_where(graph, where: GroupGraphPattern, optimize: bool = True):
     except _Decline as decline:
         return None, decline.reason
     plan = WherePlan(
-        dictionary, index, lowering.slots, root, tuple(lowering.extra_terms)
+        dictionary, index, lowering.slots, root, tuple(lowering.extra_terms),
+        lowering.num_registers,
     )
     return plan, None
 
@@ -1030,9 +1077,10 @@ class WherePlan:
     """
 
     __slots__ = ("dictionary", "index", "slots", "root", "extra_terms",
-                 "slot_items", "empty")
+                 "slot_items", "empty", "num_registers")
 
-    def __init__(self, dictionary, index, slots, root: GroupPipeline, extra_terms):
+    def __init__(self, dictionary, index, slots, root: GroupPipeline, extra_terms,
+                 num_registers: int | None = None):
         self.dictionary = dictionary
         self.index = index
         self.slots = slots
@@ -1040,6 +1088,8 @@ class WherePlan:
         self.extra_terms = extra_terms
         self.slot_items = tuple(slots.items())
         self.empty = root.empty
+        # Scratch registers (repeated variables) live past len(slots).
+        self.num_registers = len(slots) if num_registers is None else num_registers
 
     @property
     def num_slots(self) -> int:
@@ -1051,7 +1101,7 @@ class WherePlan:
         return self.dictionary.decode(term_id)
 
     def _seed(self) -> list:
-        return [None] * len(self.slots)
+        return [None] * self.num_registers
 
     def solutions(self, deadline) -> list[Binding]:
         """Run the pipeline eagerly, stage by stage; decoded bindings out."""

@@ -1,0 +1,1091 @@
+"""Batch-vectorized execution of compiled WHERE pipelines.
+
+The operator layer (:mod:`repro.sparql.operators`) is tuple-at-a-time:
+every row hops through a chain of Python generators, paying interpreter
+overhead per register file.  This module executes the *same* compiled
+:class:`~repro.sparql.operators.WherePlan` block-at-a-time: rows travel
+as :class:`Batch` objects — one int64 column per register, sliced
+directly out of the columnar sorted runs — and each operator transforms
+a whole batch in a handful of numpy array operations.
+
+Execution model:
+
+* **Batch format** — ``cols[slot]`` is ``None`` (the register is unbound
+  in every row), or an int64 array where the sentinel :data:`UNBOUND`
+  (``-2**62``) marks per-row unbound registers.  Plan-local pseudo ids
+  are small negatives (``-1 - k``), so the sentinel can never collide
+  with a real or pseudo id.  Without numpy the columns are plain Python
+  lists (the ``array``/stdlib fallback).
+* **Selection vectors** — filtering operators compute a boolean mask or
+  an index vector and gather surviving rows once; expanding operators
+  (probes) build a parent-index vector with ``repeat``/``cumsum`` and
+  gather every column through it, which keeps the *exact* row order the
+  tuple engine produces (row-outer, match-inner).  Order preservation is
+  load-bearing: ``LIMIT`` without ``ORDER BY`` slices positionally.
+* **Fast paths and fallback** — vectorized probes slice the sorted runs
+  through cached composite keys (:meth:`Run.key12` + ``searchsorted``)
+  and are only sound when the run is the complete truth
+  (:meth:`TripleIndex.pure_run`); with buffered deltas/tombstones, a
+  dict-layout store, a mixed-boundness column, or no numpy, the affected
+  operator falls back to the tuple engine *per batch* (rows are
+  round-tripped through the operator's own ``run``), so every shape the
+  tuple engine supports runs batched with identical semantics.
+* **Morsel-driven parallelism** — when the first scheduled operator is a
+  driving ``IndexScan`` over a pure run, its row range is split into
+  batch-size morsels; with ``parallel > 1`` the morsels are dispatched
+  to a thread pool (the heavy array ops release the GIL) and the
+  finished batches are concatenated back in morsel order — a single
+  merge stage that preserves ORDER BY/LIMIT semantics exactly.
+* **Sideways information passing** — a later probe of shape
+  ``?s <p> <o>`` (or ``<s> <p> ?o``) over a slot the driving scan binds
+  is a pure semi-join filter: its sorted id set is built once from the
+  statistics-backed scan API and pushed into the driving scan as a
+  ``searchsorted`` membership mask, so doomed rows never leave the scan.
+* **Deadline** — checked per operator per batch with a direct
+  ``time.monotonic`` comparison (no stride: one check covers thousands
+  of rows), plus the tuple engine's own per-row checks inside fallbacks.
+
+The tuple-at-a-time path stays fully intact as the differential oracle;
+:mod:`tests.test_vectorized_parity` pins batched ≡ tuple ≡ term-space.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import QueryTimeoutError
+from ..rdf.terms import Literal, Variable
+from .ast import Comparison, TermExpr
+from .operators import (
+    _EMPTY_MASK,
+    _ExecContext,
+    FilterOp,
+    IndexScan,
+    LeftJoin,
+    NestedProbe,
+    UnionOp,
+    ValuesBind,
+    _StepOp,
+)
+
+try:  # pragma: no cover - import guard
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+if os.environ.get("REPRO_NO_NUMPY"):  # force the stdlib path (CI fallback leg)
+    _np = None
+
+__all__ = [
+    "UNBOUND",
+    "DEFAULT_BATCH_SIZE",
+    "VecConfig",
+    "backend_name",
+    "analyze_plan",
+    "iter_batches",
+    "collect_batches",
+    "vec_any",
+    "vec_solutions",
+    "vec_rows",
+]
+
+#: Per-row "this register is unbound" sentinel inside an int64 column.
+#: Far below every real id (>= 0) and every plan-local pseudo id (small
+#: negatives), so it can never collide.
+UNBOUND = -(1 << 62)
+
+DEFAULT_BATCH_SIZE = 65536
+
+#: Values beyond 2**53 lose exactness in float64; the vectorized filter
+#: and aggregate fast paths refuse them and fall back to exact folds.
+_FLOAT_EXACT_LIMIT = float(1 << 53)
+
+
+def backend_name() -> str:
+    """Which array backend batches run on: ``"numpy"`` or ``"array"``."""
+    return "numpy" if _np is not None else "array"
+
+
+class VecConfig:
+    """Normalized batched-execution settings.
+
+    ``parallel`` counts morsel workers: ``None``/1 means serial, 0 means
+    one worker per CPU, N means at most N threads.
+    """
+
+    __slots__ = ("batch_size", "parallel")
+
+    def __init__(self, batch_size: int | None = None, parallel: int | None = None):
+        self.batch_size = int(batch_size) if batch_size else DEFAULT_BATCH_SIZE
+        if self.batch_size < 1:
+            self.batch_size = 1
+        if parallel is None:
+            workers = 1
+        elif parallel == 0:
+            workers = os.cpu_count() or 1
+        else:
+            workers = int(parallel)
+        self.parallel = max(1, workers)
+
+
+_DEFAULT_CONFIG = VecConfig()
+
+
+class Batch:
+    """One block of register-file rows, stored column-wise."""
+
+    __slots__ = ("cols", "n", "_states")
+
+    def __init__(self, cols: list, n: int):
+        self.cols = cols
+        self.n = n
+        self._states: dict[int, str] = {}
+
+    @property
+    def width(self) -> int:
+        return len(self.cols)
+
+    def state(self, slot: int) -> str:
+        """Boundness of one column: ``'none'`` | ``'all'`` | ``'mixed'``."""
+        col = self.cols[slot]
+        if col is None:
+            return "none"
+        cached = self._states.get(slot)
+        if cached is None:
+            if _np is not None and not isinstance(col, list):
+                cached = "mixed" if bool((col == UNBOUND).any()) else "all"
+            else:
+                cached = "mixed" if UNBOUND in col else "all"
+            self._states[slot] = cached
+        return cached
+
+
+def _empty(width: int) -> Batch:
+    return Batch([None] * width, 0)
+
+
+class _VecCtx:
+    """Per-execution batched state, wrapping the tuple engine's context.
+
+    The tuple :class:`_ExecContext` is shared with every per-batch
+    fallback (and across morsel workers): its memo dicts are idempotent
+    caches, so concurrent benign races only cost a recompute.
+    """
+
+    __slots__ = ("plan", "deadline", "config", "tctx", "index", "morsels",
+                 "pushed")
+
+    def __init__(self, plan, deadline, config: VecConfig):
+        self.plan = plan
+        self.deadline = deadline
+        self.config = config
+        self.tctx = _ExecContext(plan, deadline)
+        self.index = plan.index
+        self.morsels = 0
+        self.pushed: list[str] = []
+
+    def check(self) -> None:
+        """Direct per-batch deadline check — no stride, one call covers
+        thousands of rows."""
+        expires_at = self.deadline.expires_at
+        if expires_at is not None and time.monotonic() > expires_at:
+            raise QueryTimeoutError("query evaluation exceeded the deadline")
+
+
+# --------------------------------------------------------------------------
+# Row <-> batch conversion (the per-batch tuple-engine fallback)
+# --------------------------------------------------------------------------
+
+
+def _to_tagged_rows(batch: Batch) -> list[list]:
+    """Batch rows as tuple-engine register files with a trailing parent
+    index (tuple operators copy rows wholesale, so the tag survives)."""
+    width = batch.width
+    n = batch.n
+    lists = []
+    for col in batch.cols:
+        if col is None:
+            lists.append(None)
+        elif isinstance(col, list):
+            lists.append(col)
+        else:
+            lists.append(col.tolist())
+    rows = []
+    for i in range(n):
+        row = [None] * (width + 1)
+        row[width] = i
+        for slot, vals in enumerate(lists):
+            if vals is not None:
+                value = vals[i]
+                if value != UNBOUND:
+                    row[slot] = value
+        rows.append(row)
+    return rows
+
+
+def _from_rows(rows: list[list], width: int) -> Batch:
+    cols: list = []
+    for slot in range(width):
+        seen = False
+        vals = []
+        for row in rows:
+            value = row[slot]
+            if value is None:
+                vals.append(UNBOUND)
+            else:
+                vals.append(value)
+                seen = True
+        if not seen:
+            cols.append(None)
+        elif _np is not None:
+            cols.append(_np.array(vals, dtype=_np.int64))
+        else:
+            cols.append(vals)
+    return Batch(cols, len(rows))
+
+
+def _per_row(op, batch: Batch, vctx: _VecCtx):
+    """Run one tuple operator over a batch's rows (the universal
+    fallback): identical semantics by construction, still batch-framed."""
+    width = batch.width
+    rows = _to_tagged_rows(batch)
+    out_rows = list(op.run(iter(rows), vctx.tctx))
+    out = _from_rows(out_rows, width)
+    src = [row[width] for row in out_rows]
+    if _np is not None:
+        src = _np.array(src, dtype=_np.int64) if src else _np.empty(0, _np.int64)
+    return out, src
+
+
+# --------------------------------------------------------------------------
+# Batch primitives (numpy mode)
+# --------------------------------------------------------------------------
+
+
+def _take(batch: Batch, idx) -> Batch:
+    cols = [None if col is None else col[idx] for col in batch.cols]
+    return Batch(cols, int(len(idx)))
+
+
+def _expand(batch: Batch, parent, bound: dict) -> Batch:
+    """Gather every column through a parent-index vector, overriding the
+    slots in ``bound`` with freshly produced columns."""
+    cols = []
+    for slot, col in enumerate(batch.cols):
+        new = bound.get(slot)
+        if new is not None:
+            cols.append(new)
+        elif col is None:
+            cols.append(None)
+        else:
+            cols.append(col[parent])
+    return Batch(cols, int(len(parent)))
+
+
+def _apply_eqs(batch: Batch, parent, eqs):
+    """Register-equality selection (repeated variables) on a step output."""
+    if not eqs or batch.n == 0:
+        return batch, parent
+    mask = None
+    for a, b in eqs:
+        part = batch.cols[a] == batch.cols[b]
+        mask = part if mask is None else (mask & part)
+    idx = _np.nonzero(mask)[0]
+    return _take(batch, idx), parent[idx]
+
+
+def _merge_parts(parts: list, width: int):
+    """Concatenate part batches and stable-sort by their source keys.
+
+    ``parts`` is ``[(batch, src)]`` in tie-break order: rows with equal
+    source keys keep part order, then within-part order — exactly the
+    tuple engine's per-row branch/values/left-join interleaving.
+    """
+    parts = [(b, s) for b, s in parts if b.n]
+    if not parts:
+        return _empty(width), _np.empty(0, _np.int64)
+    if len(parts) == 1:
+        return parts[0]
+    src_all = _np.concatenate([s for _b, s in parts])
+    order = _np.argsort(src_all, kind="stable")
+    cols = []
+    for slot in range(width):
+        have = [b.cols[slot] for b, _s in parts]
+        if all(col is None for col in have):
+            cols.append(None)
+            continue
+        chunks = []
+        for (b, _s), col in zip(parts, have):
+            if col is None:
+                chunks.append(_np.full(b.n, UNBOUND, dtype=_np.int64))
+            else:
+                chunks.append(col)
+        cols.append(_np.concatenate(chunks)[order])
+    return Batch(cols, int(len(src_all))), src_all[order]
+
+
+def _compose(outer, inner):
+    """Compose source maps: ``outer`` maps this op's input rows upstream,
+    ``inner`` maps its output rows to its input rows."""
+    if inner is None:
+        return outer
+    if outer is None:
+        return inner
+    if isinstance(outer, list):
+        return [outer[i] for i in inner]
+    return outer[inner]
+
+
+# --------------------------------------------------------------------------
+# Vectorized operators
+# --------------------------------------------------------------------------
+
+
+def _run_step(op: _StepOp, batch: Batch, vctx: _VecCtx):
+    """One join step over a whole batch via composite-key searchsorted."""
+    if _np is None:
+        return _per_row(op, batch, vctx)
+    sc, ss, pc, ps, oc, os_ = op.step
+    if ps is not None or pc is None:
+        return _per_row(op, batch, vctx)  # variable predicate: rare shape
+
+    def classify(const, slot):
+        if slot is None:
+            return ("k", const)
+        state = batch.state(slot)
+        if state == "none":
+            return ("w", slot)
+        if state == "all":
+            return ("b", slot)
+        return None  # mixed boundness: per-row fallback
+
+    s_kind = classify(sc, ss)
+    o_kind = classify(oc, os_)
+    if s_kind is None or o_kind is None:
+        return _per_row(op, batch, vctx)
+    pure = getattr(vctx.index, "pure_run", None)
+    if pure is None:
+        return _per_row(op, batch, vctx)
+    m = len(vctx.plan.dictionary)
+    n = batch.n
+
+    if s_kind[0] != "w" and o_kind[0] == "w":
+        # <s>/?s(bound) <p> ?o — probe the SPO run, bind the object.
+        run = pure(0)
+        if run is None:
+            return _per_row(op, batch, vctx)
+        a_vals = s_kind[1] if s_kind[0] == "k" else batch.cols[s_kind[1]]
+        parent, pos = _probe_positions(run, m, a_vals, pc, n)
+        if parent is None:
+            return _empty(batch.width), _np.empty(0, _np.int64)
+        c_np = run.as_numpy()[2]
+        out = _expand(batch, parent, {o_kind[1]: c_np[pos]})
+        return _apply_eqs(out, parent, op.eqs)
+
+    if s_kind[0] == "w" and o_kind[0] != "w":
+        # ?s <p> <o>/?o(bound) — probe the POS run, bind the subject.
+        run = pure(1)
+        if run is None:
+            return _per_row(op, batch, vctx)
+        a_vals = o_kind[1] if o_kind[0] == "k" else batch.cols[o_kind[1]]
+        parent, pos = _probe_positions(run, m, pc, a_vals, n, swap=True)
+        if parent is None:
+            return _empty(batch.width), _np.empty(0, _np.int64)
+        c_np = run.as_numpy()[2]
+        out = _expand(batch, parent, {s_kind[1]: c_np[pos]})
+        return _apply_eqs(out, parent, op.eqs)
+
+    if s_kind[0] != "w" and o_kind[0] != "w":
+        # Fully bound: a pure per-row containment selection.
+        run = pure(0)
+        if run is None:
+            return _per_row(op, batch, vctx)
+        s_vals = s_kind[1] if s_kind[0] == "k" else batch.cols[s_kind[1]]
+        o_vals = o_kind[1] if o_kind[0] == "k" else batch.cols[o_kind[1]]
+        mask = _contains_mask(run, m, s_vals, o_vals, pc, n)
+        idx = _np.nonzero(mask)[0]
+        return _apply_eqs(_take(batch, idx), idx, op.eqs)
+
+    # ?s <p> ?o with both ends free — the scan shape: cross every input
+    # row with the predicate's contiguous POS range.
+    run = pure(1)
+    if run is None:
+        return _per_row(op, batch, vctx)
+    lo, hi = run.range1(pc)
+    span = hi - lo
+    if span == 0 or n == 0:
+        return _empty(batch.width), _np.empty(0, _np.int64)
+    _a, b_np, c_np, _st = run.as_numpy()
+    parent = _np.repeat(_np.arange(n, dtype=_np.int64), span)
+    subjects = _np.tile(c_np[lo:hi], n)
+    objects = _np.tile(b_np[lo:hi], n)
+    out = _expand(batch, parent, {ss: subjects, os_: objects})
+    return _apply_eqs(out, parent, op.eqs)
+
+
+def _probe_positions(run, m, a_vals, b_vals, n, swap=False):
+    """Per-row run ranges for two bound leading keys, ragged-expanded.
+
+    Returns ``(parent, pos)``: for every match, the input row it extends
+    and its row index inside the run — in (row-outer, run-order-inner)
+    order, matching the tuple engine's scan loops.  ``swap`` probes with
+    ``(a=const, b=per-row)`` instead of ``(a=per-row, b=const)``.
+    """
+    keys = run.key12(m)
+    scalar_a = not hasattr(a_vals, "__len__")
+    scalar_b = not hasattr(b_vals, "__len__")
+    if scalar_a and scalar_b:
+        lo = int(_np.searchsorted(keys, a_vals * m + b_vals, side="left"))
+        hi = int(_np.searchsorted(keys, a_vals * m + b_vals, side="right"))
+        span = hi - lo
+        if span == 0 or n == 0:
+            return None, None
+        parent = _np.repeat(_np.arange(n, dtype=_np.int64), span)
+        pos = _np.tile(_np.arange(lo, hi, dtype=_np.int64), n)
+        return parent, pos
+    query = a_vals * m + b_vals
+    lo = _np.searchsorted(keys, query, side="left")
+    hi = _np.searchsorted(keys, query, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return None, None
+    parent = _np.repeat(_np.arange(n, dtype=_np.int64), counts)
+    first = _np.cumsum(counts) - counts
+    pos = (
+        _np.arange(total, dtype=_np.int64)
+        - _np.repeat(first, counts)
+        + _np.repeat(lo, counts)
+    )
+    return parent, pos
+
+
+def _contains_mask(run, m, s_vals, o_vals, pc, n):
+    """Vectorized triple-containment test over the SPO run.
+
+    Rows whose ``(s, p)`` range holds at most one object — the dominant
+    star-schema case — resolve in pure array ops; wider ranges fall back
+    to a bounded bisect per row.
+    """
+    from bisect import bisect_left
+
+    keys = run.key12(m)
+    if not hasattr(s_vals, "__len__"):
+        s_vals = _np.full(n, s_vals, dtype=_np.int64)
+    if not hasattr(o_vals, "__len__"):
+        o_vals = _np.full(n, o_vals, dtype=_np.int64)
+    query = s_vals * m + pc
+    lo = _np.searchsorted(keys, query, side="left")
+    hi = _np.searchsorted(keys, query, side="right")
+    counts = hi - lo
+    c_np = run.as_numpy()[2]
+    mask = _np.zeros(n, dtype=bool)
+    single = counts == 1
+    if single.any():
+        mask[single] = c_np[lo[single]] == o_vals[single]
+    wide = _np.nonzero(counts > 1)[0]
+    if len(wide):
+        c_col = run.c
+        for i in wide.tolist():
+            row_lo, row_hi = int(lo[i]), int(hi[i])
+            target = int(o_vals[i])
+            j = bisect_left(c_col, target, row_lo, row_hi)
+            mask[i] = j < row_hi and c_col[j] == target
+    return mask
+
+
+def _run_filter(op: FilterOp, batch: Batch, vctx: _VecCtx):
+    """FILTER over a batch: numeric comparisons vectorize through a
+    decode-once value table per distinct id; anything else per-row."""
+    if _np is None:
+        return _per_row(op, batch, vctx)
+    plans = []
+    for constraint in op.filters:
+        compiled = _vectorizable_comparison(op, constraint, batch)
+        if compiled is None:
+            return _per_row(op, batch, vctx)
+        plans.append(compiled)
+    mask = None
+    for slot, opname, const in plans:
+        values = _numeric_column(batch.cols[slot], vctx)
+        if values is None:
+            return _per_row(op, batch, vctx)
+        if opname == "<":
+            part = values < const
+        elif opname == "<=":
+            part = values <= const
+        elif opname == ">":
+            part = values > const
+        elif opname == ">=":
+            part = values >= const
+        elif opname == "=":
+            part = values == const
+        else:
+            part = values != const
+        mask = part if mask is None else (mask & part)
+    idx = _np.nonzero(mask)[0]
+    return _take(batch, idx), idx
+
+
+def _vectorizable_comparison(op: FilterOp, constraint, batch: Batch):
+    """``(slot, op, float_const)`` for ``?v OP numeric-literal`` shapes
+    over a fully bound column, else None."""
+    expr = constraint.expression
+    if not isinstance(expr, Comparison):
+        return None
+    left, right = expr.left, expr.right
+    opname = expr.op
+    if (isinstance(left, TermExpr) and isinstance(left.term, Variable)
+            and isinstance(right, TermExpr) and isinstance(right.term, Literal)):
+        variable, literal = left.term, right.term
+    elif (isinstance(right, TermExpr) and isinstance(right.term, Variable)
+            and isinstance(left, TermExpr) and isinstance(left.term, Literal)):
+        variable, literal = right.term, left.term
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        opname = flip.get(opname, opname)
+    else:
+        return None
+    if not literal.is_numeric:
+        return None
+    try:
+        const = float(literal.numeric_value())
+    except (ValueError, TypeError):
+        return None
+    if abs(const) >= _FLOAT_EXACT_LIMIT:
+        return None
+    slot = dict(op.slot_items).get(variable)
+    if slot is None or batch.state(slot) != "all":
+        return None
+    return slot, opname, const
+
+
+def _numeric_column(col, vctx: _VecCtx):
+    """Float64 view of a column via a decode-once distinct-value table.
+
+    Non-numeric terms map to NaN: every NaN comparison is False, which
+    matches both the SPARQL error-removes-row rule for ``<``/``>`` and
+    term inequality for ``=``/``!=`` against a numeric constant.
+    Malformed or float-inexact numerics force the per-row fallback
+    (returns None) — the tuple engine's exact error semantics apply.
+    """
+    uniq, inverse = _np.unique(col, return_inverse=True)
+    decode = vctx.tctx.decode
+    table = _np.empty(len(uniq), dtype=_np.float64)
+    for j, term_id in enumerate(uniq.tolist()):
+        term = decode(term_id)
+        if isinstance(term, Literal) and term.is_numeric:
+            try:
+                value = float(term.numeric_value())
+            except (ValueError, TypeError, ArithmeticError):
+                return None
+            if abs(value) >= _FLOAT_EXACT_LIMIT:
+                return None
+            table[j] = value
+        else:
+            table[j] = _np.nan
+    return table[inverse]
+
+
+def _run_values(op: ValuesBind, batch: Batch, vctx: _VecCtx):
+    """VALUES join: per value row, a compatibility mask + overridden
+    columns; outputs interleaved back into (row, value-row) order."""
+    if _np is None:
+        return _per_row(op, batch, vctx)
+    n = batch.n
+    width = batch.width
+    parts = []
+    for value_row in op.encoded_rows:
+        mask = _np.ones(n, dtype=bool)
+        override: dict[int, tuple] = {}
+        for slot, value_id in zip(op.cell_slots, value_row):
+            if value_id is None:  # UNDEF leaves the register as-is
+                continue
+            col = batch.cols[slot]
+            if col is None:
+                override[slot] = ("fill", value_id)
+            else:
+                unbound = col == UNBOUND
+                mask &= unbound | (col == value_id)
+                if bool(unbound.any()):
+                    override[slot] = ("where", value_id)
+        idx = _np.nonzero(mask)[0]
+        if not len(idx):
+            continue
+        part = _take(batch, idx)
+        for slot, (how, value_id) in override.items():
+            if how == "fill":
+                part.cols[slot] = _np.full(len(idx), value_id, dtype=_np.int64)
+            else:
+                col = part.cols[slot]
+                part.cols[slot] = _np.where(col == UNBOUND, value_id, col)
+            part._states.pop(slot, None)
+        parts.append((part, idx))
+    return _merge_parts(parts, width)
+
+
+def _run_group(pipeline, batch: Batch, vctx: _VecCtx):
+    """A nested GroupPipeline over a batch (OPTIONAL body, UNION branch).
+
+    The interpreter schedules filters against the variables each
+    *incoming row* binds, so rows are partitioned by entry mask (almost
+    always a single partition) and each partition runs its own memoized
+    schedule; partition outputs merge back into input-row order.
+    """
+    width = batch.width
+    if pipeline.empty or batch.n == 0:
+        return _empty(width), _np.empty(0, _np.int64)
+    groups = _entry_mask_groups(pipeline, batch)
+    parts = []
+    for mask, idx in groups:
+        ops = vctx.tctx.schedule(pipeline, mask)
+        sub = _take(batch, idx) if idx is not None else batch
+        out, src = _fold(ops, sub, vctx)
+        if idx is not None and src is not None:
+            src = idx[src]
+        elif idx is not None:
+            src = idx
+        elif src is None:
+            src = _np.arange(out.n, dtype=_np.int64)
+        parts.append((out, src))
+    return _merge_parts(parts, width)
+
+
+def _entry_mask_groups(pipeline, batch: Batch):
+    """Partition batch rows by which filter-relevant variables they bind.
+
+    Returns ``[(mask, idx | None)]``; ``idx=None`` means all rows (the
+    common single-partition case, no gather needed).
+    """
+    items = pipeline.relevant_items
+    if not items:
+        return [(_EMPTY_MASK, None)]
+    states = [(variable, slot, batch.state(slot)) for variable, slot in items]
+    if all(state != "mixed" for _v, _s, state in states):
+        mask = frozenset(v for v, _s, state in states if state == "all")
+        return [(mask, None)]
+    keys = _np.zeros(batch.n, dtype=_np.int64)
+    for bit, (variable, slot, state) in enumerate(states):
+        if state == "all":
+            keys |= 1 << bit
+        elif state == "mixed":
+            bound = batch.cols[slot] != UNBOUND
+            keys |= bound.astype(_np.int64) << bit
+    groups = []
+    for key in _np.unique(keys).tolist():
+        idx = _np.nonzero(keys == key)[0]
+        mask = frozenset(
+            variable for bit, (variable, _s, _st) in enumerate(states)
+            if key & (1 << bit)
+        )
+        groups.append((mask, idx))
+    return groups
+
+
+def _run_leftjoin(op: LeftJoin, batch: Batch, vctx: _VecCtx):
+    if _np is None:
+        return _per_row(op, batch, vctx)
+    inner_out, src = _run_group(op.inner, batch, vctx)
+    matched = _np.zeros(batch.n, dtype=bool)
+    if len(src):
+        matched[src] = True
+    unmatched = _np.nonzero(~matched)[0]
+    parts = [(inner_out, src), (_take(batch, unmatched), unmatched)]
+    return _merge_parts(parts, batch.width)
+
+
+def _run_union(op: UnionOp, batch: Batch, vctx: _VecCtx):
+    if _np is None:
+        return _per_row(op, batch, vctx)
+    parts = [_run_group(branch, batch, vctx) for branch in op.branches]
+    return _merge_parts(list(parts), batch.width)
+
+
+def _run_op(op, batch: Batch, vctx: _VecCtx):
+    if isinstance(op, _StepOp):
+        return _run_step(op, batch, vctx)
+    if isinstance(op, FilterOp):
+        return _run_filter(op, batch, vctx)
+    if isinstance(op, ValuesBind):
+        return _run_values(op, batch, vctx)
+    if isinstance(op, LeftJoin):
+        return _run_leftjoin(op, batch, vctx)
+    if isinstance(op, UnionOp):
+        return _run_union(op, batch, vctx)
+    return _per_row(op, batch, vctx)  # PathClosure and anything future
+
+
+def _fold(ops, batch: Batch, vctx: _VecCtx):
+    """Run a batch through an operator schedule, composing source maps."""
+    srcmap = None
+    for op in ops:
+        if batch.n == 0:
+            return batch, (srcmap if srcmap is not None else
+                           ([] if _np is None else _np.empty(0, _np.int64)))
+        vctx.check()
+        batch, inner = _run_op(op, batch, vctx)
+        srcmap = _compose(srcmap, inner)
+    return batch, srcmap
+
+
+# --------------------------------------------------------------------------
+# Driving scan: morsels + pushed semi-join filters
+# --------------------------------------------------------------------------
+
+
+class _Driver:
+    """A morselizable driving scan: a contiguous pure-run row range plus
+    the columns it binds (``bind`` maps register slot → run column
+    ``"b"`` or ``"c"``)."""
+
+    __slots__ = ("op", "run", "lo", "hi", "bind", "slots")
+
+    def __init__(self, op, run, lo, hi, bind):
+        self.op = op
+        self.run = run
+        self.lo = lo
+        self.hi = hi
+        self.bind = bind
+        self.slots = frozenset(slot for slot, _col in bind)
+
+
+def _find_driver(plan, ops):
+    """Recognize a driving scan in the first scheduled operator.
+
+    Three shapes map to a contiguous run range: ``?s <p> ?o`` (POS
+    range1), ``?s <p> <o>`` (POS range2) and ``<s> <p> ?o`` (SPO
+    range2).  Requires a pure columnar run — with buffered deltas the
+    whole plan falls back to the single-seed path (still batched)."""
+    if not ops or not isinstance(ops[0], IndexScan):
+        return None
+    sc, ss, pc, ps, oc, os_ = ops[0].step
+    if pc is None or ps is not None:
+        return None
+    pure = getattr(plan.index, "pure_run", None)
+    if pure is None:
+        return None
+    if sc is None and ss is not None:
+        run = pure(1)  # POS: a=p, b=o, c=s
+        if run is None:
+            return None
+        if oc is None and os_ is not None:
+            lo, hi = run.range1(pc)
+            return _Driver(ops[0], run, lo, hi, ((ss, "c"), (os_, "b")))
+        if oc is not None and os_ is None:
+            lo, hi = run.range2(pc, oc)
+            return _Driver(ops[0], run, lo, hi, ((ss, "c"),))
+        return None
+    if sc is not None and ss is None and oc is None and os_ is not None:
+        run = pure(0)  # SPO: a=s, b=p, c=o
+        if run is None:
+            return None
+        lo, hi = run.range2(sc, pc)
+        return _Driver(ops[0], run, lo, hi, ((os_, "c"),))
+    return None
+
+
+def _find_pushdowns(driver: _Driver, ops):
+    """Split later probes that are pure semi-join filters off the
+    schedule.  A probe whose only variable is a slot the driving scan
+    binds — ``?s <p> <o>`` or ``<s> <p> ?o`` — removes rows without
+    binding anything, so its membership test commutes all the way into
+    the scan."""
+    driver_slots = driver.slots
+    remaining = []
+    pushed = []
+    for op in ops[1:]:
+        if isinstance(op, NestedProbe) and not op.eqs:
+            sc, ss, pc, ps, oc, os_ = op.step
+            if (pc is not None and ps is None and sc is None and oc is not None
+                    and ss in driver_slots and os_ is None):
+                pushed.append((ss, "subjects", pc, oc, op))
+                continue
+            if (pc is not None and ps is None and oc is None and sc is not None
+                    and os_ in driver_slots and ss is None):
+                pushed.append((os_, "objects", sc, pc, op))
+                continue
+        remaining.append(op)
+    return remaining, pushed
+
+
+def _build_semijoin_filters(index, pushed, vctx: _VecCtx):
+    """Sorted id arrays for each pushed probe, via the scan API (exact
+    under delta overlays too — only ids are needed, not run positions)."""
+    filters = []
+    for slot, kind, key1, key2, op in pushed:
+        if kind == "subjects":
+            ids = index.scan_subjects(key1, key2)
+        else:
+            ids = index.scan_objects(key1, key2)
+        arr = _np.sort(_np.asarray(ids, dtype=_np.int64))
+        filters.append((slot, arr))
+        vctx.pushed.append(op.pattern.to_sparql())
+    return filters
+
+
+def _membership_mask(col, sorted_ids):
+    if not len(sorted_ids):
+        return _np.zeros(len(col), dtype=bool)
+    pos = _np.searchsorted(sorted_ids, col)
+    pos_clipped = _np.minimum(pos, len(sorted_ids) - 1)
+    return (pos < len(sorted_ids)) & (sorted_ids[pos_clipped] == col)
+
+
+def _driver_batch(driver: _Driver, lo, hi, width, filters, eqs):
+    """One morsel of the driving scan, as zero-copy column slices."""
+    n = hi - lo
+    cols: list = [None] * width
+    if _np is not None:
+        _a, b_np, c_np, _st = driver.run.as_numpy()
+        by_slot = {
+            slot: (c_np if which == "c" else b_np)[lo:hi]
+            for slot, which in driver.bind
+        }
+        mask = None
+        for a, b in eqs:
+            part = by_slot[a] == by_slot[b]
+            mask = part if mask is None else (mask & part)
+        for slot, sorted_ids in filters:
+            part = _membership_mask(by_slot[slot], sorted_ids)
+            mask = part if mask is None else (mask & part)
+        if mask is not None:
+            idx = _np.nonzero(mask)[0]
+            by_slot = {slot: col[idx] for slot, col in by_slot.items()}
+            n = len(idx)
+        for slot, col in by_slot.items():
+            cols[slot] = col
+        return Batch(cols, int(n))
+    by_slot = {
+        slot: (driver.run.c if which == "c" else driver.run.b)[lo:hi].tolist()
+        for slot, which in driver.bind
+    }
+    if eqs:
+        keep = [
+            i for i in range(n)
+            if all(by_slot[a][i] == by_slot[b][i] for a, b in eqs)
+        ]
+        by_slot = {slot: [col[i] for i in keep] for slot, col in by_slot.items()}
+        n = len(keep)
+    for slot, col in by_slot.items():
+        cols[slot] = col
+    return Batch(cols, n)
+
+
+def _seed_batch(plan) -> Batch:
+    return Batch([None] * plan.num_registers, 1)
+
+
+def _morsel_ranges(driver: _Driver, batch_size: int):
+    return [
+        (start, min(start + batch_size, driver.hi))
+        for start in range(driver.lo, driver.hi, batch_size)
+    ]
+
+
+# --------------------------------------------------------------------------
+# Plan execution entry points
+# --------------------------------------------------------------------------
+
+
+def _prepare(plan, vctx: _VecCtx):
+    """Resolve the schedule, driver, pushed filters and morsel ranges."""
+    ops = vctx.tctx.schedule(plan.root, _EMPTY_MASK)
+    driver = _find_driver(plan, ops)
+    if driver is None:
+        return None, ops, (), ()
+    rest = list(ops[1:])
+    filters = ()
+    if _np is not None:
+        rest, pushed = _find_pushdowns(driver, ops)
+        if pushed:
+            filters = _build_semijoin_filters(vctx.index, pushed, vctx)
+    ranges = _morsel_ranges(driver, vctx.config.batch_size)
+    vctx.morsels = len(ranges)
+    return driver, tuple(rest), filters, ranges
+
+
+def _serial_batches(plan, vctx, driver, rest, filters, ranges):
+    if driver is None:
+        vctx.check()
+        out, _src = _fold(rest, _seed_batch(plan), vctx)
+        if out.n:
+            yield out
+        return
+    eqs = driver.op.eqs
+    width = plan.num_registers
+    for lo, hi in ranges:
+        vctx.check()
+        batch = _driver_batch(driver, lo, hi, width, filters, eqs)
+        out, _src = _fold(rest, batch, vctx)
+        if out.n:
+            yield out
+
+
+def iter_batches(plan, deadline, config: VecConfig | None = None,
+                 vctx: _VecCtx | None = None):
+    """Serial generator of final top-level batches (ASK / aggregation)."""
+    config = config or _DEFAULT_CONFIG
+    if plan.empty:
+        return
+    if vctx is None:
+        vctx = _VecCtx(plan, deadline, config)
+    driver, rest, filters, ranges = _prepare(plan, vctx)
+    yield from _serial_batches(plan, vctx, driver, rest, filters, ranges)
+
+
+def collect_batches(plan, deadline, config: VecConfig | None = None,
+                    vctx: _VecCtx | None = None) -> list[Batch]:
+    """All final batches, with morsels optionally fanned across threads.
+
+    Output batches come back in morsel order, so the concatenated rows
+    are byte-identical to the serial (and tuple-engine) row order.
+    """
+    config = config or _DEFAULT_CONFIG
+    if plan.empty:
+        return []
+    if vctx is None:
+        vctx = _VecCtx(plan, deadline, config)
+    driver, rest, filters, ranges = _prepare(plan, vctx)
+    if config.parallel <= 1 or driver is None or len(ranges) <= 1:
+        return list(_serial_batches(plan, vctx, driver, rest, filters, ranges))
+    eqs = driver.op.eqs
+    width = plan.num_registers
+
+    def morsel(bounds):
+        lo, hi = bounds
+        vctx.check()
+        batch = _driver_batch(driver, lo, hi, width, filters, eqs)
+        out, _src = _fold(rest, batch, vctx)
+        return out
+
+    workers = min(config.parallel, len(ranges))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        outs = list(pool.map(morsel, ranges))
+    return [b for b in outs if b.n]
+
+
+def vec_any(plan, deadline, config: VecConfig | None = None) -> bool:
+    """Whether the pipeline produces at least one row (lazy morsels)."""
+    for _batch in iter_batches(plan, deadline, config):
+        return True
+    return False
+
+
+def _decoded_columns(plan, batch: Batch, vctx: _VecCtx, slot_items):
+    """Per-slot decoded term lists (None entries for unbound cells),
+    decoding each distinct id once through the shared memo."""
+    decode = vctx.tctx.decode
+    columns = []
+    for variable, slot in slot_items:
+        col = batch.cols[slot]
+        if col is None:
+            columns.append((variable, None))
+            continue
+        if _np is not None and not isinstance(col, list):
+            uniq, inverse = _np.unique(col, return_inverse=True)
+            table = [
+                None if term_id == UNBOUND else decode(term_id)
+                for term_id in uniq.tolist()
+            ]
+            columns.append((variable, [table[j] for j in inverse.tolist()]))
+        else:
+            columns.append((variable, [
+                None if term_id == UNBOUND else decode(term_id)
+                for term_id in col
+            ]))
+    return columns
+
+
+def vec_solutions(plan, deadline, config: VecConfig | None = None,
+                  vctx: _VecCtx | None = None) -> list:
+    """Decoded bindings, row order identical to ``WherePlan.solutions``."""
+    config = config or _DEFAULT_CONFIG
+    if vctx is None:
+        vctx = _VecCtx(plan, deadline, config)
+    out: list = []
+    for batch in collect_batches(plan, deadline, config, vctx):
+        columns = _decoded_columns(plan, batch, vctx, plan.slot_items)
+        bound = [(v, c) for v, c in columns if c is not None]
+        for i in range(batch.n):
+            binding = {}
+            for variable, cells in bound:
+                term = cells[i]
+                if term is not None:
+                    binding[variable] = term
+            out.append(binding)
+    return out
+
+
+def vec_rows(plan, variables, deadline, config: VecConfig | None = None,
+             vctx: _VecCtx | None = None) -> list:
+    """Projected result rows built straight from batch columns — no
+    binding dicts.  Only valid when every projection is a bare variable
+    (the caller checks); unknown variables project as None."""
+    config = config or _DEFAULT_CONFIG
+    if vctx is None:
+        vctx = _VecCtx(plan, deadline, config)
+    slots = plan.slots
+    rows: list = []
+    for batch in collect_batches(plan, deadline, config, vctx):
+        per_var = []
+        for variable in variables:
+            slot = slots.get(variable)
+            if slot is None:
+                per_var.append([None] * batch.n)
+            else:
+                decoded = _decoded_columns(
+                    plan, batch, vctx, ((variable, slot),)
+                )[0][1]
+                per_var.append(decoded if decoded is not None
+                               else [None] * batch.n)
+        if per_var:
+            rows.extend(zip(*per_var))
+        else:
+            rows.extend(() for _ in range(batch.n))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Static analysis (explain)
+# --------------------------------------------------------------------------
+
+
+class _NullDeadline:
+    expires_at = None
+
+    @staticmethod
+    def check() -> None:
+        return None
+
+
+def analyze_plan(plan, batch_size: int | None = None,
+                 parallel: int | None = None) -> dict:
+    """What batched execution would do — for ``explain()`` rendering.
+
+    Returns backend, batch size, morsel count estimate, the pushed
+    semi-join filters (pattern strings), and whether a morselizable
+    driving scan exists.  Purely static: nothing is executed.
+    """
+    config = VecConfig(batch_size=batch_size, parallel=parallel)
+    info = {
+        "backend": backend_name(),
+        "batch_size": config.batch_size,
+        "parallel": config.parallel,
+        "driver": None,
+        "morsels": 0,
+        "pushed": [],
+    }
+    if plan is None or getattr(plan, "empty", True):
+        return info
+    vctx = _VecCtx(plan, _NullDeadline(), config)
+    ops = vctx.tctx.schedule(plan.root, _EMPTY_MASK)
+    driver = _find_driver(plan, ops)
+    if driver is None:
+        return info
+    info["driver"] = driver.op.pattern.to_sparql()
+    info["morsels"] = max(1, len(_morsel_ranges(driver, config.batch_size)))
+    if _np is not None:
+        _rest, pushed = _find_pushdowns(driver, ops)
+        info["pushed"] = [item[4].pattern.to_sparql() for item in pushed]
+    return info

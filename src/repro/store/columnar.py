@@ -20,6 +20,7 @@ stdlib fallback.
 
 from __future__ import annotations
 
+import os
 from array import array
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
@@ -27,6 +28,9 @@ from typing import Iterable, Sequence
 try:  # numpy accelerates merges ~30x; the stdlib path is the safety net.
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+if os.environ.get("REPRO_NO_NUMPY"):  # force the stdlib path (CI fallback leg)
     _np = None
 
 __all__ = ["Run", "EMPTY_RUN", "build_run", "merge_run"]
@@ -48,7 +52,7 @@ class Run:
     mmap) alive for as long as the run is referenced.
     """
 
-    __slots__ = ("a", "b", "c", "starts", "n", "owner")
+    __slots__ = ("a", "b", "c", "starts", "n", "owner", "_np_cols", "_key12")
 
     def __init__(self, a, b, c, starts, owner=None):
         self.a = a
@@ -57,6 +61,48 @@ class Run:
         self.starts = starts
         self.n = len(a)
         self.owner = owner
+        self._np_cols = None
+        self._key12 = None
+
+    def as_numpy(self):
+        """The columns as int64 numpy views ``(a, b, c, starts)``.
+
+        Zero-copy (``frombuffer`` over the memoryviews, heap- or
+        mmap-backed alike), cached for the run's lifetime; ``None`` when
+        numpy is unavailable.  Runs are immutable, so the cache never
+        invalidates.
+        """
+        if _np is None:
+            return None
+        cols = self._np_cols
+        if cols is None:
+            cols = (
+                _np.frombuffer(self.a, dtype=_np.int64),
+                _np.frombuffer(self.b, dtype=_np.int64),
+                _np.frombuffer(self.c, dtype=_np.int64),
+                _np.frombuffer(self.starts, dtype=_np.int64),
+            )
+            self._np_cols = cols
+        return cols
+
+    def key12(self, m: int):
+        """Composite sort key ``a * m + b`` for vectorized two-key probes.
+
+        ``m`` must exceed every value in ``b`` (callers pass the term
+        dictionary size), which keeps the composite order identical to the
+        lexicographic ``(a, b)`` order so ``searchsorted`` can bound both
+        keys in one call.  Cached per distinct ``m``; the dictionary only
+        grows, so at most a handful of composites exist per run.
+        """
+        cached = self._key12
+        if cached is not None and cached[0] == m:
+            return cached[1]
+        cols = self.as_numpy()
+        if cols is None:
+            return None
+        keys = cols[0] * m + cols[1]
+        self._key12 = (m, keys)
+        return keys
 
     def range1(self, x: int) -> tuple[int, int]:
         """Row range ``[lo, hi)`` whose first column equals ``x``."""

@@ -80,6 +80,8 @@ _COUNTERS = (
     "fallback_aggregates",
     "compiled_selects",
     "fallback_selects",
+    "batched_executions",
+    "tuple_executions",
 )
 
 
@@ -107,6 +109,8 @@ class EndpointStats:
     fallback_aggregates: int = 0  #: aggregate SELECTs run on the term-space path
     compiled_selects: int = 0  #: non-aggregate SELECTs run on the compiled engine
     fallback_selects: int = 0  #: non-aggregate SELECTs run on the term-space path
+    batched_executions: int = 0  #: compiled plans run block-at-a-time (vectorized)
+    tuple_executions: int = 0  #: compiled plans run tuple-at-a-time
     #: why the compiler declined, tallied by the first decline reason string
     #: (covers both plain-SELECT and aggregate fallbacks)
     decline_reasons: dict = field(default_factory=dict, compare=False)
@@ -164,6 +168,9 @@ class Endpoint:
         compile: bool = True,
         text_index: TextIndex | None = None,
         cache: "QueryCache | None" = None,
+        vectorize: bool = True,
+        batch_size: int | None = None,
+        parallel: int | None = None,
     ):
         self.graph = graph
         self.default_timeout = default_timeout
@@ -173,6 +180,10 @@ class Endpoint:
             compile=compile,
             aggregate_counter=self._count_aggregate,
             select_counter=self._count_select,
+            vectorize=vectorize,
+            batch_size=batch_size,
+            parallel=parallel,
+            exec_counter=self._count_exec,
         )
         self._text_index = text_index
         self._cache = None
@@ -191,6 +202,10 @@ class Endpoint:
         self.stats.add("compiled_selects" if compiled else "fallback_selects")
         if not compiled and reason is not None:
             self.stats.add_decline(reason)
+
+    def _count_exec(self, batched: bool) -> None:
+        """Evaluator callback: tally batched vs. tuple plan executions."""
+        self.stats.add("batched_executions" if batched else "tuple_executions")
 
     @property
     def cache(self) -> "QueryCache | None":

@@ -667,6 +667,20 @@ class TripleIndex:
         checkpoint."""
         return self._delta_size + len(self._dead)
 
+    def pure_run(self, which: int):
+        """The sorted run for permutation ``which`` (0=SPO, 1=POS, 2=OSP)
+        when it is the *complete* truth — no buffered delta rows or
+        tombstones overlaying it — else ``None``.
+
+        The vectorized executor slices whole column ranges out of a run;
+        that is only sound when nothing overlays it, so batch fast paths
+        gate on this and fall back to the overlay-aware scan API
+        otherwise.
+        """
+        if self._delta_size or self._dead:
+            return None
+        return self._runs[which]
+
     def predicate_stat_rows(self) -> Iterator[tuple[int, int, int, int]]:
         """Catalog rows for persistence, matching :meth:`from_runs`."""
         for pid, triples in self._p_counts.items():

@@ -242,25 +242,33 @@ class TestPathClosureDeadline:
 
 class TestRepeatedVariablePatterns:
     """A pattern like ``?x <p> ?x`` carries an intra-pattern equality
-    constraint that id-space steps (which bind each position into its
-    register independently) cannot express; such BGPs must stay on the
-    term-space interpreter."""
+    constraint.  It now compiles: the repeated occurrence binds a
+    scratch register and the step's equality pair keeps only rows where
+    both positions agree — no term-space fallback."""
 
     def _graph(self):
         # One genuine self-loop (n3 p0 n3) among ordinary edges; no
         # self-loop at all for p1.
         return build_graph([(0, 0, 1), (1, 0, 2), (3, 0, 3), (2, 1, 4)])
 
-    def test_not_compiled(self):
+    def test_compiles_with_scratch_register(self):
         graph = self._graph()
         patterns = [TriplePattern(Variable("x"), iri("p0"), Variable("x"))]
-        assert compile_bgp(graph, patterns) is None
-        # A variable repeated across *different* patterns compiles fine.
+        plan = compile_bgp(graph, patterns)
+        assert plan is not None
+        # One canonical slot for ?x, one scratch for the repetition.
+        assert plan.num_slots == 1
+        assert plan.num_registers == 2
+        assert plan.step_eqs == (((0, 1),),)
+        # A variable repeated across *different* patterns needs no eqs.
         chain = [
             TriplePattern(Variable("a"), iri("p0"), Variable("b")),
             TriplePattern(Variable("b"), iri("p1"), Variable("a")),
         ]
-        assert compile_bgp(graph, chain) is not None
+        chained = compile_bgp(graph, chain)
+        assert chained is not None
+        assert chained.step_eqs == ((), ())
+        assert chained.num_registers == 2
 
     def test_select_keeps_equality(self):
         graph = self._graph()
@@ -278,14 +286,22 @@ class TestRepeatedVariablePatterns:
             assert Evaluator(graph, compile=mode).ask(has_loop) is True
             assert Evaluator(graph, compile=mode).ask(no_loop) is False
 
-    def test_batch_falls_back(self):
+    def test_batch_compiles_self_loops(self):
         graph = self._graph()
         bgps = [
             [TriplePattern(Variable("z"), iri("p1"), Variable("z"))],
+            [TriplePattern(Variable("z"), iri("p0"), Variable("z"))],
             [TriplePattern(Variable("a"), iri("p0"), Variable("b"))],
         ]
-        verdicts, _stats = ask_bgp_batch(graph, bgps)
-        assert verdicts == [None, True]  # None: caller must ASK individually
+        verdicts, stats = ask_bgp_batch(graph, bgps)
+        # The batch trie decides every candidate itself now — no None
+        # (fall-back-to-single-ASK) verdicts for repeated variables.
+        assert verdicts == [False, True, True]
+        assert stats.candidates == 3
+        # The self-loop step and the plain two-variable step over p0 have
+        # identical positional tuples but different equality pairs; they
+        # must NOT share a trie node.
+        assert stats.unique_steps == 3
         from repro.store import Endpoint
 
         endpoint = Endpoint(graph)

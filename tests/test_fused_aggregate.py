@@ -216,6 +216,18 @@ class TestNewlyFusedShapes:
             f"GROUP BY ?d",
         )
 
+    def test_repeated_variable_pattern(self):
+        # Formerly the "repeated-variable" decline — the oldest term-space
+        # fallback.  The scratch-register equality check now compiles it:
+        # only the genuine self-loop survives.
+        graph = Graph()
+        graph.add(Triple(iri("n0"), iri("p"), iri("n0")))
+        graph.add(Triple(iri("n0"), iri("p"), iri("n1")))
+        text = f"SELECT (COUNT(*) AS ?c) WHERE {{ ?x <{EX}p> ?x . }}"
+        self._check_fuses(graph, text)
+        fused = Evaluator(graph, compile=True).select(text)
+        assert fused.rows[0][0].lexical == "1"
+
 
 class TestFallbackShapes:
     """Non-qualifying queries must decline compilation — with a stable
@@ -236,16 +248,6 @@ class TestFallbackShapes:
             graph,
             f"SELECT ?d (SUM(?v + ?v) AS ?s) WHERE {{ {BODY} }} GROUP BY ?d",
             "aggregate-argument",
-        )
-
-    def test_repeated_variable_pattern(self):
-        graph = Graph()
-        graph.add(Triple(iri("n0"), iri("p"), iri("n0")))
-        graph.add(Triple(iri("n0"), iri("p"), iri("n1")))
-        self._check_declines(
-            graph,
-            f"SELECT (COUNT(*) AS ?c) WHERE {{ ?x <{EX}p> ?x . }}",
-            "repeated-variable",
         )
 
     def test_bind_group(self):

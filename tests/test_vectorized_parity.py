@@ -1,0 +1,172 @@
+"""Property parity: batched execution ≡ tuple operators ≡ term-space.
+
+The vectorized executor (repro.sparql.vectorized) re-implements every
+operator's semantics over integer-array batches, with per-row fallback
+for the shapes it does not vectorize.  These properties pin the whole
+surface to the two reference engines over random cubes:
+
+* random store states: fully flushed runs (morsel driver engages),
+  delta overlays on top of flushed runs (driver declines, per-row
+  fallback engages), and never-flushed buffers;
+* adversarial batch geometry: 1-row batches exercise every
+  batch-boundary path, and parallel=2 exercises the morsel merge;
+* the operator zoo: OPTIONAL (with inner filters), UNION, VALUES,
+  property paths, repeated variables, numeric FILTERs both ways, and
+  grouped aggregates.
+
+Row order is part of the contract *within* the compiled engine (LIMIT
+without ORDER BY slices positionally), so batched and tuple results
+compare exactly.  The term-space interpreter may emit another
+implementation-defined order for the same solutions (it walks property
+paths breadth-first from a different frontier, for one), so the
+cross-engine comparison is a multiset.
+
+The same file doubles as the stdlib-backend gate: CI re-runs it with
+``REPRO_NO_NUMPY=1``, which flips repro.sparql.vectorized to its
+pure-Python array paths at import time.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import IRI, Triple, literal_from_python
+from repro.sparql import Evaluator, parse_query
+from repro.store import Graph
+
+EX = "http://example.org/"
+
+# Tiny universes so random BGPs actually join.
+subject_ids = st.integers(min_value=0, max_value=5)
+predicate_ids = st.integers(min_value=0, max_value=2)
+object_ids = st.integers(min_value=0, max_value=5)
+
+graph_triples = st.lists(
+    st.tuples(subject_ids, predicate_ids, object_ids), min_size=1, max_size=30
+)
+#: Triples added *after* the flush — a live delta overlay over pure runs.
+overlay_triples = st.lists(
+    st.tuples(subject_ids, predicate_ids, object_ids), max_size=6
+)
+#: "flushed" → pure runs (morsel driver engages); "overlay" → runs plus a
+#: delta buffer (driver declines); "buffered" → nothing flushed at all.
+store_states = st.sampled_from(["flushed", "overlay", "buffered"])
+batch_sizes = st.sampled_from([1, 3, 64])
+parallelism = st.sampled_from([1, 2])
+
+QUERIES = [
+    # join + numeric filters, both orientations
+    f"SELECT ?a ?b ?v WHERE {{ ?a <{EX}p0> ?b . ?a <{EX}value> ?v . "
+    f"FILTER(?v >= 20) }}",
+    f"SELECT ?a ?v WHERE {{ ?a <{EX}value> ?v . FILTER(30 > ?v) }}",
+    # OPTIONAL, plain and with an inner filter
+    f"SELECT ?a ?b ?v WHERE {{ ?a <{EX}p0> ?b . "
+    f"OPTIONAL {{ ?b <{EX}p1> ?v }} }}",
+    f"SELECT ?a ?b ?v WHERE {{ ?a <{EX}p0> ?b . "
+    f"OPTIONAL {{ ?a <{EX}value> ?v . FILTER(?v < 30) }} }}",
+    # UNION of two branches, joined back against the measure
+    f"SELECT ?a ?v WHERE {{ {{ ?a <{EX}p0> ?x . }} UNION "
+    f"{{ ?a <{EX}p1> ?x . }} ?a <{EX}value> ?v }}",
+    # VALUES with an UNDEF row
+    f"SELECT ?a ?b WHERE {{ VALUES ?b {{ <{EX}n0> <{EX}n2> UNDEF }} "
+    f"?a <{EX}p0> ?b }}",
+    # property path closure (falls back per-row by design)
+    f"SELECT ?a ?b WHERE {{ ?a <{EX}p0>+ ?b }}",
+    # repeated variable → register-equality filter
+    f"SELECT ?a WHERE {{ ?a <{EX}p0> ?a }}",
+    # bound-subject probe and contains shape
+    f"SELECT ?b WHERE {{ <{EX}n1> <{EX}p0> ?b }}",
+    f"SELECT ?a WHERE {{ ?a <{EX}p0> <{EX}n2> . ?a <{EX}p1> <{EX}n3> }}",
+    # DISTINCT + LIMIT (positional slice must survive batching)
+    f"SELECT DISTINCT ?a WHERE {{ ?a <{EX}p0> ?b }} LIMIT 3",
+]
+
+AGG_QUERIES = [
+    f"SELECT ?b (COUNT(*) AS ?n) (SUM(?v) AS ?s) WHERE "
+    f"{{ ?a <{EX}p0> ?b . ?a <{EX}value> ?v }} GROUP BY ?b",
+    f"SELECT ?b (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE "
+    f"{{ ?a <{EX}p0> ?b . ?a <{EX}value> ?v }} GROUP BY ?b",
+    f"SELECT (COUNT(DISTINCT ?b) AS ?n) (AVG(?v) AS ?m) WHERE "
+    f"{{ ?a <{EX}p0> ?b . ?a <{EX}value> ?v }}",
+    f"SELECT ?b (GROUP_CONCAT(?a) AS ?members) WHERE "
+    f"{{ ?a <{EX}p0> ?b }} GROUP BY ?b",
+]
+
+
+def build_graph(encoded, overlay, state):
+    graph = Graph()
+    for s, p, o in encoded:
+        graph.add(Triple(IRI(f"{EX}n{s}"), IRI(f"{EX}p{p}"), IRI(f"{EX}n{o}")))
+    for s in {s for s, _p, _o in encoded}:
+        graph.add(
+            Triple(IRI(f"{EX}n{s}"), IRI(f"{EX}value"), literal_from_python(s * 10))
+        )
+    if state in ("flushed", "overlay"):
+        graph.triple_index.flush()
+    if state == "overlay":
+        for s, p, o in overlay:
+            graph.add(
+                Triple(IRI(f"{EX}n{s}"), IRI(f"{EX}p{p}"), IRI(f"{EX}n{o}"))
+            )
+    return graph
+
+
+def engines(graph, batch_size, parallel):
+    """(batched, tuple-at-a-time, term-space) evaluators over ``graph``."""
+    return (
+        Evaluator(graph, compile=True, vectorize=True,
+                  batch_size=batch_size, parallel=parallel),
+        Evaluator(graph, compile=True, vectorize=False),
+        Evaluator(graph, compile=False),
+    )
+
+
+class TestVectorizedParity:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_triples, overlay_triples, store_states,
+           st.sampled_from(range(len(QUERIES))), batch_sizes, parallelism)
+    def test_select_parity(self, encoded, overlay, state, qidx,
+                           batch_size, parallel):
+        graph = build_graph(encoded, overlay, state)
+        query = parse_query(QUERIES[qidx])
+        batched, tuple_at_a_time, term_space = engines(
+            graph, batch_size, parallel)
+        vec = batched.select(query)
+        tup = tuple_at_a_time.select(query)
+        ref = term_space.select(query)
+        assert vec.variables == tup.variables == ref.variables
+        # Same physical plan → identical row order.
+        assert vec.rows == tup.rows
+        # Different engine → same solutions, order implementation-defined.
+        assert sorted(map(repr, vec.rows)) == sorted(map(repr, ref.rows))
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_triples, overlay_triples, store_states,
+           st.sampled_from(range(len(AGG_QUERIES))), batch_sizes, parallelism)
+    def test_aggregate_parity(self, encoded, overlay, state, qidx,
+                              batch_size, parallel):
+        graph = build_graph(encoded, overlay, state)
+        query = parse_query(AGG_QUERIES[qidx])
+        batched, tuple_at_a_time, term_space = engines(
+            graph, batch_size, parallel)
+        vec = batched.select(query)
+        tup = tuple_at_a_time.select(query)
+        ref = term_space.select(query)
+        assert vec.variables == tup.variables == ref.variables
+        assert sorted(map(repr, vec.rows)) == sorted(map(repr, tup.rows)) \
+            == sorted(map(repr, ref.rows))
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_triples, overlay_triples, store_states, batch_sizes)
+    def test_ask_and_construct_parity(self, encoded, overlay, state,
+                                      batch_size):
+        graph = build_graph(encoded, overlay, state)
+        batched, tuple_at_a_time, term_space = engines(graph, batch_size, 1)
+        ask = f"ASK {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c }}"
+        assert batched.ask(ask) == tuple_at_a_time.ask(ask) == term_space.ask(ask)
+        construct = (
+            f"CONSTRUCT {{ ?a <{EX}linked> ?b }} WHERE {{ ?a <{EX}p0> ?b }}"
+        )
+        vec = {t for t in batched.construct(construct)}
+        tup = {t for t in tuple_at_a_time.construct(construct)}
+        ref = {t for t in term_space.construct(construct)}
+        assert vec == tup == ref
