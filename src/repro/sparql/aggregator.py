@@ -237,9 +237,11 @@ class _Sum:
     def add_batch(self, ids, total, state) -> bool:
         """Bulk fold, exact only: distinct ids accumulate by first
         occurrence; non-distinct sums vectorize as value × multiplicity
-        when every distinct value is an exact integer below 2**53 (then
-        addition is order-free), otherwise the caller replays the rows
-        in order — mid-stream switching is sound because everything
+        when every distinct value is an exact integer and the running
+        total plus the batch's absolute mass stays below 2**53 (then
+        every float addition the sequential fold would perform is exact,
+        so addition is order-free), otherwise the caller replays the
+        rows in order — mid-stream switching is sound because everything
         already folded was exact."""
         import numpy as _np  # only reached from the numpy batch path
 
@@ -252,20 +254,31 @@ class _Sum:
             return True
         number = self.state.number
         uniq, counts = _np.unique(ids, return_counts=True)
-        values = []
-        for term_id in uniq.tolist():
-            value = number(term_id)
-            if value is _ERROR:
-                self.errored = True
-                return True
-            values.append(value)
+        delta = 0
+        delta_abs = 0
         try:
-            for value in values:
+            for term_id, count in zip(uniq.tolist(), counts.tolist()):
+                value = number(term_id)
+                if value is _ERROR:
+                    self.errored = True
+                    return True
                 if abs(value) >= 2 ** 53 or not float(value).is_integer():
                     return False
+                ivalue = int(value)
+                delta += ivalue * count
+                delta_abs += abs(ivalue) * count
         except (OverflowError, TypeError):
             return False
-        self.total += sum(v * c for v, c in zip(values, counts.tolist()))
+        # Grouping v*c is only order-free while every float addition stays
+        # exact.  The sequential fold's intermediates are bounded by
+        # |total| + Σ|v|·c, so that bound (plus an integer-valued running
+        # total — a replayed inexact batch poisons associativity) below
+        # 2**53 pins batched == tuple bit-for-bit; otherwise replay rows.
+        if not self.total.is_integer():
+            return False
+        if abs(self.total) + delta_abs >= 2 ** 53:
+            return False
+        self.total += delta
         self.n += int(len(ids))
         return True
 

@@ -102,6 +102,17 @@ DEFAULT_BATCH_SIZE = 65536
 #: and aggregate fast paths refuse them and fall back to exact folds.
 _FLOAT_EXACT_LIMIT = float(1 << 53)
 
+#: Cap on rows a single vectorized expansion may materialize in one
+#: repeat/tile allocation (128 MiB of int64 per column).  Wider fan-outs
+#: run through the tuple operator instead, which honours the per-row
+#: deadline while it grinds rather than attempting one unbounded
+#: allocation.
+_MAX_EXPANSION = 1 << 24
+
+
+class _ExpansionLimit(Exception):
+    """A probe fan-out exceeds :data:`_MAX_EXPANSION`; use the fallback."""
+
 
 def backend_name() -> str:
     """Which array backend batches run on: ``"numpy"`` or ``"array"``."""
@@ -377,7 +388,10 @@ def _run_step(op: _StepOp, batch: Batch, vctx: _VecCtx):
         if run is None:
             return _per_row(op, batch, vctx)
         a_vals = s_kind[1] if s_kind[0] == "k" else batch.cols[s_kind[1]]
-        parent, pos = _probe_positions(run, m, a_vals, pc, n)
+        try:
+            parent, pos = _probe_positions(run, m, a_vals, pc, n)
+        except _ExpansionLimit:
+            return _per_row(op, batch, vctx)
         if parent is None:
             return _empty(batch.width), _np.empty(0, _np.int64)
         c_np = run.as_numpy()[2]
@@ -390,7 +404,10 @@ def _run_step(op: _StepOp, batch: Batch, vctx: _VecCtx):
         if run is None:
             return _per_row(op, batch, vctx)
         a_vals = o_kind[1] if o_kind[0] == "k" else batch.cols[o_kind[1]]
-        parent, pos = _probe_positions(run, m, pc, a_vals, n, swap=True)
+        try:
+            parent, pos = _probe_positions(run, m, pc, a_vals, n)
+        except _ExpansionLimit:
+            return _per_row(op, batch, vctx)
         if parent is None:
             return _empty(batch.width), _np.empty(0, _np.int64)
         c_np = run.as_numpy()[2]
@@ -417,6 +434,8 @@ def _run_step(op: _StepOp, batch: Batch, vctx: _VecCtx):
     span = hi - lo
     if span == 0 or n == 0:
         return _empty(batch.width), _np.empty(0, _np.int64)
+    if n * span > _MAX_EXPANSION:
+        return _per_row(op, batch, vctx)
     _a, b_np, c_np, _st = run.as_numpy()
     parent = _np.repeat(_np.arange(n, dtype=_np.int64), span)
     subjects = _np.tile(c_np[lo:hi], n)
@@ -425,33 +444,61 @@ def _run_step(op: _StepOp, batch: Batch, vctx: _VecCtx):
     return _apply_eqs(out, parent, op.eqs)
 
 
-def _probe_positions(run, m, a_vals, b_vals, n, swap=False):
+def _probe_positions(run, m, a_vals, b_vals, n):
     """Per-row run ranges for two bound leading keys, ragged-expanded.
 
     Returns ``(parent, pos)``: for every match, the input row it extends
     and its row index inside the run — in (row-outer, run-order-inner)
-    order, matching the tuple engine's scan loops.  ``swap`` probes with
-    ``(a=const, b=per-row)`` instead of ``(a=per-row, b=const)``.
+    order, matching the tuple engine's scan loops.  Either key may be a
+    scalar constant or a per-row column; broadcasting covers both probe
+    orientations.
+
+    Negative key components are plan-local pseudo ids — terms the store
+    has never seen, which match nothing — and they must be neutralized
+    *before* forming the composite ``a * m + b``: a negative second
+    component aliases the key of the previous first-key group
+    (``a*m - k == (a-1)*m + (m-k)``), which would emit false joins.
+    Rows holding one are probed with ``-1``, below every real key, so
+    they miss.  (A negative *first* component already yields a negative
+    composite and misses on its own, but masking both is cheapest.)
+
+    Raises :class:`_ExpansionLimit` when the total fan-out exceeds
+    :data:`_MAX_EXPANSION` — the caller falls back to the tuple operator
+    instead of attempting one unbounded allocation.
     """
     keys = run.key12(m)
     scalar_a = not hasattr(a_vals, "__len__")
     scalar_b = not hasattr(b_vals, "__len__")
+    if (scalar_a and a_vals < 0) or (scalar_b and b_vals < 0):
+        return None, None  # constant pseudo id: no stored triple matches
     if scalar_a and scalar_b:
         lo = int(_np.searchsorted(keys, a_vals * m + b_vals, side="left"))
         hi = int(_np.searchsorted(keys, a_vals * m + b_vals, side="right"))
         span = hi - lo
         if span == 0 or n == 0:
             return None, None
+        if n * span > _MAX_EXPANSION:
+            raise _ExpansionLimit
         parent = _np.repeat(_np.arange(n, dtype=_np.int64), span)
         pos = _np.tile(_np.arange(lo, hi, dtype=_np.int64), n)
         return parent, pos
     query = a_vals * m + b_vals
+    invalid = None
+    if not scalar_a:
+        invalid = a_vals < 0
+    if not scalar_b:
+        neg_b = b_vals < 0
+        invalid = neg_b if invalid is None else (invalid | neg_b)
+    if invalid is not None and bool(invalid.any()):
+        query = _np.where(invalid, _np.int64(-1), query)
     lo = _np.searchsorted(keys, query, side="left")
     hi = _np.searchsorted(keys, query, side="right")
     counts = hi - lo
     total = int(counts.sum())
     if total == 0:
         return None, None
+    if total > _MAX_EXPANSION:
+        raise _ExpansionLimit
     parent = _np.repeat(_np.arange(n, dtype=_np.int64), counts)
     first = _np.cumsum(counts) - counts
     pos = (
@@ -471,6 +518,10 @@ def _contains_mask(run, m, s_vals, o_vals, pc, n):
     """
     from bisect import bisect_left
 
+    if pc < 0:
+        # Pseudo-id predicate (term the store never saw): nothing matches,
+        # and the composite below would alias the previous subject group.
+        return _np.zeros(n, dtype=bool)
     keys = run.key12(m)
     if not hasattr(s_vals, "__len__"):
         s_vals = _np.full(n, s_vals, dtype=_np.int64)

@@ -453,3 +453,55 @@ class TestBoundedTopK:
         legacy = Evaluator(graph, compile=False).select(query)
         assert fused == legacy
         assert len(fused) == 1
+
+
+class TestBatchedSumExactness:
+    """_Sum.add_batch may group v*c only while every float addition the
+    sequential fold would perform is exact — each value an integer below
+    2**53 *and* |total| + Σ|v|·c below 2**53 (the bound on every
+    intermediate partial sum) — otherwise it declines and the caller
+    replays rows in order, keeping batched == tuple bit-for-bit."""
+
+    def _sum_over(self, values_by_id):
+        from repro.sparql.aggregator import _ExecState, _Sum
+
+        terms = {i: literal_from_python(v) for i, v in values_by_id.items()}
+        state = _ExecState(terms.__getitem__)
+        return _Sum(state), state
+
+    def test_small_integer_batch_folds(self):
+        np = pytest.importorskip("numpy")
+        acc, state = self._sum_over({0: 3, 1: 4})
+        assert acc.add_batch(np.array([0, 1, 0]), 3, state) is True
+        assert acc.total == 10.0
+        assert acc.n == 3
+
+    def test_declines_when_batch_mass_exceeds_exact_range(self):
+        np = pytest.importorskip("numpy")
+        # Each value passes the per-value check, but three of them push
+        # the total past 2**53 where float addition stops being exact.
+        acc, state = self._sum_over({0: 2 ** 52})
+        assert acc.add_batch(np.array([0, 0, 0]), 3, state) is False
+        assert acc.total == 0.0 and acc.n == 0
+
+    def test_declines_on_noninteger_running_total(self):
+        np = pytest.importorskip("numpy")
+        acc, state = self._sum_over({0: 1})
+        acc.total = 0.5  # an earlier inexact batch was replayed per-row
+        assert acc.add_batch(np.array([0]), 1, state) is False
+        assert acc.total == 0.5
+
+    def test_large_value_sum_parity_end_to_end(self):
+        # 3 × (2**53 - 1): sequential float folding rounds differently
+        # than one grouped multiply, so the batched path must replay.
+        graph = Graph()
+        for i in range(3):
+            graph.add(Triple(iri(f"obs{i}"), iri("dim"), iri("d0")))
+            graph.add(Triple(iri(f"obs{i}"), iri("val"),
+                             literal_from_python(2 ** 53 - 1)))
+        graph.triple_index.flush()
+        text = f"SELECT ?d (SUM(?v) AS ?s) WHERE {{ {BODY} }} GROUP BY ?d"
+        batched = Evaluator(graph, compile=True, vectorize=True).select(text)
+        tuple_engine = Evaluator(graph, compile=True, vectorize=False).select(text)
+        legacy = Evaluator(graph, compile=False).select(text)
+        assert batched.rows == tuple_engine.rows == legacy.rows

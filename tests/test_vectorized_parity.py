@@ -30,7 +30,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.rdf import IRI, Triple, literal_from_python
-from repro.sparql import Evaluator, parse_query
+from repro.sparql import Evaluator, parse_query, vectorized
 from repro.store import Graph
 
 EX = "http://example.org/"
@@ -170,3 +170,111 @@ class TestVectorizedParity:
         tup = {t for t in tuple_at_a_time.construct(construct)}
         ref = {t for t in term_space.construct(construct)}
         assert vec == tup == ref
+
+
+class TestPseudoIdAliasing:
+    """Plan-local pseudo ids (negative, for terms the store never saw)
+    must never reach a composite-key probe unmasked: ``pc*m + (-1-k)``
+    equals ``(pc-1)*m + (m-1-k)``, the real key of a *different*
+    (predicate, object) pair, so an unmasked probe emits rows the tuple
+    engine never produces.  These graphs are laid out so the collision
+    lands on a stored triple — the worst case, not just a miss."""
+
+    def collision_graph(self):
+        # Id layout (s, p, o encode order): a=0 r=1 p=2 y=3 z=4, m=5.
+        # Probing p with pseudo object -1 gives 2*5-1 == 9 == 1*5+4 — the
+        # live POS key of (r, z).  A regression emits (?s=a, ?o=unknown).
+        graph = Graph()
+        a, r, p, z = (IRI(f"{EX}{n}") for n in ("a", "r", "p", "z"))
+        graph.add(Triple(a, r, a))
+        graph.add(Triple(a, p, IRI(f"{EX}y")))
+        graph.add(Triple(a, r, z))
+        graph.triple_index.flush()
+        terms = graph.term_dictionary
+        assert terms.lookup(p) * len(terms) - 1 == \
+            terms.lookup(r) * len(terms) + terms.lookup(z)
+        return graph
+
+    def assert_parity(self, graph, query_text):
+        query = parse_query(query_text)
+        batched, tuple_at_a_time, term_space = engines(graph, 64, 1)
+        vec = batched.select(query)
+        tup = tuple_at_a_time.select(query)
+        ref = term_space.select(query)
+        assert vec.rows == tup.rows
+        assert sorted(map(repr, vec.rows)) == sorted(map(repr, ref.rows))
+        return vec.rows
+
+    def test_values_pseudo_object_probe(self):
+        rows = self.assert_parity(
+            self.collision_graph(),
+            f"SELECT ?s ?o WHERE {{ VALUES ?o {{ <{EX}unknown> }} "
+            f"?s <{EX}p> ?o }}",
+        )
+        assert rows == []
+
+    def test_values_mixed_pseudo_and_real_objects(self):
+        # One VALUES row is a live object, one a pseudo id: the real row
+        # must still join while the pseudo row is masked, in VALUES order.
+        rows = self.assert_parity(
+            self.collision_graph(),
+            f"SELECT ?s ?o WHERE {{ VALUES ?o {{ <{EX}y> <{EX}unknown> }} "
+            f"?s <{EX}p> ?o }}",
+        )
+        assert len(rows) == 1
+
+    def test_values_pseudo_subject_probe(self):
+        rows = self.assert_parity(
+            self.collision_graph(),
+            f"SELECT ?s ?o WHERE {{ VALUES ?s {{ <{EX}unknown> }} "
+            f"?s <{EX}p> ?o }}",
+        )
+        assert rows == []
+
+    def test_unknown_constant_object(self):
+        rows = self.assert_parity(
+            self.collision_graph(),
+            f"SELECT ?s WHERE {{ ?s <{EX}p> <{EX}unknown> }}",
+        )
+        assert rows == []
+
+    def test_unknown_predicate_contains_shape(self):
+        # Fully bound step with a pseudo-id predicate: the contains mask
+        # composite ``s*m + pc`` must not alias the previous subject.
+        rows = self.assert_parity(
+            self.collision_graph(),
+            f"SELECT ?s WHERE {{ ?s <{EX}r> <{EX}a> . "
+            f"?s <{EX}unknown> <{EX}z> }}",
+        )
+        assert rows == []
+
+
+class TestExpansionCap:
+    """Fan-outs past _MAX_EXPANSION fall back to the tuple operator
+    instead of one unbounded repeat/tile allocation — same rows out."""
+
+    def fanout_graph(self):
+        graph = Graph()
+        for i in range(6):
+            graph.add(Triple(IRI(f"{EX}n{i}"), IRI(f"{EX}p0"),
+                             IRI(f"{EX}n{(i + 1) % 6}")))
+            graph.add(Triple(IRI(f"{EX}n{i}"), IRI(f"{EX}p1"),
+                             IRI(f"{EX}n{(i + 2) % 6}")))
+        graph.triple_index.flush()
+        return graph
+
+    def assert_parity(self, query_text):
+        graph = self.fanout_graph()
+        query = parse_query(query_text)
+        batched, tuple_at_a_time, _ref = engines(graph, 64, 1)
+        assert batched.select(query).rows == tuple_at_a_time.select(query).rows
+
+    def test_cross_product_step_capped(self, monkeypatch):
+        monkeypatch.setattr(vectorized, "_MAX_EXPANSION", 4)
+        self.assert_parity(
+            f"SELECT ?a ?s ?o WHERE {{ ?a <{EX}p1> ?x . ?s <{EX}p0> ?o }}")
+
+    def test_probe_expansion_capped(self, monkeypatch):
+        monkeypatch.setattr(vectorized, "_MAX_EXPANSION", 2)
+        self.assert_parity(
+            f"SELECT ?a ?b ?c WHERE {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c }}")
