@@ -148,6 +148,15 @@ def _close_durable(endpoint) -> None:
         graph.close()
 
 
+def _render_declines(decline_reasons: dict) -> str:
+    """Per-reason decline tally, most frequent first; ``decline-free``
+    when the compiled engine accepted every query."""
+    if not decline_reasons:
+        return "decline-free"
+    ranked = sorted(decline_reasons.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ", ".join(f"{reason} {count}" for reason, count in ranked)
+
+
 class ExplorerShell:
     """Stateful command handler behind the REPL."""
 
@@ -310,17 +319,13 @@ class ExplorerShell:
             f"  selects         compiled {stats.compiled_selects}, "
             f"fallback {stats.fallback_selects}",
             f"  executions      batched {stats.batched_executions}, "
-            f"tuple {stats.tuple_executions}",
+            f"tuple {stats.tuple_executions}, "
+            f"term-space {stats.fallback_selects + stats.fallback_aggregates} "
+            f"({_render_declines(stats.decline_reasons)})",
             f"  keyword lookups {stats.keyword_lookups}",
             f"  timeouts        {stats.timeouts}",
             f"  cache hits      {stats.cache_hits}",
         ]
-        if stats.decline_reasons:
-            ranked = sorted(
-                stats.decline_reasons.items(), key=lambda kv: (-kv[1], kv[0])
-            )
-            rendered = ", ".join(f"{reason} {count}" for reason, count in ranked)
-            lines.append(f"  declines        {rendered}")
         cache = getattr(self.endpoint, "cache", None)
         if cache is not None:
             lines.append("cache tiers (hits/misses/evictions):")

@@ -29,9 +29,10 @@ term-space ``_aggregate`` path as the semantics-preserving fallback.  A
 query qualifies when:
 
 * its WHERE clause compiles under :func:`repro.sparql.operators
-  .compile_where` (declines — with their reason strings — are BIND,
-  EXISTS/MINUS, subqueries, exotic path shapes, and graphs without an
-  id backend);
+  .compile_where` — which now takes BIND, FILTER [NOT] EXISTS, MINUS
+  and subqueries, so bodies holding them fuse too; the remaining
+  declines (with their reason strings) are exotic path shapes and
+  graphs without an id backend;
 * GROUP BY keys are plain variables (unbound keys are fine: they group
   under a ``None`` component, exactly like the term-space path);
 * every aggregate in the projections and HAVING clauses takes either no
@@ -64,8 +65,9 @@ from .ast import (
     SelectQuery,
     TermExpr,
 )
-from .expressions import ExpressionError, effective_boolean_value, evaluate
-from .operators import compile_where
+from .expressions import ExpressionError, effective_boolean_value
+from .operators import _ExecContext, compile_where
+from .rexpr import compile_expression
 
 __all__ = ["AggregatePlan", "compile_aggregate", "compile_aggregate_ex"]
 
@@ -474,81 +476,36 @@ class _Program:
     """One projection or HAVING expression, pre-analyzed at compile time.
 
     ``kind`` picks the per-group fast path: ``"agg"`` reads one finished
-    aggregate, ``"key"`` reads one group-key term, ``"general"`` rewrites
-    the expression (aggregates → their computed literals) and evaluates the
-    residual against the group-key binding — the same residual evaluation
-    the term-space engine performs, over precomputed aggregate values.
+    aggregate, ``"key"`` reads one group-key id and decodes it through
+    the execution memo, ``"general"`` runs a register-level expression
+    program (:mod:`repro.sparql.rexpr`) over a synthetic row of
+    ``key ids + finished aggregate values`` — aggregate reads are
+    spliced in through the compiler's ``special`` hook, so no AST is
+    rebuilt per group and no key-binding dict is ever constructed.
     """
 
-    __slots__ = ("kind", "index", "variable", "expression", "agg_index")
+    __slots__ = ("kind", "index", "variable", "expression", "program")
 
     def __init__(self, kind, index=None, variable=None, expression=None,
-                 agg_index=None):
+                 program=None):
         self.kind = kind
         self.index = index
         self.variable = variable
         self.expression = expression
-        self.agg_index = agg_index
+        self.program = program
 
-    def run(self, agg_values: list, key_binding: dict) -> Node:
+    def run(self, agg_values: list, key: tuple, state: "_ExecState") -> Node:
         if self.kind == "agg":
             value = agg_values[self.index]
             if value is _ERROR:
                 raise ExpressionError("aggregate evaluation errored")
             return value
         if self.kind == "key":
-            value = key_binding.get(self.variable)
-            if value is None:
+            term_id = key[self.index]
+            if term_id is None:
                 raise ExpressionError(f"unbound variable {self.variable.n3()}")
-            return value
-        rewritten = _substitute(self.expression, agg_values, self.agg_index)
-        return evaluate(rewritten, key_binding)
-
-
-def _substitute(expression: Expression, agg_values: list,
-                agg_index: dict) -> Expression:
-    """Replace every Aggregate node with its computed value.
-
-    Aggregate nodes are frozen dataclasses, so the compile-time
-    ``agg_index`` maps each one to its accumulator position by equality —
-    the same ``SUM(?v)`` appearing twice shares one accumulator.
-    """
-    if isinstance(expression, Aggregate):
-        value = agg_values[agg_index[expression]]
-        if value is _ERROR:
-            raise ExpressionError("aggregate evaluation errored")
-        return TermExpr(value)
-    if isinstance(expression, Comparison):
-        return Comparison(
-            expression.op,
-            _substitute(expression.left, agg_values, agg_index),
-            _substitute(expression.right, agg_values, agg_index),
-        )
-    if isinstance(expression, Arithmetic):
-        return Arithmetic(
-            expression.op,
-            _substitute(expression.left, agg_values, agg_index),
-            _substitute(expression.right, agg_values, agg_index),
-        )
-    if isinstance(expression, BoolOp):
-        return BoolOp(
-            expression.op,
-            tuple(_substitute(o, agg_values, agg_index) for o in expression.operands),
-        )
-    if isinstance(expression, NotExpr):
-        return NotExpr(_substitute(expression.operand, agg_values, agg_index))
-    if isinstance(expression, FunctionCall):
-        return FunctionCall(
-            expression.name,
-            tuple(_substitute(a, agg_values, agg_index) for a in expression.args),
-        )
-    if isinstance(expression, InExpr):
-        return InExpr(
-            _substitute(expression.operand, agg_values, agg_index),
-            tuple(_substitute(o, agg_values, agg_index) for o in expression.options),
-            expression.negated,
-        )
-    return expression
+            return state.term(term_id)
+        return self.program(list(key) + agg_values, state.term)
 
 
 def _collect_aggregates(
@@ -592,8 +549,30 @@ def _program_for(expression: Expression, index: dict,
         return _Program("agg", index=index[expression])
     if isinstance(expression, TermExpr) and isinstance(expression.term, Variable) \
             and expression.term in group_vars:
-        return _Program("key", variable=expression.term)
-    return _Program("general", expression=expression, agg_index=index)
+        return _Program("key", index=group_vars.index(expression.term),
+                        variable=expression.term)
+    # General expression: compile against a synthetic row laid out as
+    # [key ids..., finished aggregate values...].  Group keys read like
+    # registers (ids decoded through the execution memo); aggregate
+    # nodes splice in closures reading the already-finished value.
+    slots = {variable: i for i, variable in enumerate(group_vars)}
+    base = len(group_vars)
+
+    def special(expr, base=base, agg_index=index):
+        if not isinstance(expr, Aggregate):
+            return None
+        position = base + agg_index[expr]
+
+        def read_aggregate(row, decode, position=position):
+            value = row[position]
+            if value is _ERROR:
+                raise ExpressionError("aggregate evaluation errored")
+            return value
+
+        return read_aggregate
+
+    program = compile_expression(expression, slots, special=special)
+    return _Program("general", expression=expression, program=program)
 
 
 # --------------------------------------------------------------------------
@@ -728,17 +707,20 @@ class AggregatePlan:
         the bounded top-k heap, and OFFSET/LIMIT — identically for fused
         and term-space results.
         """
-        # body.decode intercepts plan-local pseudo-ids (negative) before
-        # they can reach the dictionary, so VALUES/path constants never
-        # seen by the graph still decode correctly.
-        state = _ExecState(self.body.decode)
+        # Decoding goes through the execution context's codec: it
+        # intercepts plan-local pseudo-ids (negative) before they can
+        # reach the dictionary — so VALUES/path constants never seen by
+        # the graph still decode correctly — and additionally covers ids
+        # minted *during* the run (BIND results, subquery cells).
         groups: dict[tuple, tuple[list, list]] = {}
         check = deadline.check
 
         if vec is not None:
-            self._fold_batched(deadline, vec, state, groups)
+            state = self._fold_batched(deadline, vec, groups)
         else:
-            rows_iter, _ctx = self.body.rows_stream(deadline)
+            ctx = _ExecContext(self.body, deadline)
+            state = _ExecState(ctx.decode)
+            rows_iter, _ctx = self.body.rows_stream(deadline, ctx)
             key_slots = self.key_slots
             get_group = groups.get
             for row in rows_iter:
@@ -759,18 +741,13 @@ class AggregatePlan:
             groups[()] = self._new_group(state)
 
         out_rows: list[tuple] = []
-        term = state.term
         for key, (accumulators, _feeders) in groups.items():
             check()
             agg_values = [acc.finish(state) for acc in accumulators]
-            key_binding = {
-                variable: (None if term_id is None else term(term_id))
-                for variable, term_id in zip(self.group_vars, key)
-            }
             keep = True
             for program in self.having_programs:
                 try:
-                    value = program.run(agg_values, key_binding)
+                    value = program.run(agg_values, key, state)
                     if not effective_boolean_value(value):
                         keep = False
                         break
@@ -782,13 +759,13 @@ class AggregatePlan:
             row_out = []
             for program in self.projection_programs:
                 try:
-                    row_out.append(program.run(agg_values, key_binding))
+                    row_out.append(program.run(agg_values, key, state))
                 except ExpressionError:
                     row_out.append(None)
             out_rows.append(tuple(row_out))
         return out_rows, list(self.variables)
 
-    def _fold_batched(self, deadline, vec, state, groups) -> None:
+    def _fold_batched(self, deadline, vec, groups) -> "_ExecState":
         """Consume batched body execution, folding whole column segments.
 
         Single-key (or keyless) grouping with numpy partitions each
@@ -797,12 +774,17 @@ class AggregatePlan:
         bound-id segment in row order.  Multi-key grouping, list-backed
         columns and the no-numpy backend fold row-wise straight from the
         batch columns instead (still batch-produced upstream).
-        """
-        from .vectorized import UNBOUND, _np, collect_batches
 
+        Builds (and returns) the decode state over the batch run's own
+        execution context, so ids minted during the run decode.
+        """
+        from .vectorized import UNBOUND, _VecCtx, _np, collect_batches
+
+        vctx = _VecCtx(self.body, deadline, vec)
+        state = _ExecState(vctx.tctx.decode)
         check = deadline.check
         key_slots = self.key_slots
-        for batch in collect_batches(self.body, deadline, vec):
+        for batch in collect_batches(self.body, deadline, vec, vctx):
             check()
             fast = _np is not None and len(key_slots) <= 1
             if fast:
@@ -856,6 +838,7 @@ class AggregatePlan:
                         # exact ordered fold for this accumulator only
                         for term_id in ids.tolist():
                             add(term_id)
+        return state
 
     def _fold_batch_rows(self, batch, state, groups, check) -> None:
         """Row-wise fold directly from batch columns (slow-group path)."""

@@ -92,14 +92,14 @@ class Evaluator:
     """Evaluates SPARQL queries against a graph or graph view.
 
     ``compile=True`` (the default) lowers whole WHERE bodies — BGPs,
-    OPTIONAL, UNION, VALUES, and property paths included — onto the
-    unified id-space physical-operator pipeline
-    (:mod:`repro.sparql.operators`), and qualifying aggregate SELECTs all
-    the way into the fused grouping pipeline
-    (:mod:`repro.sparql.aggregator`).  ``compile=False`` keeps the
-    term-space interpreter, retained as the differential oracle and the
-    fallback for the shapes lowering still declines (BIND, EXISTS,
-    MINUS, subqueries, multi-graph union views).
+    OPTIONAL, UNION, VALUES, BIND, EXISTS/NOT EXISTS, MINUS, nested
+    subqueries, and property paths included — onto the unified id-space
+    physical-operator pipeline (:mod:`repro.sparql.operators`), and
+    qualifying aggregate SELECTs all the way into the fused grouping
+    pipeline (:mod:`repro.sparql.aggregator`).  ``compile=False`` keeps
+    the term-space interpreter, retained purely as the differential
+    oracle; lowering now declines only unsupported path shapes and
+    stores without an id backend (multi-graph union views).
     ``plan_cache`` is an optional LRU (the serving cache's plan tier)
     reusing compiled plans — including cached declines — across queries,
     keyed by the WHERE group plus the graph's identity and epoch.

@@ -9,9 +9,10 @@ layers are rendered:
   reason) when it falls back — decided by running the actual compiler,
   not by re-implementing its rules;
 * for compiled queries, the full physical plan tree: every operator
-  (IndexScan/NestedProbe, Filter, ValuesBind, LeftJoin, Union,
-  PathClosure) with its cardinality estimate where one exists, nested
-  OPTIONAL/UNION sub-pipelines indented beneath their parent, plus the
+  (IndexScan/NestedProbe, Filter, ValuesBind, Bind, SubqueryScan,
+  LeftJoin, Union, Exists, Minus, PathClosure) with its cardinality
+  estimate where one exists, nested OPTIONAL/UNION/EXISTS/MINUS/
+  subquery sub-pipelines indented beneath their parent, plus the
   AggregateFold and OrderLimit stages when the query has them.
 
 The flat ``steps`` list (join order + per-pattern estimates over the

@@ -34,7 +34,13 @@ from .ast import (
     TermExpr,
 )
 
-__all__ = ["ExpressionError", "evaluate", "effective_boolean_value", "term_compare"]
+__all__ = [
+    "ExpressionError",
+    "evaluate",
+    "apply_function",
+    "effective_boolean_value",
+    "term_compare",
+]
 
 Binding = Mapping[Variable, Node]
 
@@ -53,9 +59,6 @@ def _boolean(value: bool) -> Literal:
 def _numeric(value: float | int) -> Literal:
     if isinstance(value, int):
         return Literal(str(value), datatype=XSD_INTEGER)
-    if value == int(value) and abs(value) < 1e15:
-        # Keep integral results readable.
-        return Literal(repr(value), datatype=XSD_DOUBLE)
     return Literal(repr(value), datatype=XSD_DOUBLE)
 
 
@@ -231,6 +234,16 @@ def _eval_function(call: FunctionCall, binding: Binding) -> Node:
         return evaluate(call.args[1 if condition else 2], binding)
 
     args = [evaluate(a, binding) for a in call.args]
+    return apply_function(name, args, call.name)
+
+
+def apply_function(name: str, args: list[Node], display_name: str) -> Node:
+    """Apply an already-evaluated, strict builtin function to term arguments.
+
+    ``name`` must be upper-cased; ``display_name`` is the source spelling
+    used in error messages.  Non-strict forms (BOUND, COALESCE, IF) never
+    reach here — their callers dispatch before evaluating arguments.
+    """
     first = args[0] if args else None
     if name == "STR":
         if isinstance(first, IRI):
@@ -290,7 +303,7 @@ def _eval_function(call: FunctionCall, binding: Binding) -> Node:
         return _boolean(_string_arg(args[0]).startswith(_string_arg(args[1])))
     if name == "STRENDS":
         return _boolean(_string_arg(args[0]).endswith(_string_arg(args[1])))
-    raise ExpressionError(f"unsupported function {call.name}")
+    raise ExpressionError(f"unsupported function {display_name}")
 
 
 def _string_arg(term: Node | None) -> str:

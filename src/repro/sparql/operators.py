@@ -16,15 +16,30 @@ Operator taxonomy (one class per physical operator):
   pattern shares no variable with what is already bound, *probe* when it
   extends bound registers (the id-space analogue of an index nested-loop
   join);
-* :class:`FilterOp` — evaluates FILTER constraints over a partial decode
-  of exactly the registers the expressions mention (errors remove the
-  row, per SPARQL);
+* :class:`FilterOp` — evaluates FILTER constraints through
+  register-level expression programs (:mod:`repro.sparql.rexpr`) that
+  read integer registers directly and decode each distinct id once;
+  errors remove the row, per SPARQL;
 * :class:`ValuesBind` — joins compile-time-encoded VALUES rows against
   the register file (UNDEF leaves a register untouched);
+* :class:`BindOp` — BIND: a register program computes a term per row
+  and writes its id into a fresh register, minting execution-local
+  pseudo ids for terms the store has never seen; an erroring expression
+  leaves the register untouched;
+* :class:`SubqueryScan` — a nested ``{ SELECT ... }`` compiled to its
+  own plan (plain or aggregate), executed bottom-up once per query and
+  joined against the register file exactly like VALUES rows;
 * :class:`LeftJoin` — OPTIONAL: runs an inner pipeline per row and
   passes the row through unchanged when the inner produces nothing;
 * :class:`UnionOp` — runs each branch pipeline per row, concatenating
   branch outputs in branch order;
+* :class:`ExistsJoin` — FILTER [NOT] EXISTS as a correlated semi/anti
+  join: the inner pipeline runs per row, stops at the first match, and
+  the row survives when matchedness disagrees with negation;
+* :class:`MinusJoin` — MINUS as an anti-join on shared-variable
+  compatibility: the uncorrelated right side materializes once per
+  execution and a row is dropped when some right row shares at least
+  one bound register and agrees on all shared ones;
 * :class:`PathClosure` — property-path evaluation entirely in id space:
   BFS over the POS/OSP integer indexes with per-execution memoized
   reachability frontiers (see :func:`_reachable_ids`);
@@ -54,15 +69,30 @@ triple pattern short-circuits its *group* to the empty pipeline — only
 its group, so an OPTIONAL over it still passes rows through and a UNION
 branch over it merely contributes nothing.
 
+Constants the store has never seen get compile-time pseudo ids; terms
+*computed* at runtime (BIND results, subquery cells) that the store has
+never seen get execution-local pseudo ids minted by
+:meth:`_ExecContext.encode`, continuing the same negative id space past
+the plan's ``extra_terms`` table.  Minting is locked (morsel-parallel
+workers share one context) and consistent — the same term always maps
+to the same id within an execution — so id equality remains term
+equality everywhere downstream.
+
 :func:`compile_where` returns ``(plan, None)`` or ``(None, reason)``;
 the decline reason strings feed the endpoint's per-reason fallback
 tally.  Shapes that still decline — and why:
 
-* ``bind`` / ``exists-filter`` / ``minus`` / ``subquery`` — each needs
-  either expression evaluation writing registers (BIND) or a correlated
-  re-entry into full query evaluation; the term-space interpreter
-  remains their semantics reference;
+* ``path-shape`` — a property-path construct outside the compiled path
+  program forms;
 * ``no-id-backend`` — multi-graph union views have no shared id space.
+
+BIND, FILTER [NOT] EXISTS, MINUS and subqueries used to decline too
+(reasons ``bind`` / ``exists-filter`` / ``minus`` / ``subquery``); they
+now lower onto :class:`BindOp`, :class:`ExistsJoin`, :class:`MinusJoin`
+and :class:`SubqueryScan`, so the term-space interpreter stays behind
+``compile=False`` purely as the differential oracle.  A subquery whose
+*inner* query declines (e.g. an unsupported aggregate shape) propagates
+the inner reason outward.
 
 A repeated variable within one pattern (``?x <p> ?x``) used to decline
 too; it now compiles by binding the second occurrence into a scratch
@@ -78,8 +108,10 @@ cache's plans tier may share them across threads, keyed by
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Iterable, Iterator
 
+from ..errors import QueryEvaluationError
 from ..rdf.terms import IRI, Node, Variable
 from .ast import (
     AlternativePath,
@@ -103,6 +135,7 @@ from .ast import (
 from .compiler import id_backend
 from .expressions import ExpressionError, effective_boolean_value, evaluate
 from .optimizer import estimate_cardinality, order_patterns
+from .rexpr import compile_expression
 
 __all__ = [
     "WherePlan",
@@ -113,8 +146,12 @@ __all__ = [
     "NestedProbe",
     "FilterOp",
     "ValuesBind",
+    "BindOp",
+    "SubqueryScan",
     "LeftJoin",
     "UnionOp",
+    "ExistsJoin",
+    "MinusJoin",
     "PathClosure",
 ]
 
@@ -132,24 +169,70 @@ class _Decline(Exception):
 
 
 class _ExecContext:
-    """Per-execution state: deadline, decode memo, schedule and path memos."""
+    """Per-execution state: deadline, codec memos, schedule and path memos.
 
-    __slots__ = ("index", "check", "decode_raw", "memo", "path_memo", "schedules")
+    The context is also the execution-local *value codec*: ``decode``
+    memoizes id → term for both store ids and pseudo ids, and ``encode``
+    maps a computed term back to an id — the store's id when the term is
+    stored, the plan's compile-time pseudo id when the plan already
+    tabled it, or a freshly minted execution-local pseudo id otherwise.
+    Minting continues the negative id space past ``extra_terms`` and
+    takes a lock, because morsel-parallel batch workers share one
+    context: the decode/schedule memos tolerate benign races (idempotent
+    caches), but two threads must never hand the same term different
+    ids.
+    """
+
+    __slots__ = (
+        "index", "check", "decode_raw", "memo", "path_memo", "schedules",
+        "deadline", "dictionary", "num_registers", "_pseudo", "_mint_base",
+        "runtime_terms", "_minted", "_mint_lock", "op_memo",
+    )
 
     def __init__(self, plan: "WherePlan", deadline):
         self.index = plan.index
         self.check = deadline.check
+        self.deadline = deadline
         self.decode_raw = plan.decode
+        self.dictionary = plan.dictionary
+        self.num_registers = plan.num_registers
+        self._pseudo = plan.pseudo_ids
+        self._mint_base = len(plan.extra_terms)
+        self.runtime_terms: list[Node] = []
+        self._minted: dict[Node, int] = {}
+        self._mint_lock = threading.Lock()
         self.memo: dict[int, Node] = {}
         self.path_memo: dict[tuple, list[int]] = {}
         self.schedules: dict[tuple, tuple] = {}
+        self.op_memo: dict[int, tuple] = {}
 
     def decode(self, term_id: int) -> Node:
         term = self.memo.get(term_id)
         if term is None:
-            term = self.decode_raw(term_id)
+            if term_id < 0 and -1 - term_id >= self._mint_base:
+                term = self.runtime_terms[-1 - term_id - self._mint_base]
+            else:
+                term = self.decode_raw(term_id)
             self.memo[term_id] = term
         return term
+
+    def encode(self, term: Node) -> int:
+        """The term's store id, plan pseudo id, or a fresh runtime mint."""
+        term_id = self.dictionary.lookup(term)
+        if term_id is not None:
+            return term_id
+        pseudo = self._pseudo.get(term)
+        if pseudo is not None:
+            return pseudo
+        minted = self._minted.get(term)
+        if minted is None:
+            with self._mint_lock:
+                minted = self._minted.get(term)
+                if minted is None:
+                    minted = -1 - self._mint_base - len(self.runtime_terms)
+                    self.runtime_terms.append(term)
+                    self._minted[term] = minted
+        return minted
 
     def schedule(self, pipeline: "GroupPipeline", mask: frozenset) -> tuple:
         key = (pipeline.gid, mask)
@@ -315,27 +398,33 @@ class NestedProbe(_StepOp):
 
 
 class _FilterUnit:
-    """One FILTER constraint with its variable set and register slots."""
+    """One FILTER constraint: variable set, register slots, and its
+    compiled register program."""
 
-    __slots__ = ("constraint", "variables", "slot_items")
+    __slots__ = ("constraint", "variables", "slot_items", "program")
 
-    def __init__(self, constraint: Filter, variables: frozenset, slot_items: tuple):
+    def __init__(self, constraint: Filter, variables: frozenset, slot_items: tuple,
+                 program):
         self.constraint = constraint
         self.variables = variables
         self.slot_items = slot_items
+        self.program = program
 
 
 class FilterOp(PhysicalOp):
-    """FILTER constraints over a partial decode of the register file.
+    """FILTER constraints evaluated as register programs.
 
-    Only the registers the expressions mention are decoded; a variable
-    with no register (never bound anywhere in the plan) is simply absent
-    from the binding, so evaluation errors and removes the row — the
-    term-space engine's behaviour for filters over unbound variables.
+    Each constraint is compiled once (:mod:`repro.sparql.rexpr`) against
+    the plan's slot map; at execution it reads integer registers
+    directly and decodes through the context's memoized codec — no
+    binding dicts.  A variable with no register (never bound anywhere in
+    the plan) compiles to an always-error closure, so evaluation errors
+    and removes the row — the term-space engine's behaviour for filters
+    over unbound variables.
     """
 
     kind = "Filter"
-    __slots__ = ("slot_items", "filters")
+    __slots__ = ("slot_items", "filters", "programs")
 
     def __init__(self, units: tuple[_FilterUnit, ...]):
         merged: dict[Variable, int] = {}
@@ -344,28 +433,21 @@ class FilterOp(PhysicalOp):
                 merged[variable] = slot
         self.slot_items = tuple(merged.items())
         self.filters = tuple(unit.constraint for unit in units)
+        self.programs = tuple(unit.program for unit in units)
 
     def describe(self) -> str:
         return ", ".join(f.expression.to_sparql() for f in self.filters)
 
     def run(self, rows, ctx):
         decode = ctx.decode
-        slot_items = self.slot_items
-        filters = self.filters
+        programs = self.programs
         check = ctx.check
         for row in rows:
             check()
-            binding: Binding = {}
-            for variable, slot in slot_items:
-                term_id = row[slot]
-                if term_id is not None:
-                    binding[variable] = decode(term_id)
             keep = True
-            for constraint in filters:
+            for program in programs:
                 try:
-                    if not effective_boolean_value(
-                        evaluate(constraint.expression, binding)
-                    ):
+                    if not effective_boolean_value(program(row, decode)):
                         keep = False
                         break
                 except ExpressionError:
@@ -402,6 +484,139 @@ class ValuesBind(PhysicalOp):
                 compatible = True
                 for slot, value_id in zip(cell_slots, value_row):
                     if value_id is None:  # UNDEF leaves the register as-is.
+                        continue
+                    current = row[slot] if new is None else new[slot]
+                    if current is None:
+                        if new is None:
+                            new = row.copy()
+                        new[slot] = value_id
+                    elif current != value_id:
+                        compatible = False
+                        break
+                if compatible:
+                    yield row if new is None else new
+
+
+class BindOp(PhysicalOp):
+    """BIND: a register program computes a term and writes a register.
+
+    The computed term is encoded through the execution context — store
+    id when the store holds it, plan pseudo id when the plan tabled it
+    at compile time, execution-local mint otherwise — so downstream
+    joins, MINUS compatibility checks and decode-at-the-boundary all
+    keep working on ids.  An erroring expression leaves the register
+    exactly as it was (per SPARQL, an erroring BIND leaves the variable
+    unbound — or, when an OPTIONAL bound it earlier, untouched).
+    """
+
+    kind = "Bind"
+    __slots__ = ("bind", "slot", "program")
+
+    def __init__(self, bind: BindClause, slot: int, program):
+        self.bind = bind
+        self.slot = slot
+        self.program = program
+
+    def describe(self) -> str:
+        return self.bind.to_sparql()
+
+    def run(self, rows, ctx):
+        program = self.program
+        slot = self.slot
+        decode = ctx.decode
+        encode = ctx.encode
+        check = ctx.check
+        for row in rows:
+            check()
+            try:
+                term = program(row, decode)
+            except ExpressionError:
+                yield row
+                continue
+            new = row.copy()
+            new[slot] = encode(term)
+            yield new
+
+
+class _BindRebind(PhysicalOp):
+    """A BIND whose target variable is already in scope: always an error.
+
+    The interpreter raises the moment the group is evaluated — even with
+    zero solutions — so this op raises on first pull rather than per
+    row.  It is emitted at compile time when the rebinding is statically
+    certain (the variable is bound by the group itself) and substituted
+    into the schedule per entry mask when it depends on what the
+    incoming row binds.
+    """
+
+    kind = "Bind"
+    __slots__ = ("bind",)
+
+    def __init__(self, bind: BindClause):
+        self.bind = bind
+
+    def describe(self) -> str:
+        return f"{self.bind.to_sparql()} — rebinds in-scope variable"
+
+    def run(self, rows, ctx):
+        raise QueryEvaluationError(
+            f"BIND would rebind in-scope variable {self.bind.variable.n3()}"
+        )
+        yield  # pragma: no cover — generator protocol; the raise always fires
+
+
+class SubqueryScan(PhysicalOp):
+    """A nested ``{ SELECT ... }`` executed bottom-up and joined like VALUES.
+
+    The inner query compiles to its own plan (plain or fused-aggregate)
+    at lowering time; at execution the runner produces its result rows
+    once per query (memoized on the context), the cells encode through
+    the context codec (minting ids for computed terms such as aggregate
+    results), and the encoded rows join against the register file with
+    the exact UNDEF-skipping loop :class:`ValuesBind` uses.
+    """
+
+    kind = "SubqueryScan"
+    __slots__ = ("sub", "runner", "variables", "cell_slots", "inner_root")
+
+    def __init__(self, sub: SubSelect, runner, variables: tuple,
+                 cell_slots: tuple[int, ...], inner_root):
+        self.sub = sub
+        self.runner = runner
+        self.variables = variables
+        self.cell_slots = cell_slots
+        self.inner_root = inner_root
+
+    def children(self):
+        if self.inner_root is None:
+            return ()
+        return (("subquery", self.inner_root),)
+
+    def describe(self) -> str:
+        return "SELECT " + " ".join(v.n3() for v in self.variables)
+
+    def encoded_rows(self, ctx) -> tuple[tuple, ...]:
+        rows = ctx.op_memo.get(id(self))
+        if rows is None:
+            out = self.runner(ctx.deadline)
+            rows = tuple(
+                tuple(None if term is None else ctx.encode(term) for term in row)
+                for row in out
+            )
+            ctx.op_memo[id(self)] = rows
+        return rows
+
+    def run(self, rows, ctx):
+        cell_slots = self.cell_slots
+        encoded_rows = self.encoded_rows(ctx)
+        check = ctx.check
+        for row in rows:
+            for value_row in encoded_rows:
+                check()
+                new = None
+                compatible = True
+                for slot, value_id in zip(cell_slots, value_row):
+                    if value_id is None:  # an unbound cell leaves the register
                         continue
                     current = row[slot] if new is None else new[slot]
                     if current is None:
@@ -459,6 +674,103 @@ class UnionOp(PhysicalOp):
         for row in rows:
             for branch in branches:
                 yield from branch.run_row(row, ctx)
+
+
+class ExistsJoin(PhysicalOp):
+    """FILTER [NOT] EXISTS as a correlated semi/anti join.
+
+    The inner pipeline sees the outer row (correlated registers probe,
+    free ones scan), stops at the first match, and never leaks inner
+    bindings — inner steps write to copies.  The row survives when
+    matchedness disagrees with negation.
+    """
+
+    kind = "Exists"
+    __slots__ = ("exists", "inner")
+
+    def __init__(self, exists: ExistsFilter, inner: "GroupPipeline"):
+        self.exists = exists
+        self.inner = inner
+
+    def children(self):
+        return (("exists", self.inner),)
+
+    def describe(self) -> str:
+        return "NOT EXISTS" if self.exists.negated else "EXISTS"
+
+    def run(self, rows, ctx):
+        inner = self.inner
+        negated = self.exists.negated
+        check = ctx.check
+        for row in rows:
+            check()
+            matched = False
+            for _out in inner.run_row(row, ctx):
+                matched = True
+                break
+            if matched != negated:
+                yield row
+
+
+class MinusJoin(PhysicalOp):
+    """MINUS as an anti-join on shared-variable compatibility.
+
+    The right side is uncorrelated (the interpreter evaluates it from an
+    empty binding), so it materializes once per execution, memoized on
+    the context.  A left row is removed when some right row shares at
+    least one bound register with it and agrees on every register both
+    sides bind — id equality is term equality because both sides encode
+    through the same execution codec.
+    """
+
+    kind = "Minus"
+    __slots__ = ("minus", "inner", "shared_slots")
+
+    def __init__(self, minus: MinusPattern, inner: "GroupPipeline",
+                 shared_slots: tuple[int, ...]):
+        self.minus = minus
+        self.inner = inner
+        self.shared_slots = shared_slots
+
+    def children(self):
+        return (("minus", self.inner),)
+
+    def right_rows(self, ctx) -> tuple:
+        right = ctx.op_memo.get(id(self))
+        if right is None:
+            if self.inner.empty:
+                self.inner.raise_rebinds([None] * ctx.num_registers)
+                right = ()
+            else:
+                seed = [None] * ctx.num_registers
+                right = tuple(self.inner.run_row(seed, ctx))
+            ctx.op_memo[id(self)] = right
+        return right
+
+    def run(self, rows, ctx):
+        right = self.right_rows(ctx)
+        shared_slots = self.shared_slots
+        check = ctx.check
+        for row in rows:
+            check()
+            removed = False
+            for other in right:
+                shared = False
+                agree = True
+                for slot in shared_slots:
+                    left_id = row[slot]
+                    right_id = other[slot]
+                    if left_id is None or right_id is None:
+                        continue
+                    if left_id != right_id:
+                        agree = False
+                        break
+                    shared = True
+                if shared and agree:
+                    removed = True
+                    break
+            if not removed:
+                yield row
 
 
 class PathClosure(PhysicalOp):
@@ -681,7 +993,11 @@ class GroupPipeline:
         self.filter_units = filter_units
         self.relevant_items = relevant_items
         self.values_vars = frozenset(
-            v for op in values_ops for v in op.clause.variables_
+            v
+            for op in values_ops
+            for v in (
+                op.clause.variables_ if isinstance(op, ValuesBind) else op.variables
+            )
         )
         self.empty_pattern = empty_pattern
 
@@ -701,11 +1017,17 @@ class GroupPipeline:
     def build_schedule(self, mask: frozenset) -> tuple:
         """Interleave filters with the operator sequence for one mask.
 
-        Mirrors ``Evaluator._eval_group``: VALUES first (no readiness
-        checks), then pattern steps with ready filters attached after
-        each, then UNION/OPTIONAL operators (no checks — the interpreter
-        only tests readiness inside its pattern loop), then every filter
-        still pending at the end of the group.
+        Mirrors ``Evaluator._eval_group``: VALUES and subquery joins
+        first (no readiness checks), then pattern steps with ready
+        filters attached after each, then UNION/OPTIONAL/BIND/EXISTS/
+        MINUS operators (no checks — the interpreter only tests
+        readiness inside its pattern loop), then every filter still
+        pending at the end of the group.
+
+        A :class:`BindOp` whose target variable the entry mask already
+        binds is substituted with the always-raising rebind check — the
+        interpreter's in-scope test counts the incoming binding's
+        variables, which for nested groups is a per-row property.
         """
         ops: list[PhysicalOp] = list(self.values_ops)
         available = set(mask) | self.values_vars
@@ -718,14 +1040,37 @@ class GroupPipeline:
                 if ready:
                     pending = [u for u in pending if u not in ready]
                     ops.append(FilterOp(tuple(ready)))
-        ops.extend(self.tail_ops)
+        for op in self.tail_ops:
+            if isinstance(op, BindOp) and op.bind.variable in mask:
+                ops.append(_BindRebind(op.bind))
+            else:
+                ops.append(op)
         if pending:
             ops.append(FilterOp(tuple(pending)))
         return tuple(ops)
 
+    def raise_rebinds(self, row: list) -> None:
+        """The rebind error an empty group still owes for ``row``.
+
+        The interpreter checks BIND scope the moment a group is
+        evaluated — before it could know the group yields nothing — so a
+        group short-circuited at compile time (never-seen constant) must
+        still raise for a statically-certain rebind, or for a BIND whose
+        target the incoming row already binds.
+        """
+        for op in self.tail_ops:
+            if isinstance(op, _BindRebind) or (
+                isinstance(op, BindOp) and row[op.slot] is not None
+            ):
+                raise QueryEvaluationError(
+                    f"BIND would rebind in-scope variable "
+                    f"{op.bind.variable.n3()}"
+                )
+
     def run_row(self, row: list, ctx: _ExecContext) -> Iterator[list]:
         """Run the group for one seed row (nested-group entry point)."""
         if self.empty_pattern is not None:
+            self.raise_rebinds(row)
             return iter(())
         ops = ctx.schedule(self, self.entry_mask(row))
         return _run_pipeline(ops, iter((row,)), ctx)
@@ -885,20 +1230,15 @@ class _Lowering:
         per-row ordering on the straight-line path).  Filter placement
         uses neither — it is resolved per entry mask at execution time.
         """
-        for element in group.elements:
-            if isinstance(element, BindClause):
-                raise _Decline("bind")
-            if isinstance(element, ExistsFilter):
-                raise _Decline("exists-filter")
-            if isinstance(element, MinusPattern):
-                raise _Decline("minus")
-            if isinstance(element, SubSelect):
-                raise _Decline("subquery")
         values_clauses = [e for e in group.elements if isinstance(e, ValuesClause)]
         patterns = [e for e in group.elements if isinstance(e, TriplePattern)]
         filters = [e for e in group.elements if isinstance(e, Filter)]
         unions = [e for e in group.elements if isinstance(e, UnionPattern)]
         optionals = [e for e in group.elements if isinstance(e, OptionalPattern)]
+        binds = [e for e in group.elements if isinstance(e, BindClause)]
+        exists_filters = [e for e in group.elements if isinstance(e, ExistsFilter)]
+        minus_patterns = [e for e in group.elements if isinstance(e, MinusPattern)]
+        subselects = [e for e in group.elements if isinstance(e, SubSelect)]
 
         self._group_count += 1
         gid = self._group_count
@@ -922,6 +1262,15 @@ class _Lowering:
                     row[position] is not None for row in clause.rows
                 ):
                     definite.add(variable)
+
+        for subselect in subselects:
+            # Bottom-up, like the interpreter: the inner query runs
+            # independently and its rows join like VALUES rows.  A cell
+            # can be unbound (a projection that errored), so subquery
+            # variables never join `definite`.
+            op = self._lower_subselect(subselect)
+            values_ops.append(op)
+            may |= set(op.variables)
 
         pattern_ops = []
         if patterns:
@@ -964,11 +1313,61 @@ class _Lowering:
             # OPTIONAL never extends `definite`: unmatched rows pass
             # through with the inner registers unbound.
 
+        # The interpreter's in-scope set for BIND's rebind check: the
+        # variables this group itself binds before BINDs run — VALUES,
+        # subqueries, patterns, union branches, earlier BINDs — but NOT
+        # OPTIONAL variables (an OPTIONAL-bound variable may be silently
+        # overwritten) and not the incoming row's variables, which are a
+        # per-row property handled through the entry mask.
+        local_available: set[Variable] = set()
+        for clause in values_clauses:
+            local_available |= set(clause.variables_)
+        for op in values_ops:
+            if isinstance(op, SubqueryScan):
+                local_available |= set(op.variables)
+        for pattern in patterns:
+            local_available |= pattern.variables()
+        for union in unions:
+            for branch in union.branches:
+                local_available |= branch.variables()
+
+        bind_items: list[tuple[Variable, int]] = []
+        for bind in binds:
+            slot = self.slot(bind.variable)
+            if bind.variable in local_available:
+                # Statically certain rebind: raises on every execution,
+                # like the interpreter.
+                tail_ops.append(_BindRebind(bind))
+            else:
+                program = compile_expression(bind.expression, self.slots)
+                tail_ops.append(BindOp(bind, slot, program))
+                bind_items.append((bind.variable, slot))
+            local_available.add(bind.variable)
+            may.add(bind.variable)
+
+        for exists in exists_filters:
+            inner = self.lower_group(exists.pattern, may, definite)
+            tail_ops.append(ExistsJoin(exists, inner))
+            # EXISTS never extends `may`: inner bindings do not leak.
+
+        for minus in minus_patterns:
+            inner = self.lower_group(minus.pattern, set(), set())
+            shared = tuple(
+                self.slots[v]
+                for v in sorted(minus.pattern.variables(), key=lambda v: v.name)
+                if v in self.slots
+            )
+            tail_ops.append(MinusJoin(minus, inner, shared))
+
         filter_units = tuple(self._filter_unit(c) for c in filters)
         relevant: dict[Variable, int] = {}
         for unit in filter_units:
             for variable, slot in unit.slot_items:
                 relevant[variable] = slot
+        for variable, slot in bind_items:
+            # Entry masks must cover BIND targets: a row that already
+            # binds one triggers the per-row rebind error.
+            relevant[variable] = slot
         return GroupPipeline(
             gid,
             tuple(values_ops),
@@ -985,7 +1384,22 @@ class _Lowering:
             (variable, self.slots[variable])
             for variable in variables if variable in self.slots
         )
-        return _FilterUnit(constraint, variables, slot_items)
+        program = compile_expression(constraint.expression, self.slots)
+        return _FilterUnit(constraint, variables, slot_items, program)
+
+    def _lower_subselect(self, subselect: SubSelect) -> SubqueryScan:
+        """Compile a nested SELECT to its own plan and a join operator.
+
+        The inner query gets its own register space (it is evaluated
+        bottom-up against the whole graph); only its projected variables
+        get outer slots.  An inner shape the compiler cannot take
+        propagates its decline reason outward.
+        """
+        runner, variables, inner_root = _compile_subquery(
+            self.graph, subselect.query, self.optimize
+        )
+        cell_slots = tuple(self.slot(v) for v in variables)
+        return SubqueryScan(subselect, runner, variables, cell_slots, inner_root)
 
     def _lower_step(self, pattern: TriplePattern, may: set, estimate: int | None):
         positions = []
@@ -1044,6 +1458,113 @@ class _Lowering:
         raise _Decline("path-shape")
 
 
+def _compile_subquery(graph, query, optimize: bool):
+    """Compile a nested SELECT; returns ``(runner, variables, inner_root)``.
+
+    ``runner(deadline)`` produces the subquery's result rows (tuples of
+    terms / None), replicating ``Evaluator.select`` on the compiled
+    tuple path: distinct-then-order for aggregates, order-then-project-
+    then-distinct otherwise, OFFSET/LIMIT last.  Raises
+    :class:`_Decline` with the inner reason when the inner query cannot
+    compile — the subquery then declines as a whole, with the inner
+    reason as the outward-visible one.
+    """
+    top_k = None
+    if query.limit is not None:
+        top_k = query.limit + (query.offset or 0)
+    if query.is_aggregate_query:
+        from .aggregator import compile_aggregate_ex
+
+        plan, reason = compile_aggregate_ex(graph, query, optimize=optimize)
+        if plan is None:
+            raise _Decline(reason)
+        variables = tuple(p.variable for p in query.projections)
+
+        def runner(deadline, plan=plan, query=query, variables=variables,
+                   top_k=top_k):
+            rows, _variables = plan.execute(deadline)
+            if query.distinct:
+                rows = _distinct_rows(rows)
+            if query.order_by:
+                rows = _order_rows(rows, variables, query.order_by, top_k)
+            return _slice_rows(rows, query)
+
+        return runner, variables, plan.body.root
+
+    plan, reason = compile_where(graph, query.where, optimize=optimize)
+    if plan is None:
+        raise _Decline(reason)
+    variables = tuple(query.output_variables())
+
+    def runner(deadline, plan=plan, query=query, variables=variables,
+               top_k=top_k):
+        solutions = plan.solutions(deadline)
+        if query.order_by:
+            # The top-k bound only applies without DISTINCT (which may
+            # need solutions beyond the first limit+offset).
+            solution_k = None if query.distinct else top_k
+            solutions = OrderLimit(query.order_by, solution_k).apply(solutions)
+        rows = _project_rows(query, solutions, variables)
+        if query.distinct:
+            rows = _distinct_rows(rows)
+        return _slice_rows(rows, query)
+
+    return runner, variables, plan.root
+
+
+def _project_rows(query, solutions: list[Binding], variables) -> list[tuple]:
+    """Replicates ``Evaluator._project``: errors project to unbound."""
+    rows: list[tuple] = []
+    if query.select_all:
+        for binding in solutions:
+            rows.append(tuple(binding.get(v) for v in variables))
+        return rows
+    for binding in solutions:
+        row = []
+        for projection in query.projections:
+            try:
+                row.append(evaluate(projection.expression, binding))
+            except ExpressionError:
+                row.append(None)
+        rows.append(tuple(row))
+    return rows
+
+
+def _order_rows(rows: list[tuple], variables, conditions, limit: int | None):
+    """Replicates ``Evaluator._order``: row-level ORDER BY."""
+    def sort_key(row: tuple):
+        binding = {v: t for v, t in zip(variables, row) if t is not None}
+        keys = []
+        for condition in conditions:
+            try:
+                value = evaluate(condition.expression, binding)
+                key = (1,) + value.sort_key()
+            except ExpressionError:
+                key = (0,)
+            keys.append(_Directed(key, condition.ascending))
+        return keys
+
+    return _sorted_top(rows, sort_key, limit)
+
+
+def _distinct_rows(rows: list[tuple]) -> list[tuple]:
+    seen: set[tuple] = set()
+    unique: list[tuple] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            unique.append(row)
+    return unique
+
+
+def _slice_rows(rows: list[tuple], query) -> list[tuple]:
+    if query.offset:
+        rows = rows[query.offset:]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
 def compile_where(graph, where: GroupGraphPattern, optimize: bool = True):
     """Lower a WHERE group onto the physical-operator pipeline.
 
@@ -1063,7 +1584,7 @@ def compile_where(graph, where: GroupGraphPattern, optimize: bool = True):
         return None, decline.reason
     plan = WherePlan(
         dictionary, index, lowering.slots, root, tuple(lowering.extra_terms),
-        lowering.num_registers,
+        lowering.num_registers, dict(lowering._pseudo),
     )
     return plan, None
 
@@ -1077,10 +1598,10 @@ class WherePlan:
     """
 
     __slots__ = ("dictionary", "index", "slots", "root", "extra_terms",
-                 "slot_items", "empty", "num_registers")
+                 "slot_items", "empty", "num_registers", "pseudo_ids")
 
     def __init__(self, dictionary, index, slots, root: GroupPipeline, extra_terms,
-                 num_registers: int | None = None):
+                 num_registers: int | None = None, pseudo_ids: dict | None = None):
         self.dictionary = dictionary
         self.index = index
         self.slots = slots
@@ -1090,6 +1611,9 @@ class WherePlan:
         self.empty = root.empty
         # Scratch registers (repeated variables) live past len(slots).
         self.num_registers = len(slots) if num_registers is None else num_registers
+        # term → compile-time pseudo id; runtime minting (BIND results,
+        # subquery cells) consults this first so ids stay consistent.
+        self.pseudo_ids = {} if pseudo_ids is None else pseudo_ids
 
     @property
     def num_slots(self) -> int:
@@ -1106,12 +1630,20 @@ class WherePlan:
     def solutions(self, deadline) -> list[Binding]:
         """Run the pipeline eagerly, stage by stage; decoded bindings out."""
         if self.empty:
+            self.root.raise_rebinds(self._seed())
             return []
         ctx = _ExecContext(self, deadline)
         rows: Iterable[list] = [self._seed()]
-        for op in ctx.schedule(self.root, _EMPTY_MASK):
+        ops = ctx.schedule(self.root, _EMPTY_MASK)
+        for position, op in enumerate(ops):
             rows = list(op.run(rows, ctx))
             if not rows:
+                # Lazy chaining still *starts* downstream generators on
+                # an empty stream; preserve the always-raising rebind
+                # check across this eager early exit.
+                for tail in ops[position + 1:]:
+                    if isinstance(tail, _BindRebind):
+                        next(tail.run(iter(()), ctx), None)
                 return []
         decode = ctx.decode
         slot_items = self.slot_items
@@ -1126,14 +1658,18 @@ class WherePlan:
             append(binding)
         return out
 
-    def rows_stream(self, deadline):
+    def rows_stream(self, deadline, ctx: "_ExecContext | None" = None):
         """Lazily chained raw-row iterator plus its execution context.
 
         Used by consumers that fold rows without materializing solutions
-        (aggregation) or that stop at the first row (ASK).
+        (aggregation) or that stop at the first row (ASK).  Callers that
+        need the context *before* iterating — e.g. the aggregator, whose
+        decode state must see ids minted during the run — pass their own.
         """
-        ctx = _ExecContext(self, deadline)
+        if ctx is None:
+            ctx = _ExecContext(self, deadline)
         if self.empty:
+            self.root.raise_rebinds(self._seed())
             return iter(()), ctx
         ops = ctx.schedule(self.root, _EMPTY_MASK)
         return _run_pipeline(ops, iter((self._seed(),)), ctx), ctx

@@ -1,0 +1,234 @@
+"""Register-level expression programs.
+
+:mod:`.expressions` evaluates ASTs against decoded ``dict[Variable, Node]``
+bindings — the term-space interpreter's native currency.  The compiled
+engine works in flat integer-register rows, so evaluating a filter there
+used to mean materializing a binding dict per row just to throw it away.
+
+This module compiles an :class:`~.ast.Expression` once against a slot map
+(variable → register index) into a closure tree that reads registers
+directly and decodes ids through a caller-supplied codec — in practice the
+memoized ``_ExecContext.decode``, so each distinct id is decoded at most
+once per execution regardless of how many rows or expressions touch it.
+
+Semantics match :func:`.expressions.evaluate` exactly: unbound variables
+and type errors raise :class:`~.expressions.ExpressionError` (SPARQL's
+"error" value), ``&&``/``||`` short-circuit error-tolerantly, and
+BOUND/COALESCE/IF stay non-strict.  Variables absent from the slot map are
+compiled to always-error closures — the register file is the single source
+of truth for what can ever be bound.
+
+The ``special`` hook lets the aggregator splice in closures for
+:class:`~.ast.Aggregate` nodes (reading accumulator outputs instead of
+registers); outside a grouping context aggregates error as usual.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..rdf.terms import Node, Variable
+from .ast import (
+    Aggregate,
+    Arithmetic,
+    BoolOp,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InExpr,
+    NotExpr,
+    TermExpr,
+)
+from .expressions import (
+    FALSE,
+    ExpressionError,
+    _apply_arith,
+    _as_number,
+    _boolean,
+    _numeric,
+    _terms_equal,
+    apply_function,
+    effective_boolean_value,
+    term_compare,
+)
+
+__all__ = ["RegisterProgram", "compile_expression"]
+
+Decode = Callable[[int], Node]
+Fn = Callable[[Sequence[Optional[int]], Decode], Node]
+
+
+class RegisterProgram:
+    """A compiled expression over an integer-register row.
+
+    ``fn(row, decode)`` returns an RDF term or raises
+    :class:`ExpressionError`; ``slots`` lists the register indices the
+    program reads (sorted), which the vectorized engine uses to pick
+    distinct-value fast paths.
+    """
+
+    __slots__ = ("expression", "fn", "slots")
+
+    def __init__(self, expression: Expression, fn: Fn, slots: tuple[int, ...]):
+        self.expression = expression
+        self.fn = fn
+        self.slots = slots
+
+    def __call__(self, row: Sequence[Optional[int]], decode: Decode) -> Node:
+        return self.fn(row, decode)
+
+
+def compile_expression(
+    expression: Expression,
+    slots: Mapping[Variable, int],
+    special: Optional[Callable[[Expression], Optional[Fn]]] = None,
+) -> RegisterProgram:
+    """Compile ``expression`` against ``slots`` into a :class:`RegisterProgram`."""
+    used: set[int] = set()
+    fn = _compile(expression, slots, used, special)
+    return RegisterProgram(expression, fn, tuple(sorted(used)))
+
+
+def _raising(message: str) -> Fn:
+    def fn(row, decode):
+        raise ExpressionError(message)
+
+    return fn
+
+
+def _compile(
+    expression: Expression,
+    slots: Mapping[Variable, int],
+    used: set[int],
+    special: Optional[Callable[[Expression], Optional[Fn]]],
+) -> Fn:
+    if special is not None:
+        hooked = special(expression)
+        if hooked is not None:
+            return hooked
+    if isinstance(expression, TermExpr):
+        term = expression.term
+        if isinstance(term, Variable):
+            slot = slots.get(term)
+            if slot is None:
+                return _raising(f"unbound variable {term.n3()}")
+            used.add(slot)
+            message = f"unbound variable {term.n3()}"
+
+            def read(row, decode, slot=slot, message=message):
+                tid = row[slot]
+                if tid is None:
+                    raise ExpressionError(message)
+                return decode(tid)
+
+            return read
+        return lambda row, decode, term=term: term
+    if isinstance(expression, Comparison):
+        left = _compile(expression.left, slots, used, special)
+        right = _compile(expression.right, slots, used, special)
+        op = expression.op
+        return lambda row, decode: _boolean(
+            term_compare(left(row, decode), right(row, decode), op)
+        )
+    if isinstance(expression, Arithmetic):
+        left = _compile(expression.left, slots, used, special)
+        right = _compile(expression.right, slots, used, special)
+        op = expression.op
+        return lambda row, decode: _numeric(
+            _apply_arith(op, _as_number(left(row, decode)), _as_number(right(row, decode)))
+        )
+    if isinstance(expression, BoolOp):
+        operands = [_compile(o, slots, used, special) for o in expression.operands]
+        is_and = expression.op == "&&"
+
+        def bool_op(row, decode, operands=operands, is_and=is_and):
+            pending_error: ExpressionError | None = None
+            for operand in operands:
+                try:
+                    value = effective_boolean_value(operand(row, decode))
+                except ExpressionError as exc:
+                    pending_error = exc
+                    continue
+                if is_and and not value:
+                    return _boolean(False)
+                if not is_and and value:
+                    return _boolean(True)
+            if pending_error is not None:
+                raise pending_error
+            return _boolean(is_and)
+
+        return bool_op
+    if isinstance(expression, NotExpr):
+        inner = _compile(expression.operand, slots, used, special)
+        return lambda row, decode: _boolean(
+            not effective_boolean_value(inner(row, decode))
+        )
+    if isinstance(expression, InExpr):
+        needle = _compile(expression.operand, slots, used, special)
+        options = [_compile(o, slots, used, special) for o in expression.options]
+        negated = expression.negated
+
+        def in_expr(row, decode, needle=needle, options=options, negated=negated):
+            target = needle(row, decode)
+            found = False
+            for option in options:
+                if _terms_equal(target, option(row, decode)):
+                    found = True
+                    break
+            return _boolean(found != negated)
+
+        return in_expr
+    if isinstance(expression, FunctionCall):
+        return _compile_function(expression, slots, used, special)
+    if isinstance(expression, Aggregate):
+        return _raising("aggregate outside of grouping context")
+    return _raising(f"unsupported expression {expression!r}")
+
+
+def _compile_function(
+    call: FunctionCall,
+    slots: Mapping[Variable, int],
+    used: set[int],
+    special: Optional[Callable[[Expression], Optional[Fn]]],
+) -> Fn:
+    name = call.name.upper()
+    if name == "BOUND":
+        arg = call.args[0]
+        if not (isinstance(arg, TermExpr) and isinstance(arg.term, Variable)):
+            return _raising("BOUND requires a variable")
+        slot = slots.get(arg.term)
+        if slot is None:
+            return lambda row, decode: FALSE
+        used.add(slot)
+        return lambda row, decode, slot=slot: _boolean(row[slot] is not None)
+    if name == "COALESCE":
+        arg_fns = [_compile(a, slots, used, special) for a in call.args]
+
+        def coalesce(row, decode, arg_fns=arg_fns):
+            for fn in arg_fns:
+                try:
+                    return fn(row, decode)
+                except ExpressionError:
+                    continue
+            raise ExpressionError("COALESCE: all arguments errored")
+
+        return coalesce
+    if name == "IF":
+        condition = _compile(call.args[0], slots, used, special)
+        then_fn = _compile(call.args[1], slots, used, special)
+        else_fn = _compile(call.args[2], slots, used, special)
+
+        def if_fn(row, decode):
+            if effective_boolean_value(condition(row, decode)):
+                return then_fn(row, decode)
+            return else_fn(row, decode)
+
+        return if_fn
+    arg_fns = [_compile(a, slots, used, special) for a in call.args]
+    display = call.name
+
+    def strict(row, decode, name=name, arg_fns=arg_fns, display=display):
+        args = [fn(row, decode) for fn in arg_fns]
+        return apply_function(name, args, display)
+
+    return strict

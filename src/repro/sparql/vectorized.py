@@ -22,6 +22,12 @@ Execution model:
   gather every column through it, which keeps the *exact* row order the
   tuple engine produces (row-outer, match-inner).  Order preservation is
   load-bearing: ``LIMIT`` without ``ORDER BY`` slices positionally.
+* **Expression kernels** — FILTER and BIND evaluate their register
+  programs once per *distinct* id through a decode-once table (numeric
+  comparisons get a float fast path); EXISTS/NOT EXISTS collapse the
+  inner pipeline's source map to a per-row flag; MINUS folds the
+  memoized right side into a removal mask; subqueries join their
+  encoded result rows with the VALUES compatibility loop.
 * **Fast paths and fallback** — vectorized probes slice the sorted runs
   through cached composite keys (:meth:`Run.key12` + ``searchsorted``)
   and are only sound when the run is the complete truth
@@ -55,16 +61,22 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from ..errors import QueryTimeoutError
+from ..errors import QueryEvaluationError, QueryTimeoutError
 from ..rdf.terms import Literal, Variable
 from .ast import Comparison, TermExpr
+from .expressions import ExpressionError, effective_boolean_value
 from .operators import (
     _EMPTY_MASK,
+    _BindRebind,
     _ExecContext,
+    BindOp,
+    ExistsJoin,
     FilterOp,
     IndexScan,
     LeftJoin,
+    MinusJoin,
     NestedProbe,
+    SubqueryScan,
     UnionOp,
     ValuesBind,
     _StepOp,
@@ -548,36 +560,84 @@ def _contains_mask(run, m, s_vals, o_vals, pc, n):
 
 
 def _run_filter(op: FilterOp, batch: Batch, vctx: _VecCtx):
-    """FILTER over a batch: numeric comparisons vectorize through a
-    decode-once value table per distinct id; anything else per-row."""
+    """FILTER over a batch, in three tiers per constraint.
+
+    Numeric ``?v OP literal`` comparisons vectorize through a
+    decode-once float table per distinct id; every other constraint
+    whose register program reads at most one bound column evaluates the
+    program once per distinct id into a boolean table (exact expression
+    semantics, errors remove the row); multi-column programs fall back
+    to the tuple operator for the whole batch.
+    """
     if _np is None:
         return _per_row(op, batch, vctx)
-    plans = []
-    for constraint in op.filters:
-        compiled = _vectorizable_comparison(op, constraint, batch)
-        if compiled is None:
-            return _per_row(op, batch, vctx)
-        plans.append(compiled)
     mask = None
-    for slot, opname, const in plans:
-        values = _numeric_column(batch.cols[slot], vctx)
-        if values is None:
+    for constraint, program in zip(op.filters, op.programs):
+        part = _comparison_mask(op, constraint, batch, vctx)
+        if part is None:
+            part = _program_mask(program, batch, vctx)
+        if part is None:
             return _per_row(op, batch, vctx)
-        if opname == "<":
-            part = values < const
-        elif opname == "<=":
-            part = values <= const
-        elif opname == ">":
-            part = values > const
-        elif opname == ">=":
-            part = values >= const
-        elif opname == "=":
-            part = values == const
-        else:
-            part = values != const
         mask = part if mask is None else (mask & part)
+    if mask is None:
+        return batch, _np.arange(batch.n, dtype=_np.int64)
     idx = _np.nonzero(mask)[0]
     return _take(batch, idx), idx
+
+
+def _comparison_mask(op: FilterOp, constraint, batch: Batch, vctx: _VecCtx):
+    """Boolean mask for a numeric-comparison FILTER, or None."""
+    compiled = _vectorizable_comparison(op, constraint, batch)
+    if compiled is None:
+        return None
+    slot, opname, const = compiled
+    values = _numeric_column(batch.cols[slot], vctx)
+    if values is None:
+        return None
+    if opname == "<":
+        return values < const
+    if opname == "<=":
+        return values <= const
+    if opname == ">":
+        return values > const
+    if opname == ">=":
+        return values >= const
+    if opname == "=":
+        return values == const
+    return values != const
+
+
+def _program_mask(program, batch: Batch, vctx: _VecCtx):
+    """Boolean mask for one FILTER via its register program.
+
+    Sound for programs reading at most one bound column: the program is
+    evaluated once per distinct id (``row[slot] = None`` for the
+    :data:`UNBOUND` sentinel), with an erroring expression mapping to
+    False — SPARQL's error-removes-row rule.  Returns None when two or
+    more read columns are bound (cross-column value combinations would
+    need a compound key).
+    """
+    bound = [s for s in program.slots if batch.cols[s] is not None]
+    if len(bound) > 1:
+        return None
+    decode = vctx.tctx.decode
+    row = [None] * batch.width
+    if not bound:
+        try:
+            keep = effective_boolean_value(program(row, decode))
+        except ExpressionError:
+            keep = False
+        return _np.full(batch.n, keep, dtype=bool)
+    slot = bound[0]
+    uniq, inverse = _np.unique(batch.cols[slot], return_inverse=True)
+    table = _np.empty(len(uniq), dtype=bool)
+    for j, term_id in enumerate(uniq.tolist()):
+        row[slot] = None if term_id == UNBOUND else term_id
+        try:
+            table[j] = effective_boolean_value(program(row, decode))
+        except ExpressionError:
+            table[j] = False
+    return table[inverse]
 
 
 def _vectorizable_comparison(op: FilterOp, constraint, batch: Batch):
@@ -644,13 +704,27 @@ def _run_values(op: ValuesBind, batch: Batch, vctx: _VecCtx):
     columns; outputs interleaved back into (row, value-row) order."""
     if _np is None:
         return _per_row(op, batch, vctx)
+    return _values_join(op.cell_slots, op.encoded_rows, batch)
+
+
+def _run_subquery(op: SubqueryScan, batch: Batch, vctx: _VecCtx):
+    """Subquery join: the inner plan's encoded result rows (materialized
+    once per execution, memoized on the shared tuple context) join with
+    the exact VALUES compatibility loop — None cells skip like UNDEF."""
+    if _np is None:
+        return _per_row(op, batch, vctx)
+    return _values_join(op.cell_slots, op.encoded_rows(vctx.tctx), batch)
+
+
+def _values_join(cell_slots, encoded_rows, batch: Batch):
+    """Shared VALUES/subquery join core (see :func:`_run_values`)."""
     n = batch.n
     width = batch.width
     parts = []
-    for value_row in op.encoded_rows:
+    for value_row in encoded_rows:
         mask = _np.ones(n, dtype=bool)
         override: dict[int, tuple] = {}
-        for slot, value_id in zip(op.cell_slots, value_row):
+        for slot, value_id in zip(cell_slots, value_row):
             if value_id is None:  # UNDEF leaves the register as-is
                 continue
             col = batch.cols[slot]
@@ -685,6 +759,8 @@ def _run_group(pipeline, batch: Batch, vctx: _VecCtx):
     schedule; partition outputs merge back into input-row order.
     """
     width = batch.width
+    if pipeline.empty and batch.n:
+        _raise_group_rebinds(pipeline, batch)
     if pipeline.empty or batch.n == 0:
         return _empty(width), _np.empty(0, _np.int64)
     groups = _entry_mask_groups(pipeline, batch)
@@ -701,6 +777,28 @@ def _run_group(pipeline, batch: Batch, vctx: _VecCtx):
             src = _np.arange(out.n, dtype=_np.int64)
         parts.append((out, src))
     return _merge_parts(parts, width)
+
+
+def _raise_group_rebinds(pipeline, batch: Batch) -> None:
+    """The rebind error an empty nested group owes a non-empty batch —
+    per-row over the tuple engine, collapsed here to a column check
+    (any row binding a BIND target aborts the query either way)."""
+    for op in pipeline.tail_ops:
+        if isinstance(op, _BindRebind):
+            next(op.run(iter(()), None), None)  # always raises
+        elif isinstance(op, BindOp):
+            col = batch.cols[op.slot]
+            if col is None:
+                continue
+            if _np is not None and not isinstance(col, list):
+                bound = bool((col != UNBOUND).any())
+            else:
+                bound = any(value != UNBOUND for value in col)
+            if bound:
+                raise QueryEvaluationError(
+                    f"BIND would rebind in-scope variable "
+                    f"{op.bind.variable.n3()}"
+                )
 
 
 def _entry_mask_groups(pipeline, batch: Batch):
@@ -753,6 +851,118 @@ def _run_union(op: UnionOp, batch: Batch, vctx: _VecCtx):
     return _merge_parts(list(parts), batch.width)
 
 
+def _run_bind(op: BindOp, batch: Batch, vctx: _VecCtx):
+    """BIND over a batch: decode-once / encode-once via a distinct table.
+
+    The register program runs once per distinct id of its single bound
+    dependency column (once total when it reads no bound column — a
+    batch-constant expression), each computed term encodes once, and
+    the ids scatter column-wise.  An erroring row keeps its old
+    register value, exactly like the tuple operator; programs reading
+    two or more bound columns run per-row.
+    """
+    if _np is None:
+        return _per_row(op, batch, vctx)
+    n = batch.n
+    identity = _np.arange(n, dtype=_np.int64)
+    program = op.program
+    bound = [s for s in program.slots if batch.cols[s] is not None]
+    if len(bound) > 1:
+        return _per_row(op, batch, vctx)
+    tctx = vctx.tctx
+    row = [None] * batch.width
+    old = batch.cols[op.slot]
+    if not bound:
+        try:
+            term = program(row, tctx.decode)
+        except ExpressionError:
+            return batch, identity  # every row errors: nothing changes
+        new_col = _np.full(n, tctx.encode(term), dtype=_np.int64)
+    else:
+        slot = bound[0]
+        uniq, inverse = _np.unique(batch.cols[slot], return_inverse=True)
+        # UNBOUND marks "this distinct value errored — keep the old
+        # register"; it can never be a real or minted id.
+        table = _np.empty(len(uniq), dtype=_np.int64)
+        for j, term_id in enumerate(uniq.tolist()):
+            row[slot] = None if term_id == UNBOUND else term_id
+            try:
+                table[j] = tctx.encode(program(row, tctx.decode))
+            except ExpressionError:
+                table[j] = UNBOUND
+        mapped = table[inverse]
+        if bool((mapped == UNBOUND).all()):
+            return batch, identity
+        new_col = mapped if old is None else _np.where(
+            mapped == UNBOUND, old, mapped
+        )
+    cols = list(batch.cols)
+    cols[op.slot] = new_col
+    return Batch(cols, n), identity
+
+
+def _run_exists(op: ExistsJoin, batch: Batch, vctx: _VecCtx):
+    """EXISTS / NOT EXISTS: the correlated inner pipeline runs over the
+    whole batch and collapses to a per-source matched flag.  (The tuple
+    operator stops at the first inner match per row; batched we take the
+    full inner result — same rows survive, inner bindings never leak.)"""
+    if _np is None:
+        return _per_row(op, batch, vctx)
+    _out, src = _run_group(op.inner, batch, vctx)
+    matched = _np.zeros(batch.n, dtype=bool)
+    if len(src):
+        matched[src] = True
+    keep = ~matched if op.exists.negated else matched
+    idx = _np.nonzero(keep)[0]
+    return _take(batch, idx), idx
+
+
+def _run_minus(op: MinusJoin, batch: Batch, vctx: _VecCtx):
+    """MINUS: fold the memoized uncorrelated right side into a removal
+    mask, one distinct shared-slot projection at a time.
+
+    Per right row: ``shared`` ORs the columns where both sides bind the
+    same id, ``conflict`` ORs the ones where both bind and differ; a
+    left row is removed when some right row reaches shared-and-no-
+    conflict — the interpreter's compatibility rule, vectorized.
+    """
+    if _np is None:
+        return _per_row(op, batch, vctx)
+    n = batch.n
+    identity = _np.arange(n, dtype=_np.int64)
+    right = op.right_rows(vctx.tctx)
+    shared_slots = op.shared_slots
+    if not right or not shared_slots:
+        return batch, identity
+    removed = _np.zeros(n, dtype=bool)
+    seen = set()
+    for other in right:
+        key = tuple(other[slot] for slot in shared_slots)
+        if key in seen:
+            continue
+        seen.add(key)
+        shared = None
+        conflict = None
+        for slot, right_id in zip(shared_slots, key):
+            if right_id is None:
+                continue
+            col = batch.cols[slot]
+            if col is None:
+                continue
+            left_bound = col != UNBOUND
+            eq = left_bound & (col == right_id)
+            ne = left_bound & ~eq
+            shared = eq if shared is None else (shared | eq)
+            conflict = ne if conflict is None else (conflict | ne)
+        if shared is None:
+            continue
+        removed |= shared if conflict is None else (shared & ~conflict)
+    idx = _np.nonzero(~removed)[0]
+    if len(idx) == n:
+        return batch, identity
+    return _take(batch, idx), idx
+
+
 def _run_op(op, batch: Batch, vctx: _VecCtx):
     if isinstance(op, _StepOp):
         return _run_step(op, batch, vctx)
@@ -760,18 +970,34 @@ def _run_op(op, batch: Batch, vctx: _VecCtx):
         return _run_filter(op, batch, vctx)
     if isinstance(op, ValuesBind):
         return _run_values(op, batch, vctx)
+    if isinstance(op, BindOp):
+        return _run_bind(op, batch, vctx)
+    if isinstance(op, SubqueryScan):
+        return _run_subquery(op, batch, vctx)
+    if isinstance(op, ExistsJoin):
+        return _run_exists(op, batch, vctx)
+    if isinstance(op, MinusJoin):
+        return _run_minus(op, batch, vctx)
     if isinstance(op, LeftJoin):
         return _run_leftjoin(op, batch, vctx)
     if isinstance(op, UnionOp):
         return _run_union(op, batch, vctx)
-    return _per_row(op, batch, vctx)  # PathClosure and anything future
+    # PathClosure, _BindRebind (which must raise, not compute) and
+    # anything future: the universal tuple fallback.
+    return _per_row(op, batch, vctx)
 
 
 def _fold(ops, batch: Batch, vctx: _VecCtx):
     """Run a batch through an operator schedule, composing source maps."""
     srcmap = None
-    for op in ops:
+    for i, op in enumerate(ops):
         if batch.n == 0:
+            # The tuple generators still start downstream ops on an empty
+            # stream — which matters exactly for the always-raising
+            # rebind check.  Mirror that before short-circuiting.
+            for tail_op in ops[i:]:
+                if isinstance(tail_op, _BindRebind):
+                    next(tail_op.run(iter(()), vctx.tctx), None)
             return batch, (srcmap if srcmap is not None else
                            ([] if _np is None else _np.empty(0, _np.int64)))
         vctx.check()
@@ -978,6 +1204,7 @@ def iter_batches(plan, deadline, config: VecConfig | None = None,
     """Serial generator of final top-level batches (ASK / aggregation)."""
     config = config or _DEFAULT_CONFIG
     if plan.empty:
+        plan.root.raise_rebinds([None] * plan.num_registers)
         return
     if vctx is None:
         vctx = _VecCtx(plan, deadline, config)
@@ -994,6 +1221,7 @@ def collect_batches(plan, deadline, config: VecConfig | None = None,
     """
     config = config or _DEFAULT_CONFIG
     if plan.empty:
+        plan.root.raise_rebinds([None] * plan.num_registers)
         return []
     if vctx is None:
         vctx = _VecCtx(plan, deadline, config)

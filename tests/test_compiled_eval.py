@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 
 from repro.core import SynthesisReport, VirtualSchemaGraph, reolap
 from repro.datasets import generate_eurostat
-from repro.errors import QueryTimeoutError
+from repro.errors import QueryEvaluationError, QueryTimeoutError
 from repro.qb import OBSERVATION_CLASS
 from repro.rdf import IRI, Triple, Variable, literal_from_python
 from repro.serving import QueryCache
@@ -115,12 +115,18 @@ class TestCompiledEquivalence:
             )
 
 
-# -- unified operator pipeline (OPTIONAL / UNION / VALUES / paths) ----------
+# -- unified operator pipeline (OPTIONAL / UNION / VALUES / paths / BIND /
+#    EXISTS / MINUS / subqueries) -------------------------------------------
 
 OPERATOR_SHAPES = [
     "optional", "optional-filter", "union", "union-partial", "values",
     "values-undef", "path-plus", "path-star", "path-seq", "path-alt",
     "path-inv", "path-anchored", "path-self", "mixed",
+    # The four formerly-declining shapes, incl. error-semantics rows.
+    "bind", "bind-arith", "bind-error", "bind-unbound",
+    "exists", "not-exists", "exists-error",
+    "minus", "minus-disjoint",
+    "subquery", "subquery-agg", "mixed-retired",
 ]
 
 operator_shapes = st.sampled_from(OPERATOR_SHAPES)
@@ -159,11 +165,51 @@ def operator_query(p1, p2, shape):
     elif shape == "path-self":
         # Same variable at both path ends: only cycle members survive.
         body = f"?x {P1}+ ?x ."
-    else:  # mixed: every new operator in one body
+    elif shape == "mixed":  # every classic operator in one body
         body = (
             f"?a {P1} ?b . OPTIONAL {{ ?b {P2} ?c . }} "
             f"{{ ?b {P1} ?d . }} UNION {{ ?b {P2} ?d . }} "
             f"FILTER(?a != ?b)"
+        )
+    elif shape == "bind":
+        body = f"?a {P1} ?b . BIND(?b AS ?w)"
+    elif shape == "bind-arith":
+        # Computed numeric register, then a filter over the computed value.
+        body = f"?a <{EX}value> ?v . BIND(?v * 3 AS ?w) FILTER(?w > 30)"
+    elif shape == "bind-error":
+        # IRI + 1 is a type error: ?w must stay unbound, rows survive.
+        body = f"?a {P1} ?b . BIND(?b + 1 AS ?w)"
+    elif shape == "bind-unbound":
+        # ?c unbound on OPTIONAL misses: erroring BIND leaves ?w unbound.
+        body = f"?a {P1} ?b . OPTIONAL {{ ?b {P2} ?c . }} BIND(?c AS ?w)"
+    elif shape == "exists":
+        body = f"?a {P1} ?b . FILTER EXISTS {{ ?b {P2} ?c . }}"
+    elif shape == "not-exists":
+        body = f"?a {P1} ?b . FILTER NOT EXISTS {{ ?b {P2} ?c . }}"
+    elif shape == "exists-error":
+        # The inner filter errors on IRIs (?c > 0): EXISTS never matches.
+        body = f"?a {P1} ?b . FILTER EXISTS {{ ?b {P2} ?c . FILTER(?c > 0) }}"
+    elif shape == "minus":
+        body = f"?a {P1} ?b . MINUS {{ ?b {P2} ?c . }}"
+    elif shape == "minus-disjoint":
+        # No shared variables: MINUS removes nothing, per spec.
+        body = f"?a {P1} ?b . MINUS {{ ?x {P2} ?y . }}"
+    elif shape == "subquery":
+        body = f"{{ SELECT ?b WHERE {{ ?x {P2} ?b . }} }} ?a {P1} ?b ."
+    elif shape == "subquery-agg":
+        # Aggregate results are runtime-minted ids (counts are terms the
+        # store never stored) — they must decode at the boundary.
+        body = (
+            f"?a <{EX}value> ?v . "
+            f"{{ SELECT ?a (COUNT(*) AS ?n) WHERE {{ ?a {P1} ?x . }} "
+            f"GROUP BY ?a }}"
+        )
+    else:  # mixed-retired: all four formerly-declining shapes in one body
+        body = (
+            f"?a {P1} ?b . BIND(?b AS ?w) "
+            f"FILTER NOT EXISTS {{ ?b {P2} ?c . }} "
+            f"MINUS {{ ?w {P2} ?y . }} "
+            f"{{ SELECT ?a WHERE {{ ?a <{EX}value> ?v . }} }}"
         )
     return f"SELECT * WHERE {{ {body} }}"
 
@@ -211,6 +257,71 @@ class TestOperatorEquivalence:
                 Evaluator(graph, compile=True).ask(query)
                 == Evaluator(graph, compile=False).ask(query)
             )
+
+
+class TestBindRebindErrors:
+    """BIND over an in-scope variable is a query error in every engine —
+    raised even when the group has zero solutions, because the
+    interpreter checks scope the moment the group is evaluated."""
+
+    def _engines(self, graph):
+        return (
+            Evaluator(graph, compile=True, vectorize=True, batch_size=2),
+            Evaluator(graph, compile=True, vectorize=False),
+            Evaluator(graph, compile=False),
+        )
+
+    def test_static_rebind_raises(self):
+        # ?b is bound by the group's own pattern: detected at lowering.
+        graph = build_graph([(0, 0, 1)])
+        query = parse_query(
+            f"SELECT * WHERE {{ ?a <{EX}p0> ?b . BIND(<{EX}x> AS ?b) }}"
+        )
+        for evaluator in self._engines(graph):
+            with pytest.raises(QueryEvaluationError):
+                evaluator.select(query)
+
+    def test_static_rebind_raises_with_zero_solutions(self):
+        graph = build_graph([(0, 0, 1)])
+        query = parse_query(
+            f"SELECT * WHERE {{ ?a <{EX}p1> ?b . BIND(<{EX}x> AS ?b) }}"
+        )
+        for evaluator in self._engines(graph):
+            with pytest.raises(QueryEvaluationError):
+                evaluator.select(query)
+
+    def test_row_dependent_rebind_raises(self):
+        # ?b enters the OPTIONAL group bound by the incoming row — a
+        # per-row property, substituted into the schedule via entry mask.
+        graph = build_graph([(0, 0, 1), (0, 1, 2)])
+        query = parse_query(
+            f"SELECT * WHERE {{ ?a <{EX}p0> ?b . "
+            f"OPTIONAL {{ ?a <{EX}p1> ?c . BIND(<{EX}x> AS ?b) }} }}"
+        )
+        for evaluator in self._engines(graph):
+            with pytest.raises(QueryEvaluationError):
+                evaluator.select(query)
+
+    def test_row_dependent_rebind_raises_on_empty_inner_match(self):
+        # The inner pattern matches nothing, but the rebind still raises:
+        # tuple generators raise on first pull, and the batched fold
+        # checks the schedule tail before its empty-batch short-circuit.
+        graph = build_graph([(0, 0, 1)])
+        query = parse_query(
+            f"SELECT * WHERE {{ ?a <{EX}p0> ?b . "
+            f"OPTIONAL {{ ?a <{EX}p1> ?c . BIND(<{EX}x> AS ?b) }} }}"
+        )
+        for evaluator in self._engines(graph):
+            with pytest.raises(QueryEvaluationError):
+                evaluator.select(query)
+
+    def test_fresh_variable_is_not_a_rebind(self):
+        graph = build_graph([(0, 0, 1)])
+        query = parse_query(
+            f"SELECT * WHERE {{ ?a <{EX}p0> ?b . BIND(<{EX}x> AS ?w) }}"
+        )
+        for evaluator in self._engines(graph):
+            assert len(evaluator.select(query)) == 1
 
 
 class TestPathClosureDeadline:

@@ -216,6 +216,45 @@ class TestNewlyFusedShapes:
             f"GROUP BY ?d",
         )
 
+    def test_bind_group(self):
+        # Formerly the "bind" decline: BIND bodies now lower onto BindOp
+        # and fuse with the aggregator.
+        graph = build_cube([(0, 0, 2, True), (1, 1, 3, True)])
+        self._check_fuses(
+            graph,
+            f"SELECT ?w (COUNT(*) AS ?c) WHERE {{ ?o <{EX}dim> ?d . "
+            f"BIND(?d AS ?w) }} GROUP BY ?w",
+        )
+
+    def test_exists_group(self):
+        # Formerly the "exists-filter" decline.
+        graph = build_cube([(0, 0, 2, True), (0, 1, 3, True), (1, 0, 4, True)])
+        self._check_fuses(
+            graph,
+            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ ?o <{EX}dim> ?d . "
+            f"FILTER NOT EXISTS {{ ?o <{EX}val> ?v . }} }} GROUP BY ?d",
+        )
+
+    def test_minus_group(self):
+        # Formerly the "minus" decline.
+        graph = build_cube([(0, 0, 2, True), (0, 1, 3, True), (1, 0, 4, True)])
+        self._check_fuses(
+            graph,
+            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ ?o <{EX}dim> ?d . "
+            f"MINUS {{ ?o <{EX}dim> <{EX}d1> . }} }} GROUP BY ?d",
+        )
+
+    def test_subquery_group(self):
+        # Formerly the "subquery" decline: the inner SELECT compiles to
+        # its own plan and joins like VALUES rows.
+        graph = build_cube([(0, 0, 2, True), (0, 1, 3, True), (1, 0, 4, True)])
+        self._check_fuses(
+            graph,
+            f"SELECT ?d (COUNT(*) AS ?c) WHERE {{ "
+            f"{{ SELECT ?o WHERE {{ ?o <{EX}val> ?v . }} }} "
+            f"?o <{EX}dim> ?d . }} GROUP BY ?d",
+        )
+
     def test_repeated_variable_pattern(self):
         # Formerly the "repeated-variable" decline — the oldest term-space
         # fallback.  The scratch-register equality check now compiles it:
@@ -248,15 +287,6 @@ class TestFallbackShapes:
             graph,
             f"SELECT ?d (SUM(?v + ?v) AS ?s) WHERE {{ {BODY} }} GROUP BY ?d",
             "aggregate-argument",
-        )
-
-    def test_bind_group(self):
-        graph = build_cube([(0, 0, 2, True), (1, 1, 3, True)])
-        self._check_declines(
-            graph,
-            f"SELECT ?w (COUNT(*) AS ?c) WHERE {{ ?o <{EX}dim> ?d . "
-            f"BIND(?d AS ?w) }} GROUP BY ?w",
-            "bind",
         )
 
     def test_non_aggregate_query_declines(self):

@@ -180,6 +180,87 @@ class TestFullPipeline:
         assert stats.fallback_selects == 0, stats.decline_reasons
         assert stats.fallback_aggregates == 0, stats.decline_reasons
 
+    def test_mixed_shape_workload_runs_fully_compiled(self, stack):
+        """The four formerly-declining shapes — BIND, EXISTS/NOT EXISTS,
+        MINUS, and nested subqueries — now compile: a workload exercising
+        all of them (alone and combined) must record zero term-space
+        fallbacks, and every answer must match the term-space oracle."""
+        from repro.qb.cube import CubeBuilder
+
+        _name, kg, _shared_endpoint, _vgraph = stack
+        builder = CubeBuilder(kg.schema)
+        obs = OBSERVATION_CLASS.n3()
+        dim = builder.dimension_predicate(kg.schema.dimensions[0]).n3()
+        measure = builder.measure_predicate(kg.schema.measures[0]).n3()
+        selects = [
+            # bind (retired decline reason "bind")
+            f"""SELECT ?obs ?w WHERE {{
+                  ?obs a {obs} . ?obs {measure} ?v .
+                  BIND(?v * 2 AS ?w) FILTER(?w >= ?v)
+                }}""",
+            # exists-filter, positive and negated
+            f"""SELECT ?obs WHERE {{
+                  ?obs a {obs} .
+                  FILTER EXISTS {{ ?obs {dim} ?m . }}
+                }}""",
+            f"""SELECT ?obs ?v WHERE {{
+                  ?obs {measure} ?v .
+                  FILTER NOT EXISTS {{ ?obs {dim} ?m . FILTER(?v < 0) }}
+                }}""",
+            # minus
+            f"""SELECT ?obs WHERE {{
+                  ?obs a {obs} .
+                  MINUS {{ ?obs {measure} ?v . FILTER(?v < 0) }}
+                }}""",
+            # subquery (plain and aggregating)
+            f"""SELECT ?obs ?m WHERE {{
+                  {{ SELECT ?m WHERE {{ ?o2 {dim} ?m . }} }}
+                  ?obs {dim} ?m .
+                }}""",
+            f"""SELECT ?m ?n WHERE {{
+                  {{ SELECT ?m (COUNT(?o2) AS ?n)
+                     WHERE {{ ?o2 {dim} ?m . }} GROUP BY ?m }}
+                  ?obs {dim} ?m .
+                }}""",
+            # all four retired shapes in one query
+            f"""SELECT ?obs ?w WHERE {{
+                  {{ SELECT ?m WHERE {{ ?o2 {dim} ?m . }} }}
+                  ?obs {dim} ?m . ?obs {measure} ?v .
+                  BIND(?v + 1 AS ?w)
+                  FILTER EXISTS {{ ?obs a {obs} . }}
+                  MINUS {{ ?obs {measure} ?bad . FILTER(?bad < 0) }}
+                }}""",
+        ]
+        aggregates = [
+            # fused aggregate over a body containing every retired shape
+            f"""SELECT ?m (SUM(?w) AS ?total) WHERE {{
+                  ?obs {dim} ?m . ?obs {measure} ?v .
+                  BIND(?v + 1 AS ?w)
+                  FILTER EXISTS {{ ?obs a {obs} . }}
+                  MINUS {{ ?obs {measure} ?bad . FILTER(?bad < 0) }}
+                }} GROUP BY ?m""",
+        ]
+        endpoint = kg.endpoint()  # fresh counters, same graph
+        oracle = kg.endpoint(compile=False)  # term-space differential oracle
+        for text in selects + aggregates:
+            got = endpoint.select(text)
+            expected = oracle.select(text)
+            assert len(got) > 0
+            assert got == expected
+        stats = endpoint.stats.snapshot()
+        assert stats.fallback_selects == 0, stats.decline_reasons
+        assert stats.fallback_aggregates == 0, stats.decline_reasons
+        assert stats.compiled_selects == len(selects)
+        assert stats.fused_aggregates == len(aggregates)
+        # The retired reasons must never reappear; with this workload the
+        # tally stays empty outright (surviving reasons are path-shape,
+        # no-id-backend, compile-disabled, and the aggregate-only ones).
+        assert stats.decline_reasons == {}
+        retired = {"bind", "exists-filter", "minus", "subquery"}
+        oracle_stats = oracle.stats.snapshot()
+        assert set(oracle_stats.decline_reasons) == {"compile-disabled"}
+        assert not retired & set(oracle_stats.decline_reasons)
+
 
 def _first_label(kg) -> str:
     dimension = kg.schema.dimensions[0]

@@ -11,8 +11,10 @@ surface to the two reference engines over random cubes:
 * adversarial batch geometry: 1-row batches exercise every
   batch-boundary path, and parallel=2 exercises the morsel merge;
 * the operator zoo: OPTIONAL (with inner filters), UNION, VALUES,
-  property paths, repeated variables, numeric FILTERs both ways, and
-  grouped aggregates.
+  property paths, repeated variables, numeric FILTERs both ways,
+  grouped aggregates, and the formerly-declining shapes — BIND
+  (including error rows), EXISTS/NOT EXISTS, MINUS, and nested
+  subqueries (plain and aggregate).
 
 Row order is part of the contract *within* the compiled engine (LIMIT
 without ORDER BY slices positionally), so batched and tuple results
@@ -78,6 +80,32 @@ QUERIES = [
     f"SELECT ?a WHERE {{ ?a <{EX}p0> <{EX}n2> . ?a <{EX}p1> <{EX}n3> }}",
     # DISTINCT + LIMIT (positional slice must survive batching)
     f"SELECT DISTINCT ?a WHERE {{ ?a <{EX}p0> ?b }} LIMIT 3",
+    # BIND: computed register (distinct-table kernel), then filter on it
+    f"SELECT ?a ?w WHERE {{ ?a <{EX}value> ?v . BIND(?v * 2 AS ?w) "
+    f"FILTER(?w >= 40) }}",
+    # BIND type error: IRI + 1 errors per-row, ?w stays unbound
+    f"SELECT ?a ?w WHERE {{ ?a <{EX}p0> ?b . BIND(?b + 1 AS ?w) }}",
+    # BIND over an OPTIONAL register: unbound rows error, bound rows bind
+    f"SELECT ?a ?w WHERE {{ ?a <{EX}p0> ?b . "
+    f"OPTIONAL {{ ?b <{EX}value> ?v }} BIND(?v AS ?w) }}",
+    # EXISTS / NOT EXISTS correlated semi/anti joins
+    f"SELECT ?a WHERE {{ ?a <{EX}p0> ?b . "
+    f"FILTER EXISTS {{ ?a <{EX}p1> ?c }} }}",
+    f"SELECT ?a ?b WHERE {{ ?a <{EX}p0> ?b . "
+    f"FILTER NOT EXISTS {{ ?b <{EX}p1> ?c }} }}",
+    # EXISTS whose inner filter errors on IRIs: never matches
+    f"SELECT ?a WHERE {{ ?a <{EX}p0> ?b . "
+    f"FILTER EXISTS {{ ?b <{EX}p1> ?c . FILTER(?c > 0) }} }}",
+    # MINUS on a shared variable, and MINUS with nothing shared
+    f"SELECT ?a ?b WHERE {{ ?a <{EX}p0> ?b . MINUS {{ ?a <{EX}p1> ?c }} }}",
+    f"SELECT ?a ?b WHERE {{ ?a <{EX}p0> ?b . MINUS {{ ?x <{EX}p1> ?y }} }}",
+    # nested subqueries: plain join and aggregate (runtime-minted counts)
+    f"SELECT ?a ?b WHERE {{ {{ SELECT ?a WHERE {{ ?a <{EX}p1> ?y }} }} "
+    f"?a <{EX}p0> ?b }}",
+    f"SELECT ?a ?n WHERE {{ {{ SELECT ?a (COUNT(*) AS ?n) WHERE "
+    f"{{ ?a <{EX}p0> ?x }} GROUP BY ?a }} ?a <{EX}value> ?v }}",
+    # one-column non-numeric FILTER (register-program distinct table)
+    f'SELECT ?a WHERE {{ ?a <{EX}p0> ?b . FILTER regex(STR(?b), "n[024]") }}',
 ]
 
 AGG_QUERIES = [
